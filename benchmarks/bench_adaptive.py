@@ -1,0 +1,109 @@
+"""E8 — adaptive GNS/MPM switching (the paper's Section 4/7 future-work
+extension: "different criteria for adaptive-switching between GNS/MPM
+based on error metrics").
+
+Compares the fixed warm-up/rollout/refine schedule against an adaptive
+schedule that hands control back to MPM early when the energy-spike
+criterion (a conservation-violation proxy) fires. Checks that the
+adaptive run never does *worse* than pure GNS and reports the
+error/time/switching trade-off table the paper calls for.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hybrid import (
+    AdaptiveSchedule, EnergySpikeCriterion, FixedSchedule, HybridSimulator,
+    boundary_penetration, displacement_error,
+)
+from repro.mpm import granular_box_flow
+
+from common import trained_box_gns, write_result
+
+TOTAL_FRAMES = 30
+SUBSTEPS = 20
+
+
+def _fresh_solver():
+    return granular_box_flow(seed=555, cells_per_unit=24, youngs_modulus=5e7).solver
+
+
+@pytest.fixture(scope="module")
+def adaptive_results():
+    gns, ds = trained_box_gns()
+    gns.inference_dtype = np.float32
+    c = gns.feature_config.history
+    bounds = ds[0].bounds
+
+    ref = HybridSimulator(gns, _fresh_solver(),
+                          FixedSchedule(warmup_frames=c + 1),
+                          substeps=SUBSTEPS)
+    reference, mpm_time = ref.run_pure_mpm(TOTAL_FRAMES)
+
+    runs = {}
+    fixed = HybridSimulator(
+        gns, _fresh_solver(),
+        FixedSchedule(warmup_frames=c + 1, gns_frames=8, refine_frames=3),
+        substeps=SUBSTEPS)
+    runs["fixed"] = fixed.run(TOTAL_FRAMES)
+
+    adaptive = HybridSimulator(
+        gns, _fresh_solver(),
+        AdaptiveSchedule(EnergySpikeCriterion(ratio=1.5),
+                         warmup_frames=c + 1, gns_frames=8, refine_frames=3,
+                         min_gns_frames=2),
+        substeps=SUBSTEPS)
+    runs["adaptive"] = adaptive.run(TOTAL_FRAMES)
+
+    pure = HybridSimulator(
+        gns, _fresh_solver(),
+        FixedSchedule(warmup_frames=c + 1, gns_frames=TOTAL_FRAMES,
+                      refine_frames=0),
+        substeps=SUBSTEPS)
+    runs["pure GNS"] = pure.run(TOTAL_FRAMES)
+
+    lines = [
+        "E8: adaptive vs fixed GNS/MPM switching (paper future-work extension)",
+        f"criterion: kinetic-energy spike ratio 1.5 (conservation-violation proxy)",
+        "",
+        f"{'schedule':>10} | {'time (s)':>9} | {'final err (m)':>13} | "
+        f"{'GNS frames':>10} | {'switches':>8} | {'wall pen.':>9}",
+    ]
+    errs = {}
+    for name, result in runs.items():
+        err = displacement_error(result.frames, reference)
+        pen = boundary_penetration(result.frames, bounds).max()
+        errs[name] = err[-1]
+        lines.append(f"{name:>10} | {result.total_time:>9.2f} | "
+                     f"{err[-1]:>13.4f} | {result.gns_frames:>10} | "
+                     f"{result.switches:>8} | {pen:>9.4f}")
+    lines += [
+        f"{'pure MPM':>10} | {mpm_time:>9.2f} | {'0 (ref)':>13} | "
+        f"{0:>10} | {0:>8} | {0.0:>9.4f}",
+        "",
+        "shape check: refinement (fixed or adaptive) bounds the surrogate "
+        "error; adaptive trades GNS frames for robustness.",
+    ]
+    write_result("bench_adaptive", "\n".join(lines))
+    return errs
+
+
+def test_adaptive_benchmark(benchmark, adaptive_results):
+    gns, _ = trained_box_gns()
+    gns.inference_dtype = np.float32
+    c = gns.feature_config.history
+
+    def run_adaptive():
+        hyb = HybridSimulator(
+            gns, _fresh_solver(),
+            AdaptiveSchedule(EnergySpikeCriterion(ratio=1.5),
+                             warmup_frames=c + 1, gns_frames=6,
+                             refine_frames=3, min_gns_frames=2),
+            substeps=SUBSTEPS)
+        hyb.run(12)
+
+    benchmark.pedantic(run_adaptive, rounds=2, iterations=1)
+
+    errs = adaptive_results
+    assert errs["adaptive"] <= errs["pure GNS"] * 1.05, \
+        "adaptive switching must not underperform an unrefined surrogate"

@@ -1,0 +1,96 @@
+"""E1 — GNS rollout accuracy vs MPM ground truth (Section 3.1 / Fig 3).
+
+The paper reports ≤5% particle-position error (relative to the domain
+size) for a GNS trained 20M steps on 26 trajectories. The quick profile
+trains a few hundred steps, so the absolute error is looser, but the
+qualitative claims are checked:
+
+* the trained GNS tracks MPM far better than an untrained one,
+* error accumulates smoothly over the rollout (no blow-up),
+* ablations: attention processor and history length (design-choice rows).
+"""
+
+import numpy as np
+import pytest
+
+from repro.gns import LearnedSimulator, one_step_mse, rollout_position_error
+
+from common import trained_box_gns, write_result
+
+DOMAIN = 1.0  # box size; errors reported as % of domain
+
+
+def _rollout_err(sim: LearnedSimulator, traj) -> np.ndarray:
+    c = sim.feature_config.history
+    seed = traj.positions[:c + 1]
+    steps = traj.num_steps - (c + 1)
+    predicted = sim.rollout(seed, steps)
+    return rollout_position_error(predicted, traj.positions,
+                                  normalize_by=DOMAIN)
+
+
+@pytest.fixture(scope="module")
+def rollout_results():
+    sim, ds = trained_box_gns()
+    held_out = ds[-1]
+    err = _rollout_err(sim, held_out)
+
+    # untrained baseline (same architecture, fresh weights)
+    fresh = LearnedSimulator(sim.feature_config, sim.network_config,
+                             sim.stats, rng=np.random.default_rng(99))
+    err_fresh = _rollout_err(fresh, held_out)
+
+    # attention ablation
+    sim_attn, _ = trained_box_gns(attention=True)
+    err_attn = _rollout_err(sim_attn, held_out)
+
+    # history-length ablation
+    sim_h2, _ = trained_box_gns(history=2)
+    err_h2 = _rollout_err(sim_h2, held_out)
+
+    one_step = one_step_mse(sim, held_out)
+    one_step_fresh = one_step_mse(fresh, held_out)
+
+    lines = [
+        "E1: GNS rollout position error vs MPM ground truth (held-out trajectory)",
+        "paper: <=5% of domain after 20M training steps; quick profile trains ~10^2 steps",
+        "",
+        f"{'model':>22} | {'mean err %':>10} | {'final err %':>11}",
+        f"{'trained GNS':>22} | {err.mean() * 100:>10.2f} | {err[-1] * 100:>11.2f}",
+        f"{'trained GNS+attention':>22} | {err_attn.mean() * 100:>10.2f} | {err_attn[-1] * 100:>11.2f}",
+        f"{'trained GNS (C=2)':>22} | {err_h2.mean() * 100:>10.2f} | {err_h2[-1] * 100:>11.2f}",
+        f"{'untrained GNS':>22} | {err_fresh.mean() * 100:>10.2f} | {err_fresh[-1] * 100:>11.2f}",
+        "",
+        f"one-step normalized-acceleration MSE: trained {one_step:.4f} vs "
+        f"untrained {one_step_fresh:.4f}",
+        "shape check: training cuts the one-step error and keeps rollout "
+        "error in/near the paper's <=5% band.",
+    ]
+    write_result("bench_rollout_error", "\n".join(lines))
+    return dict(err=err, err_fresh=err_fresh, err_attn=err_attn, err_h2=err_h2,
+                one_step=one_step, one_step_fresh=one_step_fresh)
+
+
+def test_rollout_error_benchmark(benchmark, rollout_results):
+    """Benchmark the rollout itself; assert training beats fresh weights."""
+    sim, ds = trained_box_gns()
+    held_out = ds[-1]
+    c = sim.feature_config.history
+    seed = held_out.positions[:c + 1]
+
+    benchmark.pedantic(lambda: sim.rollout(seed, 10), rounds=3, iterations=1)
+
+    r = rollout_results
+    # the paper's metric: rollout position error vs the MPM ground truth
+    assert r["err"].mean() < r["err_fresh"].mean(), \
+        "trained GNS must out-track an untrained one"
+    assert r["err"].mean() < 0.05, \
+        "mean rollout error should sit in the paper's <=5% band"
+    assert np.all(np.isfinite(r["err"]))
+
+
+def test_one_step_prediction_benchmark(benchmark):
+    """Benchmark one-step prediction (the training-time workload)."""
+    sim, ds = trained_box_gns()
+    benchmark.pedantic(lambda: one_step_mse(sim, ds[-1], max_windows=3),
+                       rounds=3, iterations=1)

@@ -1,0 +1,160 @@
+"""Shared setup for the experiment benchmarks (E1–E8).
+
+Trained models and datasets are cached under ``benchmarks/_artifacts`` so
+the suite can be re-run cheaply; delete that directory to retrain.
+
+Two budget profiles:
+
+* quick (default): minutes-scale training — demonstrates every pipeline
+  and the qualitative *shapes* of the paper's results.
+* full  (``REPRO_BENCH_FULL=1``): longer budgets for tighter numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+ARTIFACT_DIR = Path(__file__).parent / "_artifacts"
+RESULTS_DIR = Path(__file__).parent / "results"
+FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+
+
+def profile() -> dict:
+    """Budget knobs for the current profile."""
+    if FULL:
+        return dict(
+            box_trajectories=8, box_steps=1200, train_steps=1200,
+            latent=32, mp_steps=5, material_train_steps=1500,
+            mesh_train_steps=600, sr_population=400, sr_generations=60,
+        )
+    return dict(
+        box_trajectories=4, box_steps=600, train_steps=500,
+        latent=24, mp_steps=3, material_train_steps=700,
+        mesh_train_steps=400, sr_population=250, sr_generations=35,
+    )
+
+
+def _ensure_dirs() -> None:
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+
+def write_result(name: str, text: str) -> None:
+    """Print an experiment summary and persist it for EXPERIMENTS.md."""
+    _ensure_dirs()
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n===== {name} =====\n{text}")
+
+
+def write_figure(name: str, image) -> None:
+    """Persist a rendered figure next to the text results."""
+    from repro.viz import write_png
+
+    _ensure_dirs()
+    write_png(RESULTS_DIR / f"{name}.png", image)
+
+
+# ----------------------------------------------------------------------
+# cached artifacts
+# ----------------------------------------------------------------------
+
+def box_flow_dataset():
+    """The paper's training distribution (square mass in a box)."""
+    from repro.data import generate_box_flow_dataset, load_trajectories, save_trajectories
+
+    _ensure_dirs()
+    p = profile()
+    path = ARTIFACT_DIR / f"box_flow_{p['box_trajectories']}x{p['box_steps']}.npz"
+    if path.exists():
+        return load_trajectories(path)
+    # realistic sand stiffness (50 MPa): the learned frame spans 20 CFL
+    # substeps — the regime where a surrogate pays off (see bench_speedup)
+    ds = generate_box_flow_dataset(
+        num_trajectories=p["box_trajectories"], steps=p["box_steps"],
+        record_every=20, seed=0, cells_per_unit=24, youngs_modulus=5e7)
+    save_trajectories(path, ds)
+    return ds
+
+
+def trained_box_gns(attention: bool = False, history: int = 4):
+    """GNS trained on the box-flow dataset (cached checkpoint)."""
+    from repro.data import normalization_stats
+    from repro.gns import (
+        FeatureConfig, GNSNetworkConfig, GNSTrainer, LearnedSimulator, Stats,
+        TrainingConfig,
+    )
+
+    _ensure_dirs()
+    p = profile()
+    tag = f"gns_attn{int(attention)}_h{history}_t{p['train_steps']}"
+    path = ARTIFACT_DIR / f"{tag}.npz"
+    ds = box_flow_dataset()
+    if path.exists():
+        return LearnedSimulator.load(path), ds
+    stats = Stats.from_dict(normalization_stats(ds))
+    # ~2.6 particle spacings -> ≈20 neighbours per particle
+    fc = FeatureConfig(connectivity_radius=0.055, history=history,
+                       bounds=ds[0].bounds)
+    nc = GNSNetworkConfig(latent_size=p["latent"], mlp_hidden_size=p["latent"],
+                          mlp_hidden_layers=2,
+                          message_passing_steps=p["mp_steps"],
+                          attention=attention)
+    sim = LearnedSimulator(fc, nc, stats, rng=np.random.default_rng(0))
+    # calibrate the random-walk noise to the dataset's acceleration scale:
+    # much larger and the model learns denoising instead of dynamics
+    noise = float(np.mean(stats.acceleration_std))
+    GNSTrainer(sim, ds[:-1], TrainingConfig(
+        learning_rate=5e-4, noise_std=noise, batch_size=2,
+        seed=0)).train(p["train_steps"])
+    sim.save(path)
+    return sim, ds
+
+
+def column_dataset(angles=(20.0, 25.0, 30.0, 35.0, 40.0, 45.0)):
+    """Column-collapse trajectories at several friction angles."""
+    from repro.data import (
+        generate_column_collapse_trajectory, load_trajectories,
+        save_trajectories,
+    )
+
+    _ensure_dirs()
+    path = ARTIFACT_DIR / f"columns_{len(angles)}.npz"
+    if path.exists():
+        return load_trajectories(path)
+    ds = [generate_column_collapse_trajectory(
+        friction_angle=phi, steps=500, record_every=8, cells_per_unit=20)
+        for phi in angles]
+    save_trajectories(path, ds)
+    return ds
+
+
+def trained_material_gns():
+    """Material-conditioned GNS for the inverse problem (cached)."""
+    from repro.data import normalization_stats
+    from repro.gns import (
+        FeatureConfig, GNSNetworkConfig, GNSTrainer, LearnedSimulator, Stats,
+        TrainingConfig,
+    )
+
+    _ensure_dirs()
+    p = profile()
+    path = ARTIFACT_DIR / f"gns_material_t{p['material_train_steps']}.npz"
+    ds = column_dataset()
+    if path.exists():
+        return LearnedSimulator.load(path), ds
+    stats = Stats.from_dict(normalization_stats(ds))
+    fc = FeatureConfig(connectivity_radius=0.10, history=3, bounds=ds[0].bounds,
+                       use_material=True, material_scale=45.0)
+    nc = GNSNetworkConfig(latent_size=p["latent"], mlp_hidden_size=p["latent"],
+                          mlp_hidden_layers=2,
+                          message_passing_steps=p["mp_steps"])
+    sim = LearnedSimulator(fc, nc, stats, rng=np.random.default_rng(0))
+    noise = float(np.mean(stats.acceleration_std))
+    GNSTrainer(sim, ds, TrainingConfig(
+        learning_rate=5e-4, noise_std=noise, batch_size=2,
+        seed=0)).train(p["material_train_steps"])
+    sim.save(path)
+    return sim, ds

@@ -1,0 +1,15 @@
+"""Benchmark suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module regenerates one paper artifact (table/figure); summaries are
+printed and written to ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+import sys
+from pathlib import Path
+
+# make `common` importable regardless of invocation directory
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Interpretable GNS: rediscover the spring force law from edge messages
+(Section 6 / Table 1 / Fig 6 of the paper).
+
+Pipeline: simulate n-body linear-spring dynamics -> train a GNS with an
+L1-sparse message bottleneck -> extract the dominant message component ->
+verify it is a linear function of the true pair force -> run symbolic
+regression with the paper's operator set, complexity weighting, and
+selection rule to recover F = k (dx − r1 − r2).
+"""
+
+import numpy as np
+
+from repro.interpret import (
+    InterpretableConfig, collect_messages, discover_law, linear_fit_r2,
+    top_components, train_interpretable_gns,
+)
+from repro.nbody import spring_training_samples
+from repro.symreg import FORCE, LENGTH, SymbolicRegressionConfig
+
+
+def main() -> None:
+    print("=== 1. Spring snapshots with exact accelerations ===")
+    samples = spring_training_samples(num_systems=40, num_bodies=6, seed=0,
+                                      stiffness=100.0)
+    print(f"  {len(samples)} snapshots x {samples[0].positions.shape[0]} bodies")
+
+    print("=== 2. Training the interpretable GNS (L1 message bottleneck) ===")
+    model, losses = train_interpretable_gns(
+        samples, InterpretableConfig(message_dim=8, hidden=32, hidden_layers=2,
+                                     l1_weight=1e-2, learning_rate=3e-3),
+        epochs=40)
+    print(f"  loss {losses[0]:.4f} -> {losses[-1]:.4f}")
+
+    print("=== 3. Message analysis ===")
+    messages, features = collect_messages(model, samples, max_edges=4000)
+    top = top_components(messages, k=3)
+    stds = messages.std(axis=0)
+    print(f"  message stds: {np.array2string(np.sort(stds)[::-1], precision=3)}")
+    component = messages[:, top[0]]
+    # a message channel encodes a linear functional of the force *vector*
+    # (stiffness k is a constant multiplier the linear fit absorbs)
+    r2 = linear_fit_r2(component, features["force_x"], features["force_y"])
+    print(f"  top component vs force vector: R^2 = {r2:.3f}")
+
+    print("=== 4. Symbolic regression on the top message component ===")
+    sr_features = {k: features[k] for k in ("dx", "dx_x", "dx_y", "r1", "r2")}
+    result = discover_law(
+        sr_features, component,
+        SymbolicRegressionConfig(population_size=300, generations=40,
+                                 seed=0, max_depth=4, const_scale=20.0),
+        var_dims={"dx": LENGTH, "r1": LENGTH, "r2": LENGTH},
+        target_dim=None)
+    print(result.as_table())
+    print(f"\n  chosen: {result.best_expression} (MAE {result.best_mae:.4g})")
+    print("  compare Table 1 Eq 8: ((dx + (abs((r2*-1.0) + r1)*-1.0))*100.0)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Inverse problem: identify the friction angle from a target runout
+(Section 5 / Fig 5 of the paper).
+
+A GNS conditioned on the friction angle φ is trained on column-collapse
+trajectories at several φ values. Reverse-mode AD through a k-step GNS
+rollout then gives ∂J/∂φ for J = (L_target − L_f(φ))², and plain gradient
+descent recovers the friction angle that produced the observed runout —
+no adjoint derivation, no trial-and-error forward sweeps.
+
+Runs in ~3 minutes. The benchmark (benchmarks/bench_inverse.py) runs the
+same experiment with cached, longer-trained models.
+"""
+
+import numpy as np
+
+from repro.data import generate_column_collapse_trajectory, normalization_stats
+from repro.gns import (
+    FeatureConfig, GNSNetworkConfig, GNSTrainer, LearnedSimulator, Stats,
+    TrainingConfig,
+)
+from repro.inverse import RunoutInverseProblem
+
+
+def main() -> None:
+    print("=== 1. Training data: column collapses at several phi ===")
+    angles = [20.0, 25.0, 30.0, 35.0, 40.0, 45.0]
+    trajectories = [
+        generate_column_collapse_trajectory(
+            friction_angle=phi, steps=500, record_every=8, cells_per_unit=20)
+        for phi in angles
+    ]
+    print(f"  {len(angles)} trajectories, {trajectories[0].num_particles} "
+          f"particles, {trajectories[0].num_steps} frames each")
+
+    print("=== 2. Training the material-conditioned GNS ===")
+    stats = Stats.from_dict(normalization_stats(trajectories))
+    fc = FeatureConfig(connectivity_radius=0.10, history=3,
+                       bounds=trajectories[0].bounds,
+                       use_material=True, material_scale=45.0)
+    nc = GNSNetworkConfig(latent_size=24, mlp_hidden_size=24,
+                          message_passing_steps=3)
+    sim = LearnedSimulator(fc, nc, stats, rng=np.random.default_rng(0))
+    # noise calibrated to the dataset's acceleration scale — too much and
+    # the model learns denoising instead of dynamics
+    noise = float(np.mean(stats.acceleration_std))
+    trainer = GNSTrainer(sim, trajectories, TrainingConfig(
+        learning_rate=5e-4, noise_std=noise, batch_size=2))
+    losses = trainer.train(300)
+    print(f"  loss {np.mean(losses[:10]):.4f} -> {np.mean(losses[-10:]):.4f}")
+
+    print("=== 3. Inversion: target from phi=30, initial guess phi=45 ===")
+    c = fc.history
+    offset = 12                      # seed mid-collapse, when phi matters
+    traj_30 = trajectories[angles.index(30.0)]
+    seed_frames = traj_30.positions[offset:offset + c + 1]
+    problem = RunoutInverseProblem(
+        sim, seed_frames, target_runout=0.0, toe_x=traj_30.meta["toe_x"],
+        rollout_steps=10, temperature=0.01)
+    problem.target_runout = problem.target_from_angle(30.0)
+    print(f"  target runout (phi=30): {problem.target_runout:+.4f} m")
+
+    print("  learned runout-vs-phi map (must be smooth & invertible):")
+    for phi in (20.0, 30.0, 40.0, 45.0):
+        print(f"    phi={phi:.0f}: L={problem.target_from_angle(phi):+.5f} m")
+
+    def report(it, phi, loss, grad):
+        print(f"  iter {it:2d}: phi={phi:6.2f}  J={loss:.3e}  dJ/dphi={grad:+.2e}")
+
+    record = problem.solve(phi0=45.0, lr="auto", initial_step=4.0,
+                           max_iterations=15, callback=report)
+    print(f"=== Result: phi* = {record.final_parameter:.2f} deg "
+          f"(true 30.0) ===")
+    print("  (the paper converges 45 -> 30.7 deg in 17 iterations with a "
+          "20M-step GNS; a few-hundred-step model may stop short — see "
+          "benchmarks/bench_inverse.py for the cached longer run)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: train a small GNS on MPM granular-flow data and roll it out.
+
+This is the paper's core loop (Section 3.1) in miniature:
+
+1. simulate granular-box-flow trajectories with the MPM substrate,
+2. train the graph network simulator on one-step targets,
+3. roll the learned simulator forward and compare against MPM.
+
+Runs in ~2 minutes on a laptop CPU. For the paper-scale experiment see
+``benchmarks/bench_rollout_error.py``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.data import generate_box_flow_dataset, normalization_stats
+from repro.gns import (
+    FeatureConfig, GNSNetworkConfig, GNSTrainer, LearnedSimulator, Stats,
+    TrainingConfig, rollout_position_error,
+)
+
+
+def main() -> None:
+    rng_seed = 0
+    print("=== 1. Generating MPM training data (granular box flow) ===")
+    t0 = time.time()
+    trajectories = generate_box_flow_dataset(
+        num_trajectories=3, steps=240, record_every=6, seed=rng_seed,
+        cells_per_unit=20)
+    print(f"  {len(trajectories)} trajectories, "
+          f"{trajectories[0].num_particles} particles, "
+          f"{trajectories[0].num_steps} frames each "
+          f"({time.time() - t0:.1f}s)")
+
+    print("=== 2. Training the GNS ===")
+    stats = Stats.from_dict(normalization_stats(trajectories))
+    feature_config = FeatureConfig(
+        connectivity_radius=0.10, history=4, bounds=trajectories[0].bounds)
+    network_config = GNSNetworkConfig(
+        latent_size=24, mlp_hidden_size=24, mlp_hidden_layers=2,
+        message_passing_steps=3)
+    simulator = LearnedSimulator(feature_config, network_config, stats,
+                                 rng=np.random.default_rng(rng_seed))
+    print(f"  {simulator.num_parameters()} parameters")
+
+    trainer = GNSTrainer(simulator, trajectories[:-1], TrainingConfig(
+        learning_rate=5e-4, noise_std=3e-4, batch_size=2, seed=rng_seed))
+    t0 = time.time()
+    losses = trainer.train(150)
+    print(f"  loss {np.mean(losses[:10]):.4f} -> {np.mean(losses[-10:]):.4f} "
+          f"({time.time() - t0:.1f}s)")
+
+    print("=== 3. Rollout on the held-out trajectory ===")
+    held_out = trajectories[-1]
+    c = feature_config.history
+    seed_frames = held_out.positions[:c + 1]
+    num_steps = held_out.num_steps - (c + 1)
+    t0 = time.time()
+    predicted = simulator.rollout(seed_frames, num_steps)
+    gns_time = time.time() - t0
+    err = rollout_position_error(predicted, held_out.positions,
+                                 normalize_by=1.0)  # domain is 1 m wide
+    print(f"  rollout: {num_steps} frames in {gns_time:.1f}s")
+    print(f"  mean position error: {err.mean() * 100:.2f}% of domain "
+          f"(final frame: {err[-1] * 100:.2f}%)")
+    print("  (the paper reaches <5% after 20M training steps; this demo "
+          "uses 150)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Legacy setup shim: the environment has no `wheel` package, so editable
+installs must use the setuptools develop path instead of PEP 517."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Differentiable graph network simulators (GNS) for forward and "
+        "inverse particle/fluid problems — reproduction of Kumar & Choi, SC23 AI4S"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+    entry_points={"console_scripts": ["repro=repro.cli.main:main"]},
+)

@@ -1,0 +1,25 @@
+"""repro — differentiable graph network simulators for forward and inverse
+particle/fluid problems.
+
+Reproduction of Kumar & Choi, *Accelerating Particle and Fluid Simulations
+with Differentiable Graph Networks for Solving Forward and Inverse
+Problems* (SC23 AI4S workshop), built entirely on NumPy:
+
+* :mod:`repro.autodiff` — reverse-mode AD engine (replaces PyTorch).
+* :mod:`repro.gns` — the graph network simulator (Encode-Process-Decode,
+  attention option, differentiable rollouts).
+* :mod:`repro.meshnet` — MeshGraphNet for mesh-based fluids.
+* :mod:`repro.mpm` — explicit 2-D Material Point Method substrate.
+* :mod:`repro.cfd` — lattice-Boltzmann CFD substrate.
+* :mod:`repro.hybrid` — hybrid GNS/MPM solver.
+* :mod:`repro.inverse` — gradient-based inversion through GNS rollouts.
+* :mod:`repro.nbody`, :mod:`repro.interpret`, :mod:`repro.symreg` —
+  n-body springs, message extraction, symbolic regression (Table 1).
+* :mod:`repro.parallel` — data-parallel training substrate.
+"""
+
+__version__ = "1.0.0"
+
+from . import autodiff, nn, graph, data, utils  # noqa: F401  (lightweight)
+
+__all__ = ["autodiff", "nn", "graph", "data", "utils", "__version__"]

@@ -1,0 +1,19 @@
+"""Post-processing: granular metrics, energy budgets, trajectory comparison."""
+
+from .granular import (
+    center_of_mass_history, deposit_angle, deposit_profile, height_history,
+    normalized_runout, runout_history,
+)
+from .energy import (
+    dissipated_energy, energy_gain_events, kinetic_energy_history,
+    potential_energy_history, total_energy_history,
+)
+from .comparison import ComparisonReport, compare_trajectories
+
+__all__ = [
+    "center_of_mass_history", "deposit_angle", "deposit_profile",
+    "height_history", "normalized_runout", "runout_history",
+    "dissipated_energy", "energy_gain_events", "kinetic_energy_history",
+    "potential_energy_history", "total_energy_history",
+    "ComparisonReport", "compare_trajectories",
+]

@@ -1,0 +1,65 @@
+"""Trajectory-comparison reports (learned rollout vs ground truth)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ComparisonReport", "compare_trajectories"]
+
+
+@dataclass
+class ComparisonReport:
+    """Summary statistics of prediction error vs a reference trajectory."""
+
+    frames_compared: int
+    mean_error: float                 # time-mean of the per-frame mean error
+    final_error: float
+    max_error: float
+    p95_final_error: float            # 95th-percentile per-particle error
+    front_error: float                # flow-front position error (last frame)
+    error_history: np.ndarray         # (T,)
+
+    def as_text(self) -> str:
+        return "\n".join([
+            f"frames compared : {self.frames_compared}",
+            f"mean error      : {self.mean_error:.5f}",
+            f"final error     : {self.final_error:.5f}",
+            f"max error       : {self.max_error:.5f}",
+            f"p95 final error : {self.p95_final_error:.5f}",
+            f"front error     : {self.front_error:+.5f}",
+        ])
+
+
+def compare_trajectories(predicted: np.ndarray, reference: np.ndarray,
+                         front_quantile: float = 0.995) -> ComparisonReport:
+    """Compare two ``(T, n, d)`` trajectories frame by frame.
+
+    The trajectories are truncated to the common length; particle
+    correspondence is assumed (same ordering).
+    """
+    predicted = np.asarray(predicted, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if predicted.ndim != 3 or reference.ndim != 3:
+        raise ValueError("expected (T, n, d) trajectories")
+    if predicted.shape[1:] != reference.shape[1:]:
+        raise ValueError("particle count/dimension mismatch")
+    t = min(predicted.shape[0], reference.shape[0])
+    if t == 0:
+        raise ValueError("no frames to compare")
+
+    dists = np.linalg.norm(predicted[:t] - reference[:t], axis=-1)  # (T, n)
+    per_frame = dists.mean(axis=1)
+    front_pred = np.quantile(predicted[t - 1, :, 0], front_quantile)
+    front_ref = np.quantile(reference[t - 1, :, 0], front_quantile)
+
+    return ComparisonReport(
+        frames_compared=t,
+        mean_error=float(per_frame.mean()),
+        final_error=float(per_frame[-1]),
+        max_error=float(per_frame.max()),
+        p95_final_error=float(np.quantile(dists[-1], 0.95)),
+        front_error=float(front_pred - front_ref),
+        error_history=per_frame,
+    )

@@ -1,0 +1,96 @@
+"""Granular-flow post-processing: runout, deposit geometry, and the
+column-collapse scaling relations used throughout the landslide
+literature the paper builds on."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "runout_history", "height_history", "center_of_mass_history",
+    "deposit_profile", "deposit_angle", "normalized_runout",
+]
+
+
+def runout_history(frames: np.ndarray, toe_x: float,
+                   quantile: float = 0.995) -> np.ndarray:
+    """Per-frame runout L(t) = front(t) − toe; clipped at zero.
+
+    ``frames`` is ``(T, n, d)``; the front is a high quantile of particle
+    x so a single detached grain does not define it.
+    """
+    front = np.quantile(frames[..., 0], quantile, axis=1)
+    return np.maximum(front - toe_x, 0.0)
+
+
+def height_history(frames: np.ndarray, base_y: float = 0.0,
+                   quantile: float = 0.995) -> np.ndarray:
+    """Per-frame flow height H(t) above ``base_y``."""
+    top = np.quantile(frames[..., 1], quantile, axis=1)
+    return np.maximum(top - base_y, 0.0)
+
+
+def center_of_mass_history(frames: np.ndarray,
+                           masses: np.ndarray | None = None) -> np.ndarray:
+    """Per-frame mass-weighted centroid → ``(T, d)``."""
+    frames = np.asarray(frames)
+    if masses is None:
+        return frames.mean(axis=1)
+    w = np.asarray(masses, dtype=np.float64)
+    w = w / w.sum()
+    return np.einsum("tnd,n->td", frames, w)
+
+
+def deposit_profile(positions: np.ndarray, bins: int = 40,
+                    x_range: tuple[float, float] | None = None
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Surface profile of a settled deposit.
+
+    Bins particles by x and takes the highest particle per bin; empty
+    bins report height 0. Returns (bin centers, surface heights).
+    """
+    pos = np.asarray(positions)
+    x = pos[:, 0]
+    lo, hi = x_range if x_range is not None else (float(x.min()), float(x.max()))
+    if hi <= lo:
+        hi = lo + 1e-9
+    edges = np.linspace(lo, hi, bins + 1)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    idx = np.clip(np.digitize(x, edges) - 1, 0, bins - 1)
+    heights = np.zeros(bins)
+    np.maximum.at(heights, idx, pos[:, 1])
+    return centers, heights
+
+
+def deposit_angle(positions: np.ndarray, bins: int = 40,
+                  base_y: float = 0.0) -> float:
+    """Mean slope angle (degrees) of the deposit's leading flank.
+
+    Fits a line to the decreasing part of the surface profile between 10%
+    and 90% of the peak height — a standard repose-angle estimate.
+    """
+    centers, heights = deposit_profile(positions, bins)
+    h = heights - base_y
+    peak = h.max()
+    if peak <= 0:
+        return 0.0
+    peak_i = int(np.argmax(h))
+    flank_x, flank_h = centers[peak_i:], h[peak_i:]
+    keep = (flank_h > 0.1 * peak) & (flank_h < 0.9 * peak)
+    if keep.sum() < 2:
+        return 0.0
+    slope = np.polyfit(flank_x[keep], flank_h[keep], 1)[0]
+    return float(np.degrees(np.arctan(abs(slope))))
+
+
+def normalized_runout(final_positions: np.ndarray, toe_x: float,
+                      column_width: float,
+                      quantile: float = 0.995) -> float:
+    """The column-collapse similarity variable (L_f − L_0)/L_0.
+
+    Experiments (Lube et al., Lajeunesse et al.) find this scales with
+    the initial aspect ratio — the physics the GNS must capture for the
+    paper's inverse problem to be well-posed.
+    """
+    front = float(np.quantile(final_positions[:, 0], quantile))
+    return max(front - toe_x, 0.0) / column_width

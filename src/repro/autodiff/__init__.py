@@ -1,0 +1,17 @@
+"""Reverse-mode automatic differentiation engine (NumPy substrate).
+
+Replaces PyTorch autograd for this reproduction: tape-based ``Tensor``
+objects, differentiable scatter/gather for message passing, and composite
+neural-network functions.
+"""
+
+from .tensor import Tensor, as_tensor, concatenate, no_grad, is_grad_enabled, stack, where
+from .scatter import gather, scatter_add, scatter_mean, scatter_softmax
+from . import functional
+
+__all__ = [
+    "Tensor", "as_tensor", "concatenate", "stack", "where",
+    "no_grad", "is_grad_enabled",
+    "gather", "scatter_add", "scatter_mean", "scatter_softmax",
+    "functional",
+]

@@ -1,0 +1,86 @@
+"""Composite differentiable functions built from Tensor primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, concatenate, stack, where
+
+__all__ = [
+    "relu", "tanh", "sigmoid", "softmax", "layer_norm",
+    "mse_loss", "mae_loss", "l1_penalty", "huber_loss",
+    "norm", "dot_rows", "concatenate", "stack", "where",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    return as_tensor(x).relu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return as_tensor(x).tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return as_tensor(x).sigmoid()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    e = shifted.exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last axis with learnable affine."""
+    x = as_tensor(x)
+    mu = x.mean(axis=-1, keepdims=True)
+    centered = x - mu
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    inv = (var + eps) ** -0.5
+    return centered * inv * gamma + beta
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    """Mean squared error; ``target`` is treated as a constant."""
+    pred = as_tensor(pred)
+    target = target.data if isinstance(target, Tensor) else np.asarray(target)
+    diff = pred - Tensor(target)
+    return (diff * diff).mean()
+
+
+def mae_loss(pred: Tensor, target) -> Tensor:
+    """Mean absolute error; ``target`` is treated as a constant."""
+    pred = as_tensor(pred)
+    target = target.data if isinstance(target, Tensor) else np.asarray(target)
+    return (pred - Tensor(target)).abs().mean()
+
+
+def huber_loss(pred: Tensor, target, delta: float = 1.0) -> Tensor:
+    """Huber loss, quadratic within ``delta`` and linear outside."""
+    pred = as_tensor(pred)
+    target = target.data if isinstance(target, Tensor) else np.asarray(target)
+    diff = pred - Tensor(target)
+    absd = diff.abs()
+    quad = diff * diff * 0.5
+    lin = absd * delta - 0.5 * delta * delta
+    return where(absd.data <= delta, quad, lin).mean()
+
+
+def l1_penalty(x: Tensor) -> Tensor:
+    """Mean absolute magnitude — the sparsity regularizer used on GNS
+    messages in the interpretability pipeline (Section 6)."""
+    return as_tensor(x).abs().mean()
+
+
+def norm(x: Tensor, axis: int = -1, keepdims: bool = False, eps: float = 1e-12) -> Tensor:
+    """Euclidean norm along ``axis``, safe at zero."""
+    x = as_tensor(x)
+    return ((x * x).sum(axis=axis, keepdims=keepdims) + eps).sqrt()
+
+
+def dot_rows(a: Tensor, b: Tensor) -> Tensor:
+    """Row-wise dot product of two ``(n, d)`` tensors → ``(n,)``."""
+    return (as_tensor(a) * as_tensor(b)).sum(axis=-1)

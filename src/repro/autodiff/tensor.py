@@ -1,0 +1,590 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+This module is the substrate that replaces PyTorch's autograd in the paper:
+it provides a tape-based :class:`Tensor` whose operations record a dynamic
+computation graph, and a :meth:`Tensor.backward` pass that propagates
+gradients to every leaf with ``requires_grad=True``.
+
+Design notes
+------------
+* All forward arithmetic is plain vectorized NumPy; the tape only stores
+  closures over the arrays needed by each op's vector-Jacobian product.
+* Gradients w.r.t. *inputs* are first-class: the inverse problem in
+  Section 5 of the paper differentiates a 30-step GNS rollout with respect
+  to a scalar material property that enters the graph as a node feature.
+* Broadcasting follows NumPy semantics; :func:`_unbroadcast` reduces an
+  upstream gradient back to the shape of the operand that was broadcast.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (inference mode)."""
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+def is_grad_enabled() -> bool:
+    """Return True when operations record the autodiff tape."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, inverting NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value, requires_grad: bool = False) -> "Tensor":
+    """Coerce ``value`` (Tensor, ndarray, or scalar) to a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+class Tensor:
+    """A NumPy-backed array node in a dynamic reverse-mode autodiff graph.
+
+    Parameters
+    ----------
+    data:
+        Array-like forward value. Stored as ``float64`` unless it already
+        is a floating ndarray.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward_fn", "_parents", "name")
+    __array_priority__ = 100.0  # ensure ndarray + Tensor dispatches to Tensor
+
+    def __init__(self, data, requires_grad: bool = False, *, name: str | None = None):
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(np.float64)
+        self.data: np.ndarray = arr
+        self.grad: np.ndarray | None = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._backward_fn: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @classmethod
+    def _make(cls, data: np.ndarray, parents: Sequence["Tensor"],
+              backward_fn: Callable[[np.ndarray], None]) -> "Tensor":
+        """Create a non-leaf tensor, recording the tape edge when enabled."""
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = cls(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward_fn = backward_fn
+        return out
+
+    # ------------------------------------------------------------------
+    # basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the forward value as a NumPy array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new leaf tensor sharing this tensor's data."""
+        return Tensor(self.data)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    # ------------------------------------------------------------------
+    # backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: np.ndarray | float | None = None) -> None:
+        """Run reverse-mode accumulation from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Seed gradient. Defaults to 1 for scalar outputs; required for
+            non-scalar outputs.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() on non-scalar output requires an explicit seed gradient")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if id(p) not in visited and p.requires_grad:
+                    stack.append((p, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            g = grads.pop(id(node), None)
+            if g is None:
+                continue
+            if node._backward_fn is not None:
+                node._accumulate_parent_grads(g, grads)
+            else:
+                node.grad = g if node.grad is None else node.grad + g
+
+    def _accumulate_parent_grads(self, g: np.ndarray,
+                                 grads: dict[int, np.ndarray]) -> None:
+        """Invoke this node's VJP; the closure writes into ``grads``."""
+        self._backward_fn(g, grads)  # type: ignore[call-arg]
+
+    @staticmethod
+    def _add_grad(grads: dict[int, np.ndarray], parent: "Tensor",
+                  g: np.ndarray) -> None:
+        if not parent.requires_grad:
+            return
+        key = id(parent)
+        if key in grads:
+            grads[key] = grads[key] + g
+        else:
+            grads[key] = g
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+
+        def backward(g, grads):
+            Tensor._add_grad(grads, a, _unbroadcast(g, a.shape))
+            Tensor._add_grad(grads, b, _unbroadcast(g, b.shape))
+
+        return Tensor._make(a.data + b.data, (a, b), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+
+        def backward(g, grads):
+            Tensor._add_grad(grads, a, _unbroadcast(g, a.shape))
+            Tensor._add_grad(grads, b, _unbroadcast(-g, b.shape))
+
+        return Tensor._make(a.data - b.data, (a, b), backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other).__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+        a_data, b_data = a.data, b.data
+
+        def backward(g, grads):
+            Tensor._add_grad(grads, a, _unbroadcast(g * b_data, a.shape))
+            Tensor._add_grad(grads, b, _unbroadcast(g * a_data, b.shape))
+
+        return Tensor._make(a_data * b_data, (a, b), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+        a_data, b_data = a.data, b.data
+        out = a_data / b_data
+
+        def backward(g, grads):
+            Tensor._add_grad(grads, a, _unbroadcast(g / b_data, a.shape))
+            Tensor._add_grad(grads, b, _unbroadcast(-g * a_data / (b_data * b_data), b.shape))
+
+        return Tensor._make(out, (a, b), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        a = self
+
+        def backward(g, grads):
+            Tensor._add_grad(grads, a, -g)
+
+        return Tensor._make(-a.data, (a,), backward)
+
+    def __pow__(self, exponent) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            # general power via exp/log; restrict to positive base
+            return (self.log() * exponent).exp()
+        a = self
+        p = float(exponent)
+        out = a.data ** p
+
+        def backward(g, grads):
+            Tensor._add_grad(grads, a, g * p * a.data ** (p - 1.0))
+
+        return Tensor._make(out, (a,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+        a_data, b_data = a.data, b.data
+
+        def backward(g, grads):
+            if a.requires_grad:
+                if b_data.ndim == 1:
+                    ga = np.outer(g, b_data) if a_data.ndim == 2 else g * b_data
+                else:
+                    ga = g @ b_data.swapaxes(-1, -2)
+                    if a_data.ndim == 1:
+                        ga = ga.reshape(a_data.shape)
+                Tensor._add_grad(grads, a, _unbroadcast(np.asarray(ga), a.shape))
+            if b.requires_grad:
+                if a_data.ndim == 1:
+                    gb = np.outer(a_data, g) if b_data.ndim == 2 else g * a_data
+                else:
+                    gb = a_data.swapaxes(-1, -2) @ g
+                    if b_data.ndim == 1:
+                        gb = gb.reshape(b_data.shape)
+                Tensor._add_grad(grads, b, _unbroadcast(np.asarray(gb), b.shape))
+
+        return Tensor._make(a_data @ b_data, (a, b), backward)
+
+    # ------------------------------------------------------------------
+    # elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        a = self
+        out = np.exp(a.data)
+
+        def backward(g, grads):
+            Tensor._add_grad(grads, a, g * out)
+
+        return Tensor._make(out, (a,), backward)
+
+    def log(self) -> "Tensor":
+        a = self
+
+        def backward(g, grads):
+            Tensor._add_grad(grads, a, g / a.data)
+
+        return Tensor._make(np.log(a.data), (a,), backward)
+
+    def sqrt(self) -> "Tensor":
+        a = self
+        out = np.sqrt(a.data)
+
+        def backward(g, grads):
+            Tensor._add_grad(grads, a, g * 0.5 / out)
+
+        return Tensor._make(out, (a,), backward)
+
+    def tanh(self) -> "Tensor":
+        a = self
+        out = np.tanh(a.data)
+
+        def backward(g, grads):
+            Tensor._add_grad(grads, a, g * (1.0 - out * out))
+
+        return Tensor._make(out, (a,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        a = self
+        out = 1.0 / (1.0 + np.exp(-a.data))
+
+        def backward(g, grads):
+            Tensor._add_grad(grads, a, g * out * (1.0 - out))
+
+        return Tensor._make(out, (a,), backward)
+
+    def relu(self) -> "Tensor":
+        a = self
+        mask = a.data > 0
+
+        def backward(g, grads):
+            Tensor._add_grad(grads, a, g * mask)
+
+        return Tensor._make(np.where(mask, a.data, 0.0), (a,), backward)
+
+    def abs(self) -> "Tensor":
+        a = self
+        sign = np.sign(a.data)
+
+        def backward(g, grads):
+            Tensor._add_grad(grads, a, g * sign)
+
+        return Tensor._make(np.abs(a.data), (a,), backward)
+
+    def sin(self) -> "Tensor":
+        a = self
+
+        def backward(g, grads):
+            Tensor._add_grad(grads, a, g * np.cos(a.data))
+
+        return Tensor._make(np.sin(a.data), (a,), backward)
+
+    def cos(self) -> "Tensor":
+        a = self
+
+        def backward(g, grads):
+            Tensor._add_grad(grads, a, -g * np.sin(a.data))
+
+        return Tensor._make(np.cos(a.data), (a,), backward)
+
+    def clip(self, lo: float | None, hi: float | None) -> "Tensor":
+        a = self
+        out = np.clip(a.data, lo, hi)
+        mask = np.ones_like(a.data, dtype=bool)
+        if lo is not None:
+            mask &= a.data >= lo
+        if hi is not None:
+            mask &= a.data <= hi
+
+        def backward(g, grads):
+            Tensor._add_grad(grads, a, g * mask)
+
+        return Tensor._make(out, (a,), backward)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        out = a.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g, grads):
+            gg = np.asarray(g)
+            if axis is not None and not keepdims:
+                gg = np.expand_dims(gg, axis)
+            Tensor._add_grad(grads, a, np.broadcast_to(gg, a.shape).copy())
+
+        return Tensor._make(out, (a,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        out = a.data.mean(axis=axis, keepdims=keepdims)
+        out_size = np.asarray(out).size
+        denom = a.data.size / out_size if out_size else 1.0
+
+        def backward(g, grads):
+            gg = np.asarray(g) / denom
+            if axis is not None and not keepdims:
+                gg = np.expand_dims(gg, axis)
+            Tensor._add_grad(grads, a, np.broadcast_to(gg, a.shape).copy())
+
+        return Tensor._make(out, (a,), backward)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        out = a.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g, grads):
+            gg = np.asarray(g)
+            out_b = np.asarray(out)
+            if axis is not None and not keepdims:
+                gg = np.expand_dims(gg, axis)
+                out_b = np.expand_dims(out_b, axis)
+            mask = a.data == out_b
+            # split gradient evenly among ties for a well-defined subgradient
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            Tensor._add_grad(grads, a, np.where(mask, gg / counts, 0.0))
+
+        return Tensor._make(out, (a,), backward)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return (-self).max(axis=axis, keepdims=keepdims).__neg__()
+
+    # ------------------------------------------------------------------
+    # shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self
+        orig = a.shape
+
+        def backward(g, grads):
+            Tensor._add_grad(grads, a, g.reshape(orig))
+
+        return Tensor._make(a.data.reshape(shape), (a,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        a = self
+        if not axes:
+            axes = tuple(reversed(range(a.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inv = np.argsort(axes)
+
+        def backward(g, grads):
+            Tensor._add_grad(grads, a, g.transpose(inv))
+
+        return Tensor._make(a.data.transpose(axes), (a,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, idx) -> "Tensor":
+        a = self
+        out = a.data[idx]
+
+        def backward(g, grads):
+            full = np.zeros_like(a.data)
+            np.add.at(full, idx, g)
+            Tensor._add_grad(grads, a, full)
+
+        return Tensor._make(out, (a,), backward)
+
+    def squeeze(self, axis=None) -> "Tensor":
+        a = self
+        orig = a.shape
+
+        def backward(g, grads):
+            Tensor._add_grad(grads, a, g.reshape(orig))
+
+        return Tensor._make(np.squeeze(a.data, axis=axis), (a,), backward)
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        a = self
+        orig = a.shape
+
+        def backward(g, grads):
+            Tensor._add_grad(grads, a, g.reshape(orig))
+
+        return Tensor._make(np.expand_dims(a.data, axis), (a,), backward)
+
+    # ------------------------------------------------------------------
+    # comparisons (non-differentiable; return plain bool arrays)
+    # ------------------------------------------------------------------
+    def __gt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+    def __ge__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data >= other
+
+    def __le__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data <= other
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable concatenation along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    datas = [t.data for t in tensors]
+    sizes = [d.shape[axis] for d in datas]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(g, grads):
+        parts = np.split(g, splits, axis=axis)
+        for t, p in zip(tensors, parts):
+            Tensor._add_grad(grads, t, p)
+
+    return Tensor._make(np.concatenate(datas, axis=axis), tensors, backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable stack along a new ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    datas = [t.data for t in tensors]
+
+    def backward(g, grads):
+        parts = np.split(g, len(datas), axis=axis)
+        for t, p in zip(tensors, parts):
+            Tensor._add_grad(grads, t, np.squeeze(p, axis=axis))
+
+    return Tensor._make(np.stack(datas, axis=axis), tensors, backward)
+
+
+def where(cond, a, b) -> Tensor:
+    """Differentiable select: ``cond`` is a boolean array (not a Tensor)."""
+    cond = np.asarray(cond.data if isinstance(cond, Tensor) else cond, dtype=bool)
+    a = as_tensor(a)
+    b = as_tensor(b)
+
+    def backward(g, grads):
+        Tensor._add_grad(grads, a, _unbroadcast(np.where(cond, g, 0.0), a.shape))
+        Tensor._add_grad(grads, b, _unbroadcast(np.where(cond, 0.0, g), b.shape))
+
+    return Tensor._make(np.where(cond, a.data, b.data), (a, b), backward)

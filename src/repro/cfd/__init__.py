@@ -1,0 +1,12 @@
+"""Lattice-Boltzmann CFD substrate (ground truth for MeshNet, Fig 2)."""
+
+from .lbm import LBMConfig, LatticeBoltzmann
+from .cylinder import CylinderFlow, cylinder_mask, vortex_shedding_flow
+from .diagnostics import (
+    dominant_frequency, force_history, obstacle_force, strouhal_number,
+)
+
+__all__ = ["LBMConfig", "LatticeBoltzmann", "CylinderFlow", "cylinder_mask",
+           "vortex_shedding_flow",
+           "dominant_frequency", "force_history", "obstacle_force",
+           "strouhal_number"]

@@ -1,0 +1,66 @@
+"""Flow-past-cylinder scenario: the von Kármán vortex street of Fig 2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .lbm import LBMConfig, LatticeBoltzmann
+
+__all__ = ["CylinderFlow", "cylinder_mask", "vortex_shedding_flow"]
+
+
+def cylinder_mask(nx: int, ny: int, cx: float, cy: float,
+                  radius: float) -> np.ndarray:
+    """Boolean obstacle mask for a solid cylinder."""
+    x, y = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+    return (x - cx) ** 2 + (y - cy) ** 2 <= radius ** 2
+
+
+@dataclass
+class CylinderFlow:
+    """A configured LBM run plus the metadata MeshNet needs."""
+
+    solver: LatticeBoltzmann
+    cylinder_center: tuple[float, float]
+    cylinder_radius: float
+
+    @property
+    def reynolds_number(self) -> float:
+        return self.solver.reynolds_number(2.0 * self.cylinder_radius)
+
+    def node_types(self, subsample: int = 1) -> np.ndarray:
+        """Per-node type on the (optionally subsampled) lattice:
+        0=fluid, 1=inlet, 2=outlet, 3=wall/obstacle."""
+        nx, ny = self.solver.config.nx, self.solver.config.ny
+        types = np.zeros((nx, ny), dtype=np.int64)
+        types[0, :] = 1
+        types[-1, :] = 2
+        types[self.solver.solid] = 3   # walls/obstacle win at corners
+        return types[::subsample, ::subsample]
+
+    def lift_coefficient_history(self, num_steps: int) -> np.ndarray:
+        """Transverse momentum near the cylinder over time — oscillates at
+        the shedding frequency once the vortex street develops."""
+        cx, cy = self.cylinder_center
+        r = int(self.cylinder_radius) + 4
+        x0, x1 = int(cx - r), int(cx + 2 * r)
+        out = []
+        for _ in range(num_steps):
+            self.solver.step()
+            _, u = self.solver.macroscopic()
+            out.append(float(u[x0:x1, :, 1].mean()))
+        return np.asarray(out)
+
+
+def vortex_shedding_flow(nx: int = 240, ny: int = 96, radius: float = 8.0,
+                         tau: float = 0.53, inflow: float = 0.09
+                         ) -> CylinderFlow:
+    """Standard shedding configuration (Re ≈ 140 with the defaults —
+    comfortably above the ~Re 47 onset of the von Kármán instability)."""
+    cx, cy = nx // 5, ny // 2 + 1  # slight asymmetry accelerates onset
+    cfg = LBMConfig(nx=nx, ny=ny, tau=tau, inflow_velocity=inflow)
+    mask = cylinder_mask(nx, ny, cx, cy, radius)
+    solver = LatticeBoltzmann(cfg, mask)
+    return CylinderFlow(solver, (cx, cy), radius)

@@ -1,0 +1,294 @@
+"""Command-line interface.
+
+Subcommands cover the full paper workflow without writing Python:
+
+* ``repro simulate`` — run an MPM scenario, save the trajectory (and GIF).
+* ``repro generate`` — build a GNS training dataset (box-flow draws).
+* ``repro train``    — train a GNS on a dataset, save a checkpoint.
+* ``repro rollout``  — roll a checkpoint on a held-out trajectory and
+  report the error vs ground truth.
+* ``repro invert``   — identify the friction angle from a target runout
+  by AD through the rollout (Section 5).
+* ``repro info``     — inspect datasets and checkpoints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Differentiable GNS for forward & inverse particle/fluid problems")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="run an MPM scenario")
+    p.add_argument("scenario", choices=["column", "boxflow", "dambreak", "obstacle"])
+    p.add_argument("--output", type=Path, required=True, help="trajectory .npz")
+    p.add_argument("--steps", type=int, default=400)
+    p.add_argument("--record-every", type=int, default=8)
+    p.add_argument("--cells-per-unit", type=int, default=24)
+    p.add_argument("--friction-angle", type=float, default=30.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--gif", type=Path, default=None, help="optional animation")
+
+    p = sub.add_parser("generate", help="build a GNS training dataset")
+    p.add_argument("--output", type=Path, required=True, help="dataset .npz")
+    p.add_argument("--trajectories", type=int, default=4)
+    p.add_argument("--steps", type=int, default=400)
+    p.add_argument("--record-every", type=int, default=10)
+    p.add_argument("--cells-per-unit", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("train", help="train a GNS on a dataset")
+    p.add_argument("--dataset", type=Path, required=True)
+    p.add_argument("--output", type=Path, required=True, help="checkpoint .npz")
+    p.add_argument("--steps", type=int, default=300)
+    p.add_argument("--latent", type=int, default=24)
+    p.add_argument("--message-passing", type=int, default=3)
+    p.add_argument("--history", type=int, default=4)
+    p.add_argument("--radius", type=float, default=0.08)
+    p.add_argument("--learning-rate", type=float, default=5e-4)
+    p.add_argument("--attention", action="store_true")
+    p.add_argument("--use-material", action="store_true")
+    p.add_argument("--holdout", type=int, default=1,
+                   help="trajectories reserved for validation")
+    p.add_argument("--metrics", type=Path, default=None, help="CSV log path")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("rollout", help="roll a checkpoint vs ground truth")
+    p.add_argument("--checkpoint", type=Path, required=True)
+    p.add_argument("--dataset", type=Path, required=True)
+    p.add_argument("--index", type=int, default=-1,
+                   help="trajectory index used as ground truth")
+    p.add_argument("--steps", type=int, default=None,
+                   help="rollout length (default: remaining frames)")
+    p.add_argument("--gif", type=Path, default=None)
+    p.add_argument("--fp32", action="store_true", help="float32 inference")
+
+    p = sub.add_parser("invert", help="friction-angle inversion (Sec 5)")
+    p.add_argument("--checkpoint", type=Path, required=True,
+                   help="material-conditioned GNS checkpoint")
+    p.add_argument("--dataset", type=Path, required=True)
+    p.add_argument("--target-angle", type=float, default=30.0)
+    p.add_argument("--initial-angle", type=float, default=45.0)
+    p.add_argument("--rollout-steps", type=int, default=10)
+    p.add_argument("--iterations", type=int, default=15)
+    p.add_argument("--offset", type=int, default=12,
+                   help="seed-frame offset into the trajectory")
+
+    p = sub.add_parser("info", help="inspect a dataset or checkpoint")
+    p.add_argument("path", type=Path)
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_simulate(args) -> int:
+    from ..data import Trajectory, save_trajectories
+    from ..mpm import (
+        dam_break, flow_around_obstacle, granular_box_flow,
+        granular_column_collapse,
+    )
+
+    if args.scenario == "obstacle":
+        spec = flow_around_obstacle(cells_per_unit=args.cells_per_unit,
+                                    friction_angle=args.friction_angle)
+    elif args.scenario == "column":
+        spec = granular_column_collapse(friction_angle=args.friction_angle,
+                                        cells_per_unit=args.cells_per_unit)
+    elif args.scenario == "boxflow":
+        spec = granular_box_flow(seed=args.seed,
+                                 cells_per_unit=args.cells_per_unit,
+                                 friction_angle=args.friction_angle)
+    else:
+        spec = dam_break(cells_per_unit=args.cells_per_unit)
+    solver = spec.solver
+    dt = solver.stable_dt()
+    frames = solver.rollout(args.steps, record_every=args.record_every, dt=dt)
+    m = solver.grid.interior_margin()
+    bounds = np.array([[m, solver.grid.size[0] - m],
+                       [m, solver.grid.size[1] - m]])
+    traj = Trajectory(frames, dt=dt * args.record_every,
+                      material=args.friction_angle, bounds=bounds,
+                      meta=dict(spec.params, scenario=spec.name))
+    save_trajectories(args.output, [traj])
+    print(f"saved {frames.shape[0]} frames x {frames.shape[1]} particles "
+          f"to {args.output}")
+    if args.gif is not None:
+        _write_trajectory_gif(args.gif, frames, bounds)
+    return 0
+
+
+def _write_trajectory_gif(path, frames, bounds, max_frames: int = 60):
+    from ..viz import render_frames, write_gif
+
+    step = max(1, frames.shape[0] // max_frames)
+    images = render_frames(frames[::step], bounds, resolution=240,
+                           radius_px=2)
+    write_gif(path, images, delay_cs=6)
+    print(f"wrote animation to {path}")
+
+
+def _cmd_generate(args) -> int:
+    from ..data import generate_box_flow_dataset, save_trajectories
+
+    ds = generate_box_flow_dataset(
+        num_trajectories=args.trajectories, steps=args.steps,
+        record_every=args.record_every, seed=args.seed,
+        cells_per_unit=args.cells_per_unit)
+    save_trajectories(args.output, ds)
+    print(f"saved {len(ds)} trajectories "
+          f"({ds[0].num_steps} frames x {ds[0].num_particles} particles) "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from ..data import load_trajectories, normalization_stats
+    from ..gns import (
+        FeatureConfig, GNSNetworkConfig, GNSTrainer, LearnedSimulator, Stats,
+        TrainingConfig,
+    )
+
+    ds = load_trajectories(args.dataset)
+    holdout = min(args.holdout, max(len(ds) - 1, 0))
+    train_set = ds[:len(ds) - holdout] if holdout else ds
+    val_set = ds[len(ds) - holdout:] if holdout else []
+
+    stats = Stats.from_dict(normalization_stats(train_set))
+    fc = FeatureConfig(connectivity_radius=args.radius, history=args.history,
+                       bounds=train_set[0].bounds,
+                       use_material=args.use_material)
+    nc = GNSNetworkConfig(latent_size=args.latent,
+                          mlp_hidden_size=args.latent, mlp_hidden_layers=2,
+                          message_passing_steps=args.message_passing,
+                          attention=args.attention)
+    sim = LearnedSimulator(fc, nc, stats, rng=np.random.default_rng(args.seed))
+    noise = float(np.mean(stats.acceleration_std))
+    trainer = GNSTrainer(sim, train_set, TrainingConfig(
+        learning_rate=args.learning_rate, noise_std=noise, batch_size=2,
+        seed=args.seed))
+    print(f"training {sim.num_parameters()} parameters on "
+          f"{len(trainer.windows)} windows (noise={noise:.2e})")
+    if val_set:
+        logger = trainer.train_with_validation(
+            args.steps, val_set, eval_every=max(args.steps // 5, 1))
+        for row in logger.rows:
+            print(f"  step {int(row['step'])}: train={row['train_loss']:.4f} "
+                  f"val={row['val_mse']:.4f}")
+        if args.metrics is not None:
+            logger.to_csv(args.metrics)
+    else:
+        losses = trainer.train(args.steps)
+        print(f"  loss {losses[0]:.4f} -> {np.mean(losses[-10:]):.4f}")
+    sim.save(args.output)
+    print(f"saved checkpoint to {args.output}")
+    return 0
+
+
+def _cmd_rollout(args) -> int:
+    from ..analysis import compare_trajectories
+    from ..data import load_trajectories
+    from ..gns import LearnedSimulator
+
+    sim = LearnedSimulator.load(args.checkpoint)
+    if args.fp32:
+        sim.inference_dtype = np.float32
+    ds = load_trajectories(args.dataset)
+    traj = ds[args.index]
+    c = sim.feature_config.history
+    steps = args.steps if args.steps is not None else traj.num_steps - (c + 1)
+    seed = traj.positions[:c + 1]
+    material = traj.material if sim.feature_config.use_material else None
+    predicted = sim.rollout(seed, steps, material=material,
+                            particle_types=traj.particle_types)
+    report = compare_trajectories(predicted, traj.positions)
+    print(report.as_text())
+    if args.gif is not None and traj.bounds is not None:
+        _write_trajectory_gif(args.gif, predicted, traj.bounds)
+    return 0
+
+
+def _cmd_invert(args) -> int:
+    from ..data import load_trajectories
+    from ..gns import LearnedSimulator
+    from ..inverse import RunoutInverseProblem
+
+    sim = LearnedSimulator.load(args.checkpoint)
+    ds = load_trajectories(args.dataset)
+    traj = min(ds, key=lambda t: abs(t.material - args.target_angle))
+    c = sim.feature_config.history
+    off = min(args.offset, traj.num_steps - (c + 1) - args.rollout_steps)
+    off = max(off, 0)
+    seed = traj.positions[off:off + c + 1]
+    toe_x = traj.meta.get("toe_x", float(seed[-1][:, 0].max()))
+    problem = RunoutInverseProblem(sim, seed, target_runout=0.0, toe_x=toe_x,
+                                   rollout_steps=args.rollout_steps,
+                                   temperature=0.01)
+    problem.target_runout = problem.target_from_angle(args.target_angle)
+    print(f"target runout (phi={args.target_angle:g}): "
+          f"{problem.target_runout:+.4f} m")
+    record = problem.solve(
+        args.initial_angle, lr="auto", initial_step=4.0,
+        max_iterations=args.iterations,
+        callback=lambda it, phi, loss, grad:
+            print(f"  iter {it:2d}: phi={phi:6.2f}  J={loss:.3e}"))
+    print(f"result: phi* = {record.final_parameter:.2f} deg "
+          f"(target {args.target_angle:g})")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from ..data import load_checkpoint, load_trajectories
+
+    with np.load(args.path, allow_pickle=False) as data:
+        files = set(data.files)
+    if "count" in files:
+        ds = load_trajectories(args.path)
+        print(f"dataset: {len(ds)} trajectories")
+        for i, t in enumerate(ds):
+            print(f"  [{i}] {t.num_steps} frames x {t.num_particles} "
+                  f"particles, dt={t.dt:.3e}, material={t.material:g}, "
+                  f"scenario={t.meta.get('scenario', '?')}")
+    elif "extra" in files:
+        state, extra = load_checkpoint(args.path)
+        n_params = sum(int(np.asarray(v).size) for v in state.values())
+        print(f"checkpoint: {len(state)} tensors, {n_params} parameters")
+        nc = extra.get("network_config", {})
+        fc = extra.get("feature_config", {})
+        print(f"  network: latent={nc.get('latent_size')}, "
+              f"mp_steps={nc.get('message_passing_steps')}, "
+              f"attention={nc.get('attention')}")
+        print(f"  features: history={fc.get('history')}, "
+              f"radius={fc.get('connectivity_radius')}, "
+              f"material={fc.get('use_material')}")
+    else:
+        print("unrecognized npz layout")
+        return 1
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "generate": _cmd_generate,
+    "train": _cmd_train,
+    "rollout": _cmd_rollout,
+    "invert": _cmd_invert,
+    "info": _cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

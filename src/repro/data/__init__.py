@@ -1,0 +1,18 @@
+"""Dataset generation, trajectory containers, and serialization."""
+
+from .trajectory import Trajectory, TrainingWindow
+from .datasets import (
+    RunningMoments, generate_box_flow_dataset,
+    generate_column_collapse_trajectory, generate_obstacle_flow_trajectory,
+    normalization_stats, train_test_split,
+)
+from .io import load_checkpoint, load_trajectories, save_checkpoint, save_trajectories
+
+__all__ = [
+    "Trajectory", "TrainingWindow",
+    "RunningMoments", "generate_box_flow_dataset",
+    "generate_column_collapse_trajectory",
+    "generate_obstacle_flow_trajectory",
+    "normalization_stats", "train_test_split",
+    "load_checkpoint", "load_trajectories", "save_checkpoint", "save_trajectories",
+]

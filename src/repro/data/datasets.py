@@ -1,0 +1,188 @@
+"""Dataset generation: MPM rollouts → GNS training trajectories.
+
+The paper trains on 26 square-shaped granular-mass-in-a-box trajectories
+simulated with CB-Geo MPM; :func:`generate_box_flow_dataset` reproduces
+that distribution with our MPM substrate (different seeds → different
+initial size, position and velocity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpm import flow_around_obstacle, granular_box_flow, granular_column_collapse
+from .trajectory import Trajectory
+
+__all__ = [
+    "generate_box_flow_dataset", "generate_column_collapse_trajectory",
+    "generate_obstacle_flow_trajectory",
+    "train_test_split", "normalization_stats", "RunningMoments",
+]
+
+
+def generate_box_flow_dataset(
+    num_trajectories: int = 26,
+    steps: int = 400,
+    record_every: int = 4,
+    seed: int = 0,
+    **scenario_kwargs,
+) -> list[Trajectory]:
+    """Simulate the paper's training distribution.
+
+    Each trajectory uses a different seed, hence a different square
+    granular mass (size/position/velocity). ``record_every`` subsamples
+    solver steps so the learned timestep is larger than the CFL step —
+    exactly how GNS datasets are produced from MPM runs.
+    """
+    out = []
+    for i in range(num_trajectories):
+        spec = granular_box_flow(seed=seed + i, **scenario_kwargs)
+        solver = spec.solver
+        dt = solver.stable_dt()
+        frames = solver.rollout(steps, record_every=record_every, dt=dt)
+        bounds = _box_bounds(solver)
+        out.append(Trajectory(
+            positions=frames,
+            dt=dt * record_every,
+            material=spec.params["friction_angle"],
+            bounds=bounds,
+            meta=dict(spec.params, scenario=spec.name, steps=steps,
+                      record_every=record_every),
+        ))
+    return out
+
+
+def generate_column_collapse_trajectory(
+    friction_angle: float = 30.0,
+    steps: int = 800,
+    record_every: int = 4,
+    **scenario_kwargs,
+) -> Trajectory:
+    """One column-collapse rollout (hybrid solver & inverse-problem data)."""
+    spec = granular_column_collapse(friction_angle=friction_angle,
+                                    **scenario_kwargs)
+    solver = spec.solver
+    dt = solver.stable_dt()
+    frames = solver.rollout(steps, record_every=record_every, dt=dt)
+    return Trajectory(
+        positions=frames,
+        dt=dt * record_every,
+        material=friction_angle,
+        bounds=_box_bounds(solver),
+        meta=dict(spec.params, scenario=spec.name, steps=steps,
+                  record_every=record_every),
+    )
+
+
+def generate_obstacle_flow_trajectory(
+    steps: int = 600,
+    record_every: int = 10,
+    obstacle_samples: int = 24,
+    **scenario_kwargs,
+) -> Trajectory:
+    """Column collapse against a rigid circular obstacle, exposed to the
+    GNS as a typed-particle system.
+
+    The moving granular material is particle type 0; the obstacle surface
+    is sampled as ``obstacle_samples`` *static* particles of type 1, so a
+    type-aware GNS (``num_particle_types=2, static_types=(1,)``) can learn
+    the boundary interaction (Mayr et al.'s setting, §2 of the paper).
+    """
+    spec = flow_around_obstacle(**scenario_kwargs)
+    solver = spec.solver
+    dt = solver.stable_dt()
+    frames = solver.rollout(steps, record_every=record_every, dt=dt)
+
+    cx, cy = spec.params["obstacle_center"]
+    r = spec.params["obstacle_radius"]
+    theta = np.linspace(0.0, 2.0 * np.pi, obstacle_samples, endpoint=False)
+    ring = np.stack([cx + r * np.cos(theta), cy + r * np.sin(theta)], axis=1)
+    ring_frames = np.broadcast_to(ring, (frames.shape[0],) + ring.shape)
+
+    positions = np.concatenate([frames, ring_frames], axis=1)
+    types = np.concatenate([
+        np.zeros(frames.shape[1], dtype=np.int64),
+        np.ones(obstacle_samples, dtype=np.int64),
+    ])
+    return Trajectory(
+        positions=positions,
+        dt=dt * record_every,
+        material=30.0,
+        bounds=_box_bounds(solver),
+        particle_types=types,
+        meta=dict(spec.params, scenario=spec.name, steps=steps,
+                  record_every=record_every,
+                  obstacle_samples=obstacle_samples),
+    )
+
+
+def _box_bounds(solver) -> np.ndarray:
+    m = solver.grid.interior_margin()
+    sx, sy = solver.grid.size
+    return np.array([[m, sx - m], [m, sy - m]])
+
+
+def train_test_split(trajectories: list[Trajectory], test_fraction: float = 0.2,
+                     seed: int = 0) -> tuple[list[Trajectory], list[Trajectory]]:
+    """Deterministic shuffled split."""
+    rng = np.random.default_rng(seed)
+    idx = rng.permutation(len(trajectories))
+    n_test = max(1, int(round(test_fraction * len(trajectories)))) if trajectories else 0
+    test = [trajectories[i] for i in idx[:n_test]]
+    train = [trajectories[i] for i in idx[n_test:]]
+    return train, test
+
+
+class RunningMoments:
+    """Streaming per-dimension mean/std (Chan et al. parallel Welford).
+
+    Large datasets (the paper's 20M-step corpora) cannot be concatenated
+    in memory; this accumulates batch moments with O(d) state and merges
+    exactly.
+    """
+
+    def __init__(self, dim: int):
+        self.count = 0.0
+        self.mean = np.zeros(dim)
+        self.m2 = np.zeros(dim)
+
+    def update(self, batch: np.ndarray) -> None:
+        batch = np.asarray(batch, dtype=np.float64).reshape(-1, self.mean.shape[0])
+        n_b = batch.shape[0]
+        if n_b == 0:
+            return
+        mean_b = batch.mean(axis=0)
+        m2_b = ((batch - mean_b) ** 2).sum(axis=0)
+        delta = mean_b - self.mean
+        total = self.count + n_b
+        self.mean = self.mean + delta * (n_b / total)
+        self.m2 = self.m2 + m2_b + delta ** 2 * (self.count * n_b / total)
+        self.count = total
+
+    def std(self, eps: float = 1e-12) -> np.ndarray:
+        if self.count == 0:
+            return np.full_like(self.mean, eps)
+        return np.maximum(np.sqrt(self.m2 / self.count), eps)
+
+
+def normalization_stats(trajectories: list[Trajectory]) -> dict[str, np.ndarray]:
+    """Mean/std of velocities and accelerations over a dataset.
+
+    GNS normalizes network inputs/targets by dataset statistics; the same
+    stats must be reused at rollout time. Computed with streaming Welford
+    accumulation (one trajectory in memory at a time).
+    """
+    if not trajectories:
+        raise ValueError("no trajectories")
+    dim = trajectories[0].dim
+    vel = RunningMoments(dim)
+    acc = RunningMoments(dim)
+    for t in trajectories:
+        vel.update(t.velocities())
+        acc.update(t.accelerations())
+    return {
+        "velocity_mean": vel.mean,
+        "velocity_std": vel.std(),
+        "acceleration_mean": acc.mean,
+        "acceleration_std": acc.std(),
+    }

@@ -1,0 +1,62 @@
+"""NPZ serialization of trajectory datasets and model checkpoints."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .trajectory import Trajectory
+
+__all__ = ["save_trajectories", "load_trajectories", "save_checkpoint", "load_checkpoint"]
+
+
+def save_trajectories(path: str | Path, trajectories: list[Trajectory]) -> None:
+    """Save a dataset to a single ``.npz`` file."""
+    payload: dict[str, np.ndarray] = {"count": np.array(len(trajectories))}
+    for i, t in enumerate(trajectories):
+        payload[f"positions_{i}"] = t.positions
+        payload[f"dt_{i}"] = np.array(t.dt)
+        payload[f"material_{i}"] = np.array(t.material)
+        if t.bounds is not None:
+            payload[f"bounds_{i}"] = t.bounds
+        if t.particle_types is not None:
+            payload[f"types_{i}"] = t.particle_types
+        payload[f"meta_{i}"] = np.array(json.dumps(t.meta, default=str))
+    np.savez_compressed(path, **payload)
+
+
+def load_trajectories(path: str | Path) -> list[Trajectory]:
+    """Load a dataset written by :func:`save_trajectories`."""
+    with np.load(path, allow_pickle=False) as data:
+        count = int(data["count"])
+        out = []
+        for i in range(count):
+            bounds = data[f"bounds_{i}"] if f"bounds_{i}" in data else None
+            types = data[f"types_{i}"] if f"types_{i}" in data else None
+            out.append(Trajectory(
+                positions=data[f"positions_{i}"],
+                dt=float(data[f"dt_{i}"]),
+                material=float(data[f"material_{i}"]),
+                bounds=bounds,
+                particle_types=types,
+                meta=json.loads(str(data[f"meta_{i}"])),
+            ))
+    return out
+
+
+def save_checkpoint(path: str | Path, state: dict[str, np.ndarray],
+                    extra: dict | None = None) -> None:
+    """Persist a model ``state_dict`` (plus JSON-serializable extras)."""
+    payload = {f"param::{k}": v for k, v in state.items()}
+    payload["extra"] = np.array(json.dumps(extra or {}, default=str))
+    np.savez_compressed(path, **payload)
+
+
+def load_checkpoint(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Load a checkpoint written by :func:`save_checkpoint`."""
+    with np.load(path, allow_pickle=False) as data:
+        state = {k[len("param::"):]: data[k] for k in data.files if k.startswith("param::")}
+        extra = json.loads(str(data["extra"]))
+    return state, extra

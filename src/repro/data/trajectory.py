@@ -1,0 +1,114 @@
+"""Trajectory containers and training-window extraction for GNS."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Trajectory", "TrainingWindow"]
+
+
+@dataclass
+class Trajectory:
+    """A recorded particle rollout.
+
+    Attributes
+    ----------
+    positions:
+        ``(T, n, d)`` particle positions at equal time intervals.
+    dt:
+        Recording interval (time between consecutive frames).
+    material:
+        Scalar material descriptor (the paper uses the friction angle φ);
+        exposed to the GNS as a node feature so it can be inverted for.
+    bounds:
+        ``(d, 2)`` array of (lower, upper) wall coordinates.
+    meta:
+        Free-form provenance (scenario parameters, solver settings).
+    """
+
+    positions: np.ndarray
+    dt: float
+    material: float = 0.0
+    bounds: np.ndarray | None = None
+    particle_types: np.ndarray | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.positions = np.asarray(self.positions, dtype=np.float64)
+        if self.positions.ndim != 3:
+            raise ValueError("positions must be (T, n, d)")
+        if self.bounds is not None:
+            self.bounds = np.asarray(self.bounds, dtype=np.float64)
+            if self.bounds.shape != (self.positions.shape[2], 2):
+                raise ValueError("bounds must be (d, 2)")
+        if self.particle_types is not None:
+            self.particle_types = np.asarray(self.particle_types,
+                                             dtype=np.int64)
+            if self.particle_types.shape != (self.positions.shape[1],):
+                raise ValueError("particle_types must be (n,)")
+
+    @property
+    def num_steps(self) -> int:
+        return self.positions.shape[0]
+
+    @property
+    def num_particles(self) -> int:
+        return self.positions.shape[1]
+
+    @property
+    def dim(self) -> int:
+        return self.positions.shape[2]
+
+    def velocities(self) -> np.ndarray:
+        """Per-frame displacement 'velocities' v_t = x_t − x_{t−1}; shape
+        ``(T−1, n, d)``. GNS works in displacement units (dt absorbed)."""
+        return np.diff(self.positions, axis=0)
+
+    def accelerations(self) -> np.ndarray:
+        """Second differences a_t = v_{t+1} − v_t; shape ``(T−2, n, d)``."""
+        return np.diff(self.positions, axis=0, n=2)
+
+    def windows(self, history: int, lookback: int = 0) -> list["TrainingWindow"]:
+        """All training windows with ``history`` velocity steps of context.
+
+        A window at time t exposes positions ``x_{t−history} … x_t`` as
+        input and ``x_{t+1}`` as the target. With ``lookback > 0`` each
+        window additionally carries the ``lookback`` frames *before* its
+        history — the context pushforward training needs to roll the model
+        into the window (see ``TrainingConfig.pushforward_steps``).
+        """
+        out = []
+        for t in range(history + lookback, self.num_steps - 1):
+            out.append(TrainingWindow(
+                position_history=self.positions[t - history:t + 1],
+                target_position=self.positions[t + 1],
+                material=self.material,
+                bounds=self.bounds,
+                particle_types=self.particle_types,
+                lookback_frames=(self.positions[t - history - lookback:
+                                                t - history]
+                                 if lookback else None),
+            ))
+        return out
+
+
+@dataclass
+class TrainingWindow:
+    """One supervised example: C+1 context positions → next position."""
+
+    position_history: np.ndarray    # (C+1, n, d)
+    target_position: np.ndarray     # (n, d)
+    material: float = 0.0
+    bounds: np.ndarray | None = None
+    particle_types: np.ndarray | None = None
+    #: optional (lookback, n, d) frames preceding the history, for
+    #: pushforward training
+    lookback_frames: np.ndarray | None = None
+
+    def target_acceleration(self) -> np.ndarray:
+        """a_t = x_{t+1} − 2 x_t + x_{t−1} (displacement units)."""
+        x_t = self.position_history[-1]
+        x_prev = self.position_history[-2]
+        return self.target_position - 2.0 * x_t + x_prev

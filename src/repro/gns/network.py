@@ -1,0 +1,175 @@
+"""Encode–Process–Decode graph network (Fig 1a of the paper).
+
+* **Encoder** — node and edge MLPs embed raw features into a latent graph.
+* **Processor** — M message-passing blocks (interaction networks with
+  residual connections); the attention variant weights incoming messages
+  with edge-softmax coefficients (the paper's graph-attention extension).
+* **Decoder** — node MLP extracting the dynamics (acceleration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autodiff import Tensor, concatenate
+from ..autodiff.scatter import gather, scatter_add, scatter_softmax
+from ..graph import Graph
+from ..nn import MLP, Module
+
+__all__ = ["GNSNetworkConfig", "InteractionNetwork", "EncodeProcessDecode"]
+
+
+@dataclass
+class GNSNetworkConfig:
+    """Architecture hyperparameters.
+
+    The paper follows Sanchez-Gonzalez et al. (2020): latent size 128 and
+    10 message-passing steps; defaults here are smaller for CPU-scale
+    experiments but fully configurable.
+    """
+
+    node_input_size: int = 12
+    edge_input_size: int = 3
+    output_size: int = 2
+    latent_size: int = 64
+    mlp_hidden_size: int = 64
+    mlp_hidden_layers: int = 2
+    message_passing_steps: int = 5
+    attention: bool = False
+
+    def _mlp_sizes(self, in_size: int, out_size: int) -> list[int]:
+        return [in_size] + [self.mlp_hidden_size] * self.mlp_hidden_layers + [out_size]
+
+
+class InteractionNetwork(Module):
+    """One message-passing block with residual updates.
+
+    Edge update: e' = φ_e([e, v_s, v_r]); node update: v' = φ_v([v, Σ e'])
+    where the sum runs over incoming edges. With ``attention=True`` the
+    aggregation is an attention-weighted sum: coefficients are an
+    edge-softmax over each receiver's incoming edges, computed from the
+    same inputs as the edge update (GAT-style).
+    """
+
+    def __init__(self, cfg: GNSNetworkConfig, rng: np.random.Generator):
+        super().__init__()
+        ls = cfg.latent_size
+        self.edge_mlp = MLP(cfg._mlp_sizes(3 * ls, ls), rng, layer_norm=True)
+        self.node_mlp = MLP(cfg._mlp_sizes(2 * ls, ls), rng, layer_norm=True)
+        self.attention = cfg.attention
+        if cfg.attention:
+            self.attn_mlp = MLP([3 * ls, cfg.mlp_hidden_size, 1], rng)
+
+    def attention_coefficients(self, edge_in: Tensor, receivers: np.ndarray,
+                               num_nodes: int) -> Tensor:
+        """Edge-softmax attention over each receiver's incoming edges."""
+        logits = self.attn_mlp(edge_in).reshape(-1)
+        return scatter_softmax(logits, receivers, num_nodes)
+
+    def forward(self, nodes: Tensor, edges: Tensor,
+                senders: np.ndarray, receivers: np.ndarray,
+                collect_attention: list | None = None
+                ) -> tuple[Tensor, Tensor]:
+        n = nodes.shape[0]
+        vs = gather(nodes, senders)
+        vr = gather(nodes, receivers)
+        edge_in = concatenate([edges, vs, vr], axis=1)
+        messages = self.edge_mlp(edge_in)
+
+        if self.attention:
+            alpha = self.attention_coefficients(edge_in, receivers, n)
+            if collect_attention is not None:
+                collect_attention.append(alpha.data.copy())
+            weighted = messages * alpha.reshape(-1, 1)
+            aggregated = scatter_add(weighted, receivers, n)
+        else:
+            aggregated = scatter_add(messages, receivers, n)
+
+        node_update = self.node_mlp(concatenate([nodes, aggregated], axis=1))
+        # residual connections stabilize deep message-passing stacks
+        return nodes + node_update, edges + messages
+
+
+class EncodeProcessDecode(Module):
+    """The full GNS network: graph in → per-node output (acceleration)."""
+
+    def __init__(self, cfg: GNSNetworkConfig, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.cfg = cfg
+        ls = cfg.latent_size
+        self.node_encoder = MLP(cfg._mlp_sizes(cfg.node_input_size, ls), rng,
+                                layer_norm=True)
+        self.edge_encoder = MLP(cfg._mlp_sizes(cfg.edge_input_size, ls), rng,
+                                layer_norm=True)
+        self.blocks = [InteractionNetwork(cfg, rng)
+                       for _ in range(cfg.message_passing_steps)]
+        self.decoder = MLP(cfg._mlp_sizes(ls, cfg.output_size), rng,
+                           layer_norm=False)
+
+    def forward(self, graph: Graph) -> Tensor:
+        nodes = self.node_encoder(graph.node_features)
+        edges = self.edge_encoder(graph.edge_features)
+        for block in self.blocks:
+            nodes, edges = block(nodes, edges, graph.senders, graph.receivers)
+        return self.decoder(nodes)
+
+    def forward_with_attention(self, graph: Graph
+                               ) -> tuple[Tensor, list[np.ndarray]]:
+        """Forward pass that also returns each attention block's per-edge
+        coefficients (empty list for non-attention processors)."""
+        collected: list[np.ndarray] = []
+        nodes = self.node_encoder(graph.node_features)
+        edges = self.edge_encoder(graph.edge_features)
+        for block in self.blocks:
+            nodes, edges = block(nodes, edges, graph.senders, graph.receivers,
+                                 collect_attention=collected)
+        return self.decoder(nodes), collected
+
+    def forward_numpy(self, node_features: np.ndarray, edge_features: np.ndarray,
+                      senders: np.ndarray, receivers: np.ndarray) -> np.ndarray:
+        """Tape-free inference: plain-NumPy mirror of :meth:`forward`.
+
+        Used by the fast rollout path (hybrid solver, speedup benchmarks)
+        where no gradients are required; numerically identical to the
+        Tensor path.
+        """
+        from ..autodiff.scatter import segment_sum
+
+        n = node_features.shape[0]
+        nodes = self.node_encoder.forward_numpy(node_features)
+        edges = self.edge_encoder.forward_numpy(edge_features)
+        for block in self.blocks:
+            edge_in = np.concatenate([edges, nodes[senders], nodes[receivers]],
+                                     axis=1)
+            messages = block.edge_mlp.forward_numpy(edge_in)
+            if block.attention:
+                logits = block.attn_mlp.forward_numpy(edge_in).ravel()
+                seg_max = np.full(n, -np.inf)
+                np.maximum.at(seg_max, receivers, logits)
+                seg_max[~np.isfinite(seg_max)] = 0.0
+                exp = np.exp(logits - seg_max[receivers])
+                denom = segment_sum(exp, receivers, n)
+                alpha = exp / denom[receivers]
+                aggregated = segment_sum(messages * alpha[:, None], receivers, n)
+            else:
+                aggregated = segment_sum(messages, receivers, n)
+            node_update = block.node_mlp.forward_numpy(
+                np.concatenate([nodes, aggregated], axis=1))
+            nodes = nodes + node_update
+            edges = edges + messages
+        return self.decoder.forward_numpy(nodes)
+
+    def forward_with_latents(self, graph: Graph) -> tuple[Tensor, list[Tensor]]:
+        """Forward pass that also returns each block's edge messages —
+        used by the interpretability pipeline (Section 6)."""
+        nodes = self.node_encoder(graph.node_features)
+        edges = self.edge_encoder(graph.edge_features)
+        message_log: list[Tensor] = []
+        for block in self.blocks:
+            new_nodes, new_edges = block(nodes, edges, graph.senders, graph.receivers)
+            message_log.append(new_edges - edges)  # the block's raw messages
+            nodes, edges = new_nodes, new_edges
+        return self.decoder(nodes), message_log

@@ -1,0 +1,35 @@
+"""Random-walk noise injection for GNS training.
+
+At rollout time the model consumes its own (imperfect) predictions; GNS
+makes training robust to that distribution shift by corrupting the input
+position history with an accumulating random walk whose per-velocity-step
+variance sums to ``noise_std**2`` at the last step (Sanchez-Gonzalez et
+al. 2020, §B.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_walk_noise"]
+
+
+def random_walk_noise(position_history: np.ndarray, noise_std: float,
+                      rng: np.random.Generator) -> np.ndarray:
+    """Accumulating random-walk perturbation for a ``(C+1, n, d)`` history.
+
+    Velocity-space white noise with std ``noise_std / sqrt(C)`` per step is
+    cumulatively summed, then integrated once more into position space so
+    the *last* frame carries the full ``noise_std`` velocity perturbation.
+    The first frame is left unperturbed (it defines the inertial reference).
+    """
+    c_plus_1, n, d = position_history.shape
+    c = c_plus_1 - 1
+    if c < 1:
+        raise ValueError("history must contain at least two frames")
+    if noise_std == 0.0:
+        return np.zeros_like(position_history)
+    vel_noise = rng.normal(0.0, noise_std / np.sqrt(c), size=(c, n, d))
+    vel_noise = np.cumsum(vel_noise, axis=0)
+    pos_noise = np.concatenate([np.zeros((1, n, d)), np.cumsum(vel_noise, axis=0)],
+                               axis=0)
+    return pos_noise

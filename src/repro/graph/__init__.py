@@ -1,0 +1,15 @@
+"""Graph containers, neighbor search, and mesh connectivity."""
+
+from .graph import Graph
+from .neighbors import (
+    radius_graph, radius_graph_brute, radius_graph_celllist,
+    radius_graph_kdtree, radius_graph_periodic,
+)
+from .connectivity import bidirectional, delaunay_edges, grid_mesh_edges, triangles_to_edges
+
+__all__ = [
+    "Graph",
+    "radius_graph", "radius_graph_brute", "radius_graph_celllist",
+    "radius_graph_kdtree", "radius_graph_periodic",
+    "bidirectional", "delaunay_edges", "grid_mesh_edges", "triangles_to_edges",
+]

@@ -1,0 +1,52 @@
+"""Mesh connectivity helpers for MeshNet.
+
+MeshGraphNet operates on a simulation mesh: nodes are mesh vertices and
+edges are the (bidirectional) mesh edges. For our LBM-grid fluid data we
+build either a structured-grid mesh or a Delaunay triangulation of
+scattered nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import Delaunay
+
+__all__ = ["grid_mesh_edges", "delaunay_edges", "bidirectional", "triangles_to_edges"]
+
+
+def bidirectional(senders: np.ndarray, receivers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return the symmetric closure of an edge list, deduplicated."""
+    s = np.concatenate([senders, receivers])
+    r = np.concatenate([receivers, senders])
+    pairs = np.unique(np.stack([s, r], axis=1), axis=0)
+    return pairs[:, 0].astype(np.intp), pairs[:, 1].astype(np.intp)
+
+
+def triangles_to_edges(triangles: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Extract unique bidirectional edges from a (T, 3) triangle array."""
+    tri = np.asarray(triangles)
+    e = np.concatenate([tri[:, [0, 1]], tri[:, [1, 2]], tri[:, [2, 0]]], axis=0)
+    return bidirectional(e[:, 0], e[:, 1])
+
+
+def delaunay_edges(points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Delaunay-triangulate scattered nodes and return mesh edges."""
+    tri = Delaunay(np.asarray(points, dtype=np.float64))
+    return triangles_to_edges(tri.simplices)
+
+
+def grid_mesh_edges(nx: int, ny: int, diagonal: bool = False) -> tuple[np.ndarray, np.ndarray]:
+    """Edges of a structured nx × ny node grid (row-major node ids).
+
+    With ``diagonal=True`` also connects the (+1,+1) diagonal, giving a
+    triangulated quad mesh.
+    """
+    ids = np.arange(nx * ny).reshape(nx, ny)
+    pairs = [
+        np.stack([ids[:-1, :].ravel(), ids[1:, :].ravel()], axis=1),
+        np.stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()], axis=1),
+    ]
+    if diagonal:
+        pairs.append(np.stack([ids[:-1, :-1].ravel(), ids[1:, 1:].ravel()], axis=1))
+    e = np.concatenate(pairs, axis=0)
+    return bidirectional(e[:, 0], e[:, 1])

@@ -1,0 +1,16 @@
+"""Hybrid GNS/MPM forward solver (Section 4) with adaptive switching (E8)."""
+
+from .schedule import AdaptiveSchedule, FixedSchedule, Phase
+from .metrics import (
+    EnergySpikeCriterion, PenetrationCriterion, boundary_penetration,
+    displacement_error, final_displacement_error, momentum_drift,
+)
+from .hybrid_sim import HybridResult, HybridSimulator
+
+__all__ = [
+    "AdaptiveSchedule", "FixedSchedule", "Phase",
+    "EnergySpikeCriterion", "PenetrationCriterion",
+    "boundary_penetration", "displacement_error",
+    "final_displacement_error", "momentum_drift",
+    "HybridResult", "HybridSimulator",
+]

@@ -1,0 +1,178 @@
+"""Hybrid GNS/MPM forward simulation (Section 4 of the paper).
+
+The MPM solver advances ``substeps`` CFL steps per recorded *frame* (the
+GNS learned timestep); the GNS advances one frame per prediction. State
+hand-off:
+
+* MPM → GNS: the last ``C+1`` recorded frames seed the GNS rollout.
+* GNS → MPM: particle positions are taken from the last GNS frame and
+  velocities from the last frame difference; stresses retain their last
+  MPM values and re-equilibrate during the K refinement frames — this is
+  what restores conservation-law compliance after a surrogate excursion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gns.simulator import LearnedSimulator
+from ..mpm.solver import MPMSolver
+from .schedule import AdaptiveSchedule, FixedSchedule, Phase
+
+__all__ = ["HybridResult", "HybridSimulator"]
+
+
+@dataclass
+class HybridResult:
+    """Frames plus per-engine bookkeeping."""
+
+    frames: np.ndarray               # (T, n, d) including the initial frame
+    engines: list[str]               # per produced frame: "mpm" | "gns"
+    mpm_time: float
+    gns_time: float
+    mpm_frames: int
+    gns_frames: int
+    switches: int = 0
+
+    @property
+    def total_time(self) -> float:
+        return self.mpm_time + self.gns_time
+
+
+class HybridSimulator:
+    """Interleaves a trained GNS with the MPM physics solver."""
+
+    def __init__(self, gns: LearnedSimulator, mpm: MPMSolver,
+                 schedule: FixedSchedule | None = None,
+                 substeps: int = 4, material: float | None = None):
+        self.gns = gns
+        self.mpm = mpm
+        self.schedule = schedule or FixedSchedule()
+        self.substeps = substeps
+        self.material = material
+        history = gns.feature_config.history
+        if self.schedule.warmup_frames < history:
+            raise ValueError(
+                f"warm-up must cover the GNS history ({history} frames)")
+
+    # ------------------------------------------------------------------
+    def _run_mpm_frames(self, num_frames: int) -> list[np.ndarray]:
+        frames = []
+        dt = self.mpm.stable_dt()
+        for _ in range(num_frames):
+            for _ in range(self.substeps):
+                self.mpm.step(dt)
+            frames.append(self.mpm.particles.positions.copy())
+        return frames
+
+    def _sync_mpm_from_frames(self, frames: list[np.ndarray]) -> None:
+        """Impose GNS output on the MPM particle state."""
+        dt_frame = self.mpm.stable_dt() * self.substeps
+        p = self.mpm.particles
+        p.positions = frames[-1].copy()
+        p.velocities = (frames[-1] - frames[-2]) / dt_frame
+        # clamp back into the admissible region in case the surrogate
+        # stepped outside the walls
+        margin = self.mpm.grid.interior_margin()
+        np.clip(p.positions[:, 0], margin, self.mpm.grid.size[0] - margin,
+                out=p.positions[:, 0])
+        np.clip(p.positions[:, 1], margin, self.mpm.grid.size[1] - margin,
+                out=p.positions[:, 1])
+
+    def _gns_frame_to_displacement(self, frames: list[np.ndarray]) -> np.ndarray:
+        """Stack the last C+1 frames as the GNS seed history."""
+        c = self.gns.feature_config.history
+        return np.stack(frames[-(c + 1):], axis=0)
+
+    # ------------------------------------------------------------------
+    def run(self, total_frames: int) -> HybridResult:
+        """Produce exactly ``total_frames`` frames after the initial state.
+
+        The schedule's phase lengths are upper bounds: an adaptive
+        criterion may cut a GNS phase short, in which case the remaining
+        frame budget rolls into the following phases (the run never comes
+        up short).
+        """
+        all_frames: list[np.ndarray] = [self.mpm.particles.positions.copy()]
+        engines: list[str] = []
+        mpm_time = gns_time = 0.0
+        mpm_count = gns_count = 0
+        switches = 0
+        adaptive = isinstance(self.schedule, AdaptiveSchedule)
+        sched = self.schedule
+
+        def run_mpm(frames_budget: int) -> None:
+            nonlocal mpm_time, mpm_count
+            t0 = time.perf_counter()
+            frames = self._run_mpm_frames(frames_budget)
+            mpm_time += time.perf_counter() - t0
+            mpm_count += len(frames)
+            all_frames.extend(frames)
+            engines.extend(["mpm"] * len(frames))
+
+        remaining = total_frames
+        warmup = min(sched.warmup_frames, remaining)
+        if warmup:
+            run_mpm(warmup)
+            remaining -= warmup
+
+        while remaining > 0:
+            budget = min(sched.gns_frames, remaining)
+            t0 = time.perf_counter()
+            produced = self._run_gns_phase(Phase("gns", budget), all_frames,
+                                           adaptive)
+            gns_time += time.perf_counter() - t0
+            gns_count += len(produced)
+            all_frames.extend(produced)
+            engines.extend(["gns"] * len(produced))
+            self._sync_mpm_from_frames(all_frames)
+            switches += 1
+            remaining -= len(produced)
+            if remaining <= 0:
+                break
+            refine = min(sched.refine_frames, remaining)
+            if refine:
+                run_mpm(refine)
+                remaining -= refine
+            elif not produced:
+                # degenerate guard: criterion fires instantly and no
+                # refinement is configured — fall back to physics
+                run_mpm(remaining)
+                remaining = 0
+
+        return HybridResult(
+            frames=np.stack(all_frames, axis=0), engines=engines,
+            mpm_time=mpm_time, gns_time=gns_time,
+            mpm_frames=mpm_count, gns_frames=gns_count, switches=switches)
+
+    def _run_gns_phase(self, phase: Phase, all_frames: list[np.ndarray],
+                       adaptive: bool) -> list[np.ndarray]:
+        seed = self._gns_frame_to_displacement(all_frames)
+        if not adaptive:
+            rolled = self.gns.rollout(seed, phase.frames, material=self.material)
+            return [rolled[i] for i in range(seed.shape[0], rolled.shape[0])]
+
+        # adaptive: step one frame at a time, asking the criterion
+        sched: AdaptiveSchedule = self.schedule  # type: ignore[assignment]
+        produced: list[np.ndarray] = []
+        window = [seed[i] for i in range(seed.shape[0])]
+        for i in range(phase.frames):
+            rolled = self.gns.rollout(np.stack(window, axis=0), 1,
+                                      material=self.material)
+            nxt = rolled[-1]
+            produced.append(nxt)
+            window = window[1:] + [nxt]
+            if i + 1 >= sched.min_gns_frames and sched.criterion(window):
+                break
+        return produced
+
+    # ------------------------------------------------------------------
+    def run_pure_mpm(self, total_frames: int) -> tuple[np.ndarray, float]:
+        """Reference: same frame budget, physics only. Returns (frames, secs)."""
+        t0 = time.perf_counter()
+        frames = [self.mpm.particles.positions.copy()]
+        frames.extend(self._run_mpm_frames(total_frames))
+        return np.stack(frames, axis=0), time.perf_counter() - t0

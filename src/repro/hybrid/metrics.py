@@ -1,0 +1,86 @@
+"""Error metrics and switching criteria for the hybrid solver."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "displacement_error", "final_displacement_error", "momentum_drift",
+    "boundary_penetration", "EnergySpikeCriterion", "PenetrationCriterion",
+]
+
+
+def displacement_error(predicted: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Per-frame mean particle displacement error ‖x̂_t − x_t‖ → ``(T,)``."""
+    t = min(predicted.shape[0], reference.shape[0])
+    return np.linalg.norm(predicted[:t] - reference[:t], axis=-1).mean(axis=-1)
+
+
+def final_displacement_error(predicted: np.ndarray, reference: np.ndarray) -> float:
+    """Error of the last common frame (the paper's Fig 4 y-axis)."""
+    return float(displacement_error(predicted, reference)[-1])
+
+
+def momentum_drift(frames: np.ndarray) -> np.ndarray:
+    """Norm of frame-to-frame change of total 'momentum' (equal-mass
+    displacement velocity); a cheap conservation-violation proxy available
+    without ground truth."""
+    vel = np.diff(frames, axis=0)               # (T-1, n, d)
+    total = vel.mean(axis=1)                    # (T-1, d)
+    return np.linalg.norm(np.diff(total, axis=0), axis=-1)
+
+
+def boundary_penetration(frames: np.ndarray, bounds: np.ndarray) -> np.ndarray:
+    """Mean distance particles violate the box bounds, per frame.
+
+    A physically-impossible prediction signature the GNS can produce but
+    MPM cannot — an effective hand-back trigger.
+    """
+    lower = bounds[:, 0]
+    upper = bounds[:, 1]
+    below = np.maximum(lower - frames, 0.0)
+    above = np.maximum(frames - upper, 0.0)
+    return (below + above).sum(axis=-1).mean(axis=-1)
+
+
+class EnergySpikeCriterion:
+    """Hand back to MPM when per-frame kinetic energy jumps by more than
+    ``ratio`` between consecutive GNS frames (a blow-up detector).
+
+    Callable on the list of frames of the current GNS phase.
+    """
+
+    def __init__(self, ratio: float = 2.0, floor: float = 1e-12):
+        if ratio <= 1.0:
+            raise ValueError("ratio must exceed 1")
+        self.ratio = ratio
+        self.floor = floor
+
+    def __call__(self, frames: list[np.ndarray]) -> bool:
+        if len(frames) < 3:
+            return False
+        v_prev = frames[-2] - frames[-3]
+        v_cur = frames[-1] - frames[-2]
+        e_prev = float((v_prev ** 2).sum()) + self.floor
+        e_cur = float((v_cur ** 2).sum())
+        return e_cur > self.ratio * e_prev
+
+
+class PenetrationCriterion:
+    """Hand back to MPM when the GNS pushes particles outside the walls.
+
+    Wall penetration is the clearest physically-impossible signature a
+    learned rollout produces — MPM boundary conditions make it impossible
+    on the physics side.
+    """
+
+    def __init__(self, bounds: np.ndarray, threshold: float = 1e-4):
+        self.bounds = np.asarray(bounds, dtype=np.float64)
+        self.threshold = threshold
+
+    def __call__(self, frames: list[np.ndarray]) -> bool:
+        if not frames:
+            return False
+        latest = frames[-1][None]
+        return float(boundary_penetration(latest, self.bounds)[0]) \
+            > self.threshold

@@ -1,0 +1,69 @@
+"""Scheduling for the hybrid GNS/MPM solver.
+
+The paper's fixed schedule (Section 4): a *warm-up* of K physics frames
+(GNS needs the previous five steps), an *M*-frame GNS rollout, then K MPM
+*iterative-refinement* frames, repeating. The adaptive variant (the
+paper's "further research" direction, E8) switches back to MPM early when
+an error-proxy metric exceeds a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = ["Phase", "FixedSchedule", "AdaptiveSchedule"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One segment of the hybrid run."""
+
+    engine: str     # "mpm" | "gns"
+    frames: int
+
+
+class FixedSchedule:
+    """warm-up K → (GNS M → MPM K) repeated until the frame budget."""
+
+    def __init__(self, warmup_frames: int = 5, gns_frames: int = 10,
+                 refine_frames: int = 5):
+        if warmup_frames < 1 or gns_frames < 1 or refine_frames < 0:
+            raise ValueError("invalid schedule lengths")
+        self.warmup_frames = warmup_frames
+        self.gns_frames = gns_frames
+        self.refine_frames = refine_frames
+
+    def phases(self, total_frames: int) -> Iterator[Phase]:
+        """Yield phases covering exactly ``total_frames`` frames."""
+        remaining = total_frames
+        warmup = min(self.warmup_frames, remaining)
+        if warmup:
+            yield Phase("mpm", warmup)
+            remaining -= warmup
+        while remaining > 0:
+            m = min(self.gns_frames, remaining)
+            yield Phase("gns", m)
+            remaining -= m
+            if remaining <= 0:
+                break
+            k = min(self.refine_frames, remaining)
+            if k:
+                yield Phase("mpm", k)
+                remaining -= k
+
+
+class AdaptiveSchedule(FixedSchedule):
+    """Fixed schedule plus an early-exit criterion for GNS phases.
+
+    ``criterion(frames)`` receives the GNS frames produced so far in the
+    current phase (list of ``(n, d)`` arrays, including the seed frame)
+    and returns True when the surrogate should hand control back to MPM.
+    """
+
+    def __init__(self, criterion: Callable[[list], bool],
+                 warmup_frames: int = 5, gns_frames: int = 10,
+                 refine_frames: int = 5, min_gns_frames: int = 2):
+        super().__init__(warmup_frames, gns_frames, refine_frames)
+        self.criterion = criterion
+        self.min_gns_frames = min_gns_frames

@@ -1,0 +1,5 @@
+"""GNS-as-oracle for in-situ visualization (refs [8, 9] of the paper)."""
+
+from .oracle import InSituOracle, OracleReport
+
+__all__ = ["InSituOracle", "OracleReport"]

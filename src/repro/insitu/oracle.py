@@ -1,0 +1,129 @@
+"""GNS as an in-situ visualization oracle ("Minority Report", Kumar et
+al. 2022 — refs [8, 9] of the paper).
+
+Large simulations cannot afford to render every frame, and scientists
+cannot afford to wait for the run to finish to discover it went wrong.
+The oracle pattern: while the numerical solver advances, a cheap GNS
+periodically *predicts the future* from the current state; the predicted
+frames are rendered immediately, giving a live preview many frames ahead
+of the physics. When the physics catches up, prediction error is measured
+— both a trust signal for the preview and a drift detector for the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gns.simulator import LearnedSimulator
+from ..mpm.solver import MPMSolver
+
+__all__ = ["OracleReport", "InSituOracle"]
+
+
+@dataclass
+class OracleReport:
+    """One oracle invocation: the preview and (later) its realized error."""
+
+    step: int                          # solver frame index at prediction time
+    predicted: np.ndarray              # (horizon+1, n, d) preview frames
+    images: list = field(default_factory=list)
+    realized_error: np.ndarray | None = None   # (horizon,) once physics catches up
+
+
+class InSituOracle:
+    """Wraps an MPM run with periodic GNS look-ahead previews.
+
+    Parameters
+    ----------
+    solver, gns:
+        The physics solver and a trained surrogate for its scenario.
+    horizon:
+        Frames to predict ahead at each oracle call.
+    every:
+        Oracle cadence, in recorded frames.
+    substeps:
+        Fine MPM steps per recorded frame (the learned frame spacing).
+    render:
+        When True, rasterize preview frames with :mod:`repro.viz`.
+    """
+
+    def __init__(self, solver: MPMSolver, gns: LearnedSimulator,
+                 horizon: int = 10, every: int = 5, substeps: int = 4,
+                 render: bool = False, resolution: int = 200,
+                 material: float | None = None):
+        self.solver = solver
+        self.gns = gns
+        self.horizon = horizon
+        self.every = every
+        self.substeps = substeps
+        self.render = render
+        self.resolution = resolution
+        self.material = material
+        self.reports: list[OracleReport] = []
+        self._frames: list[np.ndarray] = [solver.particles.positions.copy()]
+
+    # ------------------------------------------------------------------
+    def _bounds(self) -> np.ndarray:
+        sx, sy = self.solver.grid.size
+        return np.array([[0.0, sx], [0.0, sy]])
+
+    def _advance_one_frame(self) -> None:
+        dt = self.solver.stable_dt()
+        for _ in range(self.substeps):
+            self.solver.step(dt)
+        self._frames.append(self.solver.particles.positions.copy())
+
+    def _invoke_oracle(self) -> None:
+        c = self.gns.feature_config.history
+        if len(self._frames) < c + 1:
+            return
+        seed = np.stack(self._frames[-(c + 1):], axis=0)
+        predicted = self.gns.rollout(seed, self.horizon,
+                                     material=self.material)
+        report = OracleReport(step=len(self._frames) - 1,
+                              predicted=predicted[c:])
+        if self.render:
+            from ..viz import render_frames
+
+            report.images = render_frames(report.predicted, self._bounds(),
+                                          resolution=self.resolution)
+        self.reports.append(report)
+
+    def _score_reports(self) -> None:
+        """Fill in realized errors for oracle calls the physics has passed."""
+        total = len(self._frames)
+        for report in self.reports:
+            if report.realized_error is not None:
+                continue
+            available = total - 1 - report.step
+            if available < self.horizon:
+                continue
+            truth = np.stack(
+                self._frames[report.step:report.step + self.horizon + 1])
+            diff = report.predicted - truth
+            report.realized_error = np.linalg.norm(diff, axis=-1).mean(axis=-1)[1:]
+
+    # ------------------------------------------------------------------
+    def run(self, num_frames: int) -> list[OracleReport]:
+        """Advance the physics ``num_frames`` recorded frames, invoking the
+        oracle every ``every`` frames; returns all reports (scored where
+        the physics has already caught up with a preview)."""
+        for i in range(num_frames):
+            self._advance_one_frame()
+            if (i + 1) % self.every == 0:
+                self._invoke_oracle()
+        self._score_reports()
+        return self.reports
+
+    def frames(self) -> np.ndarray:
+        """All physics frames recorded so far → (T, n, d)."""
+        return np.stack(self._frames, axis=0)
+
+    def drift_alerts(self, threshold: float) -> list[int]:
+        """Oracle steps whose realized mean error exceeded ``threshold`` —
+        the drift-detection signal for hybrid hand-back or retraining."""
+        return [r.step for r in self.reports
+                if r.realized_error is not None
+                and float(r.realized_error.mean()) > threshold]

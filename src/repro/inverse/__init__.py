@@ -1,0 +1,17 @@
+"""Inverse problems via differentiable GNS rollouts (Section 5)."""
+
+from .runout import hard_runout, soft_front, soft_runout
+from .optimizers import (
+    FiniteDifferenceInverter, GradientDescentInverter, InversionRecord,
+    finite_difference_gradient,
+)
+from .vector import AdamInverter, VectorInversionRecord
+from .problem import RunoutInverseProblem
+
+__all__ = [
+    "hard_runout", "soft_front", "soft_runout",
+    "FiniteDifferenceInverter", "GradientDescentInverter", "InversionRecord",
+    "finite_difference_gradient",
+    "RunoutInverseProblem",
+    "AdamInverter", "VectorInversionRecord",
+]

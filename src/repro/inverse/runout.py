@@ -1,0 +1,44 @@
+"""Differentiable runout-distance measurements.
+
+The inverse problem's loss is built on the final runout L_f — the
+position of the flow front. A hard ``max`` has a one-hot (sub)gradient
+that makes optimization noisy, so the differentiable path uses a
+temperature-controlled softmax front: a weighted mean of particle x
+concentrated on the leading particles. As τ → 0 it approaches the hard
+maximum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, as_tensor
+
+__all__ = ["soft_front", "soft_runout", "hard_runout"]
+
+
+def soft_front(positions: Tensor, temperature: float = 0.02, axis: int = 0) -> Tensor:
+    """Soft maximum of the ``axis`` coordinate over particles.
+
+    ``Σ_i softmax(x_i/τ) x_i`` — smooth, differentiable, and within τ·ln(n)
+    of the true front.
+    """
+    positions = as_tensor(positions)
+    x = positions[:, axis]
+    shifted = (x - Tensor(np.max(x.data))) * (1.0 / temperature)
+    w = shifted.exp()
+    return (w * x).sum() / w.sum()
+
+
+def soft_runout(positions: Tensor, toe_x: float,
+                temperature: float = 0.02) -> Tensor:
+    """Differentiable runout: soft front minus the initial toe position."""
+    return soft_front(positions, temperature) - toe_x
+
+
+def hard_runout(positions: np.ndarray, toe_x: float,
+                quantile: float = 0.995) -> float:
+    """Non-differentiable evaluation metric (matches ``mpm.runout_distance``)."""
+    pos = positions.data if isinstance(positions, Tensor) else np.asarray(positions)
+    front = float(np.quantile(pos[:, 0], quantile))
+    return max(front - toe_x, 0.0)

@@ -1,0 +1,103 @@
+"""Multi-parameter inversion (the natural extension of the paper's
+single-parameter friction-angle identification).
+
+Adam on a parameter *vector* whose gradient comes from one reverse pass
+through the differentiable simulator — the cost advantage over finite
+differences grows linearly with the number of parameters (FD needs 2p
+rollouts per step; AD needs one forward + one backward regardless of p).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..autodiff import Tensor
+
+__all__ = ["VectorInversionRecord", "AdamInverter"]
+
+
+@dataclass
+class VectorInversionRecord:
+    """Trace of a multi-parameter inversion."""
+
+    parameters: list[np.ndarray] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+    gradients: list[np.ndarray] = field(default_factory=list)
+    converged: bool = False
+    iterations: int = 0
+
+    @property
+    def final_parameters(self) -> np.ndarray:
+        return self.parameters[-1]
+
+
+class AdamInverter:
+    """Adam over a parameter vector with AD gradients.
+
+    Parameters
+    ----------
+    objective:
+        Maps a ``(p,)`` Tensor (requires_grad) to a scalar loss Tensor.
+    lr:
+        Adam step size, in the parameters' own units. Parameters of very
+        different scales should be normalized by ``scales`` (the optimizer
+        then works in units of `scales`).
+    bounds:
+        Optional ``(p, 2)`` box; parameters are projected after each step.
+    """
+
+    def __init__(self, objective: Callable[[Tensor], Tensor], lr: float = 0.1,
+                 scales: np.ndarray | None = None,
+                 bounds: np.ndarray | None = None,
+                 betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, loss_tol: float = 1e-12):
+        self.objective = objective
+        self.lr = lr
+        self.scales = None if scales is None else np.asarray(scales, float)
+        self.bounds = None if bounds is None else np.asarray(bounds, float)
+        self.b1, self.b2 = betas
+        self.eps = eps
+        self.loss_tol = loss_tol
+
+    def solve(self, x0: np.ndarray, max_iterations: int = 50,
+              callback: Callable[[int, np.ndarray, float], None] | None = None
+              ) -> VectorInversionRecord:
+        x = np.asarray(x0, dtype=np.float64).copy()
+        scales = self.scales if self.scales is not None else np.ones_like(x)
+        m = np.zeros_like(x)
+        v = np.zeros_like(x)
+        record = VectorInversionRecord()
+
+        for it in range(max_iterations):
+            param = Tensor(x.copy(), requires_grad=True)
+            loss = self.objective(param)
+            loss.backward()
+            g = param.grad * scales        # gradient in normalized units
+
+            record.parameters.append(x.copy())
+            record.losses.append(float(loss.data))
+            record.gradients.append(np.asarray(param.grad).copy())
+            if callback is not None:
+                callback(it, x.copy(), float(loss.data))
+            if float(loss.data) < self.loss_tol:
+                record.converged = True
+                record.iterations = it + 1
+                return record
+
+            m = self.b1 * m + (1 - self.b1) * g
+            v = self.b2 * v + (1 - self.b2) * g * g
+            mh = m / (1 - self.b1 ** (it + 1))
+            vh = v / (1 - self.b2 ** (it + 1))
+            x = x - self.lr * scales * mh / (np.sqrt(vh) + self.eps)
+            if self.bounds is not None:
+                x = np.clip(x, self.bounds[:, 0], self.bounds[:, 1])
+
+        record.iterations = max_iterations
+        record.parameters.append(x.copy())
+        final = self.objective(Tensor(x.copy()))
+        record.losses.append(float(final.data))
+        record.gradients.append(np.full_like(x, np.nan))
+        return record

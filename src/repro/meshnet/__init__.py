@@ -1,0 +1,17 @@
+"""MeshGraphNet for mesh-based fluid simulation (Section 3.2)."""
+
+from .meshgraph import (
+    MeshSpec, NUM_NODE_TYPES, NodeType, build_mesh_graph, mesh_from_lattice,
+)
+from .simulator import MeshNetSimulator
+from .training import (
+    MeshNetTrainer, MeshTrainingConfig, fields_to_nodes, velocity_field_rmse,
+)
+
+__all__ = [
+    "MeshSpec", "NUM_NODE_TYPES", "NodeType", "build_mesh_graph",
+    "mesh_from_lattice",
+    "MeshNetSimulator",
+    "MeshNetTrainer", "MeshTrainingConfig", "fields_to_nodes",
+    "velocity_field_rmse",
+]

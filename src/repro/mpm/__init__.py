@@ -1,0 +1,31 @@
+"""Explicit 2-D Material Point Method — the paper's numerical substrate.
+
+Replaces the CB-Geo MPM C++ code: generates GNS training data, serves as
+the speedup baseline (E2), and closes the loop in the hybrid GNS/MPM
+solver (E4).
+"""
+
+from .grid import BoxBoundary, Grid
+from .materials import DruckerPrager, LinearElastic, Material, NewtonianFluid
+from .particles import Particles
+from .shape import LinearShape, QuadraticShape, make_shape
+from .solver import MPMConfig, MPMSolver
+from .diff_solver import DifferentiableMPM, DiffMPMConfig, DiffMPMState
+from .scenarios import (
+    ScenarioSpec, apply_geostatic_stress, dam_break, elastic_block_bounce,
+    flow_around_obstacle, granular_box_flow, granular_column_collapse,
+    runout_distance, water_on_sand,
+)
+
+__all__ = [
+    "BoxBoundary", "Grid",
+    "DifferentiableMPM", "DiffMPMConfig", "DiffMPMState",
+    "DruckerPrager", "LinearElastic", "Material", "NewtonianFluid",
+    "Particles",
+    "LinearShape", "QuadraticShape", "make_shape",
+    "MPMConfig", "MPMSolver",
+    "ScenarioSpec", "apply_geostatic_stress", "dam_break", "elastic_block_bounce",
+    "flow_around_obstacle", "granular_box_flow",
+    "granular_column_collapse", "runout_distance",
+    "water_on_sand",
+]

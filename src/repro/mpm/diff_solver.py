@@ -1,0 +1,284 @@
+"""Differentiable MPM: the paper's §2 "DiffSim" paradigm, end to end.
+
+A Tensor-based explicit MPM step whose entire state update is recorded on
+the autodiff tape, so gradients of any rollout functional flow back to
+
+* **material parameters** (Young's modulus enters the constitutive update
+  as a Tensor),
+* **initial conditions** (positions/velocities are Tensor leaves),
+* **gravity** (a Tensor, for control-style problems).
+
+This is the "differentiable simulators (DiffSim) for particulate and
+fluid systems" capability the paper attributes to JAX-MD/DiffTaichi — and
+the alternative route to inverse problems that does not require a learned
+surrogate. Design restrictions keep the tape clean and the gradients
+exact:
+
+* linear (bilinear hat) shape functions — weights are piecewise-linear in
+  position, differentiable except on cell boundaries (measure zero);
+* linear elasticity without objective rotation (small incremental
+  rotations over the differentiable horizon);
+* sticky walls via static node masks (the boolean is state-independent,
+  so the tape never branches on a Tensor value);
+* PIC transfer (``flip=0``) by default — smooth and dissipative, which is
+  what short differentiable horizons want.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from ..autodiff import Tensor, as_tensor, stack, where
+from ..autodiff.scatter import gather, scatter_add
+
+__all__ = ["DiffMPMConfig", "DiffMPMState", "DifferentiableMPM"]
+
+
+@dataclass
+class DiffMPMConfig:
+    gravity: tuple[float, float] = (0.0, -9.81)
+    poisson_ratio: float = 0.3
+    flip: float = 0.0            # PIC by default (see module docstring)
+    wall_layers: int = 2         # sticky node layers at each wall
+
+
+@dataclass
+class DiffMPMState:
+    """Tensor-valued particle state (all ``(n, …)``)."""
+
+    positions: Tensor            # (n, 2)
+    velocities: Tensor           # (n, 2)
+    stresses: Tensor             # (n, 2, 2)
+    volumes: Tensor              # (n,)
+    masses: np.ndarray           # (n,) constant
+
+    @classmethod
+    def from_particles(cls, positions: np.ndarray, velocities: np.ndarray,
+                       masses: np.ndarray, volumes: np.ndarray,
+                       requires_grad: bool = False) -> "DiffMPMState":
+        n = positions.shape[0]
+        return cls(
+            positions=Tensor(np.asarray(positions, dtype=np.float64),
+                             requires_grad=requires_grad),
+            velocities=Tensor(np.asarray(velocities, dtype=np.float64),
+                              requires_grad=requires_grad),
+            stresses=Tensor(np.zeros((n, 2, 2))),
+            volumes=Tensor(np.asarray(volumes, dtype=np.float64)),
+            masses=np.asarray(masses, dtype=np.float64),
+        )
+
+
+class DifferentiableMPM:
+    """Explicit USL MPM with a fully differentiable step."""
+
+    def __init__(self, size: tuple[float, float], spacing: float,
+                 config: DiffMPMConfig | None = None):
+        self.size = (float(size[0]), float(size[1]))
+        self.spacing = float(spacing)
+        self.config = config or DiffMPMConfig()
+        ncx = int(round(self.size[0] / spacing))
+        ncy = int(round(self.size[1] / spacing))
+        if not np.isclose(ncx * spacing, self.size[0]) or \
+                not np.isclose(ncy * spacing, self.size[1]):
+            raise ValueError("domain size must be a multiple of spacing")
+        self.node_dims = (ncx + 1, ncy + 1)
+        self.num_nodes = self.node_dims[0] * self.node_dims[1]
+
+        # static sticky-wall mask (state-independent ⇒ tape-safe)
+        idx = np.arange(self.num_nodes)
+        ix = idx // self.node_dims[1]
+        iy = idx % self.node_dims[1]
+        t = self.config.wall_layers
+        self.wall_mask = ((ix <= t) | (ix >= self.node_dims[0] - 1 - t)
+                          | (iy <= t) | (iy >= self.node_dims[1] - 1 - t))
+
+    # ------------------------------------------------------------------
+    def _lame(self, youngs_modulus) -> tuple[Tensor, Tensor]:
+        e = as_tensor(youngs_modulus)
+        nu = self.config.poisson_ratio
+        mu = e * (1.0 / (2.0 * (1.0 + nu)))
+        lam = e * (nu / ((1.0 + nu) * (1.0 - 2.0 * nu)))
+        return lam, mu
+
+    def stable_dt(self, youngs_modulus: float, density: float,
+                  cfl: float = 0.3) -> float:
+        e = float(youngs_modulus.data if isinstance(youngs_modulus, Tensor)
+                  else youngs_modulus)
+        nu = self.config.poisson_ratio
+        lam = e * nu / ((1 + nu) * (1 - 2 * nu))
+        mu = e / (2 * (1 + nu))
+        c = np.sqrt((lam + 2 * mu) / density)
+        return cfl * self.spacing / c
+
+    def interior_margin(self) -> float:
+        return self.config.wall_layers * self.spacing
+
+    # ------------------------------------------------------------------
+    def _shape(self, positions: Tensor):
+        """Differentiable bilinear weights.
+
+        Returns per-offset lists of (flat node ids (n,), weight Tensor (n,),
+        grad constants (gx, gy) as Tensors (n,)).
+        """
+        h = self.spacing
+        xi = positions * (1.0 / h)
+        base = np.floor(xi.data).astype(np.int64)          # non-diff indices
+        frac = xi - Tensor(base.astype(np.float64))        # diff local coords
+
+        fx = frac[:, 0]
+        fy = frac[:, 1]
+        one = Tensor(np.ones(fx.shape[0]))
+        wx = [one - fx, fx]
+        wy = [one - fy, fy]
+        # d/dx of the 1-D hats: ∓1/h (constants)
+        minus = Tensor(np.full(fx.shape[0], -1.0 / h))
+        plus = Tensor(np.full(fx.shape[0], 1.0 / h))
+        dwx = [minus, plus]
+        dwy = [minus, plus]
+
+        ny = self.node_dims[1]
+        out = []
+        for i in range(2):
+            for j in range(2):
+                nodes = (base[:, 0] + i) * ny + (base[:, 1] + j)
+                w = wx[i] * wy[j]
+                gx = dwx[i] * wy[j]
+                gy = wx[i] * dwy[j]
+                out.append((nodes, w, gx, gy))
+        return out
+
+    # ------------------------------------------------------------------
+    def step(self, state: DiffMPMState, youngs_modulus, dt: float,
+             gravity=None) -> DiffMPMState:
+        """One differentiable explicit MPM step; returns the next state."""
+        cfg = self.config
+        n = state.masses.shape[0]
+        nn = self.num_nodes
+        masses = Tensor(state.masses)
+        g_vec = as_tensor(gravity if gravity is not None
+                          else np.asarray(cfg.gravity))
+
+        kernel = self._shape(state.positions)
+
+        # --- P2G ---------------------------------------------------------
+        grid_mass_parts = []
+        grid_mom_parts = []
+        grid_f_parts = []
+        sig = state.stresses
+        for nodes, w, gx, gy in kernel:
+            mw = masses * w                                   # (n,)
+            grid_mass_parts.append(scatter_add(mw, nodes, nn))
+            grid_mom_parts.append(
+                scatter_add(mw.reshape(-1, 1) * state.velocities, nodes, nn))
+            # internal force −V σ ∇N + gravity m w
+            fx = (sig[:, 0, 0] * gx + sig[:, 0, 1] * gy) * state.volumes
+            fy = (sig[:, 1, 0] * gx + sig[:, 1, 1] * gy) * state.volumes
+            f_int = stack([fx, fy], axis=1) * -1.0
+            f_ext = mw.reshape(-1, 1) * g_vec
+            grid_f_parts.append(scatter_add(f_int + f_ext, nodes, nn))
+
+        grid_mass = grid_mass_parts[0]
+        grid_mom = grid_mom_parts[0]
+        grid_f = grid_f_parts[0]
+        for gm, gp, gf in zip(grid_mass_parts[1:], grid_mom_parts[1:],
+                              grid_f_parts[1:]):
+            grid_mass = grid_mass + gm
+            grid_mom = grid_mom + gp
+            grid_f = grid_f + gf
+
+        # --- grid update ---------------------------------------------------
+        inv_mass = (grid_mass + 1e-12) ** -1.0
+        empty = grid_mass.data <= 1e-12
+        v_old = grid_mom * inv_mass.reshape(-1, 1)
+        v_old = where(empty[:, None] | self.wall_mask[:, None],
+                      Tensor(np.zeros((nn, 2))), v_old)
+        v_new = v_old + grid_f * (dt * inv_mass).reshape(-1, 1)
+        v_new = where(empty[:, None] | self.wall_mask[:, None],
+                      Tensor(np.zeros((nn, 2))), v_new)
+
+        # --- G2P ----------------------------------------------------------
+        v_pic_parts = []
+        dv_parts = []
+        l_parts = []  # velocity gradient components (xx, xy, yx, yy)
+        for nodes, w, gx, gy in kernel:
+            vn = gather(v_new, nodes)
+            vo = gather(v_old, nodes)
+            wcol = w.reshape(-1, 1)
+            v_pic_parts.append(wcol * vn)
+            dv_parts.append(wcol * (vn - vo))
+            l_parts.append((vn[:, 0] * gx, vn[:, 0] * gy,
+                            vn[:, 1] * gx, vn[:, 1] * gy))
+
+        v_pic = v_pic_parts[0]
+        dv = dv_parts[0]
+        for p, q in zip(v_pic_parts[1:], dv_parts[1:]):
+            v_pic = v_pic + p
+            dv = dv + q
+        lxx = sum(p[0] for p in l_parts[1:]) + l_parts[0][0]
+        lxy = sum(p[1] for p in l_parts[1:]) + l_parts[0][1]
+        lyx = sum(p[2] for p in l_parts[1:]) + l_parts[0][2]
+        lyy = sum(p[3] for p in l_parts[1:]) + l_parts[0][3]
+
+        flip = cfg.flip
+        new_velocities = v_pic * (1.0 - flip) + (state.velocities + dv) * flip
+        new_positions = state.positions + v_pic * dt
+
+        # clamp into the interior (sub-gradient at the walls, like relu)
+        m = self.interior_margin()
+        new_positions = stack([
+            new_positions[:, 0].clip(m, self.size[0] - m),
+            new_positions[:, 1].clip(m, self.size[1] - m),
+        ], axis=1)
+
+        # --- constitutive update (linear elasticity) -----------------------
+        exx = lxx * dt
+        eyy = lyy * dt
+        exy = (lxy + lyx) * (0.5 * dt)
+        tr = exx + eyy
+        lam, mu = self._lame(youngs_modulus)
+        dsxx = lam * tr + mu * (2.0 * exx)
+        dsyy = lam * tr + mu * (2.0 * eyy)
+        dsxy = mu * (2.0 * exy)
+
+        row0 = stack([sig[:, 0, 0] + dsxx, sig[:, 0, 1] + dsxy], axis=1)
+        row1 = stack([sig[:, 1, 0] + dsxy, sig[:, 1, 1] + dsyy], axis=1)
+        new_stresses = stack([row0, row1], axis=1)
+        new_volumes = state.volumes * (tr + 1.0)
+
+        return DiffMPMState(new_positions, new_velocities, new_stresses,
+                            new_volumes, state.masses)
+
+    # ------------------------------------------------------------------
+    def rollout(self, state: DiffMPMState, youngs_modulus, dt: float,
+                num_steps: int, gravity=None,
+                record: bool = False) -> DiffMPMState | list[DiffMPMState]:
+        """Roll the differentiable step forward.
+
+        With ``record=True`` returns every intermediate state (the tape is
+        kept either way — gradients flow through the full horizon).
+        """
+        states = [state]
+        for _ in range(num_steps):
+            states.append(self.step(states[-1], youngs_modulus, dt, gravity))
+        return states if record else states[-1]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def block_state(lower: tuple[float, float], upper: tuple[float, float],
+                    spacing: float, density: float,
+                    velocity: tuple[float, float] = (0.0, 0.0),
+                    requires_grad: bool = False) -> DiffMPMState:
+        """Regular particle lattice filling a rectangle (mirrors
+        :meth:`repro.mpm.Particles.from_block`)."""
+        xs = np.arange(lower[0] + spacing / 2, upper[0], spacing)
+        ys = np.arange(lower[1] + spacing / 2, upper[1], spacing)
+        gx, gy = np.meshgrid(xs, ys, indexing="ij")
+        pos = np.stack([gx.ravel(), gy.ravel()], axis=1)
+        n = pos.shape[0]
+        vol = np.full(n, spacing * spacing)
+        vel = np.tile(np.asarray(velocity, dtype=np.float64), (n, 1))
+        return DiffMPMState.from_particles(pos, vel, vol * density, vol,
+                                           requires_grad=requires_grad)

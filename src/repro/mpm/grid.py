@@ -1,0 +1,131 @@
+"""Background Eulerian grid for MPM with box boundary conditions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Grid", "BoxBoundary"]
+
+
+@dataclass
+class BoxBoundary:
+    """Rigid box walls aligned with the domain edges.
+
+    ``friction`` is the Coulomb wall-friction coefficient; ``mode`` is
+    ``"frictional"`` (no-penetration + Coulomb tangential decay),
+    ``"slip"`` (no-penetration, free tangential) or ``"sticky"``
+    (zero velocity at walls).
+    """
+
+    friction: float = 0.3
+    mode: str = "frictional"
+    thickness: int = 2  # wall surface sits `thickness` node layers inside
+
+    def apply(self, grid: "Grid", velocities: np.ndarray) -> np.ndarray:
+        """Return velocities with wall constraints enforced (copy).
+
+        Nodes at or beyond the wall surface (``thickness`` layers in from
+        each domain edge, inclusive) are constrained, so particles resting
+        at the wall surface always interpolate from constrained nodes.
+        """
+        v = velocities.copy()
+        nx, ny = grid.node_dims
+        ix = grid.node_ix
+        iy = grid.node_iy
+        t = self.thickness
+
+        if self.mode == "sticky":
+            wall = (ix <= t) | (ix >= nx - 1 - t) | (iy <= t) | (iy >= ny - 1 - t)
+            v[wall] = 0.0
+            return v
+
+        # each wall: (mask, normal axis, outward sign)
+        walls = [
+            (ix <= t, 0, -1.0),
+            (ix >= nx - 1 - t, 0, 1.0),
+            (iy <= t, 1, -1.0),
+            (iy >= ny - 1 - t, 1, 1.0),
+        ]
+        for mask, axis, sign in walls:
+            vn = v[mask, axis] * sign
+            moving_out = vn > 0.0
+            if not np.any(moving_out):
+                continue
+            idx = np.nonzero(mask)[0][moving_out]
+            removed = vn[moving_out]
+            v[idx, axis] = 0.0
+            if self.mode == "frictional" and self.friction > 0.0:
+                tangent = 1 - axis
+                vt = v[idx, tangent]
+                decay = np.maximum(np.abs(vt) - self.friction * removed, 0.0)
+                v[idx, tangent] = np.sign(vt) * decay
+        return v
+
+
+class Grid:
+    """Structured background grid over ``[0, size_x] × [0, size_y]``.
+
+    Node arrays are flat ``(nx * ny, ...)`` with row-major (x-major)
+    ordering: node ``(i, j)`` has flat index ``i * ny + j``.
+    """
+
+    def __init__(self, size: tuple[float, float], spacing: float,
+                 boundary: BoxBoundary | None = None):
+        self.size = (float(size[0]), float(size[1]))
+        self.spacing = float(spacing)
+        ncx = int(round(self.size[0] / spacing))
+        ncy = int(round(self.size[1] / spacing))
+        if not np.isclose(ncx * spacing, self.size[0]) or not np.isclose(ncy * spacing, self.size[1]):
+            raise ValueError("domain size must be an integer multiple of spacing")
+        self.node_dims = (ncx + 1, ncy + 1)
+        self.num_nodes = self.node_dims[0] * self.node_dims[1]
+        self.boundary = boundary or BoxBoundary()
+
+        idx = np.arange(self.num_nodes)
+        self.node_ix = idx // self.node_dims[1]
+        self.node_iy = idx % self.node_dims[1]
+        self.node_positions = np.stack(
+            [self.node_ix * spacing, self.node_iy * spacing], axis=1)
+
+        self.mass = np.zeros(self.num_nodes)
+        self.momentum = np.zeros((self.num_nodes, 2))
+        self.force = np.zeros((self.num_nodes, 2))
+        #: optional static in-domain obstacle: velocities at these nodes
+        #: are zeroed every step (rigid, sticky inclusion)
+        self.obstacle_mask: np.ndarray | None = None
+
+    def add_circular_obstacle(self, center: tuple[float, float],
+                              radius: float) -> np.ndarray:
+        """Mark grid nodes inside a circle as a rigid obstacle.
+
+        Returns the boolean node mask (also OR-ed into
+        :attr:`obstacle_mask`). Particles should be seeded outside the
+        circle; the sticky nodes stop anything that flows against it.
+        """
+        d2 = ((self.node_positions[:, 0] - center[0]) ** 2
+              + (self.node_positions[:, 1] - center[1]) ** 2)
+        mask = d2 <= radius ** 2
+        if self.obstacle_mask is None:
+            self.obstacle_mask = mask.copy()
+        else:
+            self.obstacle_mask |= mask
+        return mask
+
+    def reset(self) -> None:
+        self.mass[:] = 0.0
+        self.momentum[:] = 0.0
+        self.force[:] = 0.0
+
+    def velocities(self, eps: float = 1e-12) -> np.ndarray:
+        """Momentum / mass with empty nodes zeroed."""
+        m = np.maximum(self.mass, eps)[:, None]
+        v = self.momentum / m
+        v[self.mass <= eps] = 0.0
+        return v
+
+    def interior_margin(self) -> float:
+        """Distance from the domain edge to the wall surface — particles
+        are kept at or inside this coordinate."""
+        return self.boundary.thickness * self.spacing

@@ -1,0 +1,108 @@
+"""Material-point (particle) state container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Particles"]
+
+
+@dataclass
+class Particles:
+    """Struct-of-arrays particle state for 2-D plane-strain MPM.
+
+    Stress is stored in Voigt-like tensor form ``(n, 2, 2)`` for the
+    in-plane components plus a separate out-of-plane normal stress
+    ``sigma_zz`` (needed by the Drucker–Prager invariants under plane
+    strain).
+    """
+
+    positions: np.ndarray                 # (n, 2)
+    velocities: np.ndarray                # (n, 2)
+    masses: np.ndarray                    # (n,)
+    volumes: np.ndarray                   # (n,)
+    stresses: np.ndarray                  # (n, 2, 2)
+    sigma_zz: np.ndarray                  # (n,)
+    material_ids: np.ndarray = field(default=None)  # (n,) int
+    initial_volumes: np.ndarray = field(default=None)  # (n,) reference V0
+
+    def __post_init__(self):
+        n = self.positions.shape[0]
+        if self.material_ids is None:
+            self.material_ids = np.zeros(n, dtype=np.int64)
+        if self.initial_volumes is None:
+            self.initial_volumes = self.volumes.copy()
+        for name in ("positions", "velocities"):
+            arr = getattr(self, name)
+            if arr.shape != (n, 2):
+                raise ValueError(f"{name} must be (n, 2), got {arr.shape}")
+        for name in ("masses", "volumes", "sigma_zz", "material_ids",
+                     "initial_volumes"):
+            arr = getattr(self, name)
+            if arr.shape != (n,):
+                raise ValueError(f"{name} must be (n,), got {arr.shape}")
+        if self.stresses.shape != (n, 2, 2):
+            raise ValueError(f"stresses must be (n, 2, 2), got {self.stresses.shape}")
+
+    @property
+    def count(self) -> int:
+        return self.positions.shape[0]
+
+    @classmethod
+    def from_block(cls, lower: tuple[float, float], upper: tuple[float, float],
+                   spacing: float, density: float,
+                   velocity: tuple[float, float] = (0.0, 0.0),
+                   jitter: float = 0.0,
+                   rng: np.random.Generator | None = None) -> "Particles":
+        """Fill an axis-aligned rectangle with a regular particle lattice.
+
+        Parameters
+        ----------
+        spacing:
+            Particle spacing; each particle carries ``spacing**2`` area.
+        density:
+            Mass density (per unit thickness).
+        jitter:
+            Optional uniform perturbation as a fraction of spacing (breaks
+            lattice artifacts in granular flows).
+        """
+        xs = np.arange(lower[0] + spacing / 2, upper[0], spacing)
+        ys = np.arange(lower[1] + spacing / 2, upper[1], spacing)
+        gx, gy = np.meshgrid(xs, ys, indexing="ij")
+        pos = np.stack([gx.ravel(), gy.ravel()], axis=1)
+        if jitter > 0.0:
+            rng = rng or np.random.default_rng(0)
+            pos = pos + rng.uniform(-jitter, jitter, size=pos.shape) * spacing
+        n = pos.shape[0]
+        vol = np.full(n, spacing * spacing)
+        return cls(
+            positions=pos,
+            velocities=np.tile(np.asarray(velocity, dtype=np.float64), (n, 1)),
+            masses=vol * density,
+            volumes=vol.copy(),
+            stresses=np.zeros((n, 2, 2)),
+            sigma_zz=np.zeros(n),
+        )
+
+    def copy(self) -> "Particles":
+        return Particles(
+            positions=self.positions.copy(),
+            velocities=self.velocities.copy(),
+            masses=self.masses.copy(),
+            volumes=self.volumes.copy(),
+            stresses=self.stresses.copy(),
+            sigma_zz=self.sigma_zz.copy(),
+            material_ids=self.material_ids.copy(),
+            initial_volumes=self.initial_volumes.copy(),
+        )
+
+    def total_mass(self) -> float:
+        return float(self.masses.sum())
+
+    def total_momentum(self) -> np.ndarray:
+        return (self.masses[:, None] * self.velocities).sum(axis=0)
+
+    def kinetic_energy(self) -> float:
+        return float(0.5 * (self.masses * (self.velocities ** 2).sum(axis=1)).sum())

@@ -1,0 +1,132 @@
+"""B-spline shape functions for the MPM particle–grid transfer.
+
+Both the linear hat (4 nodes per particle in 2-D) and the quadratic
+B-spline (9 nodes, the default — it avoids cell-crossing noise) are
+implemented fully vectorized: for ``n`` particles the kernel returns the
+stacked node ids, weights, and weight gradients for all ``n × k`` particle–
+node pairs at once, ready for a single ``np.add.at`` scatter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ShapeFunction", "LinearShape", "QuadraticShape", "make_shape"]
+
+
+@dataclass
+class ShapeKernel:
+    """Particle→node influence sets for one configuration of particles.
+
+    Attributes
+    ----------
+    nodes:
+        ``(n, k)`` flattened grid-node indices per particle.
+    weights:
+        ``(n, k)`` interpolation weights; rows sum to 1 (partition of unity).
+    grads:
+        ``(n, k, 2)`` spatial gradients ∂N/∂x of each weight.
+    """
+
+    nodes: np.ndarray
+    weights: np.ndarray
+    grads: np.ndarray
+
+
+class ShapeFunction:
+    """Interface: evaluate influence sets on a structured grid."""
+
+    nodes_per_particle: int
+
+    def __call__(self, positions: np.ndarray, h: float,
+                 grid_dims: tuple[int, int]) -> ShapeKernel:  # pragma: no cover
+        raise NotImplementedError
+
+
+class LinearShape(ShapeFunction):
+    """Bilinear hat functions: support h, 4 nodes per particle (2-D)."""
+
+    nodes_per_particle = 4
+
+    def __call__(self, positions: np.ndarray, h: float,
+                 grid_dims: tuple[int, int]) -> ShapeKernel:
+        pos = np.asarray(positions, dtype=np.float64)
+        n = pos.shape[0]
+        xi = pos / h
+        base = np.floor(xi).astype(np.int64)          # (n, 2)
+        frac = xi - base                               # local coordinate in [0,1)
+
+        # 1-D weights/gradients for offsets {0, 1} in each dimension
+        w = np.stack([1.0 - frac, frac], axis=0)       # (2, n, 2)
+        dw = np.stack([-np.ones_like(frac), np.ones_like(frac)], axis=0) / h
+
+        ny = grid_dims[1]
+        nodes = np.empty((n, 4), dtype=np.int64)
+        weights = np.empty((n, 4))
+        grads = np.empty((n, 4, 2))
+        k = 0
+        for i in range(2):
+            for j in range(2):
+                nodes[:, k] = (base[:, 0] + i) * ny + (base[:, 1] + j)
+                weights[:, k] = w[i, :, 0] * w[j, :, 1]
+                grads[:, k, 0] = dw[i, :, 0] * w[j, :, 1]
+                grads[:, k, 1] = w[i, :, 0] * dw[j, :, 1]
+                k += 1
+        return ShapeKernel(nodes, weights, grads)
+
+
+def _bspline_quadratic(d: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Quadratic B-spline value and derivative at signed distance ``d``
+    (in units of grid spacing)."""
+    ad = np.abs(d)
+    w = np.where(ad < 0.5, 0.75 - d * d,
+                 np.where(ad < 1.5, 0.5 * (1.5 - ad) ** 2, 0.0))
+    dw = np.where(ad < 0.5, -2.0 * d,
+                  np.where(ad < 1.5, (ad - 1.5) * np.sign(d), 0.0))
+    return w, dw
+
+
+class QuadraticShape(ShapeFunction):
+    """Quadratic B-splines: support 1.5h, 9 nodes per particle (2-D)."""
+
+    nodes_per_particle = 9
+
+    def __call__(self, positions: np.ndarray, h: float,
+                 grid_dims: tuple[int, int]) -> ShapeKernel:
+        pos = np.asarray(positions, dtype=np.float64)
+        n = pos.shape[0]
+        xi = pos / h
+        base = np.floor(xi - 0.5).astype(np.int64)     # leftmost of 3 nodes
+
+        # signed distance from particle to each of the 3 nodes per dim
+        w1d = np.empty((3, n, 2))
+        dw1d = np.empty((3, n, 2))
+        for o in range(3):
+            d = xi - (base + o)
+            w1d[o], dw1d[o] = _bspline_quadratic(d)
+        dw1d /= h
+
+        ny = grid_dims[1]
+        nodes = np.empty((n, 9), dtype=np.int64)
+        weights = np.empty((n, 9))
+        grads = np.empty((n, 9, 2))
+        k = 0
+        for i in range(3):
+            for j in range(3):
+                nodes[:, k] = (base[:, 0] + i) * ny + (base[:, 1] + j)
+                weights[:, k] = w1d[i, :, 0] * w1d[j, :, 1]
+                grads[:, k, 0] = dw1d[i, :, 0] * w1d[j, :, 1]
+                grads[:, k, 1] = w1d[i, :, 0] * dw1d[j, :, 1]
+                k += 1
+        return ShapeKernel(nodes, weights, grads)
+
+
+def make_shape(kind: str) -> ShapeFunction:
+    """Factory: ``"linear"`` or ``"quadratic"``."""
+    if kind == "linear":
+        return LinearShape()
+    if kind == "quadratic":
+        return QuadraticShape()
+    raise ValueError(f"unknown shape function {kind!r}")

@@ -1,0 +1,89 @@
+"""3-D constitutive models (full stress tensors — no plane-strain
+special-casing, so the code is simpler than the 2-D versions)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Material3D", "LinearElastic3D", "DruckerPrager3D"]
+
+_EYE3 = np.eye(3)
+
+
+@dataclass
+class Material3D:
+    """Isotropic elastic base with Lamé constants from (E, ν)."""
+
+    density: float
+    youngs_modulus: float
+    poisson_ratio: float
+
+    @property
+    def mu(self) -> float:
+        return self.youngs_modulus / (2.0 * (1.0 + self.poisson_ratio))
+
+    @property
+    def lam(self) -> float:
+        e, nu = self.youngs_modulus, self.poisson_ratio
+        return e * nu / ((1.0 + nu) * (1.0 - 2.0 * nu))
+
+    def wave_speed(self) -> float:
+        return float(np.sqrt((self.lam + 2.0 * self.mu) / self.density))
+
+    def elastic_increment(self, strain_inc: np.ndarray) -> np.ndarray:
+        """Hooke's law for ``(n, 3, 3)`` strain increments."""
+        tr = np.trace(strain_inc, axis1=1, axis2=2)
+        return (self.lam * tr[:, None, None] * _EYE3
+                + 2.0 * self.mu * strain_inc)
+
+    def update_stress(self, stresses, strain_inc, spin_inc, **kwargs):
+        raise NotImplementedError  # pragma: no cover
+
+
+def _jaumann(stresses: np.ndarray, spin_inc: np.ndarray) -> np.ndarray:
+    return stresses + spin_inc @ stresses - stresses @ spin_inc
+
+
+@dataclass
+class LinearElastic3D(Material3D):
+    def update_stress(self, stresses: np.ndarray, strain_inc: np.ndarray,
+                      spin_inc: np.ndarray, **kwargs) -> np.ndarray:
+        return _jaumann(stresses, spin_inc) + self.elastic_increment(strain_inc)
+
+
+@dataclass
+class DruckerPrager3D(Material3D):
+    """Drucker–Prager with the inscribed Mohr–Coulomb fit in 3-D."""
+
+    friction_angle: float = 30.0
+    cohesion: float = 0.0
+
+    def _cone(self) -> tuple[float, float]:
+        phi = np.deg2rad(self.friction_angle)
+        s, c = np.sin(phi), np.cos(phi)
+        denom = np.sqrt(3.0) * (3.0 - s)
+        alpha = 2.0 * np.sqrt(3.0) * s / denom
+        k = 6.0 * self.cohesion * c / denom
+        return float(alpha), float(k)
+
+    def update_stress(self, stresses: np.ndarray, strain_inc: np.ndarray,
+                      spin_inc: np.ndarray, **kwargs) -> np.ndarray:
+        trial = _jaumann(stresses, spin_inc) + self.elastic_increment(strain_inc)
+
+        p = np.trace(trial, axis1=1, axis2=2) / 3.0     # tension positive
+        dev = trial - p[:, None, None] * _EYE3
+        j2 = 0.5 * np.einsum("nij,nij->n", dev, dev)
+        q = np.sqrt(np.maximum(j2, 1e-30))
+
+        alpha, k = self._cone()
+        f = q + alpha * p - k
+        apex = k / alpha if alpha > 0 else np.inf
+        tension = p > apex
+        p_new = np.where(tension, apex, p)
+        q_allow = np.maximum(k - alpha * p_new, 0.0)
+        yielding = (f > 0.0) | tension
+        scale = np.where(yielding & (q > 1e-20),
+                         np.minimum(q_allow / q, 1.0), 1.0)
+        return dev * scale[:, None, None] + p_new[:, None, None] * _EYE3

@@ -1,0 +1,256 @@
+"""3-D explicit USL MPM: grid, particles, boundary, and solver.
+
+The 2-D solver scaled up: flat node arrays over an (nx, ny, nz) grid,
+27-node quadratic transfers, frictional box boundaries on all six faces.
+Addresses the paper's §7 observation that regional-scale problems are
+three-dimensional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .materials3d import Material3D
+from .shape3d import make_shape3d
+
+__all__ = ["Particles3D", "Grid3D", "BoxBoundary3D", "MPM3DConfig",
+           "MPM3DSolver", "block_particles"]
+
+
+@dataclass
+class Particles3D:
+    """Struct-of-arrays particle state for 3-D MPM."""
+
+    positions: np.ndarray             # (n, 3)
+    velocities: np.ndarray            # (n, 3)
+    masses: np.ndarray                # (n,)
+    volumes: np.ndarray               # (n,)
+    stresses: np.ndarray              # (n, 3, 3)
+
+    def __post_init__(self):
+        n = self.positions.shape[0]
+        if self.velocities.shape != (n, 3) or self.positions.shape != (n, 3):
+            raise ValueError("positions/velocities must be (n, 3)")
+        if self.stresses.shape != (n, 3, 3):
+            raise ValueError("stresses must be (n, 3, 3)")
+        for name in ("masses", "volumes"):
+            if getattr(self, name).shape != (n,):
+                raise ValueError(f"{name} must be (n,)")
+
+    @property
+    def count(self) -> int:
+        return self.positions.shape[0]
+
+    def total_mass(self) -> float:
+        return float(self.masses.sum())
+
+    def total_momentum(self) -> np.ndarray:
+        return (self.masses[:, None] * self.velocities).sum(axis=0)
+
+    def kinetic_energy(self) -> float:
+        return float(0.5 * (self.masses
+                            * (self.velocities ** 2).sum(axis=1)).sum())
+
+
+def block_particles(lower, upper, spacing: float, density: float,
+                    velocity=(0.0, 0.0, 0.0)) -> Particles3D:
+    """Regular lattice filling an axis-aligned box."""
+    axes = [np.arange(lo + spacing / 2, hi, spacing)
+            for lo, hi in zip(lower, upper)]
+    gx, gy, gz = np.meshgrid(*axes, indexing="ij")
+    pos = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=1)
+    n = pos.shape[0]
+    vol = np.full(n, spacing ** 3)
+    return Particles3D(
+        positions=pos,
+        velocities=np.tile(np.asarray(velocity, dtype=np.float64), (n, 1)),
+        masses=vol * density,
+        volumes=vol.copy(),
+        stresses=np.zeros((n, 3, 3)),
+    )
+
+
+@dataclass
+class BoxBoundary3D:
+    """Rigid box on all six faces (slip / frictional / sticky)."""
+
+    friction: float = 0.3
+    mode: str = "frictional"
+    thickness: int = 2
+
+    def apply(self, grid: "Grid3D", velocities: np.ndarray) -> np.ndarray:
+        v = velocities.copy()
+        t = self.thickness
+        dims = grid.node_dims
+        coords = grid.node_coords  # (N, 3) integer indices
+
+        if self.mode == "sticky":
+            wall = np.zeros(v.shape[0], dtype=bool)
+            for axis in range(3):
+                wall |= (coords[:, axis] <= t) | \
+                        (coords[:, axis] >= dims[axis] - 1 - t)
+            v[wall] = 0.0
+            return v
+
+        for axis in range(3):
+            for mask, sign in (
+                (coords[:, axis] <= t, -1.0),
+                (coords[:, axis] >= dims[axis] - 1 - t, 1.0),
+            ):
+                vn = v[mask, axis] * sign
+                out = vn > 0.0
+                if not np.any(out):
+                    continue
+                idx = np.nonzero(mask)[0][out]
+                removed = vn[out]
+                v[idx, axis] = 0.0
+                if self.mode == "frictional" and self.friction > 0.0:
+                    tang = [a for a in range(3) if a != axis]
+                    vt = v[np.ix_(idx, tang)]
+                    mag = np.linalg.norm(vt, axis=1)
+                    keep = np.maximum(mag - self.friction * removed, 0.0)
+                    scale = np.where(mag > 1e-15, keep / np.maximum(mag, 1e-15), 0.0)
+                    v[np.ix_(idx, tang)] = vt * scale[:, None]
+        return v
+
+
+class Grid3D:
+    """Structured background grid over an axis-aligned box."""
+
+    def __init__(self, size, spacing: float,
+                 boundary: BoxBoundary3D | None = None):
+        self.size = tuple(float(s) for s in size)
+        self.spacing = float(spacing)
+        cells = []
+        for s in self.size:
+            c = int(round(s / spacing))
+            if not np.isclose(c * spacing, s):
+                raise ValueError("size must be a multiple of spacing")
+            cells.append(c)
+        self.node_dims = tuple(c + 1 for c in cells)
+        self.num_nodes = int(np.prod(self.node_dims))
+        self.boundary = boundary or BoxBoundary3D()
+
+        idx = np.arange(self.num_nodes)
+        nx, ny, nz = self.node_dims
+        ix = idx // (ny * nz)
+        iy = (idx // nz) % ny
+        iz = idx % nz
+        self.node_coords = np.stack([ix, iy, iz], axis=1)
+
+        self.mass = np.zeros(self.num_nodes)
+        self.momentum = np.zeros((self.num_nodes, 3))
+        self.force = np.zeros((self.num_nodes, 3))
+
+    def reset(self):
+        self.mass[:] = 0.0
+        self.momentum[:] = 0.0
+        self.force[:] = 0.0
+
+    def velocities(self, eps: float = 1e-12) -> np.ndarray:
+        m = np.maximum(self.mass, eps)[:, None]
+        v = self.momentum / m
+        v[self.mass <= eps] = 0.0
+        return v
+
+    def interior_margin(self) -> float:
+        return self.boundary.thickness * self.spacing
+
+
+@dataclass
+class MPM3DConfig:
+    gravity: tuple[float, float, float] = (0.0, 0.0, -9.81)
+    flip: float = 0.98
+    cfl: float = 0.4
+    shape: str = "quadratic"
+    dt: float | None = None
+
+
+class MPM3DSolver:
+    """Explicit USL MPM in three dimensions."""
+
+    def __init__(self, grid: Grid3D, particles: Particles3D,
+                 material: Material3D, config: MPM3DConfig | None = None):
+        self.grid = grid
+        self.particles = particles
+        self.material = material
+        self.config = config or MPM3DConfig()
+        self.shape = make_shape3d(self.config.shape)
+        self._gravity = np.asarray(self.config.gravity, dtype=np.float64)
+        self.time = 0.0
+        self.step_count = 0
+
+    def stable_dt(self) -> float:
+        if self.config.dt is not None:
+            return self.config.dt
+        c = self.material.wave_speed()
+        vmax = float(np.sqrt((self.particles.velocities ** 2)
+                             .sum(axis=1)).max(initial=0.0))
+        return self.config.cfl * self.grid.spacing / (c + vmax + 1e-12)
+
+    def step(self, dt: float | None = None) -> float:
+        p = self.particles
+        g = self.grid
+        dt = float(dt if dt is not None else self.stable_dt())
+
+        kernel = self.shape(p.positions, g.spacing, g.node_dims)
+        nodes, w, dw = kernel.nodes, kernel.weights, kernel.grads
+        flat = nodes.ravel()
+
+        # --- P2G --------------------------------------------------------
+        g.reset()
+        mw = p.masses[:, None] * w
+        np.add.at(g.mass, flat, mw.ravel())
+        mom = mw[:, :, None] * p.velocities[:, None, :]
+        np.add.at(g.momentum, flat, mom.reshape(-1, 3))
+        f_int = -np.einsum("p,pab,pkb->pka", p.volumes, p.stresses, dw)
+        np.add.at(g.force, flat, f_int.reshape(-1, 3))
+        f_ext = mw[:, :, None] * self._gravity
+        np.add.at(g.force, flat, f_ext.reshape(-1, 3))
+
+        # --- grid update --------------------------------------------------
+        v_old = g.boundary.apply(g, g.velocities())
+        m = np.maximum(g.mass, 1e-12)[:, None]
+        v_new = v_old + dt * g.force / m
+        v_new[g.mass <= 1e-12] = 0.0
+        v_new = g.boundary.apply(g, v_new)
+
+        # --- G2P ----------------------------------------------------------
+        v_new_k = v_new[nodes]
+        v_old_k = v_old[nodes]
+        v_pic = np.einsum("pk,pkc->pc", w, v_new_k)
+        dv = np.einsum("pk,pkc->pc", w, v_new_k - v_old_k)
+        flip = self.config.flip
+        p.velocities = (1.0 - flip) * v_pic + flip * (p.velocities + dv)
+        p.positions = p.positions + dt * v_pic
+
+        margin = g.interior_margin()
+        for axis in range(3):
+            np.clip(p.positions[:, axis], margin, g.size[axis] - margin,
+                    out=p.positions[:, axis])
+
+        lgrad = np.einsum("pka,pkb->pab", v_new_k, dw)
+        strain_inc = 0.5 * (lgrad + lgrad.transpose(0, 2, 1)) * dt
+        spin_inc = 0.5 * (lgrad - lgrad.transpose(0, 2, 1)) * dt
+        p.volumes = p.volumes * (1.0 + np.trace(strain_inc, axis1=1, axis2=2))
+        p.stresses = self.material.update_stress(p.stresses, strain_inc,
+                                                 spin_inc)
+
+        self.time += dt
+        self.step_count += 1
+        return dt
+
+    def run(self, num_steps: int, dt: float | None = None) -> None:
+        for _ in range(num_steps):
+            self.step(dt)
+
+    def rollout(self, num_steps: int, record_every: int = 1,
+                dt: float | None = None) -> np.ndarray:
+        frames = [self.particles.positions.copy()]
+        for i in range(num_steps):
+            self.step(dt)
+            if (i + 1) % record_every == 0:
+                frames.append(self.particles.positions.copy())
+        return np.stack(frames, axis=0)

@@ -1,0 +1,9 @@
+"""N-body linear-spring dynamics (Section 6 substrate)."""
+
+from .springs import SpringSystem, pair_force_magnitudes
+from .dataset import SpringSample, generate_spring_dataset, spring_training_samples
+
+__all__ = [
+    "SpringSystem", "pair_force_magnitudes",
+    "SpringSample", "generate_spring_dataset", "spring_training_samples",
+]

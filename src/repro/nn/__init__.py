@@ -1,0 +1,13 @@
+"""Neural-network building blocks over the autodiff engine."""
+
+from .module import Module, Parameter
+from .mlp import MLP, LayerNorm, Linear, Sequential
+from .optim import SGD, Adam, ExponentialDecay, Optimizer, clip_grad_norm
+from .init import default_rng, kaiming_uniform, xavier_uniform
+
+__all__ = [
+    "Module", "Parameter",
+    "MLP", "LayerNorm", "Linear", "Sequential",
+    "SGD", "Adam", "ExponentialDecay", "Optimizer", "clip_grad_norm",
+    "default_rng", "kaiming_uniform", "xavier_uniform",
+]

@@ -1,0 +1,28 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "kaiming_uniform", "zeros", "default_rng"]
+
+
+def default_rng(seed: int | None = None) -> np.random.Generator:
+    """Project-wide RNG constructor (PCG64)."""
+    return np.random.default_rng(seed)
+
+
+def xavier_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform init — appropriate for tanh/linear layers."""
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def kaiming_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He uniform init — appropriate for ReLU layers."""
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def zeros(*shape: int) -> np.ndarray:
+    return np.zeros(shape)

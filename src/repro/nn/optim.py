@@ -1,0 +1,108 @@
+"""Gradient-based optimizers (SGD, Adam) and LR schedules."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..autodiff import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "ExponentialDecay", "clip_grad_norm"]
+
+
+def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is ≤ ``max_norm``.
+
+    Returns the pre-clip norm. Parameters with ``grad is None`` are skipped.
+    """
+    params = [p for p in params if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for p in params:
+            p.grad = p.grad * scale
+    return total
+
+
+class Optimizer:
+    """Base optimizer over a fixed parameter list."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float, momentum: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.data = p.data - self.lr * v
+            else:
+                p.data = p.data - self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8):
+        super().__init__(params, lr)
+        self.b1, self.b2 = betas
+        self.eps = eps
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        bc1 = 1.0 - self.b1 ** self.t
+        bc2 = 1.0 - self.b2 ** self.t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            m *= self.b1
+            m += (1.0 - self.b1) * g
+            v *= self.b2
+            v += (1.0 - self.b2) * (g * g)
+            p.data = p.data - self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+class ExponentialDecay:
+    """GNS training schedule: lr(t) = final + (init - final) · decay^(t/steps)."""
+
+    def __init__(self, init_lr: float, final_lr: float = 0.0,
+                 decay_rate: float = 0.1, decay_steps: int = int(5e6)):
+        self.init_lr = init_lr
+        self.final_lr = final_lr
+        self.decay_rate = decay_rate
+        self.decay_steps = decay_steps
+
+    def __call__(self, step: int) -> float:
+        return self.final_lr + (self.init_lr - self.final_lr) * self.decay_rate ** (step / self.decay_steps)
+
+    def apply(self, optimizer: Optimizer, step: int) -> float:
+        lr = self(step)
+        optimizer.lr = lr
+        return lr

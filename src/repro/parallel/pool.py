@@ -1,0 +1,185 @@
+"""Data-parallel gradient computation (the paper's multi-GPU training,
+mapped to multiprocessing workers on one host).
+
+Each worker evaluates the one-step GNS loss on its own shard of training
+windows and returns named gradients; the master combines them with the
+ring all-reduce and applies one optimizer update — synchronous data-
+parallel SGD, the same semantics as the paper's multi-GPU setup.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.trajectory import TrainingWindow, Trajectory
+from ..gns.simulator import LearnedSimulator
+from ..gns.training import GNSTrainer, TrainingConfig
+from ..nn import Adam, clip_grad_norm
+from .allreduce import allreduce_state
+
+__all__ = ["DataParallelConfig", "DataParallelTrainer", "worker_gradients"]
+
+# module-level worker state (populated by the fork; see _init_worker)
+_WORKER_SIM: LearnedSimulator | None = None
+_WORKER_TRAINER: GNSTrainer | None = None
+
+
+def worker_gradients(simulator: LearnedSimulator, windows: list[TrainingWindow],
+                     noise_std: float, seed: int) -> dict[str, np.ndarray]:
+    """Gradients of the mean one-step loss over ``windows`` (pure function
+    usable in- or out-of-process)."""
+    trainer = GNSTrainer.__new__(GNSTrainer)
+    trainer.simulator = simulator
+    trainer.config = TrainingConfig(noise_std=noise_std, seed=seed)
+    trainer.rng = np.random.default_rng(seed)
+    simulator.zero_grad()
+    total = None
+    for w in windows:
+        loss = trainer._window_loss(w)
+        total = loss if total is None else total + loss
+    total = total / float(len(windows))
+    total.backward()
+    return {name: (p.grad if p.grad is not None else np.zeros_like(p.data)).copy()
+            for name, p in simulator.named_parameters()}
+
+
+def _worker_entry(args) -> dict[str, np.ndarray]:
+    state, payload = args
+    sim = _WORKER_SIM
+    assert sim is not None, "worker not initialized"
+    sim.load_state_dict(state)
+    windows, noise_std, seed = payload
+    return worker_gradients(sim, windows, noise_std, seed)
+
+
+def _init_worker(sim_ckpt_bytes):
+    import io
+
+    global _WORKER_SIM
+    buf = io.BytesIO(sim_ckpt_bytes)
+    _WORKER_SIM = _load_sim_from_bytes(buf)
+
+
+def _sim_to_bytes(sim: LearnedSimulator) -> bytes:
+    import io
+
+    buf = io.BytesIO()
+    import tempfile, os
+
+    with tempfile.NamedTemporaryFile(suffix=".npz", delete=False) as f:
+        path = f.name
+    try:
+        sim.save(path)
+        with open(path, "rb") as fh:
+            return fh.read()
+    finally:
+        os.unlink(path)
+
+
+def _load_sim_from_bytes(buf) -> LearnedSimulator:
+    import os, tempfile
+
+    with tempfile.NamedTemporaryFile(suffix=".npz", delete=False) as f:
+        f.write(buf.read())
+        path = f.name
+    try:
+        return LearnedSimulator.load(path)
+    finally:
+        os.unlink(path)
+
+
+@dataclass
+class DataParallelConfig:
+    num_workers: int = 2
+    windows_per_worker: int = 2
+    learning_rate: float = 1e-4
+    noise_std: float = 6.7e-4
+    grad_clip: float = 1.0
+    seed: int = 0
+    use_processes: bool = False   # False = sequential workers (deterministic,
+                                  # no fork overhead); True = mp.Pool
+
+
+class DataParallelTrainer:
+    """Synchronous data-parallel trainer with ring-allreduce combining."""
+
+    def __init__(self, simulator: LearnedSimulator,
+                 trajectories: list[Trajectory],
+                 config: DataParallelConfig | None = None):
+        self.simulator = simulator
+        self.config = config or DataParallelConfig()
+        history = simulator.feature_config.history
+        self.windows: list[TrainingWindow] = []
+        for t in trajectories:
+            self.windows.extend(t.windows(history))
+        if not self.windows:
+            raise ValueError("no training windows")
+        self.rng = np.random.default_rng(self.config.seed)
+        self.optimizer = Adam(list(simulator.parameters()),
+                              lr=self.config.learning_rate)
+        self.step_count = 0
+        self.loss_history: list[float] = []
+        self._pool = None
+        if self.config.use_processes:
+            ctx = mp.get_context("fork")
+            self._pool = ctx.Pool(
+                self.config.num_workers, initializer=_init_worker,
+                initargs=(_sim_to_bytes(simulator),))
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _sample_shards(self) -> list[list[TrainingWindow]]:
+        cfg = self.config
+        shards = []
+        for _ in range(cfg.num_workers):
+            idx = self.rng.integers(0, len(self.windows),
+                                    size=cfg.windows_per_worker)
+            shards.append([self.windows[int(i)] for i in idx])
+        return shards
+
+    def train_step(self) -> float:
+        cfg = self.config
+        shards = self._sample_shards()
+        seeds = [int(self.rng.integers(0, 2 ** 31)) for _ in shards]
+
+        if self._pool is not None:
+            state = self.simulator.state_dict()
+            args = [(state, (shard, cfg.noise_std, seed))
+                    for shard, seed in zip(shards, seeds)]
+            grads_per_worker = self._pool.map(_worker_entry, args)
+        else:
+            grads_per_worker = [
+                worker_gradients(self.simulator, shard, cfg.noise_std, seed)
+                for shard, seed in zip(shards, seeds)]
+
+        mean_grads = allreduce_state(grads_per_worker)
+        for name, p in self.simulator.named_parameters():
+            p.grad = mean_grads[name]
+        clip_grad_norm(self.optimizer.params, cfg.grad_clip)
+        self.optimizer.step()
+        self.step_count += 1
+
+        # track the (cheap) gradient norm as a progress proxy
+        loss_proxy = float(np.sqrt(sum((g ** 2).sum()
+                                       for g in mean_grads.values())))
+        self.loss_history.append(loss_proxy)
+        return loss_proxy
+
+    def train(self, num_steps: int) -> list[float]:
+        for _ in range(num_steps):
+            self.train_step()
+        return self.loss_history

@@ -1,0 +1,28 @@
+"""Symbolic regression: GA over expression trees with the paper's
+complexity weighting, Pareto-front selection rule, and dimensional
+analysis (Section 6, Table 1)."""
+
+from .expr import Call, Const, Expr, Var, random_expr
+from .operators import BINARY_OPS, DEFAULT_BINARY, DEFAULT_UNARY, UNARY_OPS, Operator
+from .ga import ParetoEntry, SymbolicRegressionConfig, SymbolicRegressor
+from .selection import ScoredEntry, score_front, select_best
+from .simplify import fold_constants, simplify
+from .serialize import (
+    expr_from_dict, expr_from_json, expr_to_dict, expr_to_json, to_latex,
+)
+from .dimension import (
+    DIMENSIONLESS, FORCE, LENGTH, MASS, STIFFNESS, TIME, Dim,
+    check_dimensions,
+)
+
+__all__ = [
+    "Call", "Const", "Expr", "Var", "random_expr",
+    "BINARY_OPS", "DEFAULT_BINARY", "DEFAULT_UNARY", "UNARY_OPS", "Operator",
+    "ParetoEntry", "SymbolicRegressionConfig", "SymbolicRegressor",
+    "ScoredEntry", "score_front", "select_best",
+    "DIMENSIONLESS", "FORCE", "LENGTH", "MASS", "STIFFNESS", "TIME", "Dim",
+    "check_dimensions",
+    "fold_constants", "simplify",
+    "expr_from_dict", "expr_from_json", "expr_to_dict", "expr_to_json",
+    "to_latex",
+]

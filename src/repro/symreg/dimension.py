@@ -1,0 +1,117 @@
+"""Dimensional-analysis check for symbolic expressions (Table 1's D_a column).
+
+Dimensions are exponent vectors over (mass, length, time). Constants are
+*wildcards* — they may carry any dimension (a fitted constant can absorb
+units) — so the check asks: *can* consistent dimensions be assigned to
+every constant such that the expression evaluates to the target dimension?
+
+Rules (matching the paper's usage):
+
+* ``+``/``−`` unify their operands' dimensions.
+* ``*``/``/`` add/subtract dimensions; a wildcard operand makes the
+  product a wildcard (the constant absorbs whatever is needed).
+* ``exp``/``log`` require a dimensionless argument and yield dimensionless.
+* ``inv`` negates the dimension.
+* ``pow`` requires a dimensionless (or wildcard) base unless the exponent
+  is a constant integer.
+* ``abs``/``neg`` pass dimensions through; comparisons unify operands and
+  yield dimensionless.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .expr import Call, Const, Expr, Var
+
+__all__ = ["Dim", "DIMENSIONLESS", "LENGTH", "MASS", "TIME", "FORCE", "STIFFNESS",
+           "check_dimensions", "DimensionError"]
+
+Dim = tuple[float, float, float]  # (mass, length, time) exponents
+
+DIMENSIONLESS: Dim = (0.0, 0.0, 0.0)
+MASS: Dim = (1.0, 0.0, 0.0)
+LENGTH: Dim = (0.0, 1.0, 0.0)
+TIME: Dim = (0.0, 0.0, 1.0)
+FORCE: Dim = (1.0, 1.0, -2.0)
+STIFFNESS: Dim = (1.0, 0.0, -2.0)  # force / length
+
+
+class DimensionError(Exception):
+    """Raised internally when no consistent assignment exists."""
+
+
+def _unify(a: Dim | None, b: Dim | None) -> Dim | None:
+    """None is a wildcard; equal known dims unify; otherwise inconsistent."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if np.allclose(a, b):
+        return a
+    raise DimensionError(f"cannot unify {a} and {b}")
+
+
+def _infer(node: Expr, var_dims: dict[str, Dim]) -> Dim | None:
+    if isinstance(node, Const):
+        return None  # wildcard
+    if isinstance(node, Var):
+        if node.name not in var_dims:
+            raise KeyError(f"no dimension declared for variable {node.name!r}")
+        return var_dims[node.name]
+    assert isinstance(node, Call)
+    name = node.op.name
+    args = [_infer(a, var_dims) for a in node.args]
+
+    if name in ("add", "sub"):
+        return _unify(args[0], args[1])
+    if name == "mul":
+        if args[0] is None or args[1] is None:
+            return None
+        return tuple(x + y for x, y in zip(args[0], args[1]))  # type: ignore[return-value]
+    if name == "div":
+        if args[0] is None or args[1] is None:
+            return None
+        return tuple(x - y for x, y in zip(args[0], args[1]))  # type: ignore[return-value]
+    if name in ("exp", "log"):
+        _unify(args[0], DIMENSIONLESS)   # argument must be dimensionless
+        return DIMENSIONLESS
+    if name == "inv":
+        if args[0] is None:
+            return None
+        return tuple(-x for x in args[0])  # type: ignore[return-value]
+    if name in ("abs", "neg"):
+        return args[0]
+    if name in ("gt", "lt"):
+        _unify(args[0], args[1])
+        return DIMENSIONLESS
+    if name == "pow":
+        base, expo = args
+        _unify(expo, DIMENSIONLESS)
+        if base is None:
+            return None
+        k = _const_value(node.args[1])
+        if k is not None and float(k).is_integer():
+            return tuple(x * k for x in base)  # type: ignore[return-value]
+        _unify(base, DIMENSIONLESS)
+        return DIMENSIONLESS
+    raise KeyError(f"no dimensional rule for operator {name!r}")
+
+
+def _const_value(node: Expr) -> float | None:
+    if isinstance(node, Const):
+        return node.value
+    return None
+
+
+def check_dimensions(expr: Expr, var_dims: dict[str, Dim],
+                     target: Dim | None = None) -> bool:
+    """True when a consistent dimension assignment exists (and, if
+    ``target`` is given, when the result can carry that dimension)."""
+    try:
+        result = _infer(expr, var_dims)
+    except DimensionError:
+        return False
+    if target is None or result is None:
+        return True
+    return bool(np.allclose(result, target))

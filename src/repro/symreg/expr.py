@@ -1,0 +1,162 @@
+"""Expression trees for symbolic regression.
+
+An expression is an immutable-ish tree of :class:`Const`, :class:`Var`,
+and :class:`Call` nodes. Evaluation is vectorized over a data dictionary
+of equal-length arrays. Complexity follows the paper: a weighted count of
+every operator, constant, and variable occurrence, with ``pow, exp, inv,
+log`` counting 3×.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .operators import BINARY_OPS, UNARY_OPS, Operator
+
+__all__ = ["Expr", "Const", "Var", "Call", "random_expr"]
+
+
+class Expr:
+    """Base expression node."""
+
+    def evaluate(self, data: dict[str, np.ndarray]) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def complexity(self) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+    def children(self) -> list["Expr"]:
+        return []
+
+    def clone(self) -> "Expr":  # pragma: no cover
+        raise NotImplementedError
+
+    def size(self) -> int:
+        return 1 + sum(c.size() for c in self.children())
+
+    def depth(self) -> int:
+        kids = self.children()
+        return 1 + (max(k.depth() for k in kids) if kids else 0)
+
+    def nodes(self) -> list["Expr"]:
+        """Pre-order list of all nodes (self first)."""
+        out = [self]
+        for c in self.children():
+            out.extend(c.nodes())
+        return out
+
+    def variables(self) -> set[str]:
+        out: set[str] = set()
+        for node in self.nodes():
+            if isinstance(node, Var):
+                out.add(node.name)
+        return out
+
+    def mae(self, data: dict[str, np.ndarray], target: np.ndarray) -> float:
+        pred = self.evaluate(data)
+        return float(np.mean(np.abs(pred - target)))
+
+    def mse(self, data: dict[str, np.ndarray], target: np.ndarray) -> float:
+        pred = self.evaluate(data)
+        return float(np.mean((pred - target) ** 2))
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class Const(Expr):
+    """Real constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def evaluate(self, data):
+        n = len(next(iter(data.values()))) if data else 1
+        return np.full(n, self.value)
+
+    def complexity(self) -> int:
+        return 1
+
+    def clone(self) -> "Const":
+        return Const(self.value)
+
+    def __str__(self) -> str:
+        return f"{self.value:.6g}"
+
+
+class Var(Expr):
+    """Named feature."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, data):
+        return np.asarray(data[self.name], dtype=np.float64)
+
+    def complexity(self) -> int:
+        return 1
+
+    def clone(self) -> "Var":
+        return Var(self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Call(Expr):
+    """Operator application."""
+
+    __slots__ = ("op", "args")
+
+    def __init__(self, op: Operator, args: list[Expr]):
+        if len(args) != op.arity:
+            raise ValueError(f"{op.name} expects {op.arity} args, got {len(args)}")
+        self.op = op
+        self.args = list(args)
+
+    def evaluate(self, data):
+        return self.op(*[a.evaluate(data) for a in self.args])
+
+    def complexity(self) -> int:
+        return self.op.weight + sum(a.complexity() for a in self.args)
+
+    def children(self) -> list[Expr]:
+        return self.args
+
+    def clone(self) -> "Call":
+        return Call(self.op, [a.clone() for a in self.args])
+
+    def __str__(self) -> str:
+        return self.op.format(*[str(a) for a in self.args])
+
+
+def random_expr(rng: np.random.Generator, variables: list[str],
+                max_depth: int = 3, p_const: float = 0.25,
+                unary_names: list[str] | None = None,
+                binary_names: list[str] | None = None,
+                const_scale: float = 10.0) -> Expr:
+    """Grow a random expression tree (ramped half-and-half style)."""
+    from .operators import DEFAULT_BINARY, DEFAULT_UNARY
+
+    unary = [UNARY_OPS[n] for n in (unary_names or DEFAULT_UNARY)]
+    binary = [BINARY_OPS[n] for n in (binary_names or DEFAULT_BINARY)]
+
+    def leaf() -> Expr:
+        if rng.random() < p_const:
+            return Const(round(float(rng.normal(0.0, const_scale)), 3))
+        return Var(str(rng.choice(variables)))
+
+    def grow(depth: int) -> Expr:
+        if depth >= max_depth or rng.random() < 0.3:
+            return leaf()
+        if unary and rng.random() < 0.25:
+            op = unary[rng.integers(len(unary))]
+            return Call(op, [grow(depth + 1)])
+        op = binary[rng.integers(len(binary))]
+        return Call(op, [grow(depth + 1), grow(depth + 1)])
+
+    return grow(0)

@@ -1,0 +1,241 @@
+"""Genetic-algorithm symbolic regression ("brute force genetic algorithm"
+minimizing MAE, Section 6 of the paper).
+
+Standard GP machinery: tournament selection, subtree crossover, three
+mutation kinds (operator point-change, subtree replacement, constant
+jitter), elitism, and a small parsimony pressure. A Pareto archive of the
+best expression at each complexity level is maintained across generations
+— the input to the paper's model-selection rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .expr import Call, Const, Expr, Var, random_expr
+from .operators import BINARY_OPS, DEFAULT_BINARY, DEFAULT_UNARY, UNARY_OPS
+
+__all__ = ["SymbolicRegressionConfig", "SymbolicRegressor", "ParetoEntry"]
+
+
+@dataclass
+class SymbolicRegressionConfig:
+    population_size: int = 200
+    generations: int = 40
+    linear_scaling: bool = True      # fit y ≈ a·expr + b analytically
+    tournament_size: int = 5
+    p_crossover: float = 0.6
+    p_mutation: float = 0.4
+    max_depth: int = 5
+    max_complexity: int = 30
+    parsimony: float = 1e-3          # fitness penalty per complexity unit
+    elitism: int = 4
+    const_scale: float = 10.0
+    p_const: float = 0.25
+    unary_names: list[str] = field(default_factory=lambda: list(DEFAULT_UNARY))
+    binary_names: list[str] = field(default_factory=lambda: list(DEFAULT_BINARY))
+    const_optimize_iters: int = 20   # hill-climb steps on elite constants
+    seed: int = 0
+
+
+@dataclass
+class ParetoEntry:
+    """Best-known expression at one complexity level."""
+
+    complexity: int
+    mae: float
+    mse: float
+    expr: Expr
+
+
+class SymbolicRegressor:
+    """GA symbolic regression over named feature arrays."""
+
+    def __init__(self, config: SymbolicRegressionConfig | None = None):
+        self.config = config or SymbolicRegressionConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.pareto: dict[int, ParetoEntry] = {}
+        self.best_: Expr | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, data: dict[str, np.ndarray], target: np.ndarray
+            ) -> "SymbolicRegressor":
+        cfg = self.config
+        target = np.asarray(target, dtype=np.float64)
+        variables = sorted(data.keys())
+        pop = [self._random(variables) for _ in range(cfg.population_size)]
+
+        for _ in range(cfg.generations):
+            scored = [(self._fitness(e, data, target), e) for e in pop]
+            scored.sort(key=lambda t: t[0])
+            self._update_pareto(pop, data, target)
+
+            elites = [e.clone() for _, e in scored[:cfg.elitism]]
+            for e in elites[:2]:
+                self._optimize_constants(e, data, target)
+            next_pop = elites
+            while len(next_pop) < cfg.population_size:
+                child = self._offspring(scored, variables)
+                if child.complexity() <= cfg.max_complexity:
+                    next_pop.append(child)
+            pop = next_pop
+
+        self._update_pareto(pop, data, target)
+        if self.pareto:
+            self.best_ = min(self.pareto.values(), key=lambda p: p.mae).expr
+        return self
+
+    # ------------------------------------------------------------------
+    def pareto_front(self) -> list[ParetoEntry]:
+        """Strictly-improving (complexity ↑, MAE ↓) front, sorted by complexity."""
+        entries = sorted(self.pareto.values(), key=lambda p: p.complexity)
+        front: list[ParetoEntry] = []
+        best = np.inf
+        for e in entries:
+            if e.mae < best:
+                front.append(e)
+                best = e.mae
+        return front
+
+    # ------------------------------------------------------------------
+    def _random(self, variables: list[str]) -> Expr:
+        cfg = self.config
+        return random_expr(self.rng, variables,
+                           max_depth=int(self.rng.integers(2, cfg.max_depth + 1)),
+                           p_const=cfg.p_const,
+                           unary_names=cfg.unary_names,
+                           binary_names=cfg.binary_names,
+                           const_scale=cfg.const_scale)
+
+    @staticmethod
+    def _affine_fit(pred: np.ndarray, target: np.ndarray) -> tuple[float, float]:
+        """Least-squares (a, b) minimizing ‖a·pred + b − target‖₂
+        (Keijzer-style linear scaling)."""
+        var = pred.var()
+        if not np.isfinite(var) or var < 1e-18:
+            return 0.0, float(target.mean())
+        a = float(((pred - pred.mean()) * (target - target.mean())).mean() / var)
+        b = float(target.mean() - a * pred.mean())
+        return a, b
+
+    def _scaled_expr(self, expr: Expr, data, target) -> Expr:
+        """Wrap ``expr`` with its optimal affine transform (simplified when
+        a≈1 / b≈0 so trivial scalings add no complexity)."""
+        pred = expr.evaluate(data)
+        a, b = self._affine_fit(pred, target)
+        out = expr
+        if abs(a - 1.0) > 1e-9:
+            out = Call(BINARY_OPS["mul"], [out, Const(a)])
+        scale = max(abs(target).max(), 1e-12)
+        if abs(b) > 1e-9 * scale:
+            out = Call(BINARY_OPS["add"], [out, Const(b)])
+        return out
+
+    def _fitness(self, expr: Expr, data, target) -> float:
+        pred = expr.evaluate(data)
+        if not np.all(np.isfinite(pred)):
+            return np.inf
+        if self.config.linear_scaling:
+            a, b = self._affine_fit(pred, target)
+            pred = a * pred + b
+        mae = float(np.mean(np.abs(pred - target)))
+        if not np.isfinite(mae):
+            return np.inf
+        return mae * (1.0 + self.config.parsimony * expr.complexity())
+
+    def _update_pareto(self, pop: list[Expr], data, target) -> None:
+        for e in pop:
+            candidate = (self._scaled_expr(e, data, target).clone()
+                         if self.config.linear_scaling else e.clone())
+            mae = candidate.mae(data, target)
+            if not np.isfinite(mae):
+                continue
+            c = candidate.complexity()
+            cur = self.pareto.get(c)
+            if cur is None or mae < cur.mae:
+                self.pareto[c] = ParetoEntry(c, mae, candidate.mse(data, target),
+                                             candidate)
+
+    def _tournament(self, scored) -> Expr:
+        k = self.config.tournament_size
+        idx = self.rng.integers(0, len(scored), size=k)
+        best = min(idx, key=lambda i: scored[i][0])
+        return scored[best][1]
+
+    def _offspring(self, scored, variables: list[str]) -> Expr:
+        cfg = self.config
+        parent = self._tournament(scored).clone()
+        if self.rng.random() < cfg.p_crossover:
+            donor = self._tournament(scored)
+            parent = self._crossover(parent, donor)
+        if self.rng.random() < cfg.p_mutation:
+            parent = self._mutate(parent, variables)
+        return parent
+
+    # --- genetic operators --------------------------------------------
+    def _replace_node(self, root: Expr, old: Expr, new: Expr) -> Expr:
+        if root is old:
+            return new
+        for node in root.nodes():
+            if isinstance(node, Call):
+                for i, a in enumerate(node.args):
+                    if a is old:
+                        node.args[i] = new
+                        return root
+        return root
+
+    def _crossover(self, a: Expr, b: Expr) -> Expr:
+        nodes_a = a.nodes()
+        nodes_b = b.nodes()
+        target = nodes_a[self.rng.integers(len(nodes_a))]
+        donor = nodes_b[self.rng.integers(len(nodes_b))].clone()
+        return self._replace_node(a, target, donor)
+
+    def _mutate(self, e: Expr, variables: list[str]) -> Expr:
+        kind = self.rng.random()
+        nodes = e.nodes()
+        node = nodes[self.rng.integers(len(nodes))]
+        if kind < 0.3:
+            # subtree replacement
+            sub = random_expr(self.rng, variables, max_depth=2,
+                              p_const=self.config.p_const,
+                              unary_names=self.config.unary_names,
+                              binary_names=self.config.binary_names,
+                              const_scale=self.config.const_scale)
+            return self._replace_node(e, node, sub)
+        if kind < 0.6 and isinstance(node, Call):
+            # operator point change (same arity)
+            pool = (self.config.binary_names if node.op.arity == 2
+                    else self.config.unary_names)
+            ops = BINARY_OPS if node.op.arity == 2 else UNARY_OPS
+            node.op = ops[str(self.rng.choice(pool))]
+            return e
+        # constant jitter (or variable swap when no constants exist)
+        consts = [n for n in nodes if isinstance(n, Const)]
+        if consts:
+            c = consts[self.rng.integers(len(consts))]
+            c.value += float(self.rng.normal(0.0, 0.5 * (abs(c.value) + 1.0)))
+        else:
+            vars_ = [n for n in nodes if isinstance(n, Var)]
+            if vars_:
+                v = vars_[self.rng.integers(len(vars_))]
+                v.name = str(self.rng.choice(variables))
+        return e
+
+    def _optimize_constants(self, e: Expr, data, target) -> None:
+        """Greedy hill climbing on the expression's constants."""
+        consts = [n for n in e.nodes() if isinstance(n, Const)]
+        if not consts:
+            return
+        best = e.mae(data, target)
+        for _ in range(self.config.const_optimize_iters):
+            c = consts[self.rng.integers(len(consts))]
+            old = c.value
+            c.value += float(self.rng.normal(0.0, 0.1 * (abs(old) + 1e-2)))
+            mae = e.mae(data, target)
+            if mae < best:
+                best = mae
+            else:
+                c.value = old

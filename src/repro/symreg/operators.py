@@ -1,0 +1,96 @@
+"""Operator definitions for symbolic regression.
+
+The paper's operator set: ``+, −, *, /, >, <, pow, exp, inv, log`` plus
+real constants, with ``pow/exp/inv/log`` weighted 3× in the complexity
+measure (Section 6). All implementations are *protected*: they never
+produce NaN/Inf on finite inputs, so a GA individual can always be scored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Operator", "UNARY_OPS", "BINARY_OPS", "DEFAULT_UNARY", "DEFAULT_BINARY",
+           "complexity_weight"]
+
+_EPS = 1e-12
+_CLIP = 1e12
+
+
+def _protect(x: np.ndarray) -> np.ndarray:
+    return np.clip(np.nan_to_num(x, nan=0.0, posinf=_CLIP, neginf=-_CLIP),
+                   -_CLIP, _CLIP)
+
+
+@dataclass(frozen=True)
+class Operator:
+    """A primitive function with arity, complexity weight, and printer."""
+
+    name: str
+    arity: int
+    fn: Callable[..., np.ndarray]
+    weight: int = 1
+    infix: str | None = None
+
+    def __call__(self, *args: np.ndarray) -> np.ndarray:
+        return _protect(self.fn(*args))
+
+    def format(self, *parts: str) -> str:
+        if self.infix is not None:
+            return f"({parts[0]} {self.infix} {parts[1]})"
+        return f"{self.name}({', '.join(parts)})"
+
+
+def _safe_div(a, b):
+    return a / np.where(np.abs(b) < _EPS, np.sign(b) * _EPS + (b == 0) * _EPS, b)
+
+
+def _safe_log(a):
+    return np.log(np.abs(a) + _EPS)
+
+
+def _safe_exp(a):
+    return np.exp(np.clip(a, -50.0, 50.0))
+
+
+def _safe_pow(a, b):
+    return np.power(np.abs(a) + _EPS, np.clip(b, -10.0, 10.0))
+
+
+def _safe_inv(a):
+    return 1.0 / np.where(np.abs(a) < _EPS, np.sign(a) * _EPS + (a == 0) * _EPS, a)
+
+
+BINARY_OPS: dict[str, Operator] = {
+    "add": Operator("add", 2, np.add, 1, infix="+"),
+    "sub": Operator("sub", 2, np.subtract, 1, infix="-"),
+    "mul": Operator("mul", 2, np.multiply, 1, infix="*"),
+    "div": Operator("div", 2, _safe_div, 1, infix="/"),
+    "pow": Operator("pow", 2, _safe_pow, 3),
+    "gt": Operator("gt", 2, lambda a, b: (a > b).astype(np.float64), 1, infix=">"),
+    "lt": Operator("lt", 2, lambda a, b: (a < b).astype(np.float64), 1, infix="<"),
+}
+
+UNARY_OPS: dict[str, Operator] = {
+    "exp": Operator("exp", 1, _safe_exp, 3),
+    "log": Operator("log", 1, _safe_log, 3),
+    "inv": Operator("inv", 1, _safe_inv, 3),
+    "abs": Operator("abs", 1, np.abs, 1),
+    "neg": Operator("neg", 1, np.negative, 1),
+}
+
+# default GA search set — the paper's operators (comparisons included)
+DEFAULT_BINARY = ["add", "sub", "mul", "div", "pow"]
+DEFAULT_UNARY = ["exp", "log", "inv", "abs"]
+
+
+def complexity_weight(name: str) -> int:
+    """Weight of one operator occurrence in the paper's complexity count."""
+    if name in BINARY_OPS:
+        return BINARY_OPS[name].weight
+    if name in UNARY_OPS:
+        return UNARY_OPS[name].weight
+    return 1

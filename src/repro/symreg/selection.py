@@ -1,0 +1,59 @@
+"""Model selection over the Pareto front — the paper's Occam's-razor rule.
+
+Among Pareto-optimal models ordered by complexity, the chosen expression
+maximizes the fractional drop in error over the increase in complexity
+relative to the next-best (previous) model:
+
+    score = −Δlog(MAE) / Δc
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .ga import ParetoEntry
+
+__all__ = ["ScoredEntry", "score_front", "select_best"]
+
+
+@dataclass
+class ScoredEntry:
+    """Pareto entry plus its selection score and flags (a Table 1 row)."""
+
+    complexity: int
+    mae: float
+    mse: float
+    expr_str: str
+    score: float
+    dimensional_ok: bool | None = None
+    chosen: bool = False
+
+
+def score_front(front: list[ParetoEntry], floor: float = 1e-12) -> list[ScoredEntry]:
+    """Score each front entry against its predecessor (first gets −inf)."""
+    rows: list[ScoredEntry] = []
+    for i, e in enumerate(front):
+        if i == 0:
+            score = -np.inf
+        else:
+            prev = front[i - 1]
+            dc = e.complexity - prev.complexity
+            dlog = np.log(max(e.mae, floor)) - np.log(max(prev.mae, floor))
+            score = -dlog / dc if dc > 0 else -np.inf
+        rows.append(ScoredEntry(e.complexity, e.mae, e.mse, str(e.expr), score))
+    return rows
+
+
+def select_best(front: list[ParetoEntry]) -> tuple[int, list[ScoredEntry]]:
+    """Return (index of the chosen model, scored rows) for a Pareto front."""
+    rows = score_front(front)
+    if not rows:
+        raise ValueError("empty Pareto front")
+    if len(rows) == 1:
+        rows[0].chosen = True
+        return 0, rows
+    best = int(np.argmax([r.score for r in rows]))
+    rows[best].chosen = True
+    return best, rows

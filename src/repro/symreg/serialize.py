@@ -1,0 +1,94 @@
+"""Expression serialization (JSON) and LaTeX rendering."""
+
+from __future__ import annotations
+
+import json
+
+from .expr import Call, Const, Expr, Var
+from .operators import BINARY_OPS, UNARY_OPS
+
+__all__ = ["expr_to_dict", "expr_from_dict", "expr_to_json", "expr_from_json",
+           "to_latex"]
+
+
+def expr_to_dict(expr: Expr) -> dict:
+    """Recursive plain-dict encoding (stable across versions)."""
+    if isinstance(expr, Const):
+        return {"type": "const", "value": expr.value}
+    if isinstance(expr, Var):
+        return {"type": "var", "name": expr.name}
+    assert isinstance(expr, Call)
+    return {"type": "call", "op": expr.op.name,
+            "args": [expr_to_dict(a) for a in expr.args]}
+
+
+def expr_from_dict(data: dict) -> Expr:
+    kind = data.get("type")
+    if kind == "const":
+        return Const(float(data["value"]))
+    if kind == "var":
+        return Var(str(data["name"]))
+    if kind == "call":
+        name = data["op"]
+        op = BINARY_OPS.get(name) or UNARY_OPS.get(name)
+        if op is None:
+            raise KeyError(f"unknown operator {name!r}")
+        return Call(op, [expr_from_dict(a) for a in data["args"]])
+    raise ValueError(f"bad node type {kind!r}")
+
+
+def expr_to_json(expr: Expr) -> str:
+    return json.dumps(expr_to_dict(expr))
+
+
+def expr_from_json(text: str) -> Expr:
+    return expr_from_dict(json.loads(text))
+
+
+_LATEX_NAMES = {
+    "dx": r"\Delta x", "dx_x": r"\Delta x_{x}", "dx_y": r"\Delta x_{y}",
+    "r1": "r_{1}", "r2": "r_{2}", "m1": "m_{1}", "m2": "m_{2}",
+}
+
+
+def _latex(expr: Expr) -> str:
+    if isinstance(expr, Const):
+        v = expr.value
+        if v == int(v) and abs(v) < 1e15:
+            return str(int(v))
+        return f"{v:.4g}"
+    if isinstance(expr, Var):
+        return _LATEX_NAMES.get(expr.name, expr.name)
+    assert isinstance(expr, Call)
+    name = expr.op.name
+    parts = [_latex(a) for a in expr.args]
+    if name == "add":
+        return f"\\left({parts[0]} + {parts[1]}\\right)"
+    if name == "sub":
+        return f"\\left({parts[0]} - {parts[1]}\\right)"
+    if name == "mul":
+        return f"{parts[0]} \\cdot {parts[1]}"
+    if name == "div":
+        return f"\\frac{{{parts[0]}}}{{{parts[1]}}}"
+    if name == "pow":
+        return f"{{{parts[0]}}}^{{{parts[1]}}}"
+    if name == "exp":
+        return f"e^{{{parts[0]}}}"
+    if name == "log":
+        return f"\\log\\left({parts[0]}\\right)"
+    if name == "inv":
+        return f"\\frac{{1}}{{{parts[0]}}}"
+    if name == "abs":
+        return f"\\left|{parts[0]}\\right|"
+    if name == "neg":
+        return f"-{parts[0]}"
+    if name == "gt":
+        return f"\\left[{parts[0]} > {parts[1]}\\right]"
+    if name == "lt":
+        return f"\\left[{parts[0]} < {parts[1]}\\right]"
+    raise KeyError(f"no LaTeX rule for operator {name!r}")
+
+
+def to_latex(expr: Expr) -> str:
+    """Render an expression as LaTeX (Table-1 style equations)."""
+    return _latex(expr)

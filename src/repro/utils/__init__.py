@@ -1,0 +1,8 @@
+"""Timing, profiling, and seeding utilities."""
+
+from .timer import Timer, benchmark
+from .seeding import seed_everything, spawn_rngs
+from .profiling import profile_block, top_functions
+
+__all__ = ["Timer", "benchmark", "seed_everything", "spawn_rngs",
+           "profile_block", "top_functions"]

@@ -1,0 +1,23 @@
+"""Deterministic seeding helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["spawn_rngs", "seed_everything"]
+
+
+def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
+    """Independent child generators from one seed (SeedSequence spawning)."""
+    ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in ss.spawn(n)]
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Seed NumPy's legacy global state and return a fresh Generator.
+
+    The library itself only uses explicit Generators; this exists for
+    scripts that also rely on third-party code using the global state.
+    """
+    np.random.seed(seed)
+    return np.random.default_rng(seed)

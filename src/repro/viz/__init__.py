@@ -1,0 +1,18 @@
+"""Zero-dependency visualization: colormaps, PPM/PNG/GIF writers, and
+particle/field rasterization (the in-situ-viz layer)."""
+
+from .colormaps import COLORMAPS, Colormap, get_colormap
+from .image import read_ppm, write_png, write_ppm
+from .gif import quantize_rgb, write_gif
+from .render import rasterize_particles, render_field, render_frames, upsample, vorticity
+from .chart import SERIES_COLORS, line_chart
+from .font import render_text, text_width
+
+__all__ = [
+    "COLORMAPS", "Colormap", "get_colormap",
+    "read_ppm", "write_png", "write_ppm",
+    "quantize_rgb", "write_gif",
+    "rasterize_particles", "render_field", "render_frames", "upsample",
+    "vorticity",
+    "SERIES_COLORS", "line_chart", "render_text", "text_width",
+]

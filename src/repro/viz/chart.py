@@ -1,0 +1,172 @@
+"""Line charts rendered straight to RGB arrays (no matplotlib offline).
+
+Enough of a plotting system for the paper's figures: framed axes with
+ticks and numeric labels, multiple series with a legend, optional log-y.
+Used by the benchmarks to emit error-evolution figures (Fig 3/4-style)
+next to their text tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .colormaps import get_colormap
+from .font import GLYPH_H, render_text, text_width
+
+__all__ = ["line_chart", "SERIES_COLORS"]
+
+SERIES_COLORS = [
+    (86, 180, 233),    # sky blue
+    (230, 159, 0),     # orange
+    (0, 158, 115),     # bluish green
+    (204, 121, 167),   # reddish purple
+    (240, 228, 66),    # yellow
+    (213, 94, 0),      # vermillion
+]
+_BG = (18, 18, 24)
+_FRAME = (120, 120, 130)
+_TEXT = (220, 220, 225)
+_GRID = (45, 45, 55)
+
+
+def _draw_segment(img, x0, y0, x1, y1, color):
+    """Dense-sampled line segment (clip at borders)."""
+    h, w = img.shape[:2]
+    length = int(max(abs(x1 - x0), abs(y1 - y0), 1)) * 2
+    xs = np.linspace(x0, x1, length).round().astype(int)
+    ys = np.linspace(y0, y1, length).round().astype(int)
+    keep = (xs >= 0) & (xs < w) & (ys >= 0) & (ys < h)
+    img[ys[keep], xs[keep]] = color
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> np.ndarray:
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(n - 1, 1)
+    mag = 10.0 ** np.floor(np.log10(raw))
+    for mult in (1.0, 2.0, 2.5, 5.0, 10.0):
+        if raw <= mult * mag:
+            step = mult * mag
+            break
+    start = np.ceil(lo / step) * step
+    ticks = np.arange(start, hi + step * 1e-9, step)
+    return ticks[(ticks >= lo - 1e-12) & (ticks <= hi + 1e-12)]
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e4 or abs(v) < 1e-3:
+        return f"{v:.1e}"
+    if abs(v) >= 100 or v == int(v):
+        return f"{v:.0f}"
+    if abs(v) >= 1:
+        return f"{v:.2f}"
+    return f"{v:.3f}"
+
+
+def line_chart(series: dict[str, tuple], size: tuple[int, int] = (640, 400),
+               title: str = "", x_label: str = "", y_label: str = "",
+               log_y: bool = False,
+               colors: list[tuple] | None = None) -> np.ndarray:
+    """Render named (x, y) series to an ``(H, W, 3)`` uint8 image.
+
+    Parameters
+    ----------
+    series: mapping name → (x array, y array); NaNs break the polyline.
+    log_y: plot log10(y) (all finite y must be positive).
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    w, h = size
+    img = np.empty((h, w, 3), dtype=np.uint8)
+    img[:] = _BG
+    colors = colors or SERIES_COLORS
+
+    # transform + collect ranges
+    data = {}
+    x_lo = y_lo = np.inf
+    x_hi = y_hi = -np.inf
+    for name, (xs, ys) in series.items():
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.shape != ys.shape or xs.ndim != 1:
+            raise ValueError(f"series {name!r} must be matching 1-D arrays")
+        if log_y:
+            finite = np.isfinite(ys)
+            if np.any(ys[finite] <= 0):
+                raise ValueError("log_y requires positive values")
+            ys = np.where(finite, np.log10(np.maximum(ys, 1e-300)), np.nan)
+        data[name] = (xs, ys)
+        ok = np.isfinite(xs) & np.isfinite(ys)
+        if ok.any():
+            x_lo, x_hi = min(x_lo, xs[ok].min()), max(x_hi, xs[ok].max())
+            y_lo, y_hi = min(y_lo, ys[ok].min()), max(y_hi, ys[ok].max())
+    if not np.isfinite([x_lo, x_hi, y_lo, y_hi]).all():
+        raise ValueError("no finite data to plot")
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    pad = 0.04 * (y_hi - y_lo)
+    y_lo, y_hi = y_lo - pad, y_hi + pad
+
+    # plot frame
+    ml, mr, mt, mb = 62, 14, 26 if title else 14, 40
+    px0, px1 = ml, w - mr
+    py0, py1 = mt, h - mb
+
+    def to_px(xs, ys):
+        x = px0 + (xs - x_lo) / (x_hi - x_lo) * (px1 - px0)
+        y = py1 - (ys - y_lo) / (y_hi - y_lo) * (py1 - py0)
+        return x, y
+
+    # gridlines + ticks
+    for tx in _nice_ticks(x_lo, x_hi):
+        x, _ = to_px(np.array([tx]), np.array([y_lo]))
+        xi = int(round(x[0]))
+        _draw_segment(img, xi, py0, xi, py1, _GRID)
+        label = _fmt(tx)
+        render_text(img, xi - text_width(label) // 2, py1 + 6, label, _TEXT)
+    for ty in _nice_ticks(y_lo, y_hi):
+        _, y = to_px(np.array([x_lo]), np.array([ty]))
+        yi = int(round(y[0]))
+        _draw_segment(img, px0, yi, px1, yi, _GRID)
+        label = _fmt(10 ** ty if log_y else ty)
+        render_text(img, px0 - text_width(label) - 6,
+                    yi - GLYPH_H // 2, label, _TEXT)
+
+    # frame box
+    for (a, b, c, d) in ((px0, py0, px1, py0), (px0, py1, px1, py1),
+                         (px0, py0, px0, py1), (px1, py0, px1, py1)):
+        _draw_segment(img, a, b, c, d, _FRAME)
+
+    # series
+    for k, (name, (xs, ys)) in enumerate(data.items()):
+        color = colors[k % len(colors)]
+        x_px, y_px = to_px(xs, ys)
+        ok = np.isfinite(x_px) & np.isfinite(y_px)
+        for i in range(len(xs) - 1):
+            if ok[i] and ok[i + 1]:
+                _draw_segment(img, x_px[i], y_px[i], x_px[i + 1], y_px[i + 1],
+                              color)
+
+    # legend (top-right inside the frame)
+    ly = py0 + 6
+    for k, name in enumerate(data):
+        color = colors[k % len(colors)]
+        lx = px1 - 120
+        _draw_segment(img, lx, ly + GLYPH_H // 2, lx + 14, ly + GLYPH_H // 2,
+                      color)
+        render_text(img, lx + 20, ly, name[:16], _TEXT)
+        ly += GLYPH_H + 5
+
+    # titles
+    if title:
+        render_text(img, (w - text_width(title)) // 2, 8, title, _TEXT)
+    if x_label:
+        render_text(img, (w - text_width(x_label)) // 2, h - GLYPH_H - 4,
+                    x_label, _TEXT)
+    if y_label:
+        render_text(img, 4, 8, y_label, _TEXT)
+    return img

@@ -1,0 +1,86 @@
+"""Colormaps (pure NumPy — no matplotlib available offline).
+
+Anchor-point colormaps evaluated by linear interpolation in RGB space:
+
+* ``viridis`` — perceptually-uniform sequential (anchor subsample of the
+  matplotlib original).
+* ``coolwarm`` — diverging, for signed fields (vorticity, velocity).
+* ``grayscale`` — for masks and debugging.
+* ``terrain`` — for granular deposit heights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Colormap", "get_colormap", "COLORMAPS"]
+
+# (position, r, g, b) anchors, 0–255
+_VIRIDIS = [
+    (0.00, 68, 1, 84), (0.125, 72, 36, 117), (0.25, 65, 68, 135),
+    (0.375, 53, 95, 141), (0.50, 42, 120, 142), (0.625, 33, 145, 140),
+    (0.75, 34, 168, 132), (0.875, 122, 209, 81), (1.00, 253, 231, 37),
+]
+_COOLWARM = [
+    (0.00, 59, 76, 192), (0.25, 124, 159, 249), (0.50, 221, 221, 221),
+    (0.75, 245, 156, 125), (1.00, 180, 4, 38),
+]
+_GRAYSCALE = [(0.0, 0, 0, 0), (1.0, 255, 255, 255)]
+_TERRAIN = [
+    (0.00, 40, 54, 24), (0.35, 120, 120, 48), (0.65, 180, 140, 90),
+    (1.00, 245, 240, 220),
+]
+
+
+class Colormap:
+    """Piecewise-linear RGB colormap."""
+
+    def __init__(self, name: str, anchors: list[tuple]):
+        self.name = name
+        arr = np.asarray(anchors, dtype=np.float64)
+        self._pos = arr[:, 0]
+        self._rgb = arr[:, 1:4]
+        if not np.all(np.diff(self._pos) > 0):
+            raise ValueError("anchor positions must be strictly increasing")
+
+    def __call__(self, values: np.ndarray,
+                 vmin: float | None = None,
+                 vmax: float | None = None) -> np.ndarray:
+        """Map values to ``(..., 3)`` uint8 RGB.
+
+        ``vmin``/``vmax`` default to the data range; NaNs map to black.
+        """
+        v = np.asarray(values, dtype=np.float64)
+        finite = np.isfinite(v)
+        lo = float(np.min(v[finite])) if vmin is None and finite.any() else (vmin or 0.0)
+        hi = float(np.max(v[finite])) if vmax is None and finite.any() else (vmax or 1.0)
+        if hi <= lo:
+            hi = lo + 1.0
+        t = np.clip((v - lo) / (hi - lo), 0.0, 1.0)
+        t = np.where(finite, t, 0.0)
+        out = np.empty(t.shape + (3,), dtype=np.float64)
+        for c in range(3):
+            out[..., c] = np.interp(t, self._pos, self._rgb[:, c])
+        out[~finite] = 0.0
+        return out.astype(np.uint8)
+
+    def palette(self, n: int = 256) -> np.ndarray:
+        """An ``(n, 3)`` uint8 palette table (for GIF encoding)."""
+        return self(np.linspace(0.0, 1.0, n), vmin=0.0, vmax=1.0)
+
+
+COLORMAPS: dict[str, Colormap] = {
+    "viridis": Colormap("viridis", _VIRIDIS),
+    "coolwarm": Colormap("coolwarm", _COOLWARM),
+    "grayscale": Colormap("grayscale", _GRAYSCALE),
+    "terrain": Colormap("terrain", _TERRAIN),
+}
+
+
+def get_colormap(name: str) -> Colormap:
+    """Look up a named colormap."""
+    try:
+        return COLORMAPS[name]
+    except KeyError:
+        raise KeyError(f"unknown colormap {name!r}; "
+                       f"available: {sorted(COLORMAPS)}") from None

@@ -1,0 +1,165 @@
+"""Animated GIF writer (GIF89a with LZW compression, pure Python).
+
+Used by the examples to export particle-flow and vorticity animations
+without any imaging dependency. Frames are paletted with a colormap's
+256-entry table; RGB frames are quantized to a 6×7×6 color cube.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_gif", "quantize_rgb"]
+
+
+class _BitPacker:
+    """LSB-first variable-width code packer (the GIF bit order)."""
+
+    def __init__(self):
+        self._acc = 0
+        self._nbits = 0
+        self.bytes = bytearray()
+
+    def push(self, code: int, width: int) -> None:
+        self._acc |= code << self._nbits
+        self._nbits += width
+        while self._nbits >= 8:
+            self.bytes.append(self._acc & 0xFF)
+            self._acc >>= 8
+            self._nbits -= 8
+
+    def flush(self) -> None:
+        if self._nbits:
+            self.bytes.append(self._acc & 0xFF)
+            self._acc = 0
+            self._nbits = 0
+
+
+def _lzw_encode(indices: np.ndarray, min_code_size: int = 8) -> bytes:
+    """GIF-flavor LZW: variable code width, CLEAR/EOI codes, 12-bit cap."""
+    clear = 1 << min_code_size
+    eoi = clear + 1
+    packer = _BitPacker()
+
+    def reset_table():
+        return {(-1, s): s for s in range(clear)}, eoi + 1, min_code_size + 1
+
+    table, next_code, width = reset_table()
+    packer.push(clear, width)
+
+    prefix = -1
+    for sym in indices.tolist():
+        key = (prefix, sym)
+        code = table.get(key)
+        if code is not None:
+            prefix = code
+            continue
+        packer.push(prefix, width)
+        table[key] = next_code
+        next_code += 1
+        if next_code > (1 << width) and width < 12:
+            width += 1
+        elif next_code >= 4096:
+            packer.push(clear, width)
+            table, next_code, width = reset_table()
+        prefix = sym
+    if prefix != -1:
+        packer.push(prefix, width)
+    packer.push(eoi, width)
+    packer.flush()
+    return bytes(packer.bytes)
+
+
+def _sub_blocks(data: bytes) -> bytes:
+    out = bytearray()
+    for i in range(0, len(data), 255):
+        chunk = data[i:i + 255]
+        out.append(len(chunk))
+        out.extend(chunk)
+    out.append(0)
+    return bytes(out)
+
+
+def quantize_rgb(image: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize an (H, W, 3) uint8 image to a fixed 6×7×6 color cube.
+
+    Returns (indices (H, W) uint8, palette (252, 3) uint8).
+    """
+    img = np.asarray(image)
+    if img.ndim != 3 or img.shape[2] != 3:
+        raise ValueError("expected (H, W, 3) RGB image")
+    levels = (6, 7, 6)
+    q = [np.minimum((img[..., c].astype(np.int32) * levels[c]) // 256,
+                    levels[c] - 1) for c in range(3)]
+    indices = (q[0] * levels[1] + q[1]) * levels[2] + q[2]
+    r, g, b = np.meshgrid(*[np.arange(n) for n in levels], indexing="ij")
+    palette = np.stack([
+        (r.ravel() * 255) // (levels[0] - 1),
+        (g.ravel() * 255) // (levels[1] - 1),
+        (b.ravel() * 255) // (levels[2] - 1),
+    ], axis=1).astype(np.uint8)
+    return indices.astype(np.uint8), palette
+
+
+def write_gif(path: str | Path, frames: list[np.ndarray],
+              palette: np.ndarray | None = None,
+              delay_cs: int = 5, loop: bool = True) -> None:
+    """Write an animated GIF.
+
+    Parameters
+    ----------
+    frames:
+        Either (H, W) uint8 palette-index arrays (requires ``palette``)
+        or (H, W, 3) uint8 RGB arrays (auto-quantized to a color cube).
+    palette:
+        ``(n ≤ 256, 3)`` uint8 color table for index frames.
+    delay_cs:
+        Per-frame delay in centiseconds.
+    """
+    if not frames:
+        raise ValueError("no frames")
+    first = np.asarray(frames[0])
+    if first.ndim == 3:
+        quantized = [quantize_rgb(np.asarray(f)) for f in frames]
+        index_frames = [q[0] for q in quantized]
+        palette = quantized[0][1]
+    else:
+        if palette is None:
+            raise ValueError("palette required for index frames")
+        index_frames = [np.asarray(f, dtype=np.uint8) for f in frames]
+    palette = np.asarray(palette, dtype=np.uint8)
+    if palette.ndim != 2 or palette.shape[1] != 3 or palette.shape[0] > 256:
+        raise ValueError("palette must be (n<=256, 3)")
+
+    h, w = index_frames[0].shape
+    for f in index_frames:
+        if f.shape != (h, w):
+            raise ValueError("all frames must share one shape")
+
+    # pad the color table to a power of two
+    size = 2
+    while size < max(palette.shape[0], 2):
+        size *= 2
+    table = np.zeros((size, 3), dtype=np.uint8)
+    table[:palette.shape[0]] = palette
+
+    out = bytearray()
+    out.extend(b"GIF89a")
+    packed = 0x80 | ((size.bit_length() - 2) & 0x07)  # global table, 2^(n+1)
+    out.extend(struct.pack("<HHBBB", w, h, packed, 0, 0))
+    out.extend(table.tobytes())
+    if loop and len(index_frames) > 1:
+        out.extend(b"\x21\xff\x0bNETSCAPE2.0\x03\x01\x00\x00\x00")
+
+    for frame in index_frames:
+        # graphics control extension (delay)
+        out.extend(b"\x21\xf9\x04\x00" + struct.pack("<H", delay_cs) + b"\x00\x00")
+        # image descriptor (no local color table)
+        out.extend(b"\x2c" + struct.pack("<HHHHB", 0, 0, w, h, 0))
+        out.append(8)  # LZW minimum code size
+        out.extend(_sub_blocks(_lzw_encode(frame.ravel())))
+    out.append(0x3B)
+    Path(path).write_bytes(bytes(out))

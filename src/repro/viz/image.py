@@ -1,0 +1,66 @@
+"""Image encoders in pure Python/NumPy (PPM and PNG via stdlib zlib)."""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_ppm", "write_png", "read_ppm"]
+
+
+def _validate_rgb(image: np.ndarray) -> np.ndarray:
+    img = np.asarray(image)
+    if img.ndim != 3 or img.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) RGB image, got {img.shape}")
+    if img.dtype != np.uint8:
+        img = np.clip(img, 0, 255).astype(np.uint8)
+    return img
+
+
+def write_ppm(path: str | Path, image: np.ndarray) -> None:
+    """Write a binary PPM (P6) — zero-dependency and fast."""
+    img = _validate_rgb(image)
+    h, w = img.shape[:2]
+    with open(path, "wb") as f:
+        f.write(f"P6\n{w} {h}\n255\n".encode())
+        f.write(img.tobytes())
+
+
+def read_ppm(path: str | Path) -> np.ndarray:
+    """Read a binary PPM written by :func:`write_ppm`."""
+    data = Path(path).read_bytes()
+    if not data.startswith(b"P6"):
+        raise ValueError("not a binary PPM (P6) file")
+    # header: magic, width, height, maxval, then a single whitespace byte
+    parts = data.split(b"\n", 3)
+    w, h = map(int, parts[1].split())
+    maxval = int(parts[2])
+    if maxval != 255:
+        raise ValueError("only 8-bit PPM supported")
+    pixels = np.frombuffer(parts[3], dtype=np.uint8, count=w * h * 3)
+    return pixels.reshape(h, w, 3).copy()
+
+
+def _png_chunk(tag: bytes, payload: bytes) -> bytes:
+    return (struct.pack(">I", len(payload)) + tag + payload
+            + struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF))
+
+
+def write_png(path: str | Path, image: np.ndarray,
+              compress_level: int = 6) -> None:
+    """Write an 8-bit RGB PNG (no interlacing, filter type 0)."""
+    img = _validate_rgb(image)
+    h, w = img.shape[:2]
+    header = struct.pack(">IIBBBBB", w, h, 8, 2, 0, 0, 0)  # 8-bit truecolor
+    # prepend the per-scanline filter byte (0 = None)
+    raw = np.concatenate(
+        [np.zeros((h, 1), dtype=np.uint8), img.reshape(h, w * 3)], axis=1)
+    idat = zlib.compress(raw.tobytes(), compress_level)
+    with open(path, "wb") as f:
+        f.write(b"\x89PNG\r\n\x1a\n")
+        f.write(_png_chunk(b"IHDR", header))
+        f.write(_png_chunk(b"IDAT", idat))
+        f.write(_png_chunk(b"IEND", b""))

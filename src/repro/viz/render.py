@@ -1,0 +1,127 @@
+"""Rendering particle systems and fields to RGB images.
+
+Pure NumPy rasterization: particles become filled disks via a distance
+test against a pixel-offset stencil; scalar fields map through a colormap
+with optional upsampling. These feed :mod:`repro.viz.image` (PPM/PNG) and
+:mod:`repro.viz.gif` (animations) — the in-situ-visualization story the
+paper's CCS concepts reference, with zero external dependencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .colormaps import Colormap, get_colormap
+
+__all__ = ["rasterize_particles", "render_field", "render_frames",
+           "vorticity", "upsample"]
+
+
+def rasterize_particles(positions: np.ndarray,
+                        bounds: np.ndarray,
+                        resolution: int = 200,
+                        radius_px: int = 2,
+                        values: np.ndarray | None = None,
+                        cmap: str | Colormap = "viridis",
+                        vmin: float | None = None,
+                        vmax: float | None = None,
+                        background: tuple = (20, 20, 28)) -> np.ndarray:
+    """Draw particles as filled disks.
+
+    Parameters
+    ----------
+    positions: ``(n, 2)`` particle coordinates.
+    bounds: ``(2, 2)`` [[xlo, xhi], [ylo, yhi]] world window.
+    resolution: image width in pixels (height follows the aspect ratio).
+    values: optional per-particle scalars (colored by ``cmap``);
+        uniform color when omitted.
+    radius_px: disk radius in pixels.
+
+    Returns
+    -------
+    ``(H, W, 3)`` uint8 image with y up (row 0 = top of the domain).
+    """
+    pos = np.asarray(positions, dtype=np.float64)
+    bounds = np.asarray(bounds, dtype=np.float64)
+    xlo, xhi = bounds[0]
+    ylo, yhi = bounds[1]
+    if xhi <= xlo or yhi <= ylo:
+        raise ValueError("degenerate bounds")
+    w = int(resolution)
+    h = max(int(round(resolution * (yhi - ylo) / (xhi - xlo))), 1)
+
+    img = np.empty((h, w, 3), dtype=np.uint8)
+    img[:] = np.asarray(background, dtype=np.uint8)
+
+    if pos.shape[0] == 0:
+        return img
+
+    cmap = get_colormap(cmap) if isinstance(cmap, str) else cmap
+    if values is None:
+        colors = np.tile(cmap(np.array([0.7]), 0.0, 1.0)[0], (pos.shape[0], 1))
+    else:
+        colors = cmap(np.asarray(values), vmin, vmax)
+
+    px = ((pos[:, 0] - xlo) / (xhi - xlo) * (w - 1)).round().astype(np.int64)
+    py = ((yhi - pos[:, 1]) / (yhi - ylo) * (h - 1)).round().astype(np.int64)
+
+    # disk stencil offsets
+    r = int(radius_px)
+    oy, ox = np.mgrid[-r:r + 1, -r:r + 1]
+    keep = (ox ** 2 + oy ** 2) <= r * r
+    ox, oy = ox[keep], oy[keep]
+
+    xs = (px[:, None] + ox[None, :]).ravel()
+    ys = (py[:, None] + oy[None, :]).ravel()
+    cs = np.repeat(colors, ox.size, axis=0)
+    inside = (xs >= 0) & (xs < w) & (ys >= 0) & (ys < h)
+    img[ys[inside], xs[inside]] = cs[inside]
+    return img
+
+
+def upsample(field: np.ndarray, factor: int) -> np.ndarray:
+    """Nearest-neighbor upsampling of a 2-D (or 2-D+channel) array."""
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    return np.repeat(np.repeat(field, factor, axis=0), factor, axis=1)
+
+
+def render_field(field: np.ndarray,
+                 cmap: str | Colormap = "coolwarm",
+                 vmin: float | None = None,
+                 vmax: float | None = None,
+                 scale: int = 1,
+                 transpose: bool = True) -> np.ndarray:
+    """Render a scalar lattice field ``(nx, ny)`` to RGB.
+
+    With ``transpose=True`` (default) the x axis runs along image columns
+    and y along rows with y up — matching the solver's (x, y) layout.
+    """
+    f = np.asarray(field, dtype=np.float64)
+    if f.ndim != 2:
+        raise ValueError("expected a 2-D scalar field")
+    if transpose:
+        f = f.T[::-1]   # (ny, nx) with row 0 = top
+    cmap = get_colormap(cmap) if isinstance(cmap, str) else cmap
+    rgb = cmap(f, vmin, vmax)
+    if scale > 1:
+        rgb = upsample(rgb, scale)
+    return rgb
+
+
+def vorticity(velocity_field: np.ndarray) -> np.ndarray:
+    """ω = ∂v/∂x − ∂u/∂y of an ``(nx, ny, 2)`` lattice velocity field."""
+    u = np.asarray(velocity_field)
+    if u.ndim != 3 or u.shape[2] != 2:
+        raise ValueError("expected (nx, ny, 2) velocity field")
+    dv_dx = np.gradient(u[:, :, 1], axis=0)
+    du_dy = np.gradient(u[:, :, 0], axis=1)
+    return dv_dx - du_dy
+
+
+def render_frames(frames: np.ndarray, bounds: np.ndarray,
+                  resolution: int = 200, **kwargs) -> list[np.ndarray]:
+    """Rasterize a ``(T, n, 2)`` trajectory into a list of RGB frames
+    (feed straight into :func:`repro.viz.write_gif`)."""
+    return [rasterize_particles(f, bounds, resolution, **kwargs)
+            for f in np.asarray(frames)]

@@ -1,0 +1,43 @@
+"""Shared test utilities: numerical gradient checking."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import Tensor
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn(x)`` w.r.t. array ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = float(fn(x))
+        flat[i] = orig - eps
+        down = float(fn(x))
+        flat[i] = orig
+        gflat[i] = (up - down) / (2.0 * eps)
+    return grad
+
+
+def check_grad(build_loss, x0: np.ndarray, rtol: float = 1e-5, atol: float = 1e-7,
+               eps: float = 1e-6) -> None:
+    """Assert autodiff gradient of ``build_loss(Tensor)`` matches central differences.
+
+    ``build_loss`` maps a Tensor to a scalar Tensor.
+    """
+    x0 = np.asarray(x0, dtype=np.float64)
+    t = Tensor(x0.copy(), requires_grad=True)
+    loss = build_loss(t)
+    loss.backward()
+    assert t.grad is not None, "no gradient reached the input"
+
+    def f(arr):
+        return build_loss(Tensor(arr)).data
+
+    num = numerical_grad(f, x0, eps=eps)
+    np.testing.assert_allclose(t.grad, num, rtol=rtol, atol=atol)

@@ -1,0 +1,104 @@
+"""Tests for attention-coefficient extraction and analysis."""
+
+import numpy as np
+import pytest
+
+from repro.gns import FeatureConfig, GNSNetworkConfig, LearnedSimulator
+from repro.interpret import (
+    attention_by_distance, attention_entropy, extract_attention,
+)
+
+BOUNDS = np.array([[0.0, 1.0], [0.0, 1.0]])
+
+
+def _attn_sim(seed=0):
+    fc = FeatureConfig(connectivity_radius=0.4, history=2, bounds=BOUNDS)
+    nc = GNSNetworkConfig(latent_size=8, mlp_hidden_size=8,
+                          mlp_hidden_layers=1, message_passing_steps=2,
+                          attention=True)
+    return LearnedSimulator(fc, nc, rng=np.random.default_rng(seed))
+
+
+def _history(n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(0.3, 0.7, size=(n, 2))
+    return np.stack([base, base + 0.002, base + 0.004])
+
+
+class TestExtraction:
+    def test_one_alpha_per_block(self):
+        out = extract_attention(_attn_sim(), _history())
+        assert len(out["alphas"]) == 2
+        assert out["alphas"][0].shape == out["senders"].shape
+
+    def test_alphas_normalized_per_receiver(self):
+        out = extract_attention(_attn_sim(), _history())
+        for alpha in out["alphas"]:
+            sums = np.zeros(out["num_nodes"])
+            np.add.at(sums, out["receivers"], alpha)
+            nonzero = sums > 0
+            np.testing.assert_allclose(sums[nonzero], 1.0, rtol=1e-10)
+
+    def test_requires_attention_model(self):
+        fc = FeatureConfig(connectivity_radius=0.4, history=2, bounds=BOUNDS)
+        nc = GNSNetworkConfig(latent_size=8, mlp_hidden_size=8,
+                              mlp_hidden_layers=1, message_passing_steps=1)
+        sim = LearnedSimulator(fc, nc, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            extract_attention(sim, _history())
+
+    def test_distances_within_radius(self):
+        out = extract_attention(_attn_sim(), _history())
+        assert out["distances"].max() <= 0.4 + 1e-9
+
+
+class TestEntropy:
+    def test_uniform_attention_entropy_one(self):
+        receivers = np.array([0, 0, 0, 1, 1])
+        alpha = np.array([1 / 3, 1 / 3, 1 / 3, 0.5, 0.5])
+        h = attention_entropy(alpha, receivers, 3)
+        assert h[0] == pytest.approx(1.0)
+        assert h[1] == pytest.approx(1.0)
+        assert np.isnan(h[2])  # no incoming edges
+
+    def test_focused_attention_entropy_zero(self):
+        receivers = np.array([0, 0, 0])
+        alpha = np.array([1.0, 0.0, 0.0])
+        h = attention_entropy(alpha, receivers, 1)
+        assert h[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_edge_nan(self):
+        h = attention_entropy(np.array([1.0]), np.array([0]), 1)
+        assert np.isnan(h[0])
+
+    def test_on_real_model(self):
+        out = extract_attention(_attn_sim(), _history(n=12))
+        h = attention_entropy(out["alphas"][0], out["receivers"],
+                              out["num_nodes"])
+        valid = h[~np.isnan(h)]
+        assert valid.size > 0
+        assert np.all((valid >= 0.0) & (valid <= 1.0 + 1e-9))
+
+
+class TestDistanceProfile:
+    def test_profile_shapes(self):
+        out = extract_attention(_attn_sim(), _history(n=12))
+        centers, means = attention_by_distance(out["alphas"][0],
+                                               out["distances"], bins=5,
+                                               radius=0.4)
+        assert centers.shape == (5,)
+        assert means.shape == (5,)
+
+    def test_decaying_synthetic_profile(self):
+        rng = np.random.default_rng(0)
+        d = rng.uniform(0, 1, 500)
+        alpha = np.exp(-3 * d)
+        centers, means = attention_by_distance(alpha, d, bins=5, radius=1.0)
+        finite = means[~np.isnan(means)]
+        assert np.all(np.diff(finite) < 0)  # monotone decay recovered
+
+    def test_empty_bins_are_nan(self):
+        d = np.array([0.05, 0.06])
+        alpha = np.array([0.5, 0.5])
+        _, means = attention_by_distance(alpha, d, bins=4, radius=1.0)
+        assert np.isnan(means[-1])

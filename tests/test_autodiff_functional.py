@@ -1,0 +1,100 @@
+"""Tests for composite differentiable functions."""
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.autodiff.functional import (
+    dot_rows, huber_loss, l1_penalty, layer_norm, mae_loss, mse_loss,
+    norm, softmax,
+)
+
+from .helpers import check_grad
+
+RNG = np.random.default_rng(2)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        out = softmax(Tensor(RNG.normal(size=(5, 7))), axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_stable_at_large_logits(self):
+        out = softmax(Tensor(np.array([1000.0, 1000.0, -1000.0])))
+        np.testing.assert_allclose(out.data[:2], 0.5)
+
+    def test_grad(self):
+        check_grad(lambda t: (softmax(t, axis=-1) ** 2).sum(),
+                   RNG.normal(size=(3, 4)), rtol=1e-4)
+
+
+class TestLayerNorm:
+    def test_output_standardized(self):
+        g = Tensor(np.ones(8))
+        b = Tensor(np.zeros(8))
+        out = layer_norm(Tensor(RNG.normal(size=(4, 8)) * 5 + 3), g, b)
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_grad_wrt_input(self):
+        g = Tensor(RNG.normal(size=(6,)))
+        b = Tensor(RNG.normal(size=(6,)))
+        check_grad(lambda t: (layer_norm(t, g, b) ** 2).sum(),
+                   RNG.normal(size=(3, 6)), rtol=1e-4)
+
+    def test_grad_wrt_gamma_beta(self):
+        x = Tensor(RNG.normal(size=(3, 6)))
+        beta = Tensor(np.zeros(6))
+        check_grad(lambda t: (layer_norm(x, t, beta) ** 2).sum(),
+                   RNG.normal(size=(6,)), rtol=1e-5)
+        gamma = Tensor(np.ones(6))
+        check_grad(lambda t: (layer_norm(x, gamma, t) ** 2).sum(),
+                   RNG.normal(size=(6,)), rtol=1e-5)
+
+
+class TestLosses:
+    def test_mse_value(self):
+        loss = mse_loss(Tensor([1.0, 3.0]), np.array([0.0, 0.0]))
+        np.testing.assert_allclose(loss.data, 5.0)
+
+    def test_mse_grad(self):
+        tgt = RNG.normal(size=(4, 2))
+        check_grad(lambda t: mse_loss(t, tgt), RNG.normal(size=(4, 2)))
+
+    def test_mae_value(self):
+        loss = mae_loss(Tensor([1.0, -3.0]), np.zeros(2))
+        np.testing.assert_allclose(loss.data, 2.0)
+
+    def test_huber_matches_mse_inside_delta(self):
+        pred = np.array([0.1, -0.2])
+        h = huber_loss(Tensor(pred), np.zeros(2), delta=1.0)
+        np.testing.assert_allclose(h.data, 0.5 * (pred ** 2).mean())
+
+    def test_huber_linear_outside_delta(self):
+        h = huber_loss(Tensor([10.0]), np.zeros(1), delta=1.0)
+        np.testing.assert_allclose(h.data, 10.0 - 0.5)
+
+    def test_l1_penalty_grad(self):
+        x = RNG.normal(size=(5,))
+        x[np.abs(x) < 0.1] = 0.5
+        check_grad(l1_penalty, x)
+
+    def test_zero_loss_at_target(self):
+        tgt = RNG.normal(size=(3,))
+        assert mse_loss(Tensor(tgt), tgt).item() == 0.0
+
+
+class TestVectorHelpers:
+    def test_norm_value(self):
+        out = norm(Tensor([[3.0, 4.0]]))
+        np.testing.assert_allclose(out.data, [5.0], rtol=1e-9)
+
+    def test_norm_grad_safe_near_zero(self):
+        t = Tensor(np.zeros((2, 2)), requires_grad=True)
+        norm(t).sum().backward()
+        assert np.all(np.isfinite(t.grad))
+
+    def test_dot_rows(self):
+        a = RNG.normal(size=(4, 3))
+        b = RNG.normal(size=(4, 3))
+        np.testing.assert_allclose(dot_rows(Tensor(a), Tensor(b)).data,
+                                   (a * b).sum(axis=1))

@@ -1,0 +1,83 @@
+"""Tests for differentiable gather/scatter — the message-passing primitive."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, gather, scatter_add, scatter_mean, scatter_softmax
+
+from .helpers import check_grad
+
+RNG = np.random.default_rng(1)
+
+
+class TestGather:
+    def test_forward(self):
+        x = Tensor(np.arange(12.0).reshape(4, 3))
+        out = gather(x, np.array([2, 0, 2]))
+        np.testing.assert_allclose(out.data, [[6, 7, 8], [0, 1, 2], [6, 7, 8]])
+
+    def test_grad_with_duplicates(self):
+        idx = np.array([0, 1, 1, 2, 2, 2])
+        check_grad(lambda t: (gather(t, idx) ** 2).sum(), RNG.normal(size=(4, 3)))
+
+
+class TestScatterAdd:
+    def test_forward(self):
+        x = Tensor(np.ones((4, 2)))
+        idx = np.array([0, 0, 1, 3])
+        out = scatter_add(x, idx, 5)
+        np.testing.assert_allclose(out.data, [[2, 2], [1, 1], [0, 0], [1, 1], [0, 0]])
+
+    def test_grad(self):
+        idx = np.array([0, 0, 1, 3])
+        check_grad(lambda t: (scatter_add(t, idx, 5) ** 2).sum(),
+                   RNG.normal(size=(4, 2)))
+
+    def test_roundtrip_gather_scatter(self):
+        # scatter_add(gather(x)) with identity index == x
+        x = RNG.normal(size=(5, 2))
+        idx = np.arange(5)
+        out = scatter_add(gather(Tensor(x), idx), idx, 5)
+        np.testing.assert_allclose(out.data, x)
+
+
+class TestScatterMean:
+    def test_forward(self):
+        x = Tensor(np.array([[2.0], [4.0], [10.0]]))
+        out = scatter_mean(x, np.array([0, 0, 1]), 3)
+        np.testing.assert_allclose(out.data, [[3.0], [10.0], [0.0]])
+
+    def test_grad(self):
+        idx = np.array([0, 0, 1, 1, 1])
+        check_grad(lambda t: (scatter_mean(t, idx, 3) ** 2).sum(),
+                   RNG.normal(size=(5, 2)))
+
+
+class TestScatterSoftmax:
+    def test_normalizes_per_segment(self):
+        logits = Tensor(RNG.normal(size=(7,)))
+        idx = np.array([0, 0, 0, 1, 1, 2, 2])
+        out = scatter_softmax(logits, idx, 3)
+        sums = np.zeros(3)
+        np.add.at(sums, idx, out.data)
+        np.testing.assert_allclose(sums, 1.0)
+
+    def test_single_edge_segment_is_one(self):
+        out = scatter_softmax(Tensor(np.array([5.0])), np.array([0]), 1)
+        np.testing.assert_allclose(out.data, [1.0])
+
+    def test_grad(self):
+        idx = np.array([0, 0, 1, 1, 1])
+        check_grad(lambda t: (scatter_softmax(t, idx, 2) ** 2).sum(),
+                   RNG.normal(size=(5,)), rtol=1e-4)
+
+    def test_invariant_to_constant_shift_per_segment(self):
+        logits = RNG.normal(size=(6,))
+        idx = np.array([0, 0, 0, 1, 1, 1])
+        out1 = scatter_softmax(Tensor(logits), idx, 2).data
+        out2 = scatter_softmax(Tensor(logits + 100.0), idx, 2).data
+        np.testing.assert_allclose(out1, out2, rtol=1e-10)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            scatter_softmax(Tensor(np.zeros((3, 2))), np.array([0, 0, 1]), 2)

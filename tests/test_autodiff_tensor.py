@@ -1,0 +1,262 @@
+"""Unit tests for the autodiff Tensor: every primitive op is gradient-checked
+against central differences, plus graph-mechanics tests (reuse, no_grad,
+broadcasting)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, concatenate, no_grad, stack, where
+
+from .helpers import check_grad
+
+RNG = np.random.default_rng(0)
+
+
+class TestForward:
+    def test_add(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor([3.0, 4.0])
+        np.testing.assert_allclose((a + b).data, [4.0, 6.0])
+
+    def test_scalar_promotion(self):
+        a = Tensor([1.0, 2.0])
+        np.testing.assert_allclose((a + 1).data, [2.0, 3.0])
+        np.testing.assert_allclose((1 + a).data, [2.0, 3.0])
+        np.testing.assert_allclose((2 * a).data, [2.0, 4.0])
+        np.testing.assert_allclose((1 - a).data, [0.0, -1.0])
+        np.testing.assert_allclose((2 / a).data, [2.0, 1.0])
+
+    def test_int_input_promoted_to_float(self):
+        t = Tensor([1, 2, 3])
+        assert np.issubdtype(t.dtype, np.floating)
+
+    def test_matmul_2d(self):
+        a = RNG.normal(size=(3, 4))
+        b = RNG.normal(size=(4, 5))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_comparison_returns_bool_array(self):
+        a = Tensor([1.0, 5.0])
+        assert (a > 2.0).dtype == bool
+        np.testing.assert_array_equal(a > 2.0, [False, True])
+
+    def test_repr(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_item_and_len(self):
+        assert Tensor(3.5).item() == 3.5
+        assert len(Tensor([1.0, 2.0, 3.0])) == 3
+
+
+class TestGradElementwise:
+    @pytest.mark.parametrize("fn", [
+        lambda t: (t * t).sum(),
+        lambda t: (t + 2.0 * t).sum(),
+        lambda t: (t - t * 0.5).sum(),
+        lambda t: (t / 3.0).sum(),
+        lambda t: (3.0 / (t + 5.0)).sum(),
+        lambda t: (-t).sum(),
+        lambda t: (t ** 3).sum(),
+        lambda t: t.exp().sum(),
+        lambda t: (t + 5.0).log().sum(),
+        lambda t: (t + 5.0).sqrt().sum(),
+        lambda t: t.tanh().sum(),
+        lambda t: t.sigmoid().sum(),
+        lambda t: t.sin().sum(),
+        lambda t: t.cos().sum(),
+    ])
+    def test_unary_chains(self, fn):
+        x = RNG.normal(size=(3, 4))
+        check_grad(fn, x)
+
+    def test_relu_grad_away_from_kink(self):
+        x = RNG.normal(size=(10,))
+        x[np.abs(x) < 0.1] = 0.5  # avoid the nondifferentiable point
+        check_grad(lambda t: t.relu().sum(), x)
+
+    def test_abs_grad_away_from_zero(self):
+        x = RNG.normal(size=(10,)) + np.sign(RNG.normal(size=(10,))) * 0.2
+        x[x == 0] = 1.0
+        check_grad(lambda t: t.abs().sum(), x)
+
+    def test_clip_grad(self):
+        x = np.array([-2.0, -0.5, 0.5, 2.0])
+        check_grad(lambda t: (t.clip(-1.0, 1.0) * 3.0).sum(), x)
+
+    def test_pow_tensor_exponent(self):
+        x = np.array([1.0, 2.0, 3.0])
+        e = Tensor(2.0, requires_grad=True)
+        y = (Tensor(x) ** e).sum()
+        y.backward()
+        expected = float(np.sum(x ** 2 * np.log(x)))
+        np.testing.assert_allclose(e.grad, expected, rtol=1e-6)
+
+
+class TestGradReductions:
+    def test_sum_all(self):
+        check_grad(lambda t: t.sum(), RNG.normal(size=(4, 3)))
+
+    def test_sum_axis(self):
+        check_grad(lambda t: (t.sum(axis=0) ** 2).sum(), RNG.normal(size=(4, 3)))
+
+    def test_sum_keepdims(self):
+        check_grad(lambda t: (t.sum(axis=1, keepdims=True) * t).sum(),
+                   RNG.normal(size=(4, 3)))
+
+    def test_mean(self):
+        check_grad(lambda t: (t.mean() * 5.0), RNG.normal(size=(4, 3)))
+
+    def test_mean_axis(self):
+        check_grad(lambda t: (t.mean(axis=1) ** 2).sum(), RNG.normal(size=(4, 3)))
+
+    def test_max(self):
+        x = np.array([[1.0, 5.0, 2.0], [7.0, 0.0, 3.0]])
+        check_grad(lambda t: t.max(axis=1).sum(), x)
+
+    def test_max_global(self):
+        x = np.array([1.0, 5.0, 2.0])
+        check_grad(lambda t: t.max() * 2.0, x)
+
+    def test_min(self):
+        x = np.array([[1.0, 5.0, 2.0], [7.0, 0.0, 3.0]])
+        check_grad(lambda t: t.min(axis=1).sum(), x)
+
+
+class TestGradMatmulShapes:
+    def test_matmul_2d_2d(self):
+        b = RNG.normal(size=(4, 5))
+        check_grad(lambda t: ((t @ Tensor(b)) ** 2).sum(), RNG.normal(size=(3, 4)))
+
+    def test_matmul_grad_rhs(self):
+        a = RNG.normal(size=(3, 4))
+        check_grad(lambda t: ((Tensor(a) @ t) ** 2).sum(), RNG.normal(size=(4, 5)))
+
+    def test_matmul_vec_mat(self):
+        b = RNG.normal(size=(4, 5))
+        check_grad(lambda t: ((t @ Tensor(b)) ** 2).sum(), RNG.normal(size=(4,)))
+
+    def test_matmul_mat_vec(self):
+        a = RNG.normal(size=(3, 4))
+        check_grad(lambda t: ((Tensor(a) @ t) ** 2).sum(), RNG.normal(size=(4,)))
+
+
+class TestGradShapeOps:
+    def test_reshape(self):
+        check_grad(lambda t: (t.reshape(2, 6) ** 2).sum(), RNG.normal(size=(3, 4)))
+
+    def test_transpose(self):
+        b = RNG.normal(size=(3, 4))
+        check_grad(lambda t: ((t.T @ Tensor(b)) ** 2).sum(), RNG.normal(size=(3, 5)))
+
+    def test_getitem_slice(self):
+        check_grad(lambda t: (t[1:3] ** 2).sum(), RNG.normal(size=(5, 2)))
+
+    def test_getitem_fancy_with_duplicates(self):
+        idx = np.array([0, 1, 1, 3])
+        check_grad(lambda t: (t[idx] ** 2).sum(), RNG.normal(size=(5, 2)))
+
+    def test_squeeze_expand(self):
+        check_grad(lambda t: (t.expand_dims(1).squeeze(1) ** 2).sum(),
+                   RNG.normal(size=(4,)))
+
+    def test_concatenate(self):
+        b = RNG.normal(size=(2, 3))
+        check_grad(lambda t: (concatenate([t, Tensor(b)], axis=0) ** 2).sum(),
+                   RNG.normal(size=(4, 3)))
+
+    def test_concatenate_axis1(self):
+        b = RNG.normal(size=(4, 2))
+        check_grad(lambda t: (concatenate([t, Tensor(b)], axis=1) ** 2).sum(),
+                   RNG.normal(size=(4, 3)))
+
+    def test_stack(self):
+        b = RNG.normal(size=(3,))
+        check_grad(lambda t: (stack([t, Tensor(b)], axis=0) ** 2).sum(),
+                   RNG.normal(size=(3,)))
+
+    def test_where(self):
+        cond = np.array([True, False, True, False])
+        b = RNG.normal(size=(4,))
+        check_grad(lambda t: (where(cond, t, Tensor(b)) ** 2).sum(),
+                   RNG.normal(size=(4,)))
+
+
+class TestBroadcasting:
+    def test_add_broadcast_row(self):
+        b = RNG.normal(size=(4,))
+        check_grad(lambda t: ((t + Tensor(b)) ** 2).sum(), RNG.normal(size=(3, 4)))
+
+    def test_add_broadcast_into_bigger(self):
+        a = RNG.normal(size=(3, 4))
+        check_grad(lambda t: ((Tensor(a) + t) ** 2).sum(), RNG.normal(size=(4,)))
+
+    def test_mul_broadcast_col(self):
+        a = RNG.normal(size=(3, 4))
+        check_grad(lambda t: ((Tensor(a) * t) ** 2).sum(), RNG.normal(size=(3, 1)))
+
+    def test_div_broadcast(self):
+        a = RNG.normal(size=(3, 4))
+        check_grad(lambda t: ((Tensor(a) / (t + 5.0)) ** 2).sum(),
+                   RNG.normal(size=(4,)))
+
+
+class TestGraphMechanics:
+    def test_reused_tensor_accumulates(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x * 3.0  # dy/dx = 2x + 3 = 7
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array(2.0), requires_grad=True)
+        a = x * 3.0
+        b = x * 4.0
+        y = a * b  # y = 12 x^2, dy/dx = 24x = 48
+        y.backward()
+        np.testing.assert_allclose(x.grad, 48.0)
+
+    def test_deep_chain(self):
+        x = Tensor(np.array(0.5), requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y * 1.01
+        y.backward()
+        np.testing.assert_allclose(x.grad, 1.01 ** 50, rtol=1e-12)
+
+    def test_no_grad_blocks_tape(self):
+        x = Tensor(np.array(2.0), requires_grad=True)
+        with no_grad():
+            y = x * x
+        assert not y.requires_grad
+        assert y._backward_fn is None
+
+    def test_backward_nonscalar_requires_seed(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(ValueError):
+            y.backward()
+        y.backward(np.ones(2))
+        np.testing.assert_allclose(x.grad, [2.0, 2.0])
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.array(2.0), requires_grad=True)
+        y = (x * 3.0).detach() * x
+        y.backward()
+        np.testing.assert_allclose(x.grad, 6.0)
+
+    def test_multiple_backward_accumulates_leaf_grad(self):
+        x = Tensor(np.array(1.0), requires_grad=True)
+        (x * 2.0).backward()
+        (x * 3.0).backward()
+        np.testing.assert_allclose(x.grad, 5.0)
+
+    def test_zero_grad(self):
+        x = Tensor(np.array(1.0), requires_grad=True)
+        (x * 2.0).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_grad_not_tracked_through_constant(self):
+        x = Tensor(np.array(2.0))
+        y = x * x
+        assert not y.requires_grad

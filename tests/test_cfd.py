@@ -1,0 +1,113 @@
+"""Tests for the lattice-Boltzmann solver: conservation, physics sanity."""
+
+import numpy as np
+import pytest
+
+from repro.cfd import CylinderFlow, LBMConfig, LatticeBoltzmann, cylinder_mask, \
+    vortex_shedding_flow
+
+
+def _small_solver(obstacle=None, **kw):
+    cfg = LBMConfig(nx=40, ny=20, tau=0.6, inflow_velocity=0.05, **kw)
+    return LatticeBoltzmann(cfg, obstacle)
+
+
+class TestBasics:
+    def test_initial_density_near_one(self):
+        s = _small_solver()
+        rho, _ = s.macroscopic()
+        np.testing.assert_allclose(rho, 1.0, atol=1e-2)
+
+    def test_initial_velocity_matches_inflow(self):
+        s = _small_solver()
+        _, u = s.macroscopic()
+        interior = u[5:-5, 5:-5, 0]
+        np.testing.assert_allclose(interior, 0.05, atol=1e-3)
+
+    def test_viscosity_relation(self):
+        s = _small_solver()
+        assert s.viscosity == pytest.approx((0.6 - 0.5) / 3.0)
+
+    def test_reynolds_number(self):
+        s = _small_solver()
+        assert s.reynolds_number(10.0) == pytest.approx(0.05 * 10 / s.viscosity)
+
+    def test_wrong_mask_shape_raises(self):
+        with pytest.raises(ValueError):
+            LatticeBoltzmann(LBMConfig(nx=10, ny=10), np.zeros((5, 5), bool))
+
+    def test_step_is_stable_and_finite(self):
+        s = _small_solver()
+        s.run(200)
+        rho, u = s.macroscopic()
+        assert np.all(np.isfinite(rho)) and np.all(np.isfinite(u))
+        assert np.abs(u).max() < 0.5  # lattice velocities stay subsonic
+
+    def test_solid_nodes_have_zero_velocity(self):
+        mask = cylinder_mask(40, 20, 10, 10, 3)
+        s = _small_solver(obstacle=mask)
+        s.run(50)
+        _, u = s.macroscopic()
+        np.testing.assert_allclose(u[mask], 0.0)
+
+
+class TestPhysics:
+    def test_mass_conservation_closed_interior(self):
+        """Without in/outflow changes, total interior mass stays bounded."""
+        s = _small_solver()
+        rho0 = s.macroscopic()[0][2:-2, :].sum()
+        s.run(100)
+        rho1 = s.macroscopic()[0][2:-2, :].sum()
+        assert abs(rho1 - rho0) / rho0 < 0.05
+
+    def test_channel_flow_develops_profile(self):
+        """No-slip walls: velocity at walls ≈ 0, mid-channel fastest."""
+        s = _small_solver()
+        s.run(800)
+        _, u = s.macroscopic()
+        profile = u[30, :, 0]
+        mid = profile[len(profile) // 2]
+        assert profile[1] < mid and profile[-2] < mid
+
+    def test_obstacle_creates_wake_deficit(self):
+        mask = cylinder_mask(40, 20, 10, 10, 3)
+        s = _small_solver(obstacle=mask)
+        s.run(600)
+        _, u = s.macroscopic()
+        wake = u[16, 10, 0]          # directly behind the cylinder
+        freestream = u[16, 3, 0]     # off-axis
+        assert wake < freestream
+
+    def test_velocity_history_shape(self):
+        s = _small_solver()
+        frames = s.velocity_history(20, record_every=5)
+        assert frames.shape == (5, 40, 20, 2)
+
+
+class TestCylinderFlow:
+    def test_reynolds_number_formula(self):
+        flow = vortex_shedding_flow(nx=60, ny=30, radius=4, tau=0.56,
+                                    inflow=0.06)
+        expected = 0.06 * 8 / ((0.56 - 0.5) / 3)
+        assert flow.reynolds_number == pytest.approx(expected)
+
+    def test_node_types(self):
+        flow = vortex_shedding_flow(nx=60, ny=30, radius=4)
+        types = flow.node_types()
+        assert types.shape == (60, 30)
+        assert (types[0, 1:-1] == 1).all()      # inlet
+        assert (types[-1, 1:-1] == 2).all()     # outlet
+        assert (types[:, 0] == 3).all()         # wall (corners included)
+        assert (types[:, -1] == 3).all()
+        assert (types == 0).sum() > 0           # fluid present
+
+    def test_node_types_subsample(self):
+        flow = vortex_shedding_flow(nx=60, ny=30, radius=4)
+        types = flow.node_types(subsample=2)
+        assert types.shape == (30, 15)
+
+    def test_lift_history_runs(self):
+        flow = vortex_shedding_flow(nx=60, ny=30, radius=4)
+        hist = flow.lift_coefficient_history(10)
+        assert hist.shape == (10,)
+        assert np.all(np.isfinite(hist))

@@ -1,0 +1,101 @@
+"""Tests for trajectory containers, dataset generation, and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Trajectory, generate_box_flow_dataset, load_checkpoint, load_trajectories,
+    normalization_stats, save_checkpoint, save_trajectories, train_test_split,
+)
+
+
+def _toy_trajectory(t=10, n=4, d=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return Trajectory(positions=rng.normal(size=(t, n, d)), dt=0.01,
+                      material=30.0, bounds=np.array([[0.0, 1.0], [0.0, 1.0]]),
+                      meta={"tag": "toy"})
+
+
+class TestTrajectory:
+    def test_shapes(self):
+        t = _toy_trajectory()
+        assert t.num_steps == 10 and t.num_particles == 4 and t.dim == 2
+
+    def test_velocity_acceleration_identities(self):
+        t = _toy_trajectory()
+        v = t.velocities()
+        a = t.accelerations()
+        np.testing.assert_allclose(v, np.diff(t.positions, axis=0))
+        np.testing.assert_allclose(a, np.diff(v, axis=0))
+
+    def test_windows_count_and_content(self):
+        t = _toy_trajectory(t=10)
+        ws = t.windows(history=3)
+        assert len(ws) == 10 - 3 - 1
+        w = ws[0]
+        np.testing.assert_array_equal(w.position_history, t.positions[0:4])
+        np.testing.assert_array_equal(w.target_position, t.positions[4])
+
+    def test_window_target_acceleration(self):
+        t = _toy_trajectory()
+        w = t.windows(2)[0]
+        expected = t.positions[3] - 2 * t.positions[2] + t.positions[1]
+        np.testing.assert_allclose(w.target_acceleration(), expected)
+
+    def test_constant_velocity_zero_acceleration(self):
+        pos = np.cumsum(np.ones((5, 3, 2)), axis=0)
+        t = Trajectory(pos, dt=0.1)
+        np.testing.assert_allclose(t.accelerations(), 0.0)
+
+    def test_bad_shapes_raise(self):
+        with pytest.raises(ValueError):
+            Trajectory(np.zeros((5, 3)), dt=0.1)
+        with pytest.raises(ValueError):
+            Trajectory(np.zeros((5, 3, 2)), dt=0.1, bounds=np.zeros((3, 2)))
+
+
+class TestDatasetGeneration:
+    def test_box_flow_dataset(self):
+        ds = generate_box_flow_dataset(num_trajectories=2, steps=20,
+                                       record_every=5, cells_per_unit=16)
+        assert len(ds) == 2
+        assert ds[0].num_steps == 5  # initial frame + 4 recorded
+        assert ds[0].bounds is not None
+        assert ds[0].material == 30.0
+        # different seeds → different systems
+        assert ds[0].positions.shape != ds[1].positions.shape or \
+            not np.allclose(ds[0].positions, ds[1].positions)
+
+    def test_split(self):
+        ds = [_toy_trajectory(seed=i) for i in range(10)]
+        train, test = train_test_split(ds, test_fraction=0.2, seed=1)
+        assert len(test) == 2 and len(train) == 8
+
+    def test_normalization_stats(self):
+        ds = [_toy_trajectory(seed=i) for i in range(3)]
+        stats = normalization_stats(ds)
+        assert stats["velocity_mean"].shape == (2,)
+        assert np.all(stats["velocity_std"] > 0)
+        assert np.all(stats["acceleration_std"] > 0)
+
+
+class TestIO:
+    def test_trajectory_roundtrip(self, tmp_path):
+        ds = [_toy_trajectory(seed=i) for i in range(3)]
+        path = tmp_path / "ds.npz"
+        save_trajectories(path, ds)
+        loaded = load_trajectories(path)
+        assert len(loaded) == 3
+        for a, b in zip(ds, loaded):
+            np.testing.assert_array_equal(a.positions, b.positions)
+            assert a.dt == b.dt and a.material == b.material
+            np.testing.assert_array_equal(a.bounds, b.bounds)
+            assert b.meta["tag"] == "toy"
+
+    def test_checkpoint_roundtrip(self, tmp_path):
+        state = {"w": np.arange(6.0).reshape(2, 3), "b": np.zeros(3)}
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, state, extra={"step": 7})
+        loaded, extra = load_checkpoint(path)
+        np.testing.assert_array_equal(loaded["w"], state["w"])
+        assert extra["step"] == 7

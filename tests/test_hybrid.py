@@ -1,0 +1,167 @@
+"""Tests for the hybrid GNS/MPM solver, schedules, and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.gns import FeatureConfig, GNSNetworkConfig, LearnedSimulator
+from repro.hybrid import (
+    AdaptiveSchedule, EnergySpikeCriterion, FixedSchedule, HybridSimulator,
+    Phase, boundary_penetration, displacement_error, final_displacement_error,
+    momentum_drift,
+)
+from repro.mpm import granular_box_flow
+
+
+def _tiny_gns(history=2, seed=0):
+    fc = FeatureConfig(connectivity_radius=0.2, history=history,
+                       bounds=np.array([[0.0, 1.0], [0.0, 1.0]]), dim=2)
+    nc = GNSNetworkConfig(latent_size=8, mlp_hidden_size=8, mlp_hidden_layers=1,
+                          message_passing_steps=1)
+    return LearnedSimulator(fc, nc, rng=np.random.default_rng(seed))
+
+
+def _hybrid(schedule=None, history=2, seed=0):
+    spec = granular_box_flow(seed=seed, cells_per_unit=12)
+    gns = _tiny_gns(history=history)
+    schedule = schedule or FixedSchedule(warmup_frames=3, gns_frames=3,
+                                         refine_frames=2)
+    return HybridSimulator(gns, spec.solver, schedule, substeps=2)
+
+
+class TestSchedules:
+    def test_fixed_phases_cover_budget(self):
+        sched = FixedSchedule(warmup_frames=5, gns_frames=10, refine_frames=5)
+        phases = list(sched.phases(40))
+        assert sum(p.frames for p in phases) == 40
+        assert phases[0] == Phase("mpm", 5)
+        assert phases[1] == Phase("gns", 10)
+        assert phases[2] == Phase("mpm", 5)
+
+    def test_fixed_phases_truncate(self):
+        sched = FixedSchedule(warmup_frames=5, gns_frames=10, refine_frames=5)
+        phases = list(sched.phases(12))
+        assert sum(p.frames for p in phases) == 12
+        assert phases[-1].frames == 7  # truncated GNS phase
+
+    def test_budget_smaller_than_warmup(self):
+        phases = list(FixedSchedule(warmup_frames=5).phases(3))
+        assert phases == [Phase("mpm", 3)]
+
+    def test_invalid_schedule_raises(self):
+        with pytest.raises(ValueError):
+            FixedSchedule(warmup_frames=0)
+
+    def test_alternation_pattern(self):
+        sched = FixedSchedule(warmup_frames=2, gns_frames=3, refine_frames=2)
+        engines = [p.engine for p in sched.phases(12)]
+        assert engines == ["mpm", "gns", "mpm", "gns", "mpm"]
+
+
+class TestMetrics:
+    def test_displacement_error_zero_for_identical(self):
+        frames = np.random.default_rng(0).normal(size=(5, 4, 2))
+        np.testing.assert_allclose(displacement_error(frames, frames), 0.0)
+
+    def test_displacement_error_known_value(self):
+        a = np.zeros((3, 2, 2))
+        b = a + [3.0, 4.0]
+        np.testing.assert_allclose(displacement_error(a, b), 5.0)
+        assert final_displacement_error(a, b) == pytest.approx(5.0)
+
+    def test_momentum_drift_zero_for_uniform_motion(self):
+        t = np.arange(6)[:, None, None]
+        frames = np.tile(t * np.array([0.01, 0.0]), (1, 5, 1))
+        np.testing.assert_allclose(momentum_drift(frames), 0.0, atol=1e-15)
+
+    def test_boundary_penetration(self):
+        bounds = np.array([[0.0, 1.0], [0.0, 1.0]])
+        inside = np.full((2, 3, 2), 0.5)
+        assert np.all(boundary_penetration(inside, bounds) == 0.0)
+        outside = inside.copy()
+        outside[1, :, 0] = 1.25
+        pen = boundary_penetration(outside, bounds)
+        assert pen[0] == 0.0 and pen[1] == pytest.approx(0.25)
+
+    def test_energy_spike_criterion(self):
+        crit = EnergySpikeCriterion(ratio=2.0)
+        calm = [np.zeros((3, 2)), np.ones((3, 2)) * 0.01, np.ones((3, 2)) * 0.02]
+        assert not crit(calm)
+        spike = [np.zeros((3, 2)), np.ones((3, 2)) * 0.01, np.ones((3, 2)) * 10.0]
+        assert crit(spike)
+
+    def test_energy_criterion_needs_three_frames(self):
+        crit = EnergySpikeCriterion()
+        assert not crit([np.zeros((2, 2)), np.ones((2, 2))])
+
+    def test_invalid_ratio_raises(self):
+        with pytest.raises(ValueError):
+            EnergySpikeCriterion(ratio=0.5)
+
+
+class TestHybridSimulator:
+    def test_runs_and_counts_frames(self):
+        hybrid = _hybrid()
+        result = hybrid.run(10)
+        assert result.frames.shape[0] == 11  # initial + 10
+        assert len(result.engines) == 10
+        assert result.mpm_frames + result.gns_frames == 10
+        assert result.gns_frames > 0 and result.mpm_frames > 0
+
+    def test_engine_sequence_follows_schedule(self):
+        hybrid = _hybrid()
+        result = hybrid.run(8)
+        assert result.engines[:3] == ["mpm"] * 3
+        assert result.engines[3:6] == ["gns"] * 3
+
+    def test_frames_stay_in_box_after_gns(self):
+        hybrid = _hybrid()
+        result = hybrid.run(10)
+        # MPM state must be clamped inside walls even if GNS wandered
+        pos = hybrid.mpm.particles.positions
+        m = hybrid.mpm.grid.interior_margin()
+        assert pos[:, 0].min() >= m - 1e-9
+        assert pos[:, 0].max() <= hybrid.mpm.grid.size[0] - m + 1e-9
+
+    def test_warmup_shorter_than_history_raises(self):
+        spec = granular_box_flow(seed=0, cells_per_unit=12)
+        gns = _tiny_gns(history=5)
+        with pytest.raises(ValueError):
+            HybridSimulator(gns, spec.solver,
+                            FixedSchedule(warmup_frames=3))
+
+    def test_timings_recorded(self):
+        result = _hybrid().run(8)
+        assert result.mpm_time > 0.0
+        assert result.gns_time > 0.0
+        assert result.total_time == pytest.approx(result.mpm_time + result.gns_time)
+
+    def test_pure_mpm_reference(self):
+        hybrid = _hybrid()
+        frames, secs = hybrid.run_pure_mpm(5)
+        assert frames.shape[0] == 6
+        assert secs > 0
+
+    def test_adaptive_schedule_can_cut_gns_phase(self):
+        # criterion that always fires → each GNS phase should stop at
+        # min_gns_frames
+        sched = AdaptiveSchedule(lambda frames: True, warmup_frames=3,
+                                 gns_frames=5, refine_frames=2,
+                                 min_gns_frames=1)
+        hybrid = _hybrid(schedule=sched)
+        result = hybrid.run(10)
+        # produced GNS runs of length 1 (criterion fires immediately)
+        gns_runs = []
+        count = 0
+        for e in result.engines:
+            if e == "gns":
+                count += 1
+            elif count:
+                gns_runs.append(count)
+                count = 0
+        if count:
+            gns_runs.append(count)
+        assert gns_runs and all(r == 1 for r in gns_runs)
+
+    def test_switch_count(self):
+        result = _hybrid().run(10)
+        assert result.switches >= 1

@@ -1,0 +1,73 @@
+"""Tests for the in-situ GNS oracle."""
+
+import numpy as np
+import pytest
+
+from repro.gns import FeatureConfig, GNSNetworkConfig, LearnedSimulator
+from repro.insitu import InSituOracle
+from repro.mpm import granular_box_flow
+
+
+def _gns(history=2, seed=0):
+    fc = FeatureConfig(connectivity_radius=0.2, history=history,
+                       bounds=np.array([[0.0, 1.0], [0.0, 1.0]]))
+    nc = GNSNetworkConfig(latent_size=8, mlp_hidden_size=8,
+                          mlp_hidden_layers=1, message_passing_steps=1)
+    return LearnedSimulator(fc, nc, rng=np.random.default_rng(seed))
+
+
+def _oracle(render=False, horizon=3, every=2):
+    spec = granular_box_flow(seed=0, cells_per_unit=12)
+    return InSituOracle(spec.solver, _gns(), horizon=horizon, every=every,
+                        substeps=2, render=render, resolution=60)
+
+
+class TestOracle:
+    def test_reports_produced_on_cadence(self):
+        oracle = _oracle()
+        reports = oracle.run(10)
+        assert len(reports) == 5          # every 2 frames
+        assert reports[0].step == 2
+
+    def test_prediction_shapes(self):
+        oracle = _oracle(horizon=4)
+        reports = oracle.run(6)
+        n = oracle.solver.particles.count
+        assert reports[0].predicted.shape == (5, n, 2)
+
+    def test_realized_error_scored_when_physics_catches_up(self):
+        oracle = _oracle(horizon=3, every=2)
+        reports = oracle.run(12)
+        scored = [r for r in reports if r.realized_error is not None]
+        unscored = [r for r in reports if r.realized_error is None]
+        assert scored, "early previews must be scored"
+        assert all(r.realized_error.shape == (3,) for r in scored)
+        # the last preview extends beyond the run: not yet scored
+        assert unscored and unscored[-1].step == reports[-1].step
+
+    def test_untrained_oracle_has_nonzero_error(self):
+        oracle = _oracle(horizon=3, every=2)
+        reports = oracle.run(12)
+        scored = [r for r in reports if r.realized_error is not None]
+        assert any(r.realized_error.mean() > 0 for r in scored)
+
+    def test_rendering(self):
+        oracle = _oracle(render=True, horizon=2, every=3)
+        reports = oracle.run(3)
+        assert reports[0].images
+        img = reports[0].images[0]
+        assert img.ndim == 3 and img.shape[2] == 3
+
+    def test_drift_alerts_threshold(self):
+        oracle = _oracle(horizon=3, every=2)
+        oracle.run(12)
+        none_alerted = oracle.drift_alerts(threshold=np.inf)
+        all_alerted = oracle.drift_alerts(threshold=-1.0)
+        assert none_alerted == []
+        scored = [r for r in oracle.reports if r.realized_error is not None]
+        assert len(all_alerted) == len(scored)
+
+    def test_frames_accumulate(self):
+        oracle = _oracle()
+        oracle.run(7)
+        assert oracle.frames().shape[0] == 8  # initial + 7

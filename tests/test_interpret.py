@@ -1,0 +1,140 @@
+"""Tests for the interpretability pipeline: interpretable GNS training,
+message extraction, and law discovery."""
+
+import numpy as np
+import pytest
+
+from repro.interpret import (
+    DiscoveryResult, InterpretableConfig, InterpretableGNS, collect_messages,
+    discover_law, edge_feature_dict, linear_fit_r2, top_components,
+    train_interpretable_gns,
+)
+from repro.nbody import spring_training_samples
+from repro.symreg import LENGTH, SymbolicRegressionConfig
+
+
+def _samples(n_sys=4, n_bodies=4, seed=0):
+    return spring_training_samples(num_systems=n_sys, num_bodies=n_bodies,
+                                   seed=seed)
+
+
+class TestInterpretableGNS:
+    def test_forward_shapes(self):
+        model = InterpretableGNS(InterpretableConfig(message_dim=4, hidden=8,
+                                                     hidden_layers=1))
+        s = _samples(1)[0]
+        acc, msgs = model.forward(*model.build_inputs(s))
+        n = s.positions.shape[0]
+        assert acc.shape == (n, 2)
+        assert msgs.shape == (n * (n - 1), 4)
+
+    def test_training_reduces_loss(self):
+        samples = _samples(6)
+        _, losses = train_interpretable_gns(
+            samples, InterpretableConfig(message_dim=4, hidden=16,
+                                         hidden_layers=1, l1_weight=1e-3,
+                                         learning_rate=3e-3),
+            epochs=15)
+        assert losses[-1] < losses[0]
+
+    def test_l1_shrinks_message_magnitude(self):
+        samples = _samples(4)
+        cfg_no = InterpretableConfig(message_dim=4, hidden=8, hidden_layers=1,
+                                     l1_weight=0.0, seed=1)
+        cfg_l1 = InterpretableConfig(message_dim=4, hidden=8, hidden_layers=1,
+                                     l1_weight=1.0, seed=1)
+        m_no, _ = train_interpretable_gns(samples, cfg_no, epochs=10)
+        m_l1, _ = train_interpretable_gns(samples, cfg_l1, epochs=10)
+        msg_no, _ = collect_messages(m_no, samples)
+        msg_l1, _ = collect_messages(m_l1, samples)
+        assert np.abs(msg_l1).mean() < np.abs(msg_no).mean()
+
+    def test_predict_finite(self):
+        model = InterpretableGNS(InterpretableConfig(message_dim=4, hidden=8,
+                                                     hidden_layers=1))
+        acc = model.predict(_samples(1)[0])
+        assert np.all(np.isfinite(acc))
+
+
+class TestMessages:
+    def test_collect_messages_shapes(self):
+        samples = _samples(3, n_bodies=4)
+        model = InterpretableGNS(InterpretableConfig(message_dim=4, hidden=8,
+                                                     hidden_layers=1))
+        msgs, feats = collect_messages(model, samples)
+        e_per = 4 * 3
+        assert msgs.shape == (3 * e_per, 4)
+        for key in ("dx", "r1", "r2", "m1", "m2", "force"):
+            assert feats[key].shape == (3 * e_per,)
+
+    def test_collect_messages_subsample(self):
+        samples = _samples(3, n_bodies=4)
+        model = InterpretableGNS(InterpretableConfig(message_dim=4, hidden=8,
+                                                     hidden_layers=1))
+        msgs, feats = collect_messages(model, samples, max_edges=10)
+        assert msgs.shape[0] == 10
+        assert feats["dx"].shape == (10,)
+
+    def test_top_components_by_std(self):
+        msgs = np.zeros((100, 3))
+        msgs[:, 1] = np.random.default_rng(0).normal(0, 5.0, 100)
+        msgs[:, 2] = np.random.default_rng(1).normal(0, 1.0, 100)
+        top = top_components(msgs, k=2)
+        assert list(top) == [1, 2]
+
+    def test_linear_fit_r2_perfect(self):
+        ref = np.random.default_rng(0).normal(size=50)
+        assert linear_fit_r2(3.0 * ref + 1.0, ref) == pytest.approx(1.0)
+
+    def test_linear_fit_r2_uncorrelated(self):
+        rng = np.random.default_rng(0)
+        assert linear_fit_r2(rng.normal(size=500), rng.normal(size=500)) < 0.1
+
+
+class TestDiscovery:
+    def test_discover_recovers_spring_extension(self):
+        """SR on the *true* extension law: target = 100·(dx − r1 − r2)."""
+        rng = np.random.default_rng(0)
+        n = 300
+        feats = {
+            "dx": rng.uniform(0.2, 1.0, n),
+            "r1": rng.uniform(0.05, 0.15, n),
+            "r2": rng.uniform(0.05, 0.15, n),
+        }
+        target = 100.0 * (feats["dx"] - feats["r1"] - feats["r2"])
+        result = discover_law(feats, target, SymbolicRegressionConfig(
+            population_size=200, generations=35, seed=0, max_depth=4,
+            const_scale=50.0))
+        assert isinstance(result, DiscoveryResult)
+        assert result.best_mae < 2.0  # law scale is ~50; <5% relative error
+
+    def test_rows_have_dimensional_flags(self):
+        rng = np.random.default_rng(1)
+        feats = {"dx": rng.uniform(0.5, 1.5, 100)}
+        target = 2.0 * feats["dx"]
+        result = discover_law(feats, target, SymbolicRegressionConfig(
+            population_size=60, generations=10, seed=0),
+            var_dims={"dx": LENGTH})
+        assert all(r.dimensional_ok in (True, False, None) for r in result.rows)
+        assert sum(r.chosen for r in result.rows) == 1
+
+    def test_as_table_renders(self):
+        rng = np.random.default_rng(2)
+        feats = {"dx": rng.uniform(0.5, 1.5, 60)}
+        result = discover_law(feats, 3.0 * feats["dx"],
+                              SymbolicRegressionConfig(population_size=40,
+                                                       generations=6, seed=0))
+        table = result.as_table()
+        assert "Derived equation" in table
+        assert "*" in table
+
+
+class TestEdgeFeatureDict:
+    def test_alignment_with_build_inputs(self):
+        s = _samples(1, n_bodies=3)[0]
+        feats = edge_feature_dict(s)
+        n = 3
+        assert feats["dx"].shape == (n * (n - 1),)
+        # dx must equal norm of (dx_x, dx_y)
+        np.testing.assert_allclose(
+            feats["dx"], np.hypot(feats["dx_x"], feats["dx_y"]), atol=1e-12)

@@ -1,0 +1,161 @@
+"""Tests for MeshNet: mesh graphs, simulator, training."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.gns.network import GNSNetworkConfig
+from repro.meshnet import (
+    MeshNetSimulator, MeshNetTrainer, MeshSpec, MeshTrainingConfig, NodeType,
+    build_mesh_graph, fields_to_nodes, mesh_from_lattice, velocity_field_rmse,
+)
+
+
+def _toy_spec(nx=4, ny=3):
+    types = np.zeros(nx * ny, dtype=np.int64)
+    types[:ny] = NodeType.INLET
+    types[-ny:] = NodeType.OUTLET
+    return mesh_from_lattice(nx, ny, types)
+
+
+def _tiny_net():
+    return GNSNetworkConfig(latent_size=8, mlp_hidden_size=8,
+                            mlp_hidden_layers=1, message_passing_steps=1)
+
+
+class TestMeshSpec:
+    def test_mesh_from_lattice(self):
+        spec = _toy_spec()
+        assert spec.num_nodes == 12
+        assert spec.coords.shape == (12, 2)
+        assert spec.senders.shape == spec.receivers.shape
+
+    def test_one_hot_types(self):
+        spec = _toy_spec()
+        oh = spec.one_hot_types()
+        assert oh.shape == (12, 4)
+        np.testing.assert_allclose(oh.sum(axis=1), 1.0)
+
+    def test_edge_features_symmetry(self):
+        spec = _toy_spec()
+        ef = spec.edge_features()
+        assert ef.shape == (spec.senders.size, 3)
+        # distances positive
+        assert np.all(ef[:, 2] > 0)
+
+    def test_bad_node_types_raise(self):
+        with pytest.raises(ValueError):
+            MeshSpec(np.zeros((3, 2)), np.array([0]), np.array([1]),
+                     np.array([0, 9, 0]))
+        with pytest.raises(ValueError):
+            MeshSpec(np.zeros((3, 2)), np.array([0]), np.array([1]),
+                     np.array([0, 0]))
+
+
+class TestBuildGraph:
+    def test_shapes(self):
+        spec = _toy_spec()
+        g = build_mesh_graph(spec, np.zeros((12, 2)))
+        assert g.node_features.shape == (12, 6)
+        assert g.edge_features.shape[1] == 3
+
+    def test_velocity_normalization(self):
+        spec = _toy_spec()
+        v = np.full((12, 2), 4.0)
+        g = build_mesh_graph(spec, v, velocity_scale=2.0)
+        np.testing.assert_allclose(g.node_features.data[:, :2], 2.0)
+
+    def test_velocity_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            build_mesh_graph(_toy_spec(), np.zeros((5, 2)))
+
+    def test_differentiable_wrt_velocity(self):
+        spec = _toy_spec()
+        v = Tensor(np.random.default_rng(0).normal(size=(12, 2)),
+                   requires_grad=True)
+        g = build_mesh_graph(spec, v)
+        (g.node_features ** 2).sum().backward()
+        assert v.grad is not None
+
+
+class TestSimulator:
+    def test_step_preserves_boundaries(self):
+        spec = _toy_spec()
+        sim = MeshNetSimulator(spec, _tiny_net(), rng=np.random.default_rng(0))
+        u0 = np.random.default_rng(1).normal(size=(12, 2))
+        u1 = sim.step(u0, boundary_values=u0)
+        constrained = (spec.node_types == NodeType.INLET) | \
+                      (spec.node_types == NodeType.WALL)
+        np.testing.assert_allclose(u1[constrained], u0[constrained])
+        # unconstrained nodes moved
+        assert not np.allclose(u1[~constrained], u0[~constrained])
+
+    def test_rollout_shape(self):
+        spec = _toy_spec()
+        sim = MeshNetSimulator(spec, _tiny_net(), rng=np.random.default_rng(0))
+        frames = sim.rollout(np.zeros((12, 2)), 5)
+        assert frames.shape == (6, 12, 2)
+
+    def test_rollout_finite(self):
+        spec = _toy_spec()
+        sim = MeshNetSimulator(spec, _tiny_net(), rng=np.random.default_rng(0))
+        frames = sim.rollout(np.random.default_rng(0).normal(size=(12, 2)), 10)
+        assert np.all(np.isfinite(frames))
+
+
+class TestTraining:
+    @staticmethod
+    def _synthetic_frames(spec, t=20, seed=0):
+        """Relaxation toward a fixed field: u_{t+1} = 0.9 u_t + 0.1 u*."""
+        rng = np.random.default_rng(seed)
+        u_star = rng.normal(size=(spec.num_nodes, 2))
+        u = rng.normal(size=(spec.num_nodes, 2))
+        frames = [u]
+        for _ in range(t - 1):
+            u = 0.9 * u + 0.1 * u_star
+            frames.append(u)
+        return np.stack(frames)
+
+    def test_loss_decreases(self):
+        spec = _toy_spec()
+        sim = MeshNetSimulator(spec, _tiny_net(), rng=np.random.default_rng(0))
+        frames = self._synthetic_frames(spec)
+        trainer = MeshNetTrainer(sim, frames, MeshTrainingConfig(
+            learning_rate=3e-3, noise_std=1e-4, seed=0))
+        losses = trainer.train(50)
+        assert np.mean(losses[-10:]) < np.mean(losses[:10])
+
+    def test_scales_calibrated_from_data(self):
+        spec = _toy_spec()
+        sim = MeshNetSimulator(spec, _tiny_net(), rng=np.random.default_rng(0))
+        frames = self._synthetic_frames(spec)
+        MeshNetTrainer(sim, frames)
+        assert sim.velocity_scale == pytest.approx(np.abs(frames).std())
+
+    def test_too_few_frames_raise(self):
+        spec = _toy_spec()
+        sim = MeshNetSimulator(spec, _tiny_net())
+        with pytest.raises(ValueError):
+            MeshNetTrainer(sim, np.zeros((1, 12, 2)))
+        with pytest.raises(ValueError):
+            MeshNetTrainer(sim, np.zeros((5, 12)))
+
+
+class TestHelpers:
+    def test_fields_to_nodes(self):
+        fields = np.arange(2 * 4 * 3 * 2, dtype=float).reshape(2, 4, 3, 2)
+        nodes = fields_to_nodes(fields)
+        assert nodes.shape == (2, 12, 2)
+        # row-major consistency with mesh_from_lattice ids
+        np.testing.assert_allclose(nodes[0, 0], fields[0, 0, 0])
+        np.testing.assert_allclose(nodes[0, 3], fields[0, 1, 0])
+
+    def test_fields_to_nodes_subsample(self):
+        fields = np.zeros((2, 8, 6, 2))
+        nodes = fields_to_nodes(fields, subsample=2)
+        assert nodes.shape == (2, 12, 2)
+
+    def test_velocity_field_rmse(self):
+        a = np.zeros((3, 4, 2))
+        b = np.full((3, 4, 2), 2.0)
+        np.testing.assert_allclose(velocity_field_rmse(a, b), 2.0)

@@ -1,0 +1,94 @@
+"""Tests for in-domain rigid obstacles and the penetration criterion."""
+
+import numpy as np
+import pytest
+
+from repro.hybrid import PenetrationCriterion
+from repro.mpm import Grid, flow_around_obstacle, granular_column_collapse
+
+
+class TestGridObstacle:
+    def test_mask_marks_circle(self):
+        grid = Grid((1.0, 1.0), 1.0 / 16)
+        mask = grid.add_circular_obstacle((0.5, 0.5), 0.2)
+        assert mask.sum() > 0
+        inside = grid.node_positions[mask]
+        d = np.hypot(inside[:, 0] - 0.5, inside[:, 1] - 0.5)
+        assert d.max() <= 0.2 + 1e-12
+
+    def test_masks_accumulate(self):
+        grid = Grid((1.0, 1.0), 1.0 / 16)
+        m1 = grid.add_circular_obstacle((0.3, 0.3), 0.1)
+        m2 = grid.add_circular_obstacle((0.7, 0.7), 0.1)
+        assert grid.obstacle_mask.sum() == (m1 | m2).sum()
+
+    def test_no_mask_by_default(self):
+        assert Grid((1.0, 1.0), 1.0 / 8).obstacle_mask is None
+
+
+class TestFlowAroundObstacle:
+    def test_obstacle_blocks_flow(self):
+        spec = flow_around_obstacle(cells_per_unit=20)
+        s = spec.solver
+        cx, cy = spec.params["obstacle_center"]
+        r = spec.params["obstacle_radius"]
+        s.run(900)
+        pos = s.particles.positions
+        # nothing penetrates the core of the obstacle
+        d = np.hypot(pos[:, 0] - cx, pos[:, 1] - cy)
+        assert (d < 0.7 * r).sum() == 0
+        # the flow advanced up to the obstacle
+        assert np.quantile(pos[:, 0], 0.99) > spec.params["toe_x"] + 0.1
+
+    def test_flow_travels_farther_without_obstacle(self):
+        with_obs = flow_around_obstacle(cells_per_unit=16)
+        free = granular_column_collapse(cells_per_unit=16, column_width=0.4,
+                                        aspect_ratio=1.25)
+        for spec in (with_obs, free):
+            spec.solver.run(700)
+        front_obs = np.quantile(with_obs.solver.particles.positions[:, 0], 0.99)
+        front_free = np.quantile(free.solver.particles.positions[:, 0], 0.99)
+        assert front_free > front_obs
+
+
+class TestPenetrationCriterion:
+    BOUNDS = np.array([[0.0, 1.0], [0.0, 1.0]])
+
+    def test_inside_no_trigger(self):
+        crit = PenetrationCriterion(self.BOUNDS)
+        frames = [np.full((4, 2), 0.5)]
+        assert not crit(frames)
+
+    def test_outside_triggers(self):
+        crit = PenetrationCriterion(self.BOUNDS, threshold=1e-4)
+        bad = np.full((4, 2), 0.5)
+        bad[0, 0] = 1.3
+        assert crit([np.full((4, 2), 0.5), bad])
+
+    def test_threshold_respected(self):
+        crit = PenetrationCriterion(self.BOUNDS, threshold=1.0)
+        bad = np.full((4, 2), 0.5)
+        bad[0, 0] = 1.1   # mean penetration 0.1/4 < 1.0
+        assert not crit([bad])
+
+    def test_empty_frames(self):
+        assert not PenetrationCriterion(self.BOUNDS)([])
+
+    def test_usable_as_adaptive_criterion(self):
+        from repro.gns import FeatureConfig, GNSNetworkConfig, LearnedSimulator
+        from repro.hybrid import AdaptiveSchedule, HybridSimulator
+        from repro.mpm import granular_box_flow
+
+        fc = FeatureConfig(connectivity_radius=0.2, history=2,
+                           bounds=self.BOUNDS)
+        nc = GNSNetworkConfig(latent_size=8, mlp_hidden_size=8,
+                              mlp_hidden_layers=1, message_passing_steps=1)
+        gns = LearnedSimulator(fc, nc, rng=np.random.default_rng(0))
+        spec = granular_box_flow(seed=1, cells_per_unit=12)
+        hybrid = HybridSimulator(
+            gns, spec.solver,
+            AdaptiveSchedule(PenetrationCriterion(self.BOUNDS),
+                             warmup_frames=3, gns_frames=4, refine_frames=2),
+            substeps=2)
+        result = hybrid.run(10)
+        assert result.frames.shape[0] == 11

@@ -1,0 +1,96 @@
+"""Tests for MPM shape functions: partition of unity, gradient consistency,
+reproduction of linear fields."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpm.shape import LinearShape, QuadraticShape, make_shape
+
+GRID_DIMS = (20, 20)
+H = 0.1
+
+
+def _interior_positions(rng, n):
+    # keep particles well inside so all support nodes exist
+    return rng.uniform(3 * H, (GRID_DIMS[0] - 4) * H, size=(n, 2))
+
+
+@pytest.mark.parametrize("shape_cls", [LinearShape, QuadraticShape])
+class TestShapeCommon:
+    def test_partition_of_unity(self, shape_cls):
+        rng = np.random.default_rng(0)
+        k = shape_cls()(_interior_positions(rng, 50), H, GRID_DIMS)
+        np.testing.assert_allclose(k.weights.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_gradients_sum_to_zero(self, shape_cls):
+        rng = np.random.default_rng(1)
+        k = shape_cls()(_interior_positions(rng, 50), H, GRID_DIMS)
+        np.testing.assert_allclose(k.grads.sum(axis=1), 0.0, atol=1e-10)
+
+    def test_weights_nonnegative(self, shape_cls):
+        rng = np.random.default_rng(2)
+        k = shape_cls()(_interior_positions(rng, 100), H, GRID_DIMS)
+        assert np.all(k.weights >= -1e-14)
+
+    def test_reproduces_linear_field(self, shape_cls):
+        """Σ N_i(x) f(x_i) == f(x) for affine f — first-order consistency."""
+        rng = np.random.default_rng(3)
+        pos = _interior_positions(rng, 30)
+        k = shape_cls()(pos, H, GRID_DIMS)
+        ny = GRID_DIMS[1]
+        node_xy = np.stack([(k.nodes // ny) * H, (k.nodes % ny) * H], axis=-1)
+        f_nodes = 2.0 * node_xy[..., 0] - 3.0 * node_xy[..., 1] + 0.7
+        interp = (k.weights * f_nodes).sum(axis=1)
+        expected = 2.0 * pos[:, 0] - 3.0 * pos[:, 1] + 0.7
+        np.testing.assert_allclose(interp, expected, atol=1e-10)
+
+    def test_gradient_of_linear_field_exact(self, shape_cls):
+        rng = np.random.default_rng(4)
+        pos = _interior_positions(rng, 30)
+        k = shape_cls()(pos, H, GRID_DIMS)
+        ny = GRID_DIMS[1]
+        node_xy = np.stack([(k.nodes // ny) * H, (k.nodes % ny) * H], axis=-1)
+        f_nodes = 2.0 * node_xy[..., 0] - 3.0 * node_xy[..., 1]
+        grad = np.einsum("pk,pkd->pd", f_nodes, k.grads)
+        np.testing.assert_allclose(grad, np.tile([2.0, -3.0], (30, 1)), atol=1e-9)
+
+    def test_matches_central_difference(self, shape_cls):
+        """∂N/∂x from the kernel matches finite differences of the weights."""
+        shape = shape_cls()
+        pos = np.array([[0.537, 0.761]])
+        k0 = shape(pos, H, GRID_DIMS)
+        eps = 1e-7
+        for d in range(2):
+            dp = pos.copy()
+            dp[0, d] += eps
+            dm = pos.copy()
+            dm[0, d] -= eps
+            kp = shape(dp, H, GRID_DIMS)
+            km = shape(dm, H, GRID_DIMS)
+            assert np.array_equal(kp.nodes, k0.nodes)  # same support cell
+            num = (kp.weights - km.weights) / (2 * eps)
+            np.testing.assert_allclose(k0.grads[:, :, d], num, atol=1e-6)
+
+
+class TestQuadraticSpecific:
+    def test_nine_nodes(self):
+        k = QuadraticShape()(np.array([[0.5, 0.5]]), H, GRID_DIMS)
+        assert k.nodes.shape == (1, 9)
+        assert len(np.unique(k.nodes[0])) == 9
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.31, max_value=1.49),
+           st.floats(min_value=0.31, max_value=1.49))
+    def test_property_partition_of_unity(self, x, y):
+        k = QuadraticShape()(np.array([[x, y]]), H, GRID_DIMS)
+        assert abs(k.weights.sum() - 1.0) < 1e-10
+
+
+class TestFactory:
+    def test_make_shape(self):
+        assert isinstance(make_shape("linear"), LinearShape)
+        assert isinstance(make_shape("quadratic"), QuadraticShape)
+        with pytest.raises(ValueError):
+            make_shape("cubic")

@@ -1,0 +1,239 @@
+"""Integration-level MPM tests: conservation, boundary behaviour, physics."""
+
+import numpy as np
+import pytest
+
+from repro.mpm import (
+    BoxBoundary, DruckerPrager, Grid, LinearElastic, MPMConfig, MPMSolver,
+    Particles, apply_geostatic_stress, elastic_block_bounce,
+    granular_box_flow, granular_column_collapse, runout_distance,
+)
+
+
+def _free_fall_solver(gravity=(0.0, -9.81)):
+    grid = Grid((1.0, 1.0), 1.0 / 16, BoxBoundary(friction=0.0, mode="slip"))
+    mat = LinearElastic(density=1000.0, youngs_modulus=1e5, poisson_ratio=0.3)
+    p = Particles.from_block((0.4, 0.6), (0.6, 0.8), 1.0 / 32, mat.density)
+    return MPMSolver(grid, p, mat, MPMConfig(gravity=gravity))
+
+
+class TestConservation:
+    def test_mass_is_constant(self):
+        s = _free_fall_solver()
+        m0 = s.particles.total_mass()
+        s.run(20)
+        assert s.particles.total_mass() == pytest.approx(m0)
+
+    def test_p2g_conserves_mass_and_momentum(self):
+        s = _free_fall_solver(gravity=(0.0, 0.0))
+        p = s.particles
+        p.velocities[:] = np.random.default_rng(0).normal(size=p.velocities.shape)
+        mom0 = p.total_momentum()
+        s.step(dt=1e-4)
+        # without gravity and away from walls, momentum is conserved
+        np.testing.assert_allclose(p.total_momentum(), mom0, rtol=1e-6, atol=1e-9)
+
+    def test_gravity_adds_momentum_linearly(self):
+        s = _free_fall_solver()
+        p = s.particles
+        m = p.total_mass()
+        dt = 1e-4
+        for _ in range(10):
+            s.step(dt=dt)
+        expected_py = -9.81 * m * 10 * dt
+        np.testing.assert_allclose(p.total_momentum()[1], expected_py, rtol=1e-3)
+
+
+class TestFreeFall:
+    def test_matches_analytic_drop(self):
+        s = _free_fall_solver()
+        y0 = s.particles.positions[:, 1].mean()
+        t = 0.0
+        for _ in range(50):
+            t += s.step(dt=2e-4)
+        y = s.particles.positions[:, 1].mean()
+        np.testing.assert_allclose(y0 - y, 0.5 * 9.81 * t * t, rtol=2e-2)
+
+
+class TestBoundaries:
+    def test_particles_stay_in_box(self):
+        spec = granular_box_flow(seed=3, cells_per_unit=16, speed_scale=3.0)
+        s = spec.solver
+        s.run(150)
+        pos = s.particles.positions
+        assert pos[:, 0].min() >= 0.0 and pos[:, 0].max() <= 1.0
+        assert pos[:, 1].min() >= 0.0 and pos[:, 1].max() <= 1.0
+
+    def test_sticky_wall_stops_block(self):
+        grid = Grid((1.0, 1.0), 1.0 / 16, BoxBoundary(mode="sticky"))
+        mat = LinearElastic(density=1000.0, youngs_modulus=1e5, poisson_ratio=0.3)
+        p = Particles.from_block((0.4, 0.15), (0.6, 0.3), 1.0 / 32, mat.density)
+        s = MPMSolver(grid, p, mat, MPMConfig())
+        s.run(200)
+        speed = np.sqrt((p.velocities ** 2).sum(axis=1)).mean()
+        assert speed < 0.5  # block has settled on the floor
+
+    def test_boundary_modes_differ(self):
+        vs = {}
+        for mode in ("slip", "frictional"):
+            grid = Grid((2.0, 1.0), 1.0 / 16, BoxBoundary(friction=0.5, mode=mode))
+            mat = DruckerPrager(density=1800.0, youngs_modulus=1e6,
+                                poisson_ratio=0.3, friction_angle=30.0)
+            p = Particles.from_block((0.2, 0.15), (0.5, 0.45), 1.0 / 32,
+                                     mat.density, velocity=(1.0, 0.0))
+            s = MPMSolver(grid, p, mat, MPMConfig())
+            s.run(100)
+            vs[mode] = p.positions[:, 0].mean()
+        assert vs["slip"] > vs["frictional"]  # wall friction slows the slide
+
+
+class TestMaterials:
+    def test_elastic_uniaxial_stress_increment(self):
+        mat = LinearElastic(density=1.0, youngs_modulus=100.0, poisson_ratio=0.25)
+        strain = np.zeros((1, 2, 2))
+        strain[0, 0, 0] = 0.01
+        dsig, dzz = mat.elastic_increment(strain)
+        lam, mu = mat.lam, mat.mu
+        assert dsig[0, 0, 0] == pytest.approx((lam + 2 * mu) * 0.01)
+        assert dsig[0, 1, 1] == pytest.approx(lam * 0.01)
+        assert dzz[0] == pytest.approx(lam * 0.01)
+
+    def test_dp_elastic_inside_yield(self):
+        mat = DruckerPrager(density=1.0, youngs_modulus=100.0, poisson_ratio=0.25,
+                            friction_angle=30.0, cohesion=100.0)
+        # tiny strain, huge cohesion: must behave elastically
+        strain = np.full((1, 2, 2), 1e-6)
+        strain[0, 0, 1] = strain[0, 1, 0] = 0.0
+        s0 = np.zeros((1, 2, 2))
+        out, _ = mat.update_stress(s0, np.zeros(1), strain, np.zeros((1, 2, 2)))
+        elastic, _ = mat.elastic_increment(strain)
+        np.testing.assert_allclose(out, elastic, rtol=1e-12)
+
+    def test_dp_caps_shear_stress(self):
+        mat = DruckerPrager(density=1.0, youngs_modulus=1e4, poisson_ratio=0.25,
+                            friction_angle=30.0, cohesion=0.0)
+        # pure shear with zero pressure and zero cohesion must collapse to ~0
+        strain = np.zeros((1, 2, 2))
+        strain[0, 0, 1] = strain[0, 1, 0] = 0.05
+        out, _ = mat.update_stress(np.zeros((1, 2, 2)), np.zeros(1), strain,
+                                   np.zeros((1, 2, 2)))
+        assert abs(out[0, 0, 1]) < 1e-8
+
+    def test_dp_shear_strength_grows_with_pressure(self):
+        mat = DruckerPrager(density=1.0, youngs_modulus=1e4, poisson_ratio=0.25,
+                            friction_angle=30.0, cohesion=0.0)
+        strain = np.zeros((1, 2, 2))
+        strain[0, 0, 1] = strain[0, 1, 0] = 0.05
+        results = []
+        for pressure in (0.0, -50.0, -100.0):  # compression negative
+            s0 = np.zeros((1, 2, 2))
+            s0[0, 0, 0] = s0[0, 1, 1] = pressure
+            out, _ = mat.update_stress(s0, np.full(1, pressure), strain,
+                                       np.zeros((1, 2, 2)))
+            results.append(abs(out[0, 0, 1]))
+        assert results[0] < results[1] < results[2]
+
+    def test_dp_tension_cutoff(self):
+        mat = DruckerPrager(density=1.0, youngs_modulus=1e4, poisson_ratio=0.25,
+                            friction_angle=30.0, cohesion=0.0)
+        strain = np.eye(2)[None] * 0.05  # strong dilation → tension
+        out, szz = mat.update_stress(np.zeros((1, 2, 2)), np.zeros(1), strain,
+                                     np.zeros((1, 2, 2)))
+        p_mean = (out[0, 0, 0] + out[0, 1, 1] + szz[0]) / 3.0
+        assert p_mean <= 1e-8  # cohesionless soil cannot carry tension
+
+    def test_higher_friction_angle_is_stronger(self):
+        def cap(phi):
+            mat = DruckerPrager(density=1.0, youngs_modulus=1e4,
+                                poisson_ratio=0.25, friction_angle=phi)
+            strain = np.zeros((1, 2, 2))
+            strain[0, 0, 1] = strain[0, 1, 0] = 0.05
+            s0 = -100.0 * np.eye(2)[None]
+            out, _ = mat.update_stress(s0.copy(), np.full(1, -100.0), strain,
+                                       np.zeros((1, 2, 2)))
+            return abs(out[0, 0, 1])
+        assert cap(20.0) < cap(30.0) < cap(40.0)
+
+    def test_wave_speed_positive(self):
+        mat = LinearElastic(density=1000.0, youngs_modulus=1e6, poisson_ratio=0.3)
+        assert mat.wave_speed() > 0
+
+
+class TestScenarios:
+    def test_column_collapse_runs_out(self):
+        spec = granular_column_collapse(cells_per_unit=20, particles_per_cell=2)
+        s = spec.solver
+        r0 = runout_distance(s.particles.positions, spec.params["toe_x"])
+        s.run(600)
+        r1 = runout_distance(s.particles.positions, spec.params["toe_x"])
+        assert r0 == pytest.approx(0.0, abs=1e-3)
+        assert r1 > 0.05  # the column collapsed and spread
+
+    def test_lower_friction_runs_farther(self):
+        runouts = {}
+        for phi in (20.0, 45.0):
+            spec = granular_column_collapse(friction_angle=phi,
+                                            cells_per_unit=20)
+            spec.solver.run(400)
+            runouts[phi] = runout_distance(spec.solver.particles.positions,
+                                           spec.params["toe_x"])
+        assert runouts[20.0] > runouts[45.0]
+
+    def test_geostatic_stress_profile(self):
+        spec = granular_column_collapse(geostatic=True)
+        p = spec.particles
+        # deeper particles carry more compression
+        order = np.argsort(p.positions[:, 1])
+        syy = p.stresses[:, 1, 1]
+        assert syy[order[0]] < syy[order[-1]] <= 0.0 + 1e-9
+
+    def test_box_flow_reproducible(self):
+        a = granular_box_flow(seed=5)
+        b = granular_box_flow(seed=5)
+        np.testing.assert_array_equal(a.particles.positions, b.particles.positions)
+
+    def test_box_flow_seeds_differ(self):
+        a = granular_box_flow(seed=1)
+        b = granular_box_flow(seed=2)
+        assert a.particles.positions.shape != b.particles.positions.shape or \
+            not np.allclose(a.particles.positions, b.particles.positions)
+
+    def test_elastic_block_bounces(self):
+        spec = elastic_block_bounce(cells_per_unit=16)
+        s = spec.solver
+        y0 = s.particles.positions[:, 1].mean()
+        lowest = y0
+        for _ in range(400):
+            s.step()
+            lowest = min(lowest, s.particles.positions[:, 1].mean())
+        # fell measurably and did not fall through the floor
+        assert lowest < y0 - 0.1
+        assert s.particles.positions[:, 1].min() > 0.0
+
+    def test_column_too_big_raises(self):
+        with pytest.raises(ValueError):
+            granular_column_collapse(column_width=5.0)
+
+
+class TestSolverMechanics:
+    def test_rollout_records_frames(self):
+        spec = granular_box_flow(seed=0, cells_per_unit=16)
+        frames = spec.solver.rollout(10, record_every=2)
+        assert frames.shape[0] == 6  # initial + 5 recorded
+
+    def test_missing_material_raises(self):
+        grid = Grid((1.0, 1.0), 1.0 / 8)
+        mat = LinearElastic(density=1.0, youngs_modulus=1.0, poisson_ratio=0.3)
+        p = Particles.from_block((0.3, 0.3), (0.6, 0.6), 1.0 / 16, 1.0)
+        p.material_ids[:] = 7
+        with pytest.raises(KeyError):
+            MPMSolver(grid, p, {0: mat})
+
+    def test_stable_dt_respects_override(self):
+        spec = granular_box_flow(seed=0)
+        spec.solver.config.dt = 1.23e-4
+        assert spec.solver.stable_dt() == 1.23e-4
+
+    def test_grid_spacing_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Grid((1.05, 1.0), 0.1)

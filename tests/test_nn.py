@@ -1,0 +1,162 @@
+"""Tests for nn: modules, MLP, optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.autodiff.functional import mse_loss
+from repro.nn import (
+    MLP, Adam, ExponentialDecay, LayerNorm, Linear, Module, Parameter, SGD,
+    Sequential, clip_grad_norm, default_rng,
+)
+
+from .helpers import check_grad
+
+
+class TestModule:
+    def test_parameter_registration(self):
+        class M(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones(3))
+                self.sub = Linear(2, 2, default_rng(0))
+
+        m = M()
+        names = [n for n, _ in m.named_parameters()]
+        assert "w" in names
+        assert "sub.weight" in names and "sub.bias" in names
+
+    def test_num_parameters(self):
+        lin = Linear(3, 4, default_rng(0))
+        assert lin.num_parameters() == 3 * 4 + 4
+
+    def test_state_dict_roundtrip(self):
+        rng = default_rng(0)
+        a = MLP([3, 8, 2], rng)
+        b = MLP([3, 8, 2], default_rng(1))
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.random.default_rng(2).normal(size=(5, 3)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_state_dict_mismatch_raises(self):
+        a = MLP([3, 8, 2], default_rng(0))
+        b = MLP([3, 4, 2], default_rng(0))
+        with pytest.raises((KeyError, ValueError)):
+            b.load_state_dict(a.state_dict())
+
+    def test_zero_grad(self):
+        lin = Linear(2, 2, default_rng(0))
+        out = lin(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+    def test_list_of_modules_registered(self):
+        seq = Sequential(Linear(2, 3, default_rng(0)), Linear(3, 1, default_rng(1)))
+        assert seq.num_parameters() == (2 * 3 + 3) + (3 * 1 + 1)
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        mlp = MLP([4, 16, 16, 3], default_rng(0))
+        out = mlp(Tensor(np.zeros((7, 4))))
+        assert out.shape == (7, 3)
+
+    def test_layer_norm_output(self):
+        mlp = MLP([4, 16, 8], default_rng(0), layer_norm=True)
+        out = mlp(Tensor(np.random.default_rng(1).normal(size=(5, 4))))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-9)
+
+    def test_grad_flows_to_all_params(self):
+        mlp = MLP([3, 8, 2], default_rng(0))
+        loss = (mlp(Tensor(np.random.default_rng(1).normal(size=(4, 3)))) ** 2).sum()
+        loss.backward()
+        for p in mlp.parameters():
+            assert p.grad is not None
+
+    def test_grad_wrt_input(self):
+        mlp = MLP([3, 8, 2], default_rng(0), layer_norm=False)
+        x = np.random.default_rng(1).normal(size=(4, 3))
+        check_grad(lambda t: (mlp(t) ** 2).sum(), x, rtol=1e-4, atol=1e-6)
+
+    def test_too_few_sizes_raises(self):
+        with pytest.raises(ValueError):
+            MLP([4], default_rng(0))
+
+
+class TestOptim:
+    @staticmethod
+    def _quadratic_problem():
+        # minimize ||W x - y||^2 over W
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(20, 3)))
+        w_true = rng.normal(size=(3, 2))
+        y = x.data @ w_true
+        w = Parameter(np.zeros((3, 2)))
+        return x, y, w
+
+    def test_sgd_converges_on_quadratic(self):
+        x, y, w = self._quadratic_problem()
+        opt = SGD([w], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss = mse_loss(x @ w, y)
+            loss.backward()
+            opt.step()
+        assert mse_loss(x @ w, y).item() < 1e-6
+
+    def test_sgd_momentum_converges(self):
+        x, y, w = self._quadratic_problem()
+        opt = SGD([w], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            opt.zero_grad()
+            mse_loss(x @ w, y).backward()
+            opt.step()
+        assert mse_loss(x @ w, y).item() < 1e-8
+
+    def test_adam_converges(self):
+        x, y, w = self._quadratic_problem()
+        opt = Adam([w], lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            mse_loss(x @ w, y).backward()
+            opt.step()
+        assert mse_loss(x @ w, y).item() < 1e-6
+
+    def test_optimizer_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        pre = clip_grad_norm([p], 1.0)
+        np.testing.assert_allclose(pre, 20.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_clip_noop_below_threshold(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 0.1)
+        clip_grad_norm([p], 10.0)
+        np.testing.assert_allclose(p.grad, 0.1)
+
+    def test_exponential_decay_schedule(self):
+        sched = ExponentialDecay(1e-4, final_lr=1e-6, decay_rate=0.1, decay_steps=100)
+        assert sched(0) == pytest.approx(1e-4)
+        assert sched(100) == pytest.approx(1e-6 + (1e-4 - 1e-6) * 0.1)
+        assert sched(10_000) == pytest.approx(1e-6, rel=1e-3)
+
+    def test_schedule_apply_sets_lr(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        ExponentialDecay(0.5).apply(opt, 0)
+        assert opt.lr == pytest.approx(0.5)
+
+
+class TestLayerNormModule:
+    def test_affine_params_trainable(self):
+        ln = LayerNorm(4)
+        out = (ln(Tensor(np.random.default_rng(0).normal(size=(3, 4)))) ** 2).sum()
+        out.backward()
+        assert ln.gamma.grad is not None and ln.beta.grad is not None

@@ -1,0 +1,193 @@
+"""Tests for the data-parallel substrate: ring allreduce, gradient workers,
+graph partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Trajectory
+from repro.gns import FeatureConfig, GNSNetworkConfig, LearnedSimulator
+from repro.parallel import (
+    DataParallelConfig, DataParallelTrainer, allreduce_state,
+    communication_volume, edge_cut, halo_nodes, partition_graph,
+    ring_allreduce, worker_gradients,
+)
+
+BOUNDS = np.array([[0.0, 1.0], [0.0, 1.0]])
+
+
+class TestRingAllreduce:
+    def test_matches_mean_two_workers(self):
+        rng = np.random.default_rng(0)
+        grads = [rng.normal(size=(4, 5)) for _ in range(2)]
+        out = ring_allreduce(grads)
+        expected = np.mean(grads, axis=0)
+        for o in out:
+            np.testing.assert_allclose(o, expected, rtol=1e-12)
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7])
+    def test_matches_mean_many_workers(self, p):
+        rng = np.random.default_rng(p)
+        grads = [rng.normal(size=23) for _ in range(p)]
+        out = ring_allreduce(grads)
+        expected = np.mean(grads, axis=0)
+        for o in out:
+            np.testing.assert_allclose(o, expected, rtol=1e-10, atol=1e-12)
+
+    def test_small_tensor_fewer_elements_than_workers(self):
+        grads = [np.array([float(i)]) for i in range(5)]
+        out = ring_allreduce(grads)
+        for o in out:
+            np.testing.assert_allclose(o, 2.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ring_allreduce([np.zeros(3), np.zeros(4)])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ring_allreduce([])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=40),
+           st.integers(min_value=0, max_value=10_000))
+    def test_property_equals_mean(self, p, n, seed):
+        rng = np.random.default_rng(seed)
+        grads = [rng.normal(size=n) for _ in range(p)]
+        out = ring_allreduce(grads)
+        expected = np.mean(grads, axis=0)
+        for o in out:
+            np.testing.assert_allclose(o, expected, rtol=1e-9, atol=1e-12)
+
+    def test_allreduce_state(self):
+        states = [{"w": np.ones(3) * i, "b": np.ones(2)} for i in range(3)]
+        out = allreduce_state(states)
+        np.testing.assert_allclose(out["w"], 1.0)
+        np.testing.assert_allclose(out["b"], 1.0)
+
+    def test_allreduce_state_key_mismatch(self):
+        with pytest.raises(ValueError):
+            allreduce_state([{"a": np.zeros(1)}, {"b": np.zeros(1)}])
+
+
+def _tiny_sim(seed=0):
+    fc = FeatureConfig(connectivity_radius=0.4, history=2, bounds=BOUNDS, dim=2)
+    nc = GNSNetworkConfig(latent_size=8, mlp_hidden_size=8, mlp_hidden_layers=1,
+                          message_passing_steps=1)
+    return LearnedSimulator(fc, nc, rng=np.random.default_rng(seed))
+
+
+def _toy_trajectory(seed=0, t=8, n=5):
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(0.3, 0.7, size=(n, 2))
+    frames = [base]
+    for _ in range(t - 1):
+        frames.append(frames[-1] + rng.normal(0, 0.002, size=(n, 2)))
+    return Trajectory(np.stack(frames), dt=1.0, material=30.0, bounds=BOUNDS)
+
+
+class TestDataParallelTrainer:
+    def test_sequential_training_runs(self):
+        sim = _tiny_sim()
+        trainer = DataParallelTrainer(sim, [_toy_trajectory()],
+                                      DataParallelConfig(num_workers=2,
+                                                         windows_per_worker=1,
+                                                         learning_rate=1e-3))
+        before = sim.state_dict()
+        trainer.train(3)
+        after = sim.state_dict()
+        changed = any(not np.allclose(before[k], after[k]) for k in before)
+        assert changed
+
+    def test_worker_gradients_deterministic(self):
+        sim = _tiny_sim()
+        windows = _toy_trajectory().windows(2)[:2]
+        g1 = worker_gradients(sim, windows, noise_std=1e-4, seed=7)
+        g2 = worker_gradients(sim, windows, noise_std=1e-4, seed=7)
+        for k in g1:
+            np.testing.assert_allclose(g1[k], g2[k])
+
+    def test_equivalent_to_single_worker_large_batch(self):
+        """P workers × W windows with allreduce must equal 1 worker with
+        the same P·W windows (synchronous data parallelism semantics)."""
+        sim = _tiny_sim()
+        windows = _toy_trajectory().windows(2)[:4]
+        ga = worker_gradients(sim, windows[:2], noise_std=0.0, seed=1)
+        gb = worker_gradients(sim, windows[2:], noise_std=0.0, seed=2)
+        combined = allreduce_state([ga, gb])
+        g_all = worker_gradients(sim, windows, noise_std=0.0, seed=3)
+        for k in combined:
+            np.testing.assert_allclose(combined[k], g_all[k], rtol=1e-8,
+                                       atol=1e-12)
+
+    def test_no_windows_raises(self):
+        short = Trajectory(np.zeros((2, 3, 2)), dt=1.0, bounds=BOUNDS)
+        with pytest.raises(ValueError):
+            DataParallelTrainer(_tiny_sim(), [short])
+
+    def test_process_pool_smoke(self):
+        sim = _tiny_sim()
+        cfg = DataParallelConfig(num_workers=2, windows_per_worker=1,
+                                 use_processes=True)
+        with DataParallelTrainer(sim, [_toy_trajectory()], cfg) as trainer:
+            trainer.train(1)
+        assert trainer.step_count == 1
+
+
+class TestPartitioning:
+    @staticmethod
+    def _grid_graph(n=4):
+        # n×n grid graph edges (bidirectional)
+        ids = np.arange(n * n).reshape(n, n)
+        s = np.concatenate([ids[:-1].ravel(), ids[:, :-1].ravel()])
+        r = np.concatenate([ids[1:].ravel(), ids[:, 1:].ravel()])
+        senders = np.concatenate([s, r])
+        receivers = np.concatenate([r, s])
+        return senders, receivers, n * n
+
+    def test_partition_covers_all_nodes(self):
+        s, r, n = self._grid_graph()
+        parts = partition_graph(s, r, n, 4)
+        assert parts.shape == (n,)
+        assert set(np.unique(parts)) == {0, 1, 2, 3}
+
+    def test_partition_balanced(self):
+        s, r, n = self._grid_graph(6)
+        parts = partition_graph(s, r, n, 2)
+        counts = np.bincount(parts)
+        assert abs(counts[0] - counts[1]) <= 2
+
+    def test_single_partition(self):
+        s, r, n = self._grid_graph()
+        parts = partition_graph(s, r, n, 1)
+        assert (parts == 0).all()
+
+    def test_non_power_of_two_raises(self):
+        s, r, n = self._grid_graph()
+        with pytest.raises(ValueError):
+            partition_graph(s, r, n, 3)
+
+    def test_edge_cut_less_than_total(self):
+        s, r, n = self._grid_graph(6)
+        parts = partition_graph(s, r, n, 2)
+        assert 0 < edge_cut(parts, s, r) < s.size
+
+    def test_halo_nodes_are_external(self):
+        s, r, n = self._grid_graph(4)
+        parts = partition_graph(s, r, n, 2)
+        halo = halo_nodes(parts, s, r, 0)
+        assert halo.size > 0
+        assert (parts[halo] != 0).all()
+
+    def test_communication_volume_positive(self):
+        s, r, n = self._grid_graph(4)
+        parts = partition_graph(s, r, n, 2)
+        assert communication_volume(parts, s, r) > 0
+
+    def test_partitioning_reduces_cut_vs_random(self):
+        s, r, n = self._grid_graph(8)
+        parts = partition_graph(s, r, n, 4)
+        rng = np.random.default_rng(0)
+        random_parts = rng.integers(0, 4, size=n)
+        assert edge_cut(parts, s, r) < edge_cut(random_parts, s, r)

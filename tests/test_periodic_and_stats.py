@@ -1,0 +1,107 @@
+"""Tests for periodic neighbor search and streaming normalization stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import RunningMoments
+from repro.graph import radius_graph, radius_graph_periodic
+
+
+class TestPeriodicRadiusGraph:
+    def test_wraps_across_boundary(self):
+        # particles at opposite edges are neighbors under PBC
+        pos = np.array([[0.05, 0.5], [0.95, 0.5]])
+        s, r = radius_graph_periodic(pos, radius=0.2, box=1.0)
+        pairs = set(zip(s.tolist(), r.tolist()))
+        assert (0, 1) in pairs and (1, 0) in pairs
+        # and are NOT neighbors without PBC
+        s2, r2 = radius_graph(pos, radius=0.2)
+        assert s2.size == 0
+
+    def test_matches_open_search_in_bulk(self):
+        """Away from the boundary, PBC and open search agree."""
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(0.3, 0.7, size=(40, 2))
+        s1, r1 = radius_graph_periodic(pos, 0.08, box=1.0)
+        s2, r2 = radius_graph(pos, 0.08)
+        np.testing.assert_array_equal(s1, s2)
+        np.testing.assert_array_equal(r1, r2)
+
+    def test_rectangular_box(self):
+        pos = np.array([[0.1, 0.5], [1.9, 0.5]])
+        s, r = radius_graph_periodic(pos, radius=0.3, box=np.array([2.0, 1.0]))
+        assert s.size == 2  # wraps in x
+
+    def test_radius_too_large_raises(self):
+        with pytest.raises(ValueError):
+            radius_graph_periodic(np.zeros((2, 2)), radius=0.6, box=1.0)
+
+    def test_include_self(self):
+        pos = np.array([[0.2, 0.2], [0.7, 0.7]])
+        s, r = radius_graph_periodic(pos, 0.1, box=1.0, include_self=True)
+        pairs = set(zip(s.tolist(), r.tolist()))
+        assert (0, 0) in pairs and (1, 1) in pairs
+
+    def test_positions_outside_box_are_wrapped(self):
+        pos = np.array([[1.05, 0.5], [0.95, 0.5]])   # 1.05 wraps to 0.05
+        s, _ = radius_graph_periodic(pos, radius=0.2, box=1.0)
+        assert s.size == 2
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=25),
+           st.integers(min_value=0, max_value=10_000))
+    def test_property_symmetry(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 1, size=(n, 2))
+        s, r = radius_graph_periodic(pos, 0.2, box=1.0)
+        pairs = set(zip(s.tolist(), r.tolist()))
+        assert all((b, a) in pairs for a, b in pairs)
+
+
+class TestRunningMoments:
+    def test_matches_batch_computation(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(3.0, 2.0, size=(1000, 2))
+        rm = RunningMoments(2)
+        for chunk in np.array_split(data, 7):
+            rm.update(chunk)
+        np.testing.assert_allclose(rm.mean, data.mean(axis=0), rtol=1e-12)
+        np.testing.assert_allclose(rm.std(), data.std(axis=0), rtol=1e-12)
+
+    def test_empty_update_noop(self):
+        rm = RunningMoments(2)
+        rm.update(np.zeros((0, 2)))
+        assert rm.count == 0
+
+    def test_empty_std_is_eps(self):
+        rm = RunningMoments(3)
+        np.testing.assert_array_equal(rm.std(eps=1e-6), 1e-6)
+
+    def test_higher_dim_input_reshaped(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(5, 4, 2))
+        rm = RunningMoments(2)
+        rm.update(data)
+        np.testing.assert_allclose(rm.mean, data.reshape(-1, 2).mean(axis=0))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=8))
+    def test_property_chunking_invariance(self, seed, chunks):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(64, 2)) * rng.uniform(0.1, 5.0)
+        one = RunningMoments(2)
+        one.update(data)
+        many = RunningMoments(2)
+        for chunk in np.array_split(data, chunks):
+            many.update(chunk)
+        np.testing.assert_allclose(many.mean, one.mean, rtol=1e-10)
+        np.testing.assert_allclose(many.std(), one.std(), rtol=1e-10)
+
+    def test_stats_raise_on_empty_dataset(self):
+        from repro.data import normalization_stats
+
+        with pytest.raises(ValueError):
+            normalization_stats([])

@@ -1,0 +1,260 @@
+"""Tests for the symbolic regression engine: expressions, operators,
+GA recovery of known laws, selection rule, dimensional analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symreg import (
+    BINARY_OPS, DIMENSIONLESS, FORCE, LENGTH, MASS, UNARY_OPS, Call, Const,
+    ParetoEntry, SymbolicRegressionConfig, SymbolicRegressor, Var,
+    check_dimensions, random_expr, score_front, select_best,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def _b(name, *args):
+    return Call(BINARY_OPS[name], list(args))
+
+
+def _u(name, arg):
+    return Call(UNARY_OPS[name], [arg])
+
+
+class TestExpr:
+    def test_const_eval(self):
+        e = Const(3.5)
+        np.testing.assert_allclose(e.evaluate({"x": np.zeros(4)}), 3.5)
+
+    def test_var_eval(self):
+        e = Var("x")
+        x = RNG.normal(size=5)
+        np.testing.assert_allclose(e.evaluate({"x": x}), x)
+
+    def test_composite_eval(self):
+        # (x + 2) * y
+        e = _b("mul", _b("add", Var("x"), Const(2.0)), Var("y"))
+        x, y = RNG.normal(size=4), RNG.normal(size=4)
+        np.testing.assert_allclose(e.evaluate({"x": x, "y": y}), (x + 2) * y)
+
+    def test_complexity_weights(self):
+        # exp(x) = weight 3 (exp) + 1 (x) = 4; matches Table 1 Eq 3 accounting
+        assert _u("exp", Var("x")).complexity() == 4
+        # (x + c) = 1 + 1 + 1 = 3 — matches Eq 2 (Δx + const) with Cx=3
+        assert _b("add", Var("x"), Const(1.0)).complexity() == 3
+        assert Const(5.0).complexity() == 1  # Eq 1: lone constant, Cx=1
+
+    def test_table1_eq8_complexity(self):
+        # ((dx + (abs((r2*-1.0) + r1)*-1.0))*100.0) → Cx = 12 in the paper
+        e = _b("mul",
+               _b("add", Var("dx"),
+                  _b("mul",
+                     _u("abs", _b("add", _b("mul", Var("r2"), Const(-1.0)),
+                                 Var("r1"))),
+                     Const(-1.0))),
+               Const(100.0))
+        assert e.complexity() == 12
+
+    def test_clone_is_deep(self):
+        e = _b("add", Var("x"), Const(1.0))
+        c = e.clone()
+        c.args[1].value = 99.0
+        assert e.args[1].value == 1.0
+
+    def test_size_depth_nodes(self):
+        e = _b("add", Var("x"), _u("abs", Var("y")))
+        assert e.size() == 4
+        assert e.depth() == 3
+        assert len(e.nodes()) == 4
+
+    def test_variables(self):
+        e = _b("mul", Var("x"), _b("add", Var("y"), Var("x")))
+        assert e.variables() == {"x", "y"}
+
+    def test_str_roundtrippable_format(self):
+        e = _b("mul", _b("add", Var("x"), Const(2.0)), Var("y"))
+        assert str(e) == "((x + 2) * y)"
+
+    def test_mae_mse(self):
+        e = Var("x")
+        data = {"x": np.array([1.0, 2.0])}
+        target = np.array([0.0, 0.0])
+        assert e.mae(data, target) == pytest.approx(1.5)
+        assert e.mse(data, target) == pytest.approx(2.5)
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ValueError):
+            Call(BINARY_OPS["add"], [Var("x")])
+
+
+class TestProtectedOps:
+    def test_safe_div_by_zero(self):
+        e = _b("div", Const(1.0), Var("x"))
+        out = e.evaluate({"x": np.array([0.0, 1.0])})
+        assert np.all(np.isfinite(out))
+
+    def test_safe_log_negative(self):
+        out = _u("log", Var("x")).evaluate({"x": np.array([-5.0, 0.0, 5.0])})
+        assert np.all(np.isfinite(out))
+
+    def test_safe_exp_overflow(self):
+        out = _u("exp", Var("x")).evaluate({"x": np.array([1e6])})
+        assert np.all(np.isfinite(out))
+
+    def test_safe_pow(self):
+        e = _b("pow", Var("x"), Const(0.5))
+        out = e.evaluate({"x": np.array([-4.0, 4.0])})
+        assert np.all(np.isfinite(out))
+
+    def test_comparisons_return_indicator(self):
+        out = _b("gt", Var("x"), Const(0.0)).evaluate({"x": np.array([-1.0, 1.0])})
+        np.testing.assert_array_equal(out, [0.0, 1.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_property_random_expr_always_finite(self, seed):
+        rng = np.random.default_rng(seed)
+        e = random_expr(rng, ["x", "y"], max_depth=4)
+        data = {"x": rng.normal(size=16) * 100, "y": rng.normal(size=16) * 100}
+        assert np.all(np.isfinite(e.evaluate(data)))
+
+
+class TestGA:
+    def test_recovers_linear_law(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-2, 2, size=200)
+        target = 3.0 * x
+        cfg = SymbolicRegressionConfig(population_size=120, generations=25,
+                                       seed=0, max_depth=3)
+        reg = SymbolicRegressor(cfg).fit({"x": x}, target)
+        assert reg.best_ is not None
+        assert reg.best_.mae({"x": x}, target) < 0.05
+
+    def test_recovers_product_law(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0.5, 2, size=200)
+        y = rng.uniform(0.5, 2, size=200)
+        target = x * y
+        cfg = SymbolicRegressionConfig(population_size=150, generations=30,
+                                       seed=1, max_depth=3)
+        reg = SymbolicRegressor(cfg).fit({"x": x, "y": y}, target)
+        assert reg.best_.mae({"x": x, "y": y}, target) < 0.05
+
+    def test_pareto_front_monotone(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, size=100)
+        reg = SymbolicRegressor(SymbolicRegressionConfig(
+            population_size=60, generations=10, seed=2)).fit(
+            {"x": x}, 2.0 * x + 1.0)
+        front = reg.pareto_front()
+        cs = [e.complexity for e in front]
+        maes = [e.mae for e in front]
+        assert cs == sorted(cs)
+        assert all(maes[i] > maes[i + 1] for i in range(len(maes) - 1))
+
+    def test_complexity_cap_respected(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=50)
+        cfg = SymbolicRegressionConfig(population_size=40, generations=5,
+                                       max_complexity=8, seed=0)
+        reg = SymbolicRegressor(cfg).fit({"x": x}, x)
+        # archive may hold anything populated from the initial random pop,
+        # but offspring were capped — check the front's best is sane
+        assert reg.best_ is not None
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=80)
+        t = x ** 2
+        r1 = SymbolicRegressor(SymbolicRegressionConfig(
+            population_size=50, generations=8, seed=9)).fit({"x": x}, t)
+        r2 = SymbolicRegressor(SymbolicRegressionConfig(
+            population_size=50, generations=8, seed=9)).fit({"x": x}, t)
+        assert str(r1.best_) == str(r2.best_)
+
+
+class TestSelection:
+    @staticmethod
+    def _front(values):
+        return [ParetoEntry(c, mae, mae ** 2, Const(0.0)) for c, mae in values]
+
+    def test_selects_biggest_error_drop(self):
+        # complexity 1→5 small drop, 5→8 huge drop, 8→12 small drop
+        front = self._front([(1, 100.0), (5, 90.0), (8, 1e-6), (12, 9e-7)])
+        idx, rows = select_best(front)
+        assert idx == 2
+        assert rows[2].chosen
+
+    def test_single_entry_chosen(self):
+        idx, rows = select_best(self._front([(3, 1.0)]))
+        assert idx == 0 and rows[0].chosen
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            select_best([])
+
+    def test_scores_match_formula(self):
+        front = self._front([(1, 10.0), (3, 1.0)])
+        rows = score_front(front)
+        assert rows[1].score == pytest.approx(-np.log(1.0 / 10.0) / 2)
+
+
+class TestDimensionalAnalysis:
+    DIMS = {"dx": LENGTH, "r1": LENGTH, "r2": LENGTH, "m1": MASS}
+
+    def test_length_plus_length_ok(self):
+        e = _b("add", Var("dx"), Var("r1"))
+        assert check_dimensions(e, self.DIMS)
+
+    def test_length_plus_mass_fails(self):
+        e = _b("add", Var("dx"), Var("m1"))
+        assert not check_dimensions(e, self.DIMS)
+
+    def test_constant_is_wildcard(self):
+        # (dx + c) * c2 can be force: c≡length, c2≡force/length → Table 1 Eq 4 = Y
+        e = _b("mul", _b("add", Var("dx"), Const(-2.35)), Const(92.8))
+        assert check_dimensions(e, self.DIMS, target=FORCE)
+
+    def test_length_result_cannot_be_force(self):
+        # (dx + c) alone is length, not force → Table 1 Eq 2 = N
+        e = _b("add", Var("dx"), Const(-198.9))
+        assert not check_dimensions(e, self.DIMS, target=FORCE)
+
+    def test_exp_of_length_fails(self):
+        # (c + exp(dx)) → Table 1 Eq 3 = N
+        e = _b("add", Const(-203.0), _u("exp", Var("dx")))
+        assert not check_dimensions(e, self.DIMS, target=FORCE)
+
+    def test_table1_eq8_is_dimensionally_valid(self):
+        e = _b("mul",
+               _b("add", Var("dx"),
+                  _b("mul",
+                     _u("abs", _b("add", _b("mul", Var("r2"), Const(-1.0)),
+                                 Var("r1"))),
+                     Const(-1.0))),
+               Const(100.0))
+        assert check_dimensions(e, self.DIMS, target=FORCE)
+
+    def test_pow_integer_exponent(self):
+        e = _b("pow", Var("dx"), Const(2.0))
+        assert check_dimensions(e, self.DIMS)
+        # dx^2 is area — cannot be force
+        assert not check_dimensions(e, self.DIMS, target=FORCE)
+
+    def test_pow_noninteger_requires_dimensionless(self):
+        e = _b("pow", Var("dx"), Const(0.5))
+        assert not check_dimensions(e, self.DIMS)
+
+    def test_inv_negates_dimension(self):
+        e = _u("inv", Var("dx"))
+        assert check_dimensions(e, self.DIMS, target=(0.0, -1.0, 0.0))
+
+    def test_comparison_dimensionless(self):
+        e = _b("gt", Var("dx"), Var("r1"))
+        assert check_dimensions(e, self.DIMS, target=DIMENSIONLESS)
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(KeyError):
+            check_dimensions(Var("zz"), self.DIMS)

@@ -1,0 +1,141 @@
+"""Tests for symreg simplification, serialization, and LaTeX rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symreg import (
+    BINARY_OPS, UNARY_OPS, Call, Const, Var, expr_from_dict, expr_from_json,
+    expr_to_dict, expr_to_json, fold_constants, random_expr, simplify,
+    to_latex,
+)
+
+
+def _b(name, *args):
+    return Call(BINARY_OPS[name], list(args))
+
+
+def _u(name, arg):
+    return Call(UNARY_OPS[name], [arg])
+
+
+class TestFoldConstants:
+    def test_constant_subtree_folds(self):
+        e = _b("add", Var("x"), _b("mul", Const(2.0), Const(3.0)))
+        out = fold_constants(e)
+        assert str(out) == "(x + 6)"
+
+    def test_fully_constant_expression(self):
+        e = _b("mul", _b("add", Const(1.0), Const(2.0)), Const(4.0))
+        out = fold_constants(e)
+        assert isinstance(out, Const) and out.value == 12.0
+
+    def test_leaves_vars_alone(self):
+        e = Var("x")
+        assert str(fold_constants(e)) == "x"
+
+    def test_does_not_mutate_original(self):
+        e = _b("add", Const(1.0), Const(2.0))
+        fold_constants(e)
+        assert str(e) == "(1 + 2)"
+
+
+class TestSimplify:
+    @pytest.mark.parametrize("expr,expected", [
+        (_b("add", Var("x"), Const(0.0)), "x"),
+        (_b("add", Const(0.0), Var("x")), "x"),
+        (_b("sub", Var("x"), Const(0.0)), "x"),
+        (_b("mul", Var("x"), Const(1.0)), "x"),
+        (_b("mul", Const(0.0), Var("x")), "0"),
+        (_b("div", Var("x"), Const(1.0)), "x"),
+        (_b("div", Const(0.0), Var("x")), "0"),
+        (_b("pow", Var("x"), Const(0.0)), "1"),
+        (_u("neg", _u("neg", Var("x"))), "x"),
+        (_u("abs", _u("abs", Var("x"))), "abs(x)"),
+    ])
+    def test_identities(self, expr, expected):
+        assert str(simplify(expr)) == expected
+
+    def test_nested_simplification(self):
+        # ((x * 1) + (0 * y)) → x
+        e = _b("add", _b("mul", Var("x"), Const(1.0)),
+               _b("mul", Const(0.0), Var("y")))
+        assert str(simplify(e)) == "x"
+
+    def test_complexity_never_increases(self):
+        rng = np.random.default_rng(0)
+        for seed in range(30):
+            e = random_expr(np.random.default_rng(seed), ["x", "y"],
+                            max_depth=4)
+            assert simplify(e).complexity() <= e.complexity()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_property_simplify_preserves_semantics(self, seed):
+        rng = np.random.default_rng(seed)
+        e = random_expr(rng, ["x", "y"], max_depth=4)
+        s = simplify(e)
+        data = {"x": rng.normal(size=16), "y": rng.normal(size=16)}
+        np.testing.assert_allclose(s.evaluate(data), e.evaluate(data),
+                                   rtol=1e-9, atol=1e-9)
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        e = _b("mul", _b("add", Var("dx"), Const(-2.35)),
+               _u("abs", Var("r1")))
+        d = expr_to_dict(e)
+        e2 = expr_from_dict(d)
+        assert str(e2) == str(e)
+
+    def test_json_roundtrip_preserves_eval(self):
+        rng = np.random.default_rng(1)
+        e = random_expr(rng, ["x"], max_depth=4)
+        e2 = expr_from_json(expr_to_json(e))
+        data = {"x": rng.normal(size=8)}
+        np.testing.assert_array_equal(e2.evaluate(data), e.evaluate(data))
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError):
+            expr_from_dict({"type": "call", "op": "nope", "args": []})
+
+    def test_bad_type_raises(self):
+        with pytest.raises(ValueError):
+            expr_from_dict({"type": "wat"})
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_property_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        e = random_expr(rng, ["a", "b"], max_depth=4)
+        assert str(expr_from_json(expr_to_json(e))) == str(e)
+
+
+class TestLatex:
+    def test_table1_eq8_rendering(self):
+        e = _b("mul",
+               _b("add", Var("dx"),
+                  _b("mul", _u("abs", _b("add",
+                                         _b("mul", Var("r2"), Const(-1.0)),
+                                         Var("r1"))),
+                     Const(-1.0))),
+               Const(100.0))
+        tex = to_latex(e)
+        assert r"\Delta x" in tex
+        assert r"r_{2}" in tex and r"r_{1}" in tex
+        assert r"\left|" in tex
+
+    def test_fraction(self):
+        assert to_latex(_b("div", Var("x"), Var("y"))) == r"\frac{x}{y}"
+
+    def test_power_and_exp(self):
+        assert to_latex(_b("pow", Var("x"), Const(2.0))) == "{x}^{2}"
+        assert to_latex(_u("exp", Var("x"))) == "e^{x}"
+
+    def test_integer_constants_compact(self):
+        assert to_latex(Const(100.0)) == "100"
+        assert "1.5" in to_latex(Const(1.5))
+
+    def test_comparison(self):
+        assert to_latex(_b("gt", Var("x"), Const(0.0))) == r"\left[x > 0\right]"

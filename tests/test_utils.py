@@ -1,0 +1,68 @@
+"""Tests for timing, profiling and seeding utilities."""
+
+import time
+
+import numpy as np
+
+from repro.utils import Timer, benchmark, profile_block, seed_everything, spawn_rngs
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        with t:
+            time.sleep(0.01)
+        assert t.count == 2
+        assert t.total >= 0.02
+        assert t.mean >= 0.01
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.total == 0.0 and t.count == 0
+
+    def test_mean_of_empty_is_zero(self):
+        assert Timer().mean == 0.0
+
+
+class TestBenchmark:
+    def test_returns_stats(self):
+        out = benchmark(lambda: sum(range(1000)), repeats=3, warmup=1)
+        assert set(out) == {"best", "mean", "times"}
+        assert len(out["times"]) == 3
+        assert out["best"] <= out["mean"] + 1e-12
+
+    def test_warmup_runs_function(self):
+        calls = []
+        benchmark(lambda: calls.append(1), repeats=2, warmup=2)
+        assert len(calls) == 4
+
+
+class TestProfiling:
+    def test_profile_block_prints(self, capsys):
+        with profile_block(limit=3):
+            np.linalg.svd(np.random.default_rng(0).normal(size=(50, 50)))
+        out = capsys.readouterr().out
+        assert "function calls" in out
+
+
+class TestSeeding:
+    def test_spawn_rngs_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.allclose(a.normal(size=5), b.normal(size=5))
+
+    def test_spawn_rngs_reproducible(self):
+        a1, _ = spawn_rngs(42, 2)
+        a2, _ = spawn_rngs(42, 2)
+        np.testing.assert_array_equal(a1.normal(size=5), a2.normal(size=5))
+
+    def test_seed_everything(self):
+        rng = seed_everything(7)
+        x = np.random.rand(3)  # legacy global state
+        seed_everything(7)
+        np.testing.assert_array_equal(np.random.rand(3), x)
+        assert isinstance(rng, np.random.Generator)

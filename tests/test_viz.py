@@ -1,0 +1,325 @@
+"""Tests for the visualization package: colormaps, image encoders
+(round-tripped with independent decoders), GIF LZW, rasterization."""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.viz import (
+    COLORMAPS, get_colormap, quantize_rgb, rasterize_particles, read_ppm,
+    render_field, render_frames, upsample, vorticity, write_gif, write_png,
+    write_ppm,
+)
+from repro.viz.gif import _lzw_encode
+
+
+class TestColormaps:
+    @pytest.mark.parametrize("name", sorted(COLORMAPS))
+    def test_output_shape_dtype(self, name):
+        cm = get_colormap(name)
+        out = cm(np.linspace(0, 1, 10))
+        assert out.shape == (10, 3) and out.dtype == np.uint8
+
+    def test_endpoints(self):
+        cm = get_colormap("grayscale")
+        np.testing.assert_array_equal(cm(np.array([0.0, 1.0]), 0, 1),
+                                      [[0, 0, 0], [255, 255, 255]])
+
+    def test_clipping_out_of_range(self):
+        cm = get_colormap("viridis")
+        out = cm(np.array([-10.0, 10.0]), vmin=0.0, vmax=1.0)
+        np.testing.assert_array_equal(out[0], cm(np.array([0.0]), 0, 1)[0])
+        np.testing.assert_array_equal(out[1], cm(np.array([1.0]), 0, 1)[0])
+
+    def test_nan_maps_to_black(self):
+        out = get_colormap("viridis")(np.array([np.nan, 0.5]))
+        np.testing.assert_array_equal(out[0], [0, 0, 0])
+
+    def test_constant_input_no_crash(self):
+        out = get_colormap("viridis")(np.full(5, 3.0))
+        assert out.shape == (5, 3)
+
+    def test_palette(self):
+        pal = get_colormap("viridis").palette(256)
+        assert pal.shape == (256, 3)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_colormap("nope")
+
+
+class TestPPM:
+    def test_roundtrip(self, tmp_path):
+        img = np.random.default_rng(0).integers(0, 256, (7, 5, 3)).astype(np.uint8)
+        p = tmp_path / "x.ppm"
+        write_ppm(p, img)
+        np.testing.assert_array_equal(read_ppm(p), img)
+
+    def test_bad_shape_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((4, 4)))
+
+
+class TestPNG:
+    @staticmethod
+    def _decode_png(path):
+        """Minimal independent PNG decoder (filter 0 only)."""
+        data = path.read_bytes()
+        assert data[:8] == b"\x89PNG\r\n\x1a\n"
+        pos = 8
+        idat = b""
+        w = h = None
+        while pos < len(data):
+            length = struct.unpack(">I", data[pos:pos + 4])[0]
+            tag = data[pos + 4:pos + 8]
+            payload = data[pos + 8:pos + 8 + length]
+            crc = struct.unpack(">I", data[pos + 8 + length:pos + 12 + length])[0]
+            assert crc == zlib.crc32(tag + payload) & 0xFFFFFFFF
+            if tag == b"IHDR":
+                w, h, depth, ctype = struct.unpack(">IIBB", payload[:10])
+                assert depth == 8 and ctype == 2
+            elif tag == b"IDAT":
+                idat += payload
+            pos += 12 + length
+        raw = zlib.decompress(idat)
+        rows = np.frombuffer(raw, dtype=np.uint8).reshape(h, 1 + w * 3)
+        assert np.all(rows[:, 0] == 0)  # filter byte None
+        return rows[:, 1:].reshape(h, w, 3)
+
+    def test_roundtrip(self, tmp_path):
+        img = np.random.default_rng(1).integers(0, 256, (9, 6, 3)).astype(np.uint8)
+        p = tmp_path / "x.png"
+        write_png(p, img)
+        np.testing.assert_array_equal(self._decode_png(p), img)
+
+    def test_float_input_clipped(self, tmp_path):
+        img = np.full((2, 2, 3), 300.0)
+        p = tmp_path / "y.png"
+        write_png(p, img)
+        np.testing.assert_array_equal(self._decode_png(p), 255)
+
+
+def _lzw_decode(data: bytes, min_code_size: int = 8) -> list[int]:
+    """Independent GIF-LZW decoder implementing the specification."""
+    clear = 1 << min_code_size
+    eoi = clear + 1
+    # bit reader, LSB first
+    bits = 0
+    nbits = 0
+    pos = 0
+
+    def read(width):
+        nonlocal bits, nbits, pos
+        while nbits < width:
+            bits |= data[pos] << nbits
+            nbits += 8
+            pos += 1
+        code = bits & ((1 << width) - 1)
+        bits >>= width
+        nbits -= width
+        return code
+
+    out: list[int] = []
+    width = min_code_size + 1
+    table: list[list[int]] = []
+    prev: list[int] | None = None
+
+    def reset():
+        nonlocal table, width, prev
+        table = [[i] for i in range(clear)] + [[], []]
+        width = min_code_size + 1
+        prev = None
+
+    reset()
+    while True:
+        code = read(width)
+        if code == clear:
+            reset()
+            continue
+        if code == eoi:
+            break
+        if code < len(table) and (code < clear or table[code]):
+            entry = table[code]
+        elif code == len(table) and prev is not None:
+            entry = prev + [prev[0]]
+        else:
+            raise ValueError(f"bad LZW code {code}")
+        out.extend(entry)
+        if prev is not None:
+            table.append(prev + [entry[0]])
+        prev = entry
+        if len(table) == (1 << width) and width < 12:
+            width += 1
+    return out
+
+
+class TestGIF:
+    def test_lzw_roundtrip_small(self):
+        data = np.array([0, 1, 1, 0, 2, 2, 2, 1], dtype=np.uint8)
+        decoded = _lzw_decode(_lzw_encode(data))
+        assert decoded == data.tolist()
+
+    def test_lzw_roundtrip_repetitive(self):
+        data = np.tile(np.arange(16, dtype=np.uint8), 300)
+        decoded = _lzw_decode(_lzw_encode(data))
+        assert decoded == data.tolist()
+
+    def test_lzw_roundtrip_random_big(self):
+        # enough symbols to cross multiple width increases and a reset
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, size=20_000).astype(np.uint8)
+        decoded = _lzw_decode(_lzw_encode(data))
+        assert decoded == data.tolist()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=3000))
+    def test_property_lzw_roundtrip(self, seed, n):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 256, size=n).astype(np.uint8)
+        assert _lzw_decode(_lzw_encode(data)) == data.tolist()
+
+    def test_write_gif_structure(self, tmp_path):
+        rng = np.random.default_rng(0)
+        frames = [rng.integers(0, 256, (8, 10, 3)).astype(np.uint8)
+                  for _ in range(3)]
+        p = tmp_path / "anim.gif"
+        write_gif(p, frames, delay_cs=4)
+        blob = p.read_bytes()
+        assert blob.startswith(b"GIF89a")
+        assert blob.endswith(b"\x3b")
+        w, h = struct.unpack("<HH", blob[6:10])
+        assert (w, h) == (10, 8)
+
+    def test_write_gif_decodes_first_frame(self, tmp_path):
+        pal = get_colormap("viridis").palette(256)
+        frame = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        p = tmp_path / "one.gif"
+        write_gif(p, [frame], palette=pal)
+        blob = p.read_bytes()
+        # skip to the image data: header(6)+lsd(7)+table(256*3)
+        pos = 6 + 7 + 256 * 3
+        assert blob[pos] == 0x21 or blob[pos] == 0x2C  # extension or image
+        # find image separator
+        idx = blob.index(b"\x2c", pos)
+        mcs = blob[idx + 10]
+        assert mcs == 8
+        # collect sub-blocks
+        q = idx + 11
+        data = bytearray()
+        while blob[q] != 0:
+            ln = blob[q]
+            data.extend(blob[q + 1:q + 1 + ln])
+            q += 1 + ln
+        decoded = _lzw_decode(bytes(data))
+        assert decoded == frame.ravel().tolist()
+
+    def test_empty_frames_raise(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_gif(tmp_path / "x.gif", [])
+
+    def test_index_frames_need_palette(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_gif(tmp_path / "x.gif", [np.zeros((4, 4), dtype=np.uint8)])
+
+    def test_mismatched_shapes_raise(self, tmp_path):
+        pal = np.zeros((4, 3), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            write_gif(tmp_path / "x.gif",
+                      [np.zeros((4, 4), np.uint8), np.zeros((5, 4), np.uint8)],
+                      palette=pal)
+
+    def test_quantize_rgb(self):
+        img = np.zeros((2, 2, 3), dtype=np.uint8)
+        img[0, 0] = [255, 255, 255]
+        idx, pal = quantize_rgb(img)
+        assert idx.shape == (2, 2)
+        np.testing.assert_array_equal(pal[idx[0, 0]], [255, 255, 255])
+        np.testing.assert_array_equal(pal[idx[1, 1]], [0, 0, 0])
+
+
+class TestRasterize:
+    BOUNDS = np.array([[0.0, 1.0], [0.0, 1.0]])
+
+    def test_shape_follows_aspect(self):
+        img = rasterize_particles(np.zeros((0, 2)),
+                                  np.array([[0.0, 2.0], [0.0, 1.0]]),
+                                  resolution=100)
+        assert img.shape == (50, 100, 3)
+
+    def test_particle_paints_pixels(self):
+        img = rasterize_particles(np.array([[0.5, 0.5]]), self.BOUNDS,
+                                  resolution=50, radius_px=2)
+        bg = np.array([20, 20, 28], dtype=np.uint8)
+        assert (img != bg).any()
+        # center pixel colored
+        assert not np.array_equal(img[25, 25], bg)
+
+    def test_y_axis_points_up(self):
+        img = rasterize_particles(np.array([[0.5, 0.95]]), self.BOUNDS,
+                                  resolution=50, radius_px=1)
+        bg = np.array([20, 20, 28], dtype=np.uint8)
+        top_half = (img[:25] != bg).any()
+        bottom_half = (img[25:] != bg).any()
+        assert top_half and not bottom_half
+
+    def test_out_of_bounds_particles_clipped_silently(self):
+        img = rasterize_particles(np.array([[5.0, 5.0]]), self.BOUNDS,
+                                  resolution=20)
+        assert img.shape == (20, 20, 3)
+
+    def test_values_change_colors(self):
+        pos = np.array([[0.25, 0.5], [0.75, 0.5]])
+        img = rasterize_particles(pos, self.BOUNDS, resolution=60,
+                                  values=np.array([0.0, 1.0]), radius_px=2)
+        c1 = img[30, 15].copy()
+        c2 = img[30, 45].copy()
+        assert not np.array_equal(c1, c2)
+
+    def test_degenerate_bounds_raise(self):
+        with pytest.raises(ValueError):
+            rasterize_particles(np.zeros((1, 2)),
+                                np.array([[0.0, 0.0], [0.0, 1.0]]))
+
+
+class TestFieldRendering:
+    def test_render_field_shape(self):
+        f = np.random.default_rng(0).normal(size=(30, 20))
+        img = render_field(f, scale=2)
+        assert img.shape == (40, 60, 3)  # (ny*2, nx*2, 3) transposed
+
+    def test_render_field_rejects_3d(self):
+        with pytest.raises(ValueError):
+            render_field(np.zeros((3, 3, 2)))
+
+    def test_upsample(self):
+        out = upsample(np.eye(2), 3)
+        assert out.shape == (6, 6)
+        assert out[0, 0] == 1 and out[2, 2] == 1 and out[0, 3] == 0
+
+    def test_upsample_bad_factor(self):
+        with pytest.raises(ValueError):
+            upsample(np.eye(2), 0)
+
+    def test_vorticity_of_rigid_rotation(self):
+        """u = (−y, x) has uniform vorticity 2."""
+        n = 20
+        x, y = np.meshgrid(np.arange(n, dtype=float),
+                           np.arange(n, dtype=float), indexing="ij")
+        u = np.stack([-y, x], axis=-1)
+        w = vorticity(u)
+        np.testing.assert_allclose(w[2:-2, 2:-2], 2.0, atol=1e-10)
+
+    def test_vorticity_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            vorticity(np.zeros((4, 4)))
+
+    def test_render_frames(self):
+        frames = np.random.default_rng(0).uniform(size=(3, 5, 2))
+        imgs = render_frames(frames, TestRasterize.BOUNDS, resolution=30)
+        assert len(imgs) == 3
+        assert imgs[0].shape == (30, 30, 3)

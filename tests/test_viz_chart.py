@@ -1,0 +1,121 @@
+"""Tests for the bitmap font and line-chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.viz import line_chart, render_text, text_width
+from repro.viz.chart import _fmt, _nice_ticks
+from repro.viz.font import GLYPH_H, GLYPH_W, GLYPHS
+
+
+class TestFont:
+    def test_all_glyphs_well_formed(self):
+        for ch, glyph in GLYPHS.items():
+            assert glyph.shape == (GLYPH_H, GLYPH_W), ch
+            assert glyph.dtype == bool
+
+    def test_digits_distinct(self):
+        digits = [GLYPHS[str(d)].tobytes() for d in range(10)]
+        assert len(set(digits)) == 10
+
+    def test_text_width(self):
+        assert text_width("") == 0
+        assert text_width("A") == GLYPH_W
+        assert text_width("AB") == 2 * GLYPH_W + 1
+        assert text_width("AB", scale=2) == (2 * GLYPH_W + 1) * 2
+
+    def test_render_text_sets_pixels(self):
+        img = np.zeros((20, 40, 3), dtype=np.uint8)
+        render_text(img, 2, 2, "A1", color=(255, 0, 0))
+        assert (img[:, :, 0] == 255).sum() > 10
+        assert (img[:, :, 1] == 0).all()
+
+    def test_lowercase_mapped_to_upper(self):
+        a = np.zeros((10, 10, 3), dtype=np.uint8)
+        b = np.zeros((10, 10, 3), dtype=np.uint8)
+        render_text(a, 0, 0, "a")
+        render_text(b, 0, 0, "A")
+        np.testing.assert_array_equal(a, b)
+
+    def test_clipping_at_borders(self):
+        img = np.zeros((8, 8, 3), dtype=np.uint8)
+        render_text(img, -3, -3, "W")     # must not raise
+        render_text(img, 6, 6, "W")
+        assert img.shape == (8, 8, 3)
+
+    def test_unknown_glyph_blank(self):
+        img = np.zeros((10, 10, 3), dtype=np.uint8)
+        render_text(img, 0, 0, "~")
+        assert img.sum() == 0
+
+    def test_scale(self):
+        img1 = np.zeros((20, 20, 3), dtype=np.uint8)
+        img2 = np.zeros((20, 20, 3), dtype=np.uint8)
+        render_text(img1, 0, 0, "I", scale=1)
+        render_text(img2, 0, 0, "I", scale=2)
+        assert (img2 > 0).sum() == 4 * (img1 > 0).sum()
+
+
+class TestTicksAndFormat:
+    def test_nice_ticks_cover_range(self):
+        ticks = _nice_ticks(0.0, 10.0)
+        assert ticks[0] >= 0.0 and ticks[-1] <= 10.0
+        assert len(ticks) >= 3
+
+    def test_nice_ticks_degenerate(self):
+        ticks = _nice_ticks(5.0, 5.0)
+        assert len(ticks) >= 1
+
+    def test_fmt(self):
+        assert _fmt(0) == "0"
+        assert _fmt(12345.0) == "1.2e+04"
+        assert _fmt(0.0001) == "1.0e-04"
+        assert _fmt(3.0) == "3"
+        assert _fmt(0.25) == "0.250"
+        assert _fmt(1.5) == "1.50"
+
+
+class TestLineChart:
+    def test_output_shape(self):
+        x = np.arange(10.0)
+        img = line_chart({"a": (x, x ** 2)}, size=(320, 200))
+        assert img.shape == (200, 320, 3)
+        assert img.dtype == np.uint8
+
+    def test_multiple_series_use_distinct_colors(self):
+        x = np.arange(20.0)
+        img = line_chart({"up": (x, x), "down": (x, 20 - x)})
+        from repro.viz import SERIES_COLORS
+
+        flat = img.reshape(-1, 3)
+        for color in SERIES_COLORS[:2]:
+            assert (flat == np.asarray(color, dtype=np.uint8)).all(1).any()
+
+    def test_log_y(self):
+        x = np.arange(1.0, 50.0)
+        img = line_chart({"exp": (x, np.exp(x / 10))}, log_y=True)
+        assert img.shape[2] == 3
+
+    def test_log_y_rejects_nonpositive(self):
+        x = np.arange(3.0)
+        with pytest.raises(ValueError):
+            line_chart({"bad": (x, np.array([1.0, -1.0, 2.0]))}, log_y=True)
+
+    def test_nan_breaks_polyline(self):
+        x = np.arange(5.0)
+        y = np.array([1.0, np.nan, 3.0, 4.0, 5.0])
+        img = line_chart({"gap": (x, y)})
+        assert np.isfinite(img).all()
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(ValueError):
+            line_chart({"bad": (np.arange(3.0), np.arange(4.0))})
+
+    def test_constant_series_no_crash(self):
+        x = np.arange(10.0)
+        img = line_chart({"flat": (x, np.ones(10))})
+        assert img.shape[2] == 3
