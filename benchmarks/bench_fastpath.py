@@ -1,0 +1,278 @@
+"""Rollout fast-path benchmark: legacy per-step path vs the inference engine.
+
+Times the 1k-particle GNS rollout two ways:
+
+* **legacy** — a faithful inline copy of the pre-fast-path inference
+  code: fresh ``radius_graph`` each step, concatenation-based feature
+  assembly, per-block edge concats, allocating MLP layers, COO-built
+  segment sums.
+* **engine** — :class:`repro.gns.InferenceEngine`: Verlet-skin neighbor
+  caching, fused split-first-layer MLP kernels, CSR aggregation, and
+  workspace buffer reuse.
+
+Also verifies the correctness contract: the engine's float64 trajectory
+with caching enabled is **bitwise identical** to both the uncached
+(skin=0) engine and the naive ``fast=False`` loop, and matches the
+legacy numerics to float round-off.
+
+Writes ``BENCH_fastpath.json`` (steps/sec old vs new, speedup, cache hit
+rate, per-stage timings). ``--quick`` shrinks the problem for CI smoke
+runs.
+
+Usage::
+
+    python benchmarks/bench_fastpath.py [--quick] [--steps N]
+        [--output PATH] [--fp32]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.gns import FeatureConfig, GNSNetworkConfig, LearnedSimulator, Stats
+from repro.graph import radius_graph
+from scipy import sparse
+
+
+# ----------------------------------------------------------------------
+# Legacy path — inline copy of the pre-fast-path inference code. Kept
+# verbatim (allocation patterns and all) so the speedup is measured
+# against what the repo actually shipped, not a strawman.
+# ----------------------------------------------------------------------
+def _legacy_mlp(mlp, x):
+    dtype = x.dtype.type
+    for lin in mlp.linears[:-1]:
+        w, b = lin.arrays(dtype)
+        x = x @ w + b
+        np.maximum(x, 0.0, out=x)
+    w, b = mlp.linears[-1].arrays(dtype)
+    x = x @ w + b
+    if mlp.norm is not None:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        x = (x - mu) / np.sqrt(var + mlp.norm.eps)
+        x = x * mlp.norm.gamma.data.astype(dtype) \
+            + mlp.norm.beta.data.astype(dtype)
+    return x
+
+
+def _legacy_segment_sum(values, index, num_segments):
+    e = index.shape[0]
+    if e == 0:
+        return np.zeros((num_segments,) + values.shape[1:],
+                        dtype=values.dtype)
+    mat = sparse.csr_matrix((np.ones(e), (index, np.arange(e))),
+                            shape=(num_segments, e))
+    return np.asarray(mat @ values.reshape(e, -1)).reshape(
+        (num_segments,) + values.shape[1:])
+
+
+def _legacy_network_forward(net, node_features, edge_features, senders,
+                            receivers):
+    n = node_features.shape[0]
+    nodes = _legacy_mlp(net.node_encoder, node_features)
+    edges = _legacy_mlp(net.edge_encoder, edge_features)
+    for block in net.blocks:
+        edge_in = np.concatenate([edges, nodes[senders], nodes[receivers]],
+                                 axis=1)
+        messages = _legacy_mlp(block.edge_mlp, edge_in)
+        aggregated = _legacy_segment_sum(messages, receivers, n)
+        node_update = _legacy_mlp(
+            block.node_mlp, np.concatenate([nodes, aggregated], axis=1))
+        nodes = nodes + node_update
+        edges = edges + messages
+    return _legacy_mlp(net.decoder, nodes)
+
+
+def _legacy_build_arrays(featurizer, frames, material):
+    cfg = featurizer.config
+    x_t = frames[-1]
+    n = x_t.shape[0]
+    senders, receivers = radius_graph(
+        x_t, cfg.connectivity_radius, method=cfg.neighbor_method)
+    feats = []
+    for prev, cur in zip(frames[:-1], frames[1:]):
+        feats.append((cur - prev - featurizer.stats.velocity_mean)
+                     / featurizer.stats.velocity_std)
+    if cfg.bounds is not None:
+        lower, upper = cfg.bounds[:, 0], cfg.bounds[:, 1]
+        feats.append(np.clip((x_t - lower) / cfg.connectivity_radius, 0.0, 1.0))
+        feats.append(np.clip((upper - x_t) / cfg.connectivity_radius, 0.0, 1.0))
+    if cfg.use_material:
+        feats.append(np.full((n, 1), float(material) / cfg.material_scale))
+    node_features = np.concatenate(feats, axis=1)
+    rel = (x_t[senders] - x_t[receivers]) / cfg.connectivity_radius
+    dist = np.sqrt((rel ** 2).sum(axis=1, keepdims=True) + 1e-12)
+    edge_features = np.concatenate([rel, dist], axis=1)
+    return node_features, edge_features, senders, receivers
+
+
+def legacy_rollout(sim, initial_history, num_steps, material):
+    frames = [np.asarray(f, dtype=np.float64) for f in initial_history]
+    window_len = sim.feature_config.history + 1
+    dtype = sim.inference_dtype
+    for _ in range(num_steps):
+        window = frames[-window_len:]
+        node_f, edge_f, senders, receivers = _legacy_build_arrays(
+            sim.featurizer, window, material)
+        if dtype != np.float64:
+            node_f = node_f.astype(dtype)
+            edge_f = edge_f.astype(dtype)
+        acc_norm = _legacy_network_forward(
+            sim.network, node_f, edge_f, senders, receivers).astype(np.float64)
+        acc = sim.featurizer.denormalize_acceleration(acc_norm)
+        x_t, x_prev = window[-1], window[-2]
+        frames.append(x_t + (x_t - x_prev + acc))
+    return np.stack(frames, axis=0)
+
+
+# ----------------------------------------------------------------------
+def build_benchmark(n_side: int, latent: int, mp_steps: int, history: int,
+                    seed: int = 0):
+    """Settled granular bed: ~n_side² particles, slow coherent motion so
+    the Verlet cache sees GNS-realistic displacement per step."""
+    rng = np.random.default_rng(seed)
+    spacing = 1.0 / (n_side + 1)
+    radius = 2.33 * spacing
+    xs = (np.arange(n_side) + 1) * spacing
+    grid = np.stack(np.meshgrid(xs, xs), axis=-1).reshape(-1, 2)
+    x0 = grid + rng.uniform(-0.15, 0.15, grid.shape) * spacing
+
+    bounds = np.array([[0.0, 1.0], [0.0, 1.0]])
+    cfg = FeatureConfig(connectivity_radius=radius, history=history,
+                        bounds=bounds, use_material=True)
+    net = GNSNetworkConfig(latent_size=latent, mlp_hidden_size=latent,
+                           mlp_hidden_layers=2,
+                           message_passing_steps=mp_steps)
+    # tiny acceleration scale: untrained-network outputs perturb the
+    # velocity field without blowing up the trajectory
+    vel_scale = 0.03 * spacing
+    stats = Stats(np.zeros(2), np.full(2, vel_scale), np.zeros(2),
+                  np.full(2, 0.02 * vel_scale))
+    sim = LearnedSimulator(cfg, net, stats, rng=np.random.default_rng(1))
+
+    velocity = rng.normal(0.0, vel_scale, size=x0.shape)
+    frames = [x0]
+    for _ in range(history):
+        frames.append(frames[-1] + velocity)
+    return sim, np.stack(frames, axis=0)
+
+
+def run(args) -> dict:
+    n_side = 12 if args.quick else 32
+    latent = 16 if args.quick else 32
+    mp = 3 if args.quick else 5
+    steps = args.steps or (6 if args.quick else 40)
+    sim, seed_frames = build_benchmark(n_side, latent, mp, history=5)
+    if args.fp32:
+        sim.inference_dtype = np.float32
+    n = seed_frames.shape[1]
+    material = 30.0
+
+    print(f"benchmark: {n} particles, latent {latent}, {mp} message-passing "
+          f"steps, {steps} rollout steps, "
+          f"dtype {np.dtype(sim.inference_dtype).name}")
+
+    # --- correctness gate (float64): cached == uncached == naive -------
+    check_steps = min(steps, 10)
+    ref = sim.rollout(seed_frames, check_steps, material=material, fast=False)
+    cached = sim.rollout(seed_frames, check_steps, material=material)
+    uncached = sim.rollout(seed_frames, check_steps, material=material,
+                           skin=0.0)
+    if sim.inference_dtype == np.float64:
+        assert np.array_equal(cached, uncached), \
+            "cached trajectory differs from uncached"
+        assert np.array_equal(cached, ref), \
+            "engine trajectory differs from naive step loop"
+        print(f"correctness: {check_steps}-step cached/uncached/naive "
+              "trajectories bitwise identical")
+    legacy_check = legacy_rollout(sim, seed_frames, check_steps, material)
+    legacy_diff = float(np.max(np.abs(legacy_check - cached)))
+    print(f"correctness: max |engine - legacy| = {legacy_diff:.3e}")
+    assert legacy_diff < 1e-9, "engine diverged from the legacy numerics"
+
+    # --- timed runs (best of N to damp scheduler noise) ----------------
+    repeats = 1 if args.quick else 3
+    legacy_rollout(sim, seed_frames, 2, material)  # warm BLAS/caches
+    legacy_secs = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        legacy_rollout(sim, seed_frames, steps, material)
+        legacy_secs = min(legacy_secs, time.perf_counter() - t0)
+
+    engine = sim.engine()
+    sim.rollout(seed_frames, 2, material=material)  # warm buffers
+    engine_secs = np.inf
+    for _ in range(repeats):
+        engine.cache.invalidate()
+        engine.reset_timers()
+        engine.cache.reset_stats()
+        t0 = time.perf_counter()
+        sim.rollout(seed_frames, steps, material=material)
+        engine_secs = min(engine_secs, time.perf_counter() - t0)
+
+    speedup = legacy_secs / engine_secs
+    cache_stats = engine.cache.stats()
+    result = {
+        "n_particles": int(n),
+        "latent_size": latent,
+        "message_passing_steps": mp,
+        "num_steps": steps,
+        "dtype": np.dtype(sim.inference_dtype).name,
+        "quick": bool(args.quick),
+        "old": {"seconds": legacy_secs,
+                "steps_per_sec": steps / legacy_secs},
+        "new": {"seconds": engine_secs,
+                "steps_per_sec": steps / engine_secs},
+        "speedup": speedup,
+        "cache": {k: (float(v) if isinstance(v, (int, float, np.floating))
+                      else v) for k, v in cache_stats.items()},
+        "stages_ms_per_step": {
+            name: 1e3 * t["mean"] for name, t in engine.timings().items()},
+        "bitwise_cached_vs_uncached": sim.inference_dtype == np.float64,
+        "max_abs_diff_vs_legacy": legacy_diff,
+    }
+
+    print(f"\nlegacy : {steps / legacy_secs:7.2f} steps/sec "
+          f"({legacy_secs:.3f} s)")
+    print(f"engine : {steps / engine_secs:7.2f} steps/sec "
+          f"({engine_secs:.3f} s)")
+    print(f"speedup: {speedup:.2f}x")
+    print(f"cache  : {cache_stats['builds']} builds / "
+          f"{cache_stats['queries']} queries "
+          f"(hit rate {cache_stats['hit_rate']:.1%})")
+    print("stages (ms/step): " + ", ".join(
+        f"{k}={v:.2f}" for k, v in result["stages_ms_per_step"].items()))
+    if not args.quick and speedup < 2.0:
+        print(f"WARNING: speedup {speedup:.2f}x below the 2x target")
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small problem for CI smoke runs")
+    parser.add_argument("--steps", type=int, default=None,
+                        help="timed rollout length")
+    parser.add_argument("--fp32", action="store_true",
+                        help="float32 inference (skips bitwise checks)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_fastpath.json")
+    args = parser.parse_args(argv)
+    result = run(args)
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,11 +7,14 @@ neural-network functions.
 
 from .tensor import Tensor, as_tensor, concatenate, no_grad, is_grad_enabled, stack, where
 from .scatter import gather, scatter_add, scatter_mean, scatter_softmax
+from .fused import fused_edge_mlp, fused_node_mlp, linear_relu, mlp_forward
 from . import functional
+from . import fused
 
 __all__ = [
     "Tensor", "as_tensor", "concatenate", "stack", "where",
     "no_grad", "is_grad_enabled",
     "gather", "scatter_add", "scatter_mean", "scatter_softmax",
-    "functional",
+    "linear_relu", "mlp_forward", "fused_edge_mlp", "fused_node_mlp",
+    "functional", "fused",
 ]

@@ -27,8 +27,14 @@ def segment_sum(values: np.ndarray, index: np.ndarray,
     if e == 0:
         return np.zeros((num_segments,) + values.shape[1:], dtype=values.dtype)
     if values.ndim == 1:
-        return np.bincount(index, weights=values, minlength=num_segments)
-    mat = sparse.csr_matrix((np.ones(e), (index, np.arange(e))),
+        # bincount always computes in float64; cast back so float32
+        # inference stays float32 end to end
+        out = np.bincount(index, weights=values, minlength=num_segments)
+        return out.astype(values.dtype, copy=False)
+    # the matrix must match values.dtype: a float64 ones() here would
+    # silently promote float32 messages and defeat the fp32 fast path
+    mat = sparse.csr_matrix((np.ones(e, dtype=values.dtype),
+                             (index, np.arange(e))),
                             shape=(num_segments, e))
     flat = values.reshape(e, -1)
     out = mat @ flat

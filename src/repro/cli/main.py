@@ -38,6 +38,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--friction-angle", type=float, default=30.0)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--gif", type=Path, default=None, help="optional animation")
+    p.add_argument("--timing", action="store_true",
+                   help="print wall-clock time and steps/sec")
+    p.add_argument("--profile", action="store_true",
+                   help="cProfile the run and print hotspots")
 
     p = sub.add_parser("generate", help="build a GNS training dataset")
     p.add_argument("--output", type=Path, required=True, help="dataset .npz")
@@ -72,6 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rollout length (default: remaining frames)")
     p.add_argument("--gif", type=Path, default=None)
     p.add_argument("--fp32", action="store_true", help="float32 inference")
+    p.add_argument("--skin", type=float, default=None,
+                   help="Verlet neighbor-cache skin (default 0.25*radius)")
+    p.add_argument("--no-fast", action="store_true",
+                   help="use the naive per-step path (no caching/buffers)")
+    p.add_argument("--timing", action="store_true",
+                   help="print per-stage timing breakdown and cache stats")
+    p.add_argument("--profile", action="store_true",
+                   help="cProfile the rollout and print hotspots")
 
     p = sub.add_parser("invert", help="friction-angle inversion (Sec 5)")
     p.add_argument("--checkpoint", type=Path, required=True,
@@ -109,9 +121,23 @@ def _cmd_simulate(args) -> int:
                                  friction_angle=args.friction_angle)
     else:
         spec = dam_break(cells_per_unit=args.cells_per_unit)
+    import contextlib
+    import time
+
+    from ..utils.profiling import profile_block
+
     solver = spec.solver
     dt = solver.stable_dt()
-    frames = solver.rollout(args.steps, record_every=args.record_every, dt=dt)
+    prof = profile_block(limit=15) if args.profile else contextlib.nullcontext()
+    t0 = time.perf_counter()
+    with prof:
+        frames = solver.rollout(args.steps, record_every=args.record_every,
+                                dt=dt)
+    elapsed = time.perf_counter() - t0
+    if args.timing:
+        print(f"timing: {elapsed:.3f} s total, "
+              f"{args.steps / elapsed:.1f} MPM steps/sec "
+              f"({frames.shape[1]} particles)")
     m = solver.grid.interior_margin()
     bounds = np.array([[m, solver.grid.size[0] - m],
                        [m, solver.grid.size[1] - m]])
@@ -207,10 +233,35 @@ def _cmd_rollout(args) -> int:
     steps = args.steps if args.steps is not None else traj.num_steps - (c + 1)
     seed = traj.positions[:c + 1]
     material = traj.material if sim.feature_config.use_material else None
-    predicted = sim.rollout(seed, steps, material=material,
-                            particle_types=traj.particle_types)
+
+    import contextlib
+    import time
+
+    from ..utils.profiling import profile_block
+
+    prof = profile_block(limit=15) if args.profile else contextlib.nullcontext()
+    t0 = time.perf_counter()
+    with prof:
+        predicted = sim.rollout(seed, steps, material=material,
+                                particle_types=traj.particle_types,
+                                fast=not args.no_fast, skin=args.skin)
+    elapsed = time.perf_counter() - t0
     report = compare_trajectories(predicted, traj.positions)
     print(report.as_text())
+    if args.timing:
+        print(f"timing: {elapsed:.3f} s total, {steps / elapsed:.1f} steps/sec "
+              f"({seed.shape[1]} particles)")
+        if not args.no_fast:
+            engine = sim.engine(args.skin)
+            for stage, t in engine.timers.items():
+                if t.count:
+                    share = 100.0 * t.total / max(elapsed, 1e-12)
+                    print(f"  {stage:<10} {t.total:8.3f} s  "
+                          f"({t.mean * 1e3:7.3f} ms/step, {share:4.1f}%)")
+            cs = engine.cache_stats()
+            print(f"  neighbor cache: {cs['builds']} builds / "
+                  f"{cs['queries']} queries (hit rate {cs['hit_rate']:.1%}, "
+                  f"skin {cs['skin']:g})")
     if args.gif is not None and traj.bounds is not None:
         _write_trajectory_gif(args.gif, predicted, traj.bounds)
     return 0

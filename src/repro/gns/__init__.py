@@ -6,6 +6,7 @@ inductive biases, differentiable rollouts, and training utilities.
 
 from .features import FeatureConfig, GNSFeaturizer, Stats
 from .network import EncodeProcessDecode, GNSNetworkConfig, InteractionNetwork
+from .engine import InferenceEngine
 from .noise import random_walk_noise
 from .simulator import LearnedSimulator
 from .checkpointing import checkpointed_rollout_gradient
@@ -18,7 +19,7 @@ __all__ = [
     "FeatureConfig", "GNSFeaturizer", "Stats",
     "EncodeProcessDecode", "GNSNetworkConfig", "InteractionNetwork",
     "random_walk_noise",
-    "LearnedSimulator", "checkpointed_rollout_gradient",
+    "InferenceEngine", "LearnedSimulator", "checkpointed_rollout_gradient",
     "GNSTrainer", "TrainingConfig", "one_step_mse", "rollout_position_error",
     "CheckpointManager", "EarlyStopping", "ExponentialMovingAverage",
     "MetricLogger",

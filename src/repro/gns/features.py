@@ -200,35 +200,88 @@ class GNSFeaturizer:
                 f"need {cfg.history + 1} position frames, got {len(position_history)}")
         frames = [np.asarray(p, dtype=np.float64) for p in position_history]
         x_t = frames[-1]
-        n = x_t.shape[0]
 
         senders, receivers = radius_graph(
             x_t, cfg.connectivity_radius, method=cfg.neighbor_method)
 
-        feats = []
+        node_features = self.assemble_node_features(frames)
+        self.write_static_columns(node_features, material, particle_types)
+        edge_features = self.assemble_edge_features(x_t, senders, receivers)
+        return node_features, edge_features, senders, receivers
+
+    # -- buffer-reusing assembly (shared by build_arrays and the
+    # -- inference engine, so both produce bitwise-identical features) --
+    def assemble_node_features(self, frames, out: np.ndarray | None = None
+                               ) -> np.ndarray:
+        """Write the *dynamic* node-feature columns (velocity history and
+        boundary distances) of the ``(n, F)`` feature matrix.
+
+        ``frames`` is a ``(C+1, n, d)`` array or list of frames, oldest
+        first. Static columns (material, one-hot type) are left untouched
+        — see :meth:`write_static_columns`.
+        """
+        cfg = self.config
+        x_t = frames[-1]
+        n = x_t.shape[0]
+        if out is None:
+            out = np.empty((n, cfg.node_feature_size()))
+        col = 0
+        vmean, vstd = self.stats.velocity_mean, self.stats.velocity_std
         for prev, cur in zip(frames[:-1], frames[1:]):
-            feats.append((cur - prev - self.stats.velocity_mean)
-                         / self.stats.velocity_std)
+            v = out[:, col:col + cfg.dim]
+            np.subtract(cur, prev, out=v)
+            v -= vmean
+            v /= vstd
+            col += cfg.dim
         if cfg.bounds is not None:
             lower, upper = cfg.bounds[:, 0], cfg.bounds[:, 1]
-            feats.append(np.clip((x_t - lower) / cfg.connectivity_radius, 0.0, 1.0))
-            feats.append(np.clip((upper - x_t) / cfg.connectivity_radius, 0.0, 1.0))
-        if cfg.use_material:
-            if material is None:
-                raise ValueError("featurizer configured with use_material but none given")
-            value = float(material.data if isinstance(material, Tensor) else material)
-            feats.append(np.full((n, 1), value / cfg.material_scale))
+            b = out[:, col:col + cfg.dim]
+            np.subtract(x_t, lower, out=b)
+            b /= cfg.connectivity_radius
+            np.clip(b, 0.0, 1.0, out=b)
+            col += cfg.dim
+            b = out[:, col:col + cfg.dim]
+            np.subtract(upper, x_t, out=b)
+            b /= cfg.connectivity_radius
+            np.clip(b, 0.0, 1.0, out=b)
+        return out
+
+    def write_static_columns(self, out: np.ndarray,
+                             material: float | None = None,
+                             particle_types: np.ndarray | None = None) -> None:
+        """Fill the step-invariant trailing columns (material, one-hot
+        particle type). The engine writes these once per rollout."""
+        cfg = self.config
+        col = out.shape[1]
         if cfg.num_particle_types > 1:
             if particle_types is None:
                 raise ValueError("featurizer configured with particle types "
                                  "but none given")
-            feats.append(cfg.one_hot_types(particle_types))
-        node_features = np.concatenate(feats, axis=1)
+            col -= cfg.num_particle_types
+            out[:, col:] = cfg.one_hot_types(particle_types)
+        if cfg.use_material:
+            if material is None:
+                raise ValueError("featurizer configured with use_material but none given")
+            value = float(material.data if isinstance(material, Tensor) else material)
+            col -= 1
+            out[:, col] = value / cfg.material_scale
 
-        rel = (x_t[senders] - x_t[receivers]) / cfg.connectivity_radius
-        dist = np.sqrt((rel ** 2).sum(axis=1, keepdims=True) + 1e-12)
-        edge_features = np.concatenate([rel, dist], axis=1)
-        return node_features, edge_features, senders, receivers
+    def assemble_edge_features(self, x_t: np.ndarray, senders: np.ndarray,
+                               receivers: np.ndarray,
+                               out: np.ndarray | None = None) -> np.ndarray:
+        """Relative displacement and distance edge features into ``out``."""
+        cfg = self.config
+        if out is None:
+            out = np.empty((senders.shape[0], cfg.edge_feature_size()))
+        rel = out[:, :cfg.dim]
+        np.subtract(x_t.take(senders, axis=0), x_t.take(receivers, axis=0),
+                    out=rel)
+        rel /= cfg.connectivity_radius
+        dist2 = np.einsum("ij,ij->i", rel, rel)
+        dist2 += 1e-12
+        np.sqrt(dist2, out=dist2)
+        out[:, cfg.dim] = dist2
+        return out
 
     # ------------------------------------------------------------------
     def normalize_acceleration(self, acc):

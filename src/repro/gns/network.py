@@ -9,14 +9,41 @@
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 
 import numpy as np
+from scipy import sparse
 
 from ..autodiff import Tensor, concatenate
-from ..autodiff.scatter import gather, scatter_add, scatter_softmax
+from ..autodiff.fused import (
+    edge_mlp_first_layer, fused_edge_mlp, fused_node_mlp, mlp_forward_numpy,
+    node_mlp_first_layer, _buf, _mlp_tail,
+)
+from ..autodiff.scatter import gather, scatter_add, scatter_softmax, segment_sum
 from ..graph import Graph
 from ..nn import MLP, Module
+
+_NULL_TIMER = contextlib.nullcontext()
+
+
+def _aggregation_matrix(receivers: np.ndarray, num_edges: int, num_nodes: int,
+                        dtype) -> sparse.csr_matrix:
+    """Sparse (n × e) one-hot receiver matrix whose matmul is segment-sum.
+
+    When ``receivers`` is sorted (the :func:`repro.graph.radius_graph`
+    contract) the CSR structure is written directly — no COO sort — and
+    is bitwise-identical to the COO-constructed matrix.
+    """
+    data = np.ones(num_edges, dtype=dtype)
+    indices = np.arange(num_edges, dtype=np.int32)
+    if num_edges == 0 or np.all(receivers[:-1] <= receivers[1:]):
+        indptr = np.searchsorted(receivers, np.arange(num_nodes + 1)
+                                 ).astype(np.int32)
+        return sparse.csr_matrix((data, indices, indptr),
+                                 shape=(num_nodes, num_edges))
+    return sparse.csr_matrix((data, (receivers, indices)),
+                             shape=(num_nodes, num_edges))
 
 __all__ = ["GNSNetworkConfig", "InteractionNetwork", "EncodeProcessDecode"]
 
@@ -73,21 +100,27 @@ class InteractionNetwork(Module):
                 collect_attention: list | None = None
                 ) -> tuple[Tensor, Tensor]:
         n = nodes.shape[0]
-        vs = gather(nodes, senders)
-        vr = gather(nodes, receivers)
-        edge_in = concatenate([edges, vs, vr], axis=1)
-        messages = self.edge_mlp(edge_in)
-
         if self.attention:
+            # attention needs the explicit concatenated edge input for the
+            # coefficient MLP, so it keeps the composite-op path
+            vs = gather(nodes, senders)
+            vr = gather(nodes, receivers)
+            edge_in = concatenate([edges, vs, vr], axis=1)
+            messages = self.edge_mlp(edge_in)
             alpha = self.attention_coefficients(edge_in, receivers, n)
             if collect_attention is not None:
                 collect_attention.append(alpha.data.copy())
             weighted = messages * alpha.reshape(-1, 1)
             aggregated = scatter_add(weighted, receivers, n)
+            node_update = self.node_mlp(concatenate([nodes, aggregated], axis=1))
         else:
+            # fused path: one tape node per MLP, split first layers — no
+            # edge-sized concat, node-sized sender/receiver projections
+            messages = fused_edge_mlp(edges, nodes, senders, receivers,
+                                      *self.edge_mlp.fused_params())
             aggregated = scatter_add(messages, receivers, n)
-
-        node_update = self.node_mlp(concatenate([nodes, aggregated], axis=1))
+            node_update = fused_node_mlp(nodes, aggregated,
+                                         *self.node_mlp.fused_params())
         # residual connections stabilize deep message-passing stacks
         return nodes + node_update, edges + messages
 
@@ -136,31 +169,75 @@ class EncodeProcessDecode(Module):
         where no gradients are required; numerically identical to the
         Tensor path.
         """
-        from ..autodiff.scatter import segment_sum
+        return self.forward_fast(node_features, edge_features, senders,
+                                 receivers)
 
+    def forward_fast(self, node_features: np.ndarray,
+                     edge_features: np.ndarray,
+                     senders: np.ndarray, receivers: np.ndarray,
+                     work=None, timers: dict | None = None) -> np.ndarray:
+        """No-grad forward with optional buffer reuse and stage timing.
+
+        Runs the same fused kernels as the tape path (split first layers,
+        in-place LayerNorm, one CSR aggregation matrix shared by every
+        block), so float64 results are bitwise-identical to
+        :meth:`forward`. With ``work`` (a
+        :class:`repro.utils.buffers.Workspace`) every edge/node-sized
+        temporary lives in a reusable buffer — the returned array is a
+        workspace view, valid until the next call. ``timers`` may map
+        ``"encode"/"process"/"decode"`` to accumulating
+        :class:`repro.utils.Timer` objects.
+        """
+        timers = timers or {}
+        getbuf = work.get if work is not None else None
+        dtype = node_features.dtype
         n = node_features.shape[0]
-        nodes = self.node_encoder.forward_numpy(node_features)
-        edges = self.edge_encoder.forward_numpy(edge_features)
-        for block in self.blocks:
-            edge_in = np.concatenate([edges, nodes[senders], nodes[receivers]],
-                                     axis=1)
-            messages = block.edge_mlp.forward_numpy(edge_in)
-            if block.attention:
-                logits = block.attn_mlp.forward_numpy(edge_in).ravel()
-                seg_max = np.full(n, -np.inf)
-                np.maximum.at(seg_max, receivers, logits)
-                seg_max[~np.isfinite(seg_max)] = 0.0
-                exp = np.exp(logits - seg_max[receivers])
-                denom = segment_sum(exp, receivers, n)
-                alpha = exp / denom[receivers]
-                aggregated = segment_sum(messages * alpha[:, None], receivers, n)
-            else:
-                aggregated = segment_sum(messages, receivers, n)
-            node_update = block.node_mlp.forward_numpy(
-                np.concatenate([nodes, aggregated], axis=1))
-            nodes = nodes + node_update
-            edges = edges + messages
-        return self.decoder.forward_numpy(nodes)
+        e = edge_features.shape[0]
+
+        with timers.get("encode", _NULL_TIMER):
+            nodes = self.node_encoder.forward_numpy(node_features, getbuf,
+                                                    "enc.node")
+            edges = self.edge_encoder.forward_numpy(edge_features, getbuf,
+                                                    "enc.edge")
+
+        with timers.get("process", _NULL_TIMER):
+            agg_mat = _aggregation_matrix(receivers, e, n, dtype)
+            for block in self.blocks:
+                ews, ebs, egamma, ebeta, eeps = block.edge_mlp.arrays(dtype)
+                if block.attention:
+                    edge_in = np.concatenate(
+                        [edges, nodes.take(senders, axis=0),
+                         nodes.take(receivers, axis=0)], axis=1)
+                    messages = block.edge_mlp.forward_numpy(edge_in)
+                    logits = block.attn_mlp.forward_numpy(edge_in).ravel()
+                    seg_max = np.full(n, -np.inf)
+                    np.maximum.at(seg_max, receivers, logits)
+                    seg_max[~np.isfinite(seg_max)] = 0.0
+                    exp = np.exp(logits - seg_max[receivers])
+                    denom = segment_sum(exp, receivers, n)
+                    alpha = exp / denom[receivers]
+                    aggregated = segment_sum(messages * alpha[:, None],
+                                             receivers, n)
+                else:
+                    h0 = edge_mlp_first_layer(
+                        edges, nodes, senders, receivers, ews[0], ebs[0],
+                        out=_buf(getbuf, "blk.edge.0", (e, ews[0].shape[1]),
+                                 dtype))
+                    messages = _mlp_tail(h0, ews, ebs, egamma, ebeta, eeps,
+                                         getbuf=getbuf, tag="blk.edge")
+                    aggregated = agg_mat @ messages
+                nws, nbs, ngamma, nbeta, neps = block.node_mlp.arrays(dtype)
+                h0 = node_mlp_first_layer(
+                    nodes, aggregated, nws[0], nbs[0],
+                    out=_buf(getbuf, "blk.node.0", (n, nws[0].shape[1]), dtype))
+                node_update = _mlp_tail(h0, nws, nbs, ngamma, nbeta, neps,
+                                        getbuf=getbuf, tag="blk.node")
+                nodes += node_update
+                edges += messages
+
+        with timers.get("decode", _NULL_TIMER):
+            out = self.decoder.forward_numpy(nodes, getbuf, "dec")
+        return out
 
     def forward_with_latents(self, graph: Graph) -> tuple[Tensor, list[Tensor]]:
         """Forward pass that also returns each block's edge messages —

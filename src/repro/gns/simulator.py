@@ -106,9 +106,22 @@ class LearnedSimulator(Module):
         return x_next
 
     # ------------------------------------------------------------------
+    def engine(self, skin: float | None = None):
+        """The lazily-created :class:`~repro.gns.engine.InferenceEngine`
+        for this simulator (buffers, neighbor cache, stage timers persist
+        across rollouts). A ``skin`` differing from the current engine's
+        rebuilds it."""
+        eng = getattr(self, "_engine", None)
+        if eng is None or eng.skin != skin:
+            from .engine import InferenceEngine
+            eng = InferenceEngine(self, skin=skin)
+            object.__setattr__(self, "_engine", eng)
+        return eng
+
     def rollout(self, initial_history: np.ndarray, num_steps: int,
                 material: float | None = None,
-                particle_types: np.ndarray | None = None) -> np.ndarray:
+                particle_types: np.ndarray | None = None,
+                fast: bool = True, skin: float | None = None) -> np.ndarray:
         """Fast inference rollout (tape-free NumPy path).
 
         Parameters
@@ -116,17 +129,34 @@ class LearnedSimulator(Module):
         initial_history: ``(C+1, n, d)`` seed positions (e.g. the MPM
             warm-up frames).
         num_steps: prediction steps beyond the seed.
+        fast: route through the buffer-reusing :meth:`engine` with Verlet
+            neighbor caching (float64 results bitwise-identical to the
+            naive path); ``False`` falls back to the per-step
+            :meth:`step_numpy` loop.
+        skin: Verlet skin radius for the fast path (None → 0.25 R).
 
         Returns
         -------
         ``(C+1+num_steps, n, d)`` positions including the seed frames.
         """
+        if fast:
+            return self.engine(skin).rollout(initial_history, num_steps,
+                                             material, particle_types)
         frames = [np.asarray(f, dtype=np.float64) for f in initial_history]
         window_len = self.feature_config.history + 1
         for _ in range(num_steps):
             frames.append(self.step_numpy(frames[-window_len:], material,
                                           particle_types))
         return np.stack(frames, axis=0)
+
+    def rollout_batch(self, initial_histories: np.ndarray, num_steps: int,
+                      materials=None,
+                      particle_types: np.ndarray | None = None,
+                      skin: float | None = None) -> np.ndarray:
+        """Batched multi-initial-condition rollout via the fast engine;
+        see :meth:`repro.gns.engine.InferenceEngine.rollout_batch`."""
+        return self.engine(skin).rollout_batch(initial_histories, num_steps,
+                                               materials, particle_types)
 
     def rollout_differentiable(self, initial_history: list[Tensor],
                                num_steps: int, material=None,

@@ -5,11 +5,13 @@ from .neighbors import (
     radius_graph, radius_graph_brute, radius_graph_celllist,
     radius_graph_kdtree, radius_graph_periodic,
 )
+from .neighborcache import NeighborListCache
 from .connectivity import bidirectional, delaunay_edges, grid_mesh_edges, triangles_to_edges
 
 __all__ = [
     "Graph",
     "radius_graph", "radius_graph_brute", "radius_graph_celllist",
     "radius_graph_kdtree", "radius_graph_periodic",
+    "NeighborListCache",
     "bidirectional", "delaunay_edges", "grid_mesh_edges", "triangles_to_edges",
 ]

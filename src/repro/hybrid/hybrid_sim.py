@@ -36,6 +36,10 @@ class HybridResult:
     mpm_frames: int
     gns_frames: int
     switches: int = 0
+    #: per-stage GNS wall-clock breakdown (graph/features/encode/…)
+    gns_timings: dict = field(default_factory=dict)
+    #: Verlet neighbor-cache statistics (builds, queries, hit_rate)
+    gns_cache: dict = field(default_factory=dict)
 
     @property
     def total_time(self) -> float:
@@ -143,10 +147,14 @@ class HybridSimulator:
                 run_mpm(remaining)
                 remaining = 0
 
+        # the GNS phases all ran through one shared inference engine; its
+        # cache persists across phases (MPM motion triggers exact rebuilds)
+        engine = self.gns.engine()
         return HybridResult(
             frames=np.stack(all_frames, axis=0), engines=engines,
             mpm_time=mpm_time, gns_time=gns_time,
-            mpm_frames=mpm_count, gns_frames=gns_count, switches=switches)
+            mpm_frames=mpm_count, gns_frames=gns_count, switches=switches,
+            gns_timings=engine.timings(), gns_cache=engine.cache_stats())
 
     def _run_gns_phase(self, phase: Phase, all_frames: list[np.ndarray],
                        adaptive: bool) -> list[np.ndarray]:

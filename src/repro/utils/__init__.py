@@ -3,6 +3,7 @@
 from .timer import Timer, benchmark
 from .seeding import seed_everything, spawn_rngs
 from .profiling import profile_block, top_functions
+from .buffers import Workspace
 
 __all__ = ["Timer", "benchmark", "seed_everything", "spawn_rngs",
-           "profile_block", "top_functions"]
+           "profile_block", "top_functions", "Workspace"]

@@ -1,0 +1,48 @@
+"""Reusable array buffers for allocation-free inference loops.
+
+A rollout step allocates dozens of edge-sized temporaries; at thousands
+of steps that is pure allocator traffic. :class:`Workspace` hands out
+named scratch arrays that persist across steps: each ``(tag, trailing
+shape, dtype)`` slot keeps one backing array whose leading dimension
+grows (with slack) to the largest request seen, and requests return a
+contiguous leading-row view of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """Capacity-growing scratch buffers keyed by tag.
+
+    >>> work = Workspace()
+    >>> h = work.get("edge.0", (num_edges, latent), np.float64)
+
+    The edge count fluctuates step to step; the backing array only
+    reallocates when a request exceeds current capacity (growth includes
+    12.5% slack to avoid thrash while particles disperse).
+    """
+
+    def __init__(self):
+        self._bufs: dict = {}
+
+    def get(self, tag: str, shape: tuple, dtype) -> np.ndarray:
+        rows = shape[0]
+        key = (tag, tuple(shape[1:]), np.dtype(dtype))
+        buf = self._bufs.get(key)
+        if buf is None or buf.shape[0] < rows:
+            cap = rows + (rows >> 3)
+            buf = np.empty((cap,) + tuple(shape[1:]), dtype=dtype)
+            self._bufs[key] = buf
+        return buf[:rows]
+
+    def clear(self) -> None:
+        self._bufs.clear()
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the pool."""
+        return sum(b.nbytes for b in self._bufs.values())

@@ -4,10 +4,42 @@ import numpy as np
 import pytest
 
 from repro.autodiff import Tensor, gather, scatter_add, scatter_mean, scatter_softmax
+from repro.autodiff.scatter import segment_sum
 
 from .helpers import check_grad
 
 RNG = np.random.default_rng(1)
+
+
+class TestSegmentSum:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_preserves_dtype_2d(self, dtype):
+        # regression: the CSR matrix used to be built with float64 ones(),
+        # silently promoting float32 inputs
+        values = RNG.normal(size=(6, 3)).astype(dtype)
+        out = segment_sum(values, np.array([0, 0, 1, 2, 2, 2]), 4)
+        assert out.dtype == dtype
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_preserves_dtype_1d(self, dtype):
+        values = RNG.normal(size=6).astype(dtype)
+        out = segment_sum(values, np.array([0, 0, 1, 2, 2, 2]), 4)
+        assert out.dtype == dtype
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_preserves_dtype_empty(self, dtype):
+        out = segment_sum(np.empty((0, 3), dtype=dtype),
+                          np.empty(0, dtype=np.intp), 4)
+        assert out.dtype == dtype
+        assert out.shape == (4, 3)
+
+    def test_matches_add_at(self):
+        values = RNG.normal(size=(8, 2))
+        idx = np.array([3, 0, 0, 1, 3, 3, 2, 0])
+        expect = np.zeros((5, 2))
+        np.add.at(expect, idx, values)
+        np.testing.assert_allclose(segment_sum(values, idx, 5), expect,
+                                   rtol=1e-12)
 
 
 class TestGather:

@@ -1,0 +1,199 @@
+"""Verlet-skin neighbor cache: exactness against fresh rebuilds.
+
+The cache's contract is *bitwise* agreement with ``radius_graph`` at every
+query — including pathological inputs (points exactly at the radius,
+periodic wrap-around) and on real simulator trajectories where rebuilds
+interleave with cached queries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    NeighborListCache, radius_graph, radius_graph_periodic,
+)
+
+METHODS = ["brute", "kdtree", "celllist"]
+
+
+def random_walk(rng, n, steps, sigma, lo=0.0, hi=1.0, dim=2):
+    """(steps, n, dim) positions drifting with per-step noise sigma."""
+    x = rng.uniform(lo + 0.1, hi - 0.1, size=(n, dim))
+    frames = [x]
+    for _ in range(steps - 1):
+        x = np.clip(x + rng.normal(0.0, sigma, size=x.shape), lo, hi)
+        frames.append(x)
+    return np.stack(frames, axis=0)
+
+
+# ----------------------------------------------------------------------
+class TestMethodParity:
+    """brute / kdtree / celllist agree edge-for-edge."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_clouds(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0.0, 1.0, size=(rng.integers(2, 120), 2))
+        r = float(rng.uniform(0.05, 0.3))
+        ref = radius_graph(x, r, method="brute")
+        for method in METHODS[1:]:
+            got = radius_graph(x, r, method=method)
+            np.testing.assert_array_equal(got[0], ref[0], err_msg=method)
+            np.testing.assert_array_equal(got[1], ref[1], err_msg=method)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_points_exactly_at_radius(self, method):
+        # pairs at exactly r must be included (<=), pairs just outside not
+        r = 0.25
+        x = np.array([[0.0, 0.0], [r, 0.0], [0.0, r],
+                      [np.nextafter(r, 1.0), np.nextafter(0.0, -1.0) * 0 - 0.0]])
+        x[3] = [r + 1e-12, 0.5]  # clearly outside everything near origin
+        s, rcv = radius_graph(x, r, method=method)
+        pairs = set(zip(s.tolist(), rcv.tolist()))
+        assert (1, 0) in pairs and (0, 1) in pairs
+        assert (2, 0) in pairs and (0, 2) in pairs
+        # the two at-radius points are sqrt(2)*r apart — excluded
+        assert (1, 2) not in pairs
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_collinear_grid_ties(self, method):
+        # a lattice with spacing exactly r: every axis neighbor is a tie
+        xs, ys = np.meshgrid(np.arange(4) * 0.1, np.arange(4) * 0.1)
+        x = np.stack([xs.ravel(), ys.ravel()], axis=1)
+        ref = radius_graph(x, 0.1, method="brute")
+        got = radius_graph(x, 0.1, method=method)
+        np.testing.assert_array_equal(got[0], ref[0])
+        np.testing.assert_array_equal(got[1], ref[1])
+
+
+# ----------------------------------------------------------------------
+class TestCacheExactness:
+    @pytest.mark.parametrize("skin", [None, 0.0, 0.01, 0.08])
+    def test_matches_fresh_graph_random_walk(self, skin):
+        rng = np.random.default_rng(3)
+        frames = random_walk(rng, 90, 40, sigma=0.004)
+        r = 0.12
+        cache = NeighborListCache(r, skin=skin)
+        for x in frames:
+            cs, cr = cache.query(x)
+            fs, fr = radius_graph(x, r)
+            np.testing.assert_array_equal(cs, fs)
+            np.testing.assert_array_equal(cr, fr)
+        assert cache.queries == frames.shape[0]
+        if skin in (0.01, 0.08):
+            assert 1 <= cache.builds <= frames.shape[0]
+
+    def test_caches_between_rebuilds(self):
+        rng = np.random.default_rng(4)
+        frames = random_walk(rng, 90, 40, sigma=0.0005)
+        cache = NeighborListCache(0.12, skin=0.03)
+        for x in frames:
+            cache.query(x)
+        # displacement accumulates ~0.0005·√t; 40 steps stay well inside
+        # skin/2 = 0.015, so nearly every query is a cache hit
+        assert cache.builds <= 3
+        assert cache.hit_rate > 0.9
+
+    def test_exact_radius_pair_survives_caching(self):
+        # one pair sits exactly at distance r while others drift: cached
+        # filtering must keep it (<=, not <)
+        r = 0.2
+        x = np.array([[0.3, 0.3], [0.3 + r, 0.3], [0.8, 0.8]])
+        cache = NeighborListCache(r, skin=0.05)
+        s1, r1 = cache.query(x)
+        moved = x.copy()
+        moved[2] += 0.01  # under skin/2 — no rebuild
+        s2, r2 = cache.query(moved)
+        assert cache.builds == 1
+        fs, fr = radius_graph(moved, r)
+        np.testing.assert_array_equal(s2, fs)
+        np.testing.assert_array_equal(r2, fr)
+        assert len(s2) == 2  # the exact-radius pair, both directions
+
+    def test_shape_change_invalidates(self):
+        rng = np.random.default_rng(5)
+        cache = NeighborListCache(0.15)
+        cache.query(rng.uniform(0, 1, (50, 2)))
+        x2 = rng.uniform(0, 1, (60, 2))
+        s, r = cache.query(x2)
+        assert cache.builds == 2
+        fs, fr = radius_graph(x2, 0.15)
+        np.testing.assert_array_equal(s, fs)
+
+    def test_invalidate_forces_rebuild(self):
+        rng = np.random.default_rng(6)
+        x = rng.uniform(0, 1, (40, 2))
+        cache = NeighborListCache(0.15, skin=0.05)
+        cache.query(x)
+        cache.invalidate()
+        cache.query(x)
+        assert cache.builds == 2
+
+
+# ----------------------------------------------------------------------
+class TestPeriodicCache:
+    def test_matches_fresh_periodic_graph(self):
+        rng = np.random.default_rng(7)
+        box = np.array([1.0, 1.0])
+        x = rng.uniform(0, 1, (80, 2))
+        cache = NeighborListCache(0.12, skin=0.03, box=box)
+        for _ in range(30):
+            # unwrapped drift — particles cross the boundary
+            x = (x + rng.normal(0.0, 0.003, size=x.shape)) % 1.0
+            cs, cr = cache.query(x)
+            fs, fr = radius_graph_periodic(x, 0.12, box)
+            np.testing.assert_array_equal(cs, fs)
+            np.testing.assert_array_equal(cr, fr)
+        assert cache.builds < cache.queries  # caching actually engaged
+
+    def test_wraparound_pair(self):
+        # neighbors only through the periodic boundary
+        box = np.array([1.0, 1.0])
+        x = np.array([[0.02, 0.5], [0.97, 0.5], [0.5, 0.5]])
+        cache = NeighborListCache(0.1, skin=0.02, box=box)
+        s, r = cache.query(x)
+        pairs = set(zip(s.tolist(), r.tolist()))
+        assert (0, 1) in pairs and (1, 0) in pairs
+
+    def test_skin_clamped_to_minimum_image_limit(self):
+        # radius close to box/2: the requested skin would break the
+        # minimum-image convention and must be shrunk, not error
+        cache = NeighborListCache(0.45, skin=0.2, box=1.0)
+        assert cache.skin < 0.2
+        assert cache.radius + cache.skin < 0.5
+
+    def test_periodic_radius_too_large_raises(self):
+        with pytest.raises(ValueError):
+            NeighborListCache(0.6, box=1.0).query(np.zeros((3, 2)))
+
+
+# ----------------------------------------------------------------------
+def test_cached_rollout_edges_match_fresh_on_real_trajectory():
+    """Drive a real (untrained) simulator rollout and re-derive each
+    step's edge set from scratch — the engine's cached sets must match
+    bitwise."""
+    from repro.gns import FeatureConfig, GNSNetworkConfig, LearnedSimulator, Stats
+
+    rng = np.random.default_rng(11)
+    bounds = np.array([[0.0, 1.0], [0.0, 1.0]])
+    cfg = FeatureConfig(connectivity_radius=0.15, history=3, bounds=bounds)
+    net = GNSNetworkConfig(latent_size=8, mlp_hidden_size=8,
+                           message_passing_steps=2)
+    stats = Stats(np.zeros(2), np.full(2, 0.01), np.zeros(2),
+                  np.full(2, 1e-4))
+    sim = LearnedSimulator(cfg, net, stats, rng=np.random.default_rng(1))
+
+    n = 60
+    x0 = rng.uniform(0.25, 0.75, size=(n, 2))
+    frames = [x0]
+    for _ in range(cfg.history):
+        frames.append(frames[-1] + rng.normal(0, 5e-4, size=(n, 2)))
+    traj = sim.rollout(np.stack(frames, axis=0), 25)
+
+    cache = NeighborListCache(cfg.connectivity_radius, skin=0.03)
+    for t in range(cfg.history, traj.shape[0]):
+        cs, cr = cache.query(traj[t])
+        fs, fr = radius_graph(traj[t], cfg.connectivity_radius)
+        np.testing.assert_array_equal(cs, fs)
+        np.testing.assert_array_equal(cr, fr)
+    assert cache.hit_rate > 0.5  # slow dynamics → real reuse
