@@ -17,12 +17,14 @@ legacy numerics to float round-off.
 
 Writes ``BENCH_fastpath.json`` (steps/sec old vs new, speedup, cache hit
 rate, per-stage timings). ``--quick`` shrinks the problem for CI smoke
-runs.
+runs. ``--telemetry DIR`` additionally exports the results through the
+:mod:`repro.obs` metrics registry as ``telemetry.jsonl`` + a run
+manifest (consumed by ``repro telemetry summarize`` in CI).
 
 Usage::
 
     python benchmarks/bench_fastpath.py [--quick] [--steps N]
-        [--output PATH] [--fp32]
+        [--output PATH] [--fp32] [--telemetry DIR]
 """
 
 from __future__ import annotations
@@ -253,7 +255,41 @@ def run(args) -> dict:
         f"{k}={v:.2f}" for k, v in result["stages_ms_per_step"].items()))
     if not args.quick and speedup < 2.0:
         print(f"WARNING: speedup {speedup:.2f}x below the 2x target")
+
+    if args.telemetry is not None:
+        _export_telemetry(args.telemetry, result, engine)
     return result
+
+
+def _export_telemetry(directory, result, engine) -> None:
+    """Re-emit the benchmark results through the observability stack
+    (private registry — global telemetry stays off, so the timed runs
+    above were not perturbed)."""
+    from repro.obs import MetricsRegistry, TelemetrySession
+
+    reg = MetricsRegistry()
+    session = TelemetrySession(
+        directory, command="bench_fastpath",
+        config={k: result[k] for k in ("n_particles", "latent_size",
+                                       "message_passing_steps", "num_steps",
+                                       "quick")},
+        dtype=result["dtype"], registry=reg, enable_global=False)
+    reg.gauge("bench.legacy_steps_per_sec").set(result["old"]["steps_per_sec"])
+    reg.gauge("bench.engine_steps_per_sec").set(result["new"]["steps_per_sec"])
+    reg.gauge("bench.speedup").set(result["speedup"])
+    reg.gauge("bench.particles").set(result["n_particles"])
+    reg.gauge("cache.hit_rate").set(result["cache"]["hit_rate"])
+    reg.gauge("cache.builds").set(result["cache"]["builds"])
+    reg.gauge("cache.queries").set(result["cache"]["queries"])
+    for name, ms in result["stages_ms_per_step"].items():
+        reg.gauge("bench.stage_ms_per_step", stage=name).set(ms)
+    session.add_tracer(engine.tracer)
+    session.finish(summary={
+        "speedup": result["speedup"],
+        "legacy_steps_per_sec": result["old"]["steps_per_sec"],
+        "engine_steps_per_sec": result["new"]["steps_per_sec"],
+        "max_abs_diff_vs_legacy": result["max_abs_diff_vs_legacy"]})
+    print(f"telemetry written to {session.telemetry_path.parent}")
 
 
 def main(argv=None) -> int:
@@ -267,6 +303,8 @@ def main(argv=None) -> int:
     parser.add_argument("--output", type=Path,
                         default=Path(__file__).resolve().parent.parent
                         / "BENCH_fastpath.json")
+    parser.add_argument("--telemetry", type=Path, default=None, metavar="DIR",
+                        help="also write telemetry.jsonl + manifest.json")
     args = parser.parse_args(argv)
     result = run(args)
     args.output.write_text(json.dumps(result, indent=2) + "\n")

@@ -16,10 +16,12 @@ Problems* (SC23 AI4S workshop), built entirely on NumPy:
 * :mod:`repro.nbody`, :mod:`repro.interpret`, :mod:`repro.symreg` —
   n-body springs, message extraction, symbolic regression (Table 1).
 * :mod:`repro.parallel` — data-parallel training substrate.
+* :mod:`repro.obs` — telemetry: tracing spans, metrics, run manifests,
+  physics health monitors.
 """
 
 __version__ = "1.0.0"
 
-from . import autodiff, nn, graph, data, utils  # noqa: F401  (lightweight)
+from . import autodiff, nn, graph, data, obs, utils  # noqa: F401  (lightweight)
 
-__all__ = ["autodiff", "nn", "graph", "data", "utils", "__version__"]
+__all__ = ["autodiff", "nn", "graph", "data", "obs", "utils", "__version__"]

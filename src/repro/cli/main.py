@@ -10,6 +10,12 @@ Subcommands cover the full paper workflow without writing Python:
 * ``repro invert``   — identify the friction angle from a target runout
   by AD through the rollout (Section 5).
 * ``repro info``     — inspect datasets and checkpoints.
+* ``repro telemetry summarize`` — render a telemetry run directory
+  (``telemetry.jsonl`` + ``manifest.json``) as a human-readable report.
+
+``simulate``/``train``/``rollout``/``invert`` accept ``--telemetry DIR``
+which enables the :mod:`repro.obs` subsystem for the run and writes the
+span/metric/health record plus a run manifest into ``DIR``.
 """
 
 from __future__ import annotations
@@ -42,6 +48,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print wall-clock time and steps/sec")
     p.add_argument("--profile", action="store_true",
                    help="cProfile the run and print hotspots")
+    p.add_argument("--telemetry", type=Path, default=None, metavar="DIR",
+                   help="write telemetry.jsonl + manifest.json to DIR")
 
     p = sub.add_parser("generate", help="build a GNS training dataset")
     p.add_argument("--output", type=Path, required=True, help="dataset .npz")
@@ -66,6 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trajectories reserved for validation")
     p.add_argument("--metrics", type=Path, default=None, help="CSV log path")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--telemetry", type=Path, default=None, metavar="DIR",
+                   help="write telemetry.jsonl + manifest.json to DIR")
 
     p = sub.add_parser("rollout", help="roll a checkpoint vs ground truth")
     p.add_argument("--checkpoint", type=Path, required=True)
@@ -84,6 +94,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print per-stage timing breakdown and cache stats")
     p.add_argument("--profile", action="store_true",
                    help="cProfile the rollout and print hotspots")
+    p.add_argument("--telemetry", type=Path, default=None, metavar="DIR",
+                   help="write telemetry.jsonl + manifest.json to DIR")
 
     p = sub.add_parser("invert", help="friction-angle inversion (Sec 5)")
     p.add_argument("--checkpoint", type=Path, required=True,
@@ -95,10 +107,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=15)
     p.add_argument("--offset", type=int, default=12,
                    help="seed-frame offset into the trajectory")
+    p.add_argument("--telemetry", type=Path, default=None, metavar="DIR",
+                   help="write telemetry.jsonl + manifest.json to DIR")
 
     p = sub.add_parser("info", help="inspect a dataset or checkpoint")
     p.add_argument("path", type=Path)
+
+    p = sub.add_parser("telemetry", help="inspect telemetry output")
+    p.add_argument("action", choices=["summarize"],
+                   help="what to do with the telemetry data")
+    p.add_argument("path", type=Path,
+                   help="run directory or telemetry.jsonl file")
     return parser
+
+
+def _open_session(args, **config):
+    """A :class:`~repro.obs.TelemetrySession` for ``--telemetry DIR``
+    runs, or ``None`` (all instrumentation stays no-op)."""
+    if getattr(args, "telemetry", None) is None:
+        return None
+    from ..obs import TelemetrySession
+
+    return TelemetrySession(args.telemetry, command=args.command,
+                            config=config,
+                            seed=getattr(args, "seed", None))
 
 
 # ----------------------------------------------------------------------
@@ -128,6 +160,9 @@ def _cmd_simulate(args) -> int:
 
     solver = spec.solver
     dt = solver.stable_dt()
+    session = _open_session(args, scenario=args.scenario, steps=args.steps,
+                            record_every=args.record_every,
+                            friction_angle=args.friction_angle)
     prof = profile_block(limit=15) if args.profile else contextlib.nullcontext()
     t0 = time.perf_counter()
     with prof:
@@ -138,6 +173,19 @@ def _cmd_simulate(args) -> int:
         print(f"timing: {elapsed:.3f} s total, "
               f"{args.steps / elapsed:.1f} MPM steps/sec "
               f"({frames.shape[1]} particles)")
+    if session is not None:
+        from ..obs import check_trajectory
+
+        reg = session.registry
+        reg.gauge("simulate.steps_per_sec").set(args.steps / max(elapsed, 1e-12))
+        reg.gauge("simulate.particles").set(frames.shape[1])
+        reg.gauge("simulate.frames").set(frames.shape[0])
+        report = check_trajectory(frames, dt=dt * args.record_every)
+        session.record_health(report)
+        session.finish(summary={
+            "elapsed_wall_seconds": elapsed, "frames": int(frames.shape[0]),
+            "particles": int(frames.shape[1]), "health_ok": report.ok})
+        print(f"telemetry written to {session.telemetry_path.parent}")
     m = solver.grid.interior_margin()
     bounds = np.array([[m, solver.grid.size[0] - m],
                        [m, solver.grid.size[1] - m]])
@@ -203,6 +251,11 @@ def _cmd_train(args) -> int:
         seed=args.seed))
     print(f"training {sim.num_parameters()} parameters on "
           f"{len(trainer.windows)} windows (noise={noise:.2e})")
+    session = _open_session(args, steps=args.steps, latent=args.latent,
+                            message_passing=args.message_passing,
+                            history=args.history, radius=args.radius,
+                            learning_rate=args.learning_rate,
+                            noise_std=noise, windows=len(trainer.windows))
     if val_set:
         logger = trainer.train_with_validation(
             args.steps, val_set, eval_every=max(args.steps // 5, 1))
@@ -214,6 +267,16 @@ def _cmd_train(args) -> int:
     else:
         losses = trainer.train(args.steps)
         print(f"  loss {losses[0]:.4f} -> {np.mean(losses[-10:]):.4f}")
+    if session is not None:
+        losses = trainer.loss_history
+        session.registry.gauge("train.final_loss").set(
+            float(np.mean(losses[-10:])) if losses else float("nan"))
+        session.finish(summary={
+            "steps": trainer.step_count,
+            "initial_loss": losses[0] if losses else None,
+            "final_loss": float(np.mean(losses[-10:])) if losses else None,
+            "parameters": sim.num_parameters()})
+        print(f"telemetry written to {session.telemetry_path.parent}")
     sim.save(args.output)
     print(f"saved checkpoint to {args.output}")
     return 0
@@ -239,6 +302,17 @@ def _cmd_rollout(args) -> int:
 
     from ..utils.profiling import profile_block
 
+    session = _open_session(args, checkpoint=str(args.checkpoint),
+                            dataset=str(args.dataset), index=args.index,
+                            steps=steps, fast=not args.no_fast,
+                            skin=args.skin, fp32=args.fp32)
+    if session is not None:
+        session.dtype = np.dtype(sim.inference_dtype).name
+    engine = sim.engine(args.skin) if not args.no_fast else None
+    engine_mark = engine.tracer.snapshot() if engine is not None else None
+    if engine is not None and session is not None:
+        # per-graph edge-count histogram lands in the session registry
+        engine.metrics = session.registry
     prof = profile_block(limit=15) if args.profile else contextlib.nullcontext()
     t0 = time.perf_counter()
     with prof:
@@ -251,17 +325,41 @@ def _cmd_rollout(args) -> int:
     if args.timing:
         print(f"timing: {elapsed:.3f} s total, {steps / elapsed:.1f} steps/sec "
               f"({seed.shape[1]} particles)")
-        if not args.no_fast:
-            engine = sim.engine(args.skin)
-            for stage, t in engine.timers.items():
-                if t.count:
-                    share = 100.0 * t.total / max(elapsed, 1e-12)
-                    print(f"  {stage:<10} {t.total:8.3f} s  "
-                          f"({t.mean * 1e3:7.3f} ms/step, {share:4.1f}%)")
+        if engine is not None:
+            for stage, t in engine.timings(scope=engine_mark).items():
+                if t["count"]:
+                    share = 100.0 * t["total"] / max(elapsed, 1e-12)
+                    print(f"  {stage:<10} {t['total']:8.3f} s  "
+                          f"({t['mean'] * 1e3:7.3f} ms/step, {share:4.1f}%)")
             cs = engine.cache_stats()
             print(f"  neighbor cache: {cs['builds']} builds / "
                   f"{cs['queries']} queries (hit rate {cs['hit_rate']:.1%}, "
                   f"skin {cs['skin']:g})")
+    if session is not None:
+        from ..obs import check_trajectory, default_monitors
+
+        reg = session.registry
+        reg.gauge("rollout.steps_per_sec").set(steps / max(elapsed, 1e-12))
+        reg.gauge("rollout.particles").set(seed.shape[1])
+        reg.gauge("rollout.mean_error").set(report.mean_error)
+        reg.gauge("rollout.final_error").set(report.final_error)
+        if engine is not None:
+            session.add_tracer(engine.tracer, prefix="gns/",
+                               since=engine_mark)
+            cs = engine.cache_stats()
+            reg.gauge("cache.hit_rate").set(cs["hit_rate"])
+            reg.gauge("cache.builds").set(cs["builds"])
+            reg.gauge("cache.queries").set(cs["queries"])
+        health = check_trajectory(
+            predicted, default_monitors(reference=traj.positions),
+            dt=traj.dt)
+        session.record_health(health)
+        session.finish(summary={
+            "elapsed_wall_seconds": elapsed, "steps": steps,
+            "particles": int(seed.shape[1]),
+            "mean_error": report.mean_error,
+            "final_error": report.final_error, "health_ok": health.ok})
+        print(f"telemetry written to {session.telemetry_path.parent}")
     if args.gif is not None and traj.bounds is not None:
         _write_trajectory_gif(args.gif, predicted, traj.bounds)
     return 0
@@ -286,6 +384,10 @@ def _cmd_invert(args) -> int:
     problem.target_runout = problem.target_from_angle(args.target_angle)
     print(f"target runout (phi={args.target_angle:g}): "
           f"{problem.target_runout:+.4f} m")
+    session = _open_session(args, target_angle=args.target_angle,
+                            initial_angle=args.initial_angle,
+                            rollout_steps=args.rollout_steps,
+                            iterations=args.iterations)
     record = problem.solve(
         args.initial_angle, lr="auto", initial_step=4.0,
         max_iterations=args.iterations,
@@ -293,6 +395,16 @@ def _cmd_invert(args) -> int:
             print(f"  iter {it:2d}: phi={phi:6.2f}  J={loss:.3e}"))
     print(f"result: phi* = {record.final_parameter:.2f} deg "
           f"(target {args.target_angle:g})")
+    if session is not None:
+        reg = session.registry
+        reg.gauge("inverse.final_parameter").set(record.final_parameter)
+        reg.gauge("inverse.final_loss").set(record.losses[-1])
+        session.finish(summary={
+            "converged": record.converged, "iterations": record.iterations,
+            "final_parameter": record.final_parameter,
+            "target_angle": args.target_angle,
+            "final_loss": record.losses[-1]})
+        print(f"telemetry written to {session.telemetry_path.parent}")
     return 0
 
 
@@ -326,6 +438,18 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_telemetry(args) -> int:
+    from ..obs import summarize_telemetry
+
+    if args.action == "summarize":
+        try:
+            print(summarize_telemetry(args.path))
+        except FileNotFoundError as err:
+            print(f"error: {err}")
+            return 1
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "generate": _cmd_generate,
@@ -333,6 +457,7 @@ _COMMANDS = {
     "rollout": _cmd_rollout,
     "invert": _cmd_invert,
     "info": _cmd_info,
+    "telemetry": _cmd_telemetry,
 }
 
 

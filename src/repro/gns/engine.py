@@ -16,8 +16,17 @@ blocks. This engine removes all of that:
 * **Fused network kernels with workspace buffers** — see
   :meth:`EncodeProcessDecode.forward_fast`; no edge-sized allocation
   survives into steady state.
-* **Per-stage timings** via :class:`repro.utils.Timer`: graph build,
-  feature assembly, encode, process, decode, integrate.
+* **Per-stage tracing** via :class:`repro.obs.Tracer` spans: graph
+  build, feature assembly, encode, process, decode, integrate. Each
+  ``rollout()`` opens a fresh *run scope* (a tracer snapshot), so
+  :meth:`timings` reports the latest run only — successive rollouts
+  never double-count — while the tracer keeps lifetime aggregates for
+  telemetry export.
+* **Divergence guard** — every produced frame is checked for
+  NaN/Inf and (optionally) exploding velocities; a failing step raises
+  :class:`repro.obs.RolloutDivergedError` carrying the step index,
+  offending particle count, max |v|, and the good frames produced so
+  far, instead of rolling out garbage for the remaining steps.
 
 Float64 rollouts are bitwise-identical to the naive
 :meth:`LearnedSimulator.step_numpy` loop — the engine runs the same
@@ -35,12 +44,15 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph import NeighborListCache
+from ..obs import RolloutDivergedError, Tracer
 from ..utils.buffers import Workspace
-from ..utils.timer import Timer
 
 __all__ = ["InferenceEngine"]
 
 _STAGES = ("graph", "features", "encode", "process", "decode", "integrate")
+
+#: edge-count histogram buckets (edges per graph per step)
+_EDGE_BUCKETS = (1e2, 3e2, 1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6)
 
 
 class InferenceEngine:
@@ -57,13 +69,26 @@ class InferenceEngine:
         ``None`` uses the cache default (``0.25 × connectivity_radius``),
         ``0.0`` disables caching (rebuild every step — the reference
         path).
+    tracer:
+        Span recorder for the per-stage breakdown. Defaults to a
+        private, *enabled* tracer (stage timing has always been on for
+        this engine and costs ~one perf_counter pair per stage per
+        step). Pass a disabled :class:`~repro.obs.Tracer` to strip even
+        that.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; when set, the
+        engine records edges-per-graph histograms and step counters.
     """
 
-    def __init__(self, simulator, skin: float | None = None):
+    def __init__(self, simulator, skin: float | None = None,
+                 tracer: Tracer | None = None, metrics=None):
         self.simulator = simulator
         self.skin = skin
         self.work = Workspace()
-        self.timers = {name: Timer() for name in _STAGES}
+        self.tracer = tracer if tracer is not None else Tracer(enabled=True)
+        self.metrics = metrics
+        self._spans = {name: self.tracer.span(name) for name in _STAGES}
+        self._run_mark: dict | None = None
         self._cache: NeighborListCache | None = None
         self._batch_caches: list[NeighborListCache] = []
 
@@ -88,14 +113,45 @@ class InferenceEngine:
             stats["hit_rate"] = 1.0 - stats["builds"] / stats["queries"]
         return stats
 
-    def reset_timers(self) -> None:
-        for t in self.timers.values():
-            t.reset()
+    # ------------------------------------------------------------------
+    def begin_run(self) -> None:
+        """Open a fresh timing scope: :meth:`timings` reports spans
+        recorded after this point. Called automatically by
+        :meth:`rollout` / :meth:`rollout_batch`."""
+        self._run_mark = self.tracer.snapshot()
 
-    def timings(self) -> dict:
-        """Per-stage wall-clock accumulators as plain dicts."""
-        return {name: {"total": t.total, "count": t.count, "mean": t.mean}
-                for name, t in self.timers.items()}
+    def reset_timers(self) -> None:
+        """Drop all span aggregates (lifetime and run scope)."""
+        self.tracer.reset()
+        self._run_mark = None
+
+    def timings(self, scope: str | dict = "run") -> dict:
+        """Per-stage wall-clock stats as plain dicts.
+
+        ``scope="run"`` (default) covers the most recent
+        :meth:`rollout`/:meth:`rollout_batch` call only — the fix for
+        the old accumulate-forever double counting. ``scope="lifetime"``
+        covers everything since construction/:meth:`reset_timers`; a
+        tracer snapshot dict scopes to "since that snapshot".
+        """
+        if isinstance(scope, dict):
+            since = scope
+        elif scope == "run":
+            since = self._run_mark
+        elif scope == "lifetime":
+            since = None
+        else:
+            raise ValueError(f"unknown timing scope: {scope!r}")
+        stats = self.tracer.stats(since=since)
+        out = {}
+        for name in _STAGES:
+            s = stats.get(name)
+            if s is None:
+                out[name] = {"total": 0.0, "count": 0, "mean": 0.0}
+            else:
+                out[name] = {"total": s["total"], "count": s["count"],
+                             "mean": s["mean"]}
+        return out
 
     # ------------------------------------------------------------------
     def _forward(self, window: np.ndarray, node_feats: np.ndarray,
@@ -104,7 +160,7 @@ class InferenceEngine:
         sim = self.simulator
         featurizer = sim.featurizer
         x_t = window[-1]
-        with self.timers["features"]:
+        with self._spans["features"]:
             featurizer.assemble_node_features(window, out=node_feats)
             edge_feats = featurizer.assemble_edge_features(
                 x_t, senders, receivers,
@@ -118,7 +174,7 @@ class InferenceEngine:
                 edge_f = edge_f.astype(sim.inference_dtype)
         acc_norm = sim.network.forward_fast(node_f, edge_f, senders,
                                             receivers, work=self.work,
-                                            timers=self.timers)
+                                            timers=self._spans)
         if acc_norm.dtype != np.float64:
             acc_norm = acc_norm.astype(np.float64)
         return featurizer.denormalize_acceleration(acc_norm)
@@ -138,13 +194,65 @@ class InferenceEngine:
             window[i] = window[i + 1]
         window[-1] = x_next
 
+    @staticmethod
+    def _guard_step(step: int, x_t: np.ndarray, x_next: np.ndarray,
+                    frames_so_far, max_velocity: float | None) -> None:
+        """Abort a diverging rollout with a structured diagnostic.
+
+        One displacement reduction per step (~µs at 1k particles); NaNs
+        propagate into ``vmax`` so a single comparison covers both the
+        non-finite and the exploding-velocity case. ``frames_so_far``
+        may be a callable (evaluated only on failure).
+        """
+        v = x_next - x_t
+        vmax = float(np.max(np.abs(v))) if v.size else 0.0
+        if np.isfinite(vmax) and (max_velocity is None
+                                  or vmax <= max_velocity):
+            return
+        speed = np.linalg.norm(v, axis=-1)
+        finite = np.isfinite(x_next).all(axis=-1)
+        if not np.isfinite(vmax):
+            reason = "non-finite positions"
+            bad = int((~finite).sum())
+        else:
+            reason = f"velocity above limit {max_velocity:g}"
+            bad = int((speed > max_velocity).sum())
+        if callable(frames_so_far):
+            frames_so_far = frames_so_far()
+        finite_speed = speed[np.isfinite(speed)]
+        raise RolloutDivergedError(
+            step=step, reason=reason, bad_particles=bad,
+            max_velocity=(float(finite_speed.max()) if finite_speed.size
+                          else float("nan")),
+            frames=np.asarray(frames_so_far).copy())
+
+    @staticmethod
+    def _guard_seed(frames: np.ndarray) -> None:
+        """Reject a non-finite seed with the same structured error the
+        per-step guard raises (otherwise the KD-tree build crashes with
+        an opaque ValueError on the first graph query)."""
+        if np.isfinite(frames).all():
+            return
+        bad = int((~np.isfinite(frames).all(axis=(0, -1))
+                   if frames.ndim == 3
+                   else ~np.isfinite(frames).all(axis=(0, 1, -1))).sum())
+        raise RolloutDivergedError(
+            step=-1, reason="non-finite seed frames", bad_particles=bad,
+            max_velocity=float("nan"), frames=None)
+
     # ------------------------------------------------------------------
     def rollout(self, initial_history: np.ndarray, num_steps: int,
                 material: float | None = None,
-                particle_types: np.ndarray | None = None) -> np.ndarray:
+                particle_types: np.ndarray | None = None,
+                max_velocity: float | None = None,
+                guard: bool = True) -> np.ndarray:
         """Fast rollout: ``(C+1+num_steps, n, d)`` positions.
 
-        Bitwise-identical (float64) to the naive per-step path.
+        Bitwise-identical (float64) to the naive per-step path. With
+        ``guard`` (default), raises
+        :class:`~repro.obs.RolloutDivergedError` the moment a step
+        produces NaN/Inf positions or (with ``max_velocity``) a
+        per-step displacement above the limit.
         """
         cfg = self.simulator.feature_config
         frames = np.asarray(initial_history, dtype=np.float64)
@@ -152,6 +260,8 @@ class InferenceEngine:
         if frames.shape[0] != window_len:
             raise ValueError(
                 f"need {window_len} seed frames, got {frames.shape[0]}")
+        if guard:
+            self._guard_seed(frames)
         n, dim = frames.shape[1], frames.shape[2]
         out = np.empty((window_len + num_steps, n, dim))
         out[:window_len] = frames
@@ -160,21 +270,35 @@ class InferenceEngine:
         node_feats = np.empty((n, cfg.node_feature_size()))
         self.simulator.featurizer.write_static_columns(node_feats, material,
                                                        particle_types)
+        self.begin_run()
+        edge_hist = (self.metrics.histogram("gns.edges_per_graph",
+                                            buckets=_EDGE_BUCKETS)
+                     if self.metrics is not None else None)
         cache = self.cache
         for t in range(num_steps):
-            with self.timers["graph"]:
+            with self._spans["graph"]:
                 senders, receivers = cache.query(window[-1])
+            if edge_hist is not None:
+                edge_hist.observe(senders.shape[0])
             acc = self._forward(window, node_feats, senders, receivers)
-            with self.timers["integrate"]:
+            with self._spans["integrate"]:
                 x_next = self._integrate(window, acc, static_mask)
+            if guard:
+                self._guard_step(t, window[-1], x_next,
+                                 out[:window_len + t], max_velocity)
+            with self._spans["integrate"]:
                 out[window_len + t] = x_next
                 self._shift_window(window, x_next)
+        if self.metrics is not None:
+            self.metrics.counter("gns.rollout_steps").inc(num_steps)
         return out
 
     # ------------------------------------------------------------------
     def rollout_batch(self, initial_histories: np.ndarray, num_steps: int,
                       materials=None,
-                      particle_types: np.ndarray | None = None) -> np.ndarray:
+                      particle_types: np.ndarray | None = None,
+                      max_velocity: float | None = None,
+                      guard: bool = True) -> np.ndarray:
         """Vectorized rollout of B independent initial conditions.
 
         Parameters
@@ -202,6 +326,8 @@ class InferenceEngine:
         if window_len != cfg.history + 1:
             raise ValueError(
                 f"need {cfg.history + 1} seed frames, got {window_len}")
+        if guard:
+            self._guard_seed(frames)
 
         # stack trajectories into one big particle system (graph stays
         # block-diagonal: each trajectory keeps its own neighbor cache)
@@ -230,11 +356,12 @@ class InferenceEngine:
         while len(self._batch_caches) < b:
             self._batch_caches.append(self._new_cache())
 
+        self.begin_run()
         out = np.empty((window_len + num_steps, b * n, dim))
         out[:window_len] = window
         offsets = np.arange(b, dtype=np.intp) * n
         for t in range(num_steps):
-            with self.timers["graph"]:
+            with self._spans["graph"]:
                 parts_s, parts_r = [], []
                 x_t = window[-1]
                 for i in range(b):
@@ -245,8 +372,12 @@ class InferenceEngine:
                 senders = np.concatenate(parts_s)
                 receivers = np.concatenate(parts_r)
             acc = self._forward(window, node_feats, senders, receivers)
-            with self.timers["integrate"]:
+            with self._spans["integrate"]:
                 x_next = self._integrate(window, acc, static_mask)
+            if guard:
+                self._guard_step(t, window[-1], x_next,
+                                 out[:window_len + t], max_velocity)
+            with self._spans["integrate"]:
                 out[window_len + t] = x_next
                 self._shift_window(window, x_next)
         return np.ascontiguousarray(

@@ -121,7 +121,9 @@ class LearnedSimulator(Module):
     def rollout(self, initial_history: np.ndarray, num_steps: int,
                 material: float | None = None,
                 particle_types: np.ndarray | None = None,
-                fast: bool = True, skin: float | None = None) -> np.ndarray:
+                fast: bool = True, skin: float | None = None,
+                max_velocity: float | None = None,
+                guard: bool = True) -> np.ndarray:
         """Fast inference rollout (tape-free NumPy path).
 
         Parameters
@@ -134,6 +136,13 @@ class LearnedSimulator(Module):
             naive path); ``False`` falls back to the per-step
             :meth:`step_numpy` loop.
         skin: Verlet skin radius for the fast path (None → 0.25 R).
+        max_velocity: optional per-step displacement limit for the
+            divergence guard.
+        guard: abort early with a structured
+            :class:`~repro.obs.RolloutDivergedError` (step index,
+            offending particle count, max |v|, good frames so far) the
+            moment a step produces NaN/Inf positions, instead of rolling
+            out garbage for the remaining steps.
 
         Returns
         -------
@@ -141,22 +150,37 @@ class LearnedSimulator(Module):
         """
         if fast:
             return self.engine(skin).rollout(initial_history, num_steps,
-                                             material, particle_types)
+                                             material, particle_types,
+                                             max_velocity=max_velocity,
+                                             guard=guard)
+        from .engine import InferenceEngine
+
         frames = [np.asarray(f, dtype=np.float64) for f in initial_history]
+        if guard:
+            InferenceEngine._guard_seed(np.stack(frames, axis=0))
         window_len = self.feature_config.history + 1
-        for _ in range(num_steps):
-            frames.append(self.step_numpy(frames[-window_len:], material,
-                                          particle_types))
+        for t in range(num_steps):
+            x_next = self.step_numpy(frames[-window_len:], material,
+                                     particle_types)
+            if guard:
+                InferenceEngine._guard_step(
+                    t, frames[-1], x_next,
+                    lambda: np.stack(frames, axis=0), max_velocity)
+            frames.append(x_next)
         return np.stack(frames, axis=0)
 
     def rollout_batch(self, initial_histories: np.ndarray, num_steps: int,
                       materials=None,
                       particle_types: np.ndarray | None = None,
-                      skin: float | None = None) -> np.ndarray:
+                      skin: float | None = None,
+                      max_velocity: float | None = None,
+                      guard: bool = True) -> np.ndarray:
         """Batched multi-initial-condition rollout via the fast engine;
         see :meth:`repro.gns.engine.InferenceEngine.rollout_batch`."""
         return self.engine(skin).rollout_batch(initial_histories, num_steps,
-                                               materials, particle_types)
+                                               materials, particle_types,
+                                               max_velocity=max_velocity,
+                                               guard=guard)
 
     def rollout_differentiable(self, initial_history: list[Tensor],
                                num_steps: int, material=None,

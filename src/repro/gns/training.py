@@ -16,6 +16,7 @@ from ..autodiff import Tensor
 from ..autodiff.functional import mse_loss
 from ..data.trajectory import TrainingWindow, Trajectory
 from ..nn import Adam, ExponentialDecay, clip_grad_norm
+from ..obs import get_registry, span
 from .noise import random_walk_noise
 from .simulator import LearnedSimulator
 
@@ -184,22 +185,30 @@ class GNSTrainer:
         cfg = self.config
         idx = self.rng.integers(0, len(self.windows), size=cfg.batch_size)
         self.optimizer.zero_grad()
-        if cfg.fused_batching:
-            total = self._fused_batch_loss(
-                [self.windows[int(i)] for i in idx])
-        else:
-            total = None
-            for i in idx:
-                loss = self._window_loss(self.windows[int(i)])
-                total = loss if total is None else total + loss
-            total = total / float(cfg.batch_size)
-        total.backward()
-        clip_grad_norm(self.optimizer.params, cfg.grad_clip)
-        self.schedule.apply(self.optimizer, self.step_count)
-        self.optimizer.step()
+        with span("train/forward"):
+            if cfg.fused_batching:
+                total = self._fused_batch_loss(
+                    [self.windows[int(i)] for i in idx])
+            else:
+                total = None
+                for i in idx:
+                    loss = self._window_loss(self.windows[int(i)])
+                    total = loss if total is None else total + loss
+                total = total / float(cfg.batch_size)
+        with span("train/backward"):
+            total.backward()
+        with span("train/optimizer"):
+            clip_grad_norm(self.optimizer.params, cfg.grad_clip)
+            self.schedule.apply(self.optimizer, self.step_count)
+            self.optimizer.step()
         self.step_count += 1
         value = float(total.data)
         self.loss_history.append(value)
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("train.steps").inc()
+            reg.series("train.loss").append(self.step_count, value)
+            reg.gauge("train.learning_rate").set(self.optimizer.lr)
         return value
 
     def train(self, num_steps: int, verbose: bool = False) -> list[float]:
@@ -254,6 +263,9 @@ class GNSTrainer:
                 else:
                     val = validate()
                 logger.log(step=self.step_count, train_loss=loss, val_mse=val)
+                reg = get_registry()
+                if reg.enabled:
+                    reg.series("train.val_mse").append(self.step_count, val)
                 if manager is not None:
                     if ema is not None:
                         with ema:

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..gns.simulator import LearnedSimulator
 from ..mpm.solver import MPMSolver
+from ..obs import RolloutDivergedError, get_registry, span
 from .schedule import AdaptiveSchedule, FixedSchedule, Phase
 
 __all__ = ["HybridResult", "HybridSimulator"]
@@ -36,7 +37,10 @@ class HybridResult:
     mpm_frames: int
     gns_frames: int
     switches: int = 0
-    #: per-stage GNS wall-clock breakdown (graph/features/encode/…)
+    #: GNS phases cut short by a divergence guard (NaN/exploding velocity)
+    gns_aborts: int = 0
+    #: per-stage GNS wall-clock breakdown (graph/features/encode/…),
+    #: scoped to THIS run (the engine persists across runs)
     gns_timings: dict = field(default_factory=dict)
     #: Verlet neighbor-cache statistics (builds, queries, hit_rate)
     gns_cache: dict = field(default_factory=dict)
@@ -107,11 +111,17 @@ class HybridSimulator:
         switches = 0
         adaptive = isinstance(self.schedule, AdaptiveSchedule)
         sched = self.schedule
+        # engine timers persist across runs; snapshot now so gns_timings
+        # covers exactly this run (the per-phase rollouts inside it)
+        engine = self.gns.engine()
+        run_mark = engine.tracer.snapshot()
+        self._gns_aborts = 0
 
         def run_mpm(frames_budget: int) -> None:
             nonlocal mpm_time, mpm_count
             t0 = time.perf_counter()
-            frames = self._run_mpm_frames(frames_budget)
+            with span("hybrid/mpm"):
+                frames = self._run_mpm_frames(frames_budget)
             mpm_time += time.perf_counter() - t0
             mpm_count += len(frames)
             all_frames.extend(frames)
@@ -126,8 +136,9 @@ class HybridSimulator:
         while remaining > 0:
             budget = min(sched.gns_frames, remaining)
             t0 = time.perf_counter()
-            produced = self._run_gns_phase(Phase("gns", budget), all_frames,
-                                           adaptive)
+            with span("hybrid/gns"):
+                produced = self._run_gns_phase(Phase("gns", budget),
+                                               all_frames, adaptive)
             gns_time += time.perf_counter() - t0
             gns_count += len(produced)
             all_frames.extend(produced)
@@ -147,20 +158,43 @@ class HybridSimulator:
                 run_mpm(remaining)
                 remaining = 0
 
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("hybrid.frames", engine="mpm").inc(mpm_count)
+            reg.counter("hybrid.frames", engine="gns").inc(gns_count)
+            reg.counter("hybrid.switches").inc(switches)
+            if self._gns_aborts:
+                reg.counter("hybrid.gns_aborts").inc(self._gns_aborts)
+
         # the GNS phases all ran through one shared inference engine; its
         # cache persists across phases (MPM motion triggers exact rebuilds)
-        engine = self.gns.engine()
         return HybridResult(
             frames=np.stack(all_frames, axis=0), engines=engines,
             mpm_time=mpm_time, gns_time=gns_time,
             mpm_frames=mpm_count, gns_frames=gns_count, switches=switches,
-            gns_timings=engine.timings(), gns_cache=engine.cache_stats())
+            gns_aborts=self._gns_aborts,
+            gns_timings=engine.timings(scope=run_mark),
+            gns_cache=engine.cache_stats())
 
     def _run_gns_phase(self, phase: Phase, all_frames: list[np.ndarray],
                        adaptive: bool) -> list[np.ndarray]:
+        """One GNS phase; returns the produced frames.
+
+        A :class:`~repro.obs.RolloutDivergedError` cuts the phase short:
+        the good frames produced so far are kept and control hands back
+        to the MPM (which re-equilibrates from the last good state),
+        instead of propagating garbage frames into the trajectory.
+        """
         seed = self._gns_frame_to_displacement(all_frames)
         if not adaptive:
-            rolled = self.gns.rollout(seed, phase.frames, material=self.material)
+            try:
+                rolled = self.gns.rollout(seed, phase.frames,
+                                          material=self.material)
+            except RolloutDivergedError as err:
+                self._gns_aborts = getattr(self, "_gns_aborts", 0) + 1
+                if err.frames is None or err.frames.shape[0] <= seed.shape[0]:
+                    return []
+                rolled = err.frames
             return [rolled[i] for i in range(seed.shape[0], rolled.shape[0])]
 
         # adaptive: step one frame at a time, asking the criterion
@@ -168,8 +202,12 @@ class HybridSimulator:
         produced: list[np.ndarray] = []
         window = [seed[i] for i in range(seed.shape[0])]
         for i in range(phase.frames):
-            rolled = self.gns.rollout(np.stack(window, axis=0), 1,
-                                      material=self.material)
+            try:
+                rolled = self.gns.rollout(np.stack(window, axis=0), 1,
+                                          material=self.material)
+            except RolloutDivergedError:
+                self._gns_aborts = getattr(self, "_gns_aborts", 0) + 1
+                break
             nxt = rolled[-1]
             produced.append(nxt)
             window = window[1:] + [nxt]

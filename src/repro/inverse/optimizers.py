@@ -14,8 +14,22 @@ from typing import Callable
 import numpy as np
 
 from ..autodiff import Tensor
+from ..obs import get_registry, span
 
 __all__ = ["InversionRecord", "GradientDescentInverter", "finite_difference_gradient"]
+
+
+def _record_iteration(method: str, it: int, x: float, loss: float,
+                      grad: float) -> None:
+    """Push one inversion iterate into the global metrics registry
+    (no-op unless telemetry is enabled)."""
+    reg = get_registry()
+    if not reg.enabled:
+        return
+    reg.counter("inverse.iterations", method=method).inc()
+    reg.series("inverse.loss", method=method).append(it, loss)
+    reg.series("inverse.parameter", method=method).append(it, x)
+    reg.series("inverse.gradient", method=method).append(it, grad)
 
 
 @dataclass
@@ -77,15 +91,19 @@ class GradientDescentInverter:
         x = float(x0)
         lr = self.lr
         for it in range(max_iterations):
-            param = Tensor(np.array(x), requires_grad=True)
-            loss = self.objective(param)
-            loss.backward()
-            g = float(param.grad)
+            with span("inverse/iteration"):
+                param = Tensor(np.array(x), requires_grad=True)
+                with span("forward"):
+                    loss = self.objective(param)
+                with span("backward"):
+                    loss.backward()
+                g = float(param.grad)
             if self.max_grad is not None:
                 g = float(np.clip(g, -self.max_grad, self.max_grad))
             record.parameters.append(x)
             record.losses.append(float(loss.data))
             record.gradients.append(g)
+            _record_iteration("gradient", it, x, float(loss.data), g)
             if callback is not None:
                 callback(it, x, float(loss.data), g)
             if float(loss.data) < self.loss_tol or (
@@ -124,11 +142,13 @@ class FiniteDifferenceInverter:
         record = InversionRecord()
         x = float(x0)
         for it in range(max_iterations):
-            loss = self.objective(x)
-            g = finite_difference_gradient(self.objective, x, self.eps)
+            with span("inverse/iteration"):
+                loss = self.objective(x)
+                g = finite_difference_gradient(self.objective, x, self.eps)
             record.parameters.append(x)
             record.losses.append(loss)
             record.gradients.append(g)
+            _record_iteration("fd", it, x, loss, g)
             if loss < self.loss_tol or (self.grad_tol > 0.0
                                         and abs(g) < self.grad_tol):
                 record.converged = True

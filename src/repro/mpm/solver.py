@@ -22,6 +22,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs import get_registry, span
 from .grid import BoxBoundary, Grid
 from .materials import Material
 from .particles import Particles
@@ -83,7 +84,11 @@ class MPMSolver:
 
     # ------------------------------------------------------------------
     def step(self, dt: float | None = None) -> float:
-        """Advance one explicit step; returns the dt actually used."""
+        """Advance one explicit step; returns the dt actually used.
+
+        The three phases are traced as ``mpm/p2g``, ``mpm/grid``, and
+        ``mpm/g2p`` spans (no-ops unless global tracing is on).
+        """
         p = self.particles
         g = self.grid
         dt = float(dt if dt is not None else self.stable_dt())
@@ -93,66 +98,74 @@ class MPMSolver:
         flat = nodes.ravel()
 
         # --- P2G -------------------------------------------------------
-        g.reset()
-        mw = p.masses[:, None] * w                       # (n, k)
-        np.add.at(g.mass, flat, mw.ravel())
-        mom = mw[:, :, None] * p.velocities[:, None, :]  # (n, k, 2)
-        np.add.at(g.momentum, flat, mom.reshape(-1, 2))
+        with span("mpm/p2g"):
+            g.reset()
+            mw = p.masses[:, None] * w                       # (n, k)
+            np.add.at(g.mass, flat, mw.ravel())
+            mom = mw[:, :, None] * p.velocities[:, None, :]  # (n, k, 2)
+            np.add.at(g.momentum, flat, mom.reshape(-1, 2))
 
-        # internal force −V_p σ_p ∇N  (σ symmetric)
-        f_int = -np.einsum("p,pab,pkb->pka", p.volumes, p.stresses, dw)
-        np.add.at(g.force, flat, f_int.reshape(-1, 2))
-        # gravity
-        f_ext = mw[:, :, None] * self._gravity
-        np.add.at(g.force, flat, f_ext.reshape(-1, 2))
+            # internal force −V_p σ_p ∇N  (σ symmetric)
+            f_int = -np.einsum("p,pab,pkb->pka", p.volumes, p.stresses, dw)
+            np.add.at(g.force, flat, f_int.reshape(-1, 2))
+            # gravity
+            f_ext = mw[:, :, None] * self._gravity
+            np.add.at(g.force, flat, f_ext.reshape(-1, 2))
 
         # --- grid update -------------------------------------------------
-        v_old = g.velocities()
-        v_old = g.boundary.apply(g, v_old)
-        if g.obstacle_mask is not None:
-            v_old[g.obstacle_mask] = 0.0
-        m = np.maximum(g.mass, 1e-12)[:, None]
-        v_new = v_old + dt * g.force / m
-        v_new[g.mass <= 1e-12] = 0.0
-        v_new = g.boundary.apply(g, v_new)
-        if g.obstacle_mask is not None:
-            v_new[g.obstacle_mask] = 0.0
+        with span("mpm/grid"):
+            v_old = g.velocities()
+            v_old = g.boundary.apply(g, v_old)
+            if g.obstacle_mask is not None:
+                v_old[g.obstacle_mask] = 0.0
+            m = np.maximum(g.mass, 1e-12)[:, None]
+            v_new = v_old + dt * g.force / m
+            v_new[g.mass <= 1e-12] = 0.0
+            v_new = g.boundary.apply(g, v_new)
+            if g.obstacle_mask is not None:
+                v_new[g.obstacle_mask] = 0.0
 
         # --- G2P ---------------------------------------------------------
-        v_new_k = v_new[nodes]                            # (n, k, 2)
-        v_old_k = v_old[nodes]
-        v_pic = np.einsum("pk,pkc->pc", w, v_new_k)
-        dv = np.einsum("pk,pkc->pc", w, v_new_k - v_old_k)
-        flip = self.config.flip
-        p.velocities = (1.0 - flip) * v_pic + flip * (p.velocities + dv)
-        p.positions = p.positions + dt * v_pic
+        with span("mpm/g2p"):
+            v_new_k = v_new[nodes]                            # (n, k, 2)
+            v_old_k = v_old[nodes]
+            v_pic = np.einsum("pk,pkc->pc", w, v_new_k)
+            dv = np.einsum("pk,pkc->pc", w, v_new_k - v_old_k)
+            flip = self.config.flip
+            p.velocities = (1.0 - flip) * v_pic + flip * (p.velocities + dv)
+            p.positions = p.positions + dt * v_pic
 
-        # keep particles inside the constrained band
-        margin = g.interior_margin()
-        np.clip(p.positions[:, 0], margin, g.size[0] - margin, out=p.positions[:, 0])
-        np.clip(p.positions[:, 1], margin, g.size[1] - margin, out=p.positions[:, 1])
+            # keep particles inside the constrained band
+            margin = g.interior_margin()
+            np.clip(p.positions[:, 0], margin, g.size[0] - margin, out=p.positions[:, 0])
+            np.clip(p.positions[:, 1], margin, g.size[1] - margin, out=p.positions[:, 1])
 
-        # velocity gradient L_ab = Σ_k v_a ∂N/∂x_b
-        lgrad = np.einsum("pka,pkb->pab", v_new_k, dw)
-        strain_inc = 0.5 * (lgrad + lgrad.transpose(0, 2, 1)) * dt
-        spin_inc = 0.5 * (lgrad - lgrad.transpose(0, 2, 1)) * dt
+            # velocity gradient L_ab = Σ_k v_a ∂N/∂x_b
+            lgrad = np.einsum("pka,pkb->pab", v_new_k, dw)
+            strain_inc = 0.5 * (lgrad + lgrad.transpose(0, 2, 1)) * dt
+            spin_inc = 0.5 * (lgrad - lgrad.transpose(0, 2, 1)) * dt
 
-        tr = strain_inc[:, 0, 0] + strain_inc[:, 1, 1]
-        p.volumes = p.volumes * (1.0 + tr)
+            tr = strain_inc[:, 0, 0] + strain_inc[:, 1, 1]
+            p.volumes = p.volumes * (1.0 + tr)
 
-        for mat_id, mat in self.materials.items():
-            sel = p.material_ids == mat_id
-            if not np.any(sel):
-                continue
-            s_new, szz_new = mat.update_stress(
-                p.stresses[sel], p.sigma_zz[sel], strain_inc[sel],
-                spin_inc[sel],
-                jacobian=p.volumes[sel] / p.initial_volumes[sel], dt=dt)
-            p.stresses[sel] = s_new
-            p.sigma_zz[sel] = szz_new
+            for mat_id, mat in self.materials.items():
+                sel = p.material_ids == mat_id
+                if not np.any(sel):
+                    continue
+                s_new, szz_new = mat.update_stress(
+                    p.stresses[sel], p.sigma_zz[sel], strain_inc[sel],
+                    spin_inc[sel],
+                    jacobian=p.volumes[sel] / p.initial_volumes[sel], dt=dt)
+                p.stresses[sel] = s_new
+                p.sigma_zz[sel] = szz_new
 
         self.time += dt
         self.step_count += 1
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("mpm.steps").inc()
+            reg.gauge("mpm.dt").set(dt)
+            reg.gauge("mpm.num_particles").set(p.positions.shape[0])
         return dt
 
     # ------------------------------------------------------------------

@@ -1,0 +1,82 @@
+"""repro.obs — unified, zero-dependency telemetry.
+
+The measurement layer the paper's quantitative claims rest on:
+
+* :mod:`~repro.obs.trace` — nestable tracing spans with a strict no-op
+  fast path (``with obs.span("encode")``); aggregates wall time, call
+  counts, and parent/child structure.
+* :mod:`~repro.obs.metrics` — a registry of labeled counters, gauges,
+  fixed-bucket histograms, and series (loss curves, steps/sec,
+  edges-per-graph, cache hit rates).
+* :mod:`~repro.obs.session` — :class:`TelemetrySession` exports one
+  ``telemetry.jsonl`` + ``manifest.json`` (config, seed, git SHA,
+  dtype, summary stats) per run, making runs reproducible and diffable.
+* :mod:`~repro.obs.health` — pluggable physics watchdogs (NaN/Inf,
+  velocity explosion, energy gain, momentum drift, GNS-vs-MPM
+  divergence) raising structured :class:`HealthEvent` findings instead
+  of letting garbage trajectories flow through silently.
+* :mod:`~repro.obs.timing` / :mod:`~repro.obs.profiling` — the classic
+  :class:`Timer` / :func:`profile_block` helpers (moved here from
+  ``repro.utils``, which still re-exports them).
+
+Global telemetry is **off by default**; ``obs.enable()`` (or opening a
+:class:`TelemetrySession`) turns on the process-global tracer and
+registry. See ``docs/observability.md``.
+"""
+
+from .health import (
+    DivergenceMonitor, EnergyGainMonitor, HealthEvent, HealthMonitor,
+    HealthReport, MomentumDriftMonitor, NaNMonitor, RolloutDivergedError,
+    VelocityExplosionMonitor, check_trajectory, default_monitors,
+)
+from .metrics import (
+    Counter, Gauge, Histogram, MetricsRegistry, Series, disable_metrics,
+    enable_metrics, get_registry, reset_metrics,
+)
+from .profiling import profile_block, top_functions
+from .session import TelemetrySession, git_sha, read_manifest, read_telemetry
+from .summarize import summarize_telemetry
+from .timing import Timer, benchmark
+from .trace import (
+    NULL_SPAN, Span, Tracer, disable_tracing, enable_tracing, get_tracer,
+    reset_tracing, span, tracing_enabled,
+)
+
+__all__ = [
+    # trace
+    "NULL_SPAN", "Span", "Tracer", "get_tracer", "span", "enable_tracing",
+    "disable_tracing", "reset_tracing", "tracing_enabled",
+    # metrics
+    "Counter", "Gauge", "Histogram", "Series", "MetricsRegistry",
+    "get_registry", "enable_metrics", "disable_metrics", "reset_metrics",
+    # session / export
+    "TelemetrySession", "git_sha", "read_telemetry", "read_manifest",
+    "summarize_telemetry",
+    # health
+    "HealthEvent", "HealthReport", "HealthMonitor", "NaNMonitor",
+    "VelocityExplosionMonitor", "EnergyGainMonitor", "MomentumDriftMonitor",
+    "DivergenceMonitor", "check_trajectory", "default_monitors",
+    "RolloutDivergedError",
+    # timing / profiling (consolidated from repro.utils)
+    "Timer", "benchmark", "profile_block", "top_functions",
+    # umbrella switches
+    "enable", "disable", "reset",
+]
+
+
+def enable() -> None:
+    """Turn on the process-global tracer and metrics registry."""
+    enable_tracing()
+    enable_metrics()
+
+
+def disable() -> None:
+    """Turn global telemetry back off (aggregates are kept)."""
+    disable_tracing()
+    disable_metrics()
+
+
+def reset() -> None:
+    """Drop all global span aggregates and metrics."""
+    reset_tracing()
+    reset_metrics()

@@ -1,0 +1,132 @@
+"""Human-readable reports from telemetry artifacts.
+
+``repro telemetry summarize <path>`` renders a ``telemetry.jsonl`` (and
+its sibling ``manifest.json``) as a compact text report: the manifest
+header, the span table sorted by total time, every metric with a
+one-line digest, and any health findings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .session import read_manifest, read_telemetry
+
+__all__ = ["summarize_telemetry", "format_rows"]
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:8.3f} s "
+    return f"{s * 1e3:8.3f} ms"
+
+
+def _metric_digest(row: dict) -> str:
+    kind = row.get("type", "?")
+    if kind == "counter":
+        return f"{row.get('value', 0):g}"
+    if kind == "gauge":
+        if row.get("count", 0) == 0:
+            return "(unset)"
+        parts = f"{row['value']:g}"
+        if row.get("count", 0) > 1:
+            parts += f"  (min {row['min']:g}, max {row['max']:g}, " \
+                     f"n={row['count']})"
+        return parts
+    if kind == "histogram":
+        if row.get("count", 0) == 0:
+            return "(empty)"
+        return (f"n={row['count']}  mean={row['mean']:g}  "
+                f"min={row['min']:g}  max={row['max']:g}")
+    if kind == "series":
+        points = row.get("points", [])
+        if not points:
+            return "(empty)"
+        return (f"{len(points)} points  last={row.get('last', 0):g}  "
+                f"min={row.get('min', 0):g}  max={row.get('max', 0):g}")
+    return "?"
+
+
+def _labels_suffix(row: dict) -> str:
+    labels = row.get("labels")
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def format_rows(rows: list[dict], manifest: dict | None = None) -> str:
+    """Render parsed telemetry rows (+ optional manifest) as text."""
+    lines: list[str] = []
+    if manifest:
+        sha = manifest.get("git_sha") or "?"
+        lines.append(
+            f"run: {manifest.get('command', '?')}  "
+            f"git={sha[:12]}  dtype={manifest.get('dtype') or '?'}  "
+            f"seed={manifest.get('seed')}  "
+            f"elapsed={manifest.get('elapsed_seconds', 0):.3f} s")
+        health = manifest.get("health", {})
+        if health.get("events"):
+            lines.append(f"health: {health.get('errors', 0)} errors, "
+                         f"{health.get('warnings', 0)} warnings")
+        summary = manifest.get("summary") or {}
+        for key in sorted(summary):
+            lines.append(f"  summary.{key} = {summary[key]}")
+        lines.append("")
+
+    spans = [r for r in rows if r.get("kind") == "span"]
+    if spans:
+        spans.sort(key=lambda r: -r.get("total", 0.0))
+        grand = sum(r["total"] for r in spans if "/" not in r["path"])
+        grand = grand or sum(r["total"] for r in spans) or 1e-12
+        lines.append(f"spans ({len(spans)}):")
+        lines.append(f"  {'path':<28} {'total':>11} {'calls':>8} "
+                     f"{'mean':>11} {'share':>6}")
+        for r in spans:
+            share = 100.0 * r["total"] / grand
+            lines.append(
+                f"  {r['path']:<28} {_fmt_seconds(r['total'])} "
+                f"{r['count']:>8d} {_fmt_seconds(r['mean'])} {share:5.1f}%")
+        lines.append("")
+
+    metrics = [r for r in rows if r.get("kind") == "metric"]
+    if metrics:
+        lines.append(f"metrics ({len(metrics)}):")
+        for r in sorted(metrics, key=lambda r: (r["name"],
+                                                str(r.get("labels", "")))):
+            name = r["name"] + _labels_suffix(r)
+            lines.append(f"  {name:<40} {r.get('type', '?'):<10} "
+                         f"{_metric_digest(r)}")
+        lines.append("")
+
+    health = [r for r in rows if r.get("kind") == "health"]
+    if health:
+        lines.append(f"health events ({len(health)}):")
+        for r in health:
+            lines.append(f"  [{r.get('severity', '?'):<7}] "
+                         f"{r.get('monitor', '?'):<12} step {r.get('step')}: "
+                         f"{r.get('message', '')}")
+        lines.append("")
+
+    events = [r for r in rows if r.get("kind") == "event"]
+    if events:
+        lines.append(f"events ({len(events)}):")
+        for r in events[:20]:
+            extra = {k: v for k, v in r.items()
+                     if k not in ("kind", "name", "t")}
+            lines.append(f"  t={r.get('t', 0):9.3f}  {r.get('name', '?')} "
+                         f"{extra if extra else ''}")
+        if len(events) > 20:
+            lines.append(f"  ... {len(events) - 20} more")
+        lines.append("")
+
+    if not rows:
+        lines.append("(telemetry file is empty)")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def summarize_telemetry(path: str | Path) -> str:
+    """Load and render one telemetry artifact (file or directory)."""
+    rows = read_telemetry(path)
+    manifest = read_manifest(Path(path))
+    return format_rows(rows, manifest)

@@ -1,0 +1,186 @@
+"""Nestable tracing spans with a strict no-op fast path.
+
+A :class:`Tracer` records wall time and call counts for named spans.
+Spans nest: entering ``b`` inside ``a`` aggregates under the path
+``"a/b"``, so the full parent/child structure of a run is recoverable
+from the aggregate table alone (no per-event storage needed for the
+common case).
+
+Two usage styles:
+
+* **Cached spans** (hot loops) — create the span once, reuse it::
+
+      sp = tracer.span("encode")
+      for step in range(n):
+          with sp:
+              ...
+
+  A cached span checks ``tracer.enabled`` at ``__enter__``, so toggling
+  the tracer mid-run behaves correctly. A disabled enter/exit is two
+  attribute reads and a branch.
+
+* **Module-level convenience** (cold paths) — ``obs.span("mpm/p2g")``
+  resolves against the process-global tracer and returns a shared no-op
+  singleton when tracing is disabled, so instrumented code pays ~nothing
+  by default.
+
+Span objects are not reentrant (do not nest a span object inside
+itself); create a second span with the same name instead — aggregation
+is by path, so both land in the same row.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Span", "Tracer", "get_tracer", "span", "enable_tracing",
+           "disable_tracing", "reset_tracing", "tracing_enabled"]
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A reusable context manager that times one named region."""
+
+    __slots__ = ("tracer", "name", "_start", "_path", "_live")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self.tracer = tracer
+        self.name = name
+        self._start = 0.0
+        self._path = name
+        self._live = False
+
+    def __enter__(self) -> "Span":
+        t = self.tracer
+        if not t.enabled:
+            self._live = False
+            return self
+        self._live = True
+        t._stack.append(self.name)
+        self._path = "/".join(t._stack)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if not self._live:
+            return False
+        elapsed = time.perf_counter() - self._start
+        self._live = False
+        t = self.tracer
+        if t._stack and t._stack[-1] == self.name:
+            t._stack.pop()
+        rec = t._stats.get(self._path)
+        if rec is None:
+            t._stats[self._path] = [elapsed, 1, elapsed, elapsed]
+        else:
+            rec[0] += elapsed
+            rec[1] += 1
+            if elapsed < rec[2]:
+                rec[2] = elapsed
+            if elapsed > rec[3]:
+                rec[3] = elapsed
+        return False
+
+
+class Tracer:
+    """Aggregating span recorder.
+
+    Internally keeps one ``[total, count, min, max]`` row per span
+    *path* ("rollout/encode"), updated on span exit — memory stays
+    bounded no matter how many steps a loop runs.
+    """
+
+    __slots__ = ("enabled", "_stack", "_stats")
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._stack: list[str] = []
+        self._stats: dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    def span(self, name: str) -> Span:
+        """A (reusable) span named ``name``; cache it around hot loops."""
+        return Span(self, name)
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all aggregates (open spans keep timing into fresh rows)."""
+        self._stats = {}
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Copy of the (total, count) aggregates — a scope mark for
+        :meth:`stats`'s ``since`` argument."""
+        return {path: (rec[0], rec[1]) for path, rec in self._stats.items()}
+
+    def stats(self, since: dict | None = None) -> dict:
+        """``{path: {"total", "count", "mean", "min", "max"}}``.
+
+        With ``since`` (a :meth:`snapshot`), totals and counts are the
+        *difference* since the snapshot — the per-run scope the inference
+        engine uses so successive rollouts never double-count.
+        """
+        out = {}
+        for path, rec in self._stats.items():
+            total, count = rec[0], rec[1]
+            if since is not None and path in since:
+                total -= since[path][0]
+                count -= since[path][1]
+            if count <= 0:
+                continue
+            out[path] = {"total": total, "count": count,
+                         "mean": total / count, "min": rec[2], "max": rec[3]}
+        return out
+
+
+# ----------------------------------------------------------------------
+# process-global tracer
+# ----------------------------------------------------------------------
+_GLOBAL = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (disabled until :func:`enable_tracing`)."""
+    return _GLOBAL
+
+
+def span(name: str):
+    """Span on the global tracer; the shared no-op when disabled."""
+    if not _GLOBAL.enabled:
+        return NULL_SPAN
+    return Span(_GLOBAL, name)
+
+
+def tracing_enabled() -> bool:
+    return _GLOBAL.enabled
+
+
+def enable_tracing() -> None:
+    _GLOBAL.enabled = True
+
+
+def disable_tracing() -> None:
+    _GLOBAL.enabled = False
+
+
+def reset_tracing() -> None:
+    _GLOBAL.reset()

@@ -1,4 +1,9 @@
-"""Timing, profiling, and seeding utilities."""
+"""Seeding and buffer utilities.
+
+``Timer``/``benchmark``/``profile_block``/``top_functions`` moved to
+:mod:`repro.obs` (the unified telemetry subsystem) and are re-exported
+here unchanged for backwards compatibility.
+"""
 
 from .timer import Timer, benchmark
 from .seeding import seed_everything, spawn_rngs

@@ -1,40 +1,6 @@
-"""Profiling helpers (per the HPC guides: no optimization without measuring)."""
+"""Backwards-compatible re-export — the implementation lives in
+:mod:`repro.obs.profiling` (the unified telemetry subsystem)."""
 
-from __future__ import annotations
-
-import cProfile
-import io
-import pstats
-from contextlib import contextmanager
+from ..obs.profiling import profile_block, top_functions
 
 __all__ = ["profile_block", "top_functions"]
-
-
-@contextmanager
-def profile_block(sort: str = "cumulative", limit: int = 20, stream=None):
-    """Profile the enclosed block and print the hottest functions.
-
-    >>> with profile_block(limit=10):
-    ...     solver.run(100)
-    """
-    profiler = cProfile.Profile()
-    profiler.enable()
-    try:
-        yield profiler
-    finally:
-        profiler.disable()
-        out = stream or io.StringIO()
-        stats = pstats.Stats(profiler, stream=out)
-        stats.sort_stats(sort).print_stats(limit)
-        if stream is None:
-            print(out.getvalue())
-
-
-def top_functions(profiler: cProfile.Profile, limit: int = 10) -> list[tuple[str, float]]:
-    """(function name, cumulative seconds) for the hottest entries."""
-    stats = pstats.Stats(profiler)
-    rows = []
-    for func, (cc, nc, tt, ct, callers) in stats.stats.items():  # type: ignore[attr-defined]
-        rows.append((f"{func[0]}:{func[1]}:{func[2]}", ct))
-    rows.sort(key=lambda r: -r[1])
-    return rows[:limit]

@@ -1,54 +1,6 @@
-"""Wall-clock timing utilities for the speedup benchmarks (E2, E4)."""
+"""Backwards-compatible re-export — the implementation lives in
+:mod:`repro.obs.timing` (the unified telemetry subsystem)."""
 
-from __future__ import annotations
-
-import time
-from dataclasses import dataclass, field
+from ..obs.timing import Timer, benchmark
 
 __all__ = ["Timer", "benchmark"]
-
-
-@dataclass
-class Timer:
-    """Accumulating context-manager timer.
-
-    >>> t = Timer()
-    >>> with t:
-    ...     work()
-    >>> t.total  # seconds
-    """
-
-    total: float = 0.0
-    count: int = 0
-    _start: float = field(default=0.0, repr=False)
-
-    def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.total += time.perf_counter() - self._start
-        self.count += 1
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def reset(self) -> None:
-        self.total = 0.0
-        self.count = 0
-
-
-def benchmark(fn, repeats: int = 3, warmup: int = 1) -> dict:
-    """Best-of-N wall time for ``fn()`` with warmup runs.
-
-    Returns {"best", "mean", "times"} in seconds.
-    """
-    for _ in range(warmup):
-        fn()
-    times = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - t0)
-    return {"best": min(times), "mean": sum(times) / len(times), "times": times}

@@ -144,3 +144,63 @@ class TestObstacleScenario:
 
         traj = load_trajectories(out)[0]
         assert traj.meta["scenario"] == "flow_around_obstacle"
+
+
+class TestTelemetry:
+    def test_rollout_writes_and_summarizes_telemetry(self, workspace,
+                                                     tmp_path, capsys):
+        tele = tmp_path / "tele"
+        rc = main(["rollout", "--checkpoint", str(workspace["checkpoint"]),
+                   "--dataset", str(workspace["dataset"]), "--steps", "4",
+                   "--timing", "--telemetry", str(tele)])
+        assert rc == 0
+        assert (tele / "telemetry.jsonl").exists()
+        assert (tele / "manifest.json").exists()
+
+        from repro.obs import read_manifest, read_telemetry
+
+        rows = read_telemetry(tele)
+        spans = [r for r in rows if r["kind"] == "span"]
+        metrics = [r for r in rows if r["kind"] == "metric"]
+        # the full per-stage breakdown is reconstructible from the export
+        paths = {r["path"] for r in spans}
+        assert {"gns/graph", "gns/features", "gns/encode", "gns/process",
+                "gns/decode", "gns/integrate"} <= paths
+        assert len({r["name"] for r in metrics}) >= 6
+        manifest = read_manifest(tele)
+        assert manifest["command"] == "rollout"
+        assert manifest["summary"]["steps"] == 4
+        capsys.readouterr()
+
+        rc = main(["telemetry", "summarize", str(tele)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rollout" in out and "gns/process" in out
+
+    def test_global_telemetry_restored_after_run(self, workspace, tmp_path):
+        from repro.obs import get_registry, get_tracer
+
+        rc = main(["rollout", "--checkpoint", str(workspace["checkpoint"]),
+                   "--dataset", str(workspace["dataset"]), "--steps", "2",
+                   "--telemetry", str(tmp_path / "t2")])
+        assert rc == 0
+        assert not get_tracer().enabled
+        assert not get_registry().enabled
+
+    def test_simulate_telemetry_includes_mpm_spans(self, tmp_path, capsys):
+        tele = tmp_path / "tele-sim"
+        rc = main(["simulate", "boxflow", "--output", str(tmp_path / "s.npz"),
+                   "--steps", "12", "--record-every", "4",
+                   "--cells-per-unit", "12", "--telemetry", str(tele)])
+        assert rc == 0
+        from repro.obs import read_telemetry
+
+        paths = {r["path"] for r in read_telemetry(tele)
+                 if r["kind"] == "span"}
+        assert {"mpm/p2g", "mpm/grid", "mpm/g2p"} <= paths
+        capsys.readouterr()
+
+    def test_summarize_missing_path_fails_cleanly(self, tmp_path, capsys):
+        rc = main(["telemetry", "summarize", str(tmp_path / "nope")])
+        assert rc == 1
+        assert "error" in capsys.readouterr().out

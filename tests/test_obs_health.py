@@ -1,0 +1,179 @@
+"""Physics health monitors and the rollout divergence guard."""
+
+import numpy as np
+import pytest
+
+from repro.gns import (
+    FeatureConfig, GNSNetworkConfig, LearnedSimulator, Stats,
+)
+from repro.obs import (
+    DivergenceMonitor, NaNMonitor, RolloutDivergedError,
+    VelocityExplosionMonitor, check_trajectory, default_monitors,
+)
+
+
+def make_sim(history=3, seed=1):
+    bounds = np.array([[0.0, 1.0], [0.0, 1.0]])
+    cfg = FeatureConfig(connectivity_radius=0.15, history=history,
+                        bounds=bounds, use_material=True)
+    net = GNSNetworkConfig(latent_size=12, mlp_hidden_size=12,
+                           message_passing_steps=2)
+    stats = Stats(np.zeros(2), np.full(2, 0.01), np.zeros(2),
+                  np.full(2, 2e-4))
+    return LearnedSimulator(cfg, net, stats, rng=np.random.default_rng(seed))
+
+
+def make_seed(sim, n=50, seed=0):
+    rng = np.random.default_rng(seed)
+    x0 = rng.uniform(0.25, 0.75, size=(n, 2))
+    frames = [x0]
+    for _ in range(sim.feature_config.history):
+        frames.append(frames[-1] + rng.normal(0, 5e-4, size=(n, 2)))
+    return np.stack(frames, axis=0)
+
+
+def settled_trajectory(steps=20, n=30, seed=0):
+    """A tame trajectory: slow drift, no pathology."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.2, 0.8, size=(n, 2))
+    frames = [x]
+    for _ in range(steps):
+        frames.append(frames[-1] + rng.normal(0, 1e-4, size=(n, 2)))
+    return np.stack(frames, axis=0)
+
+
+class TestMonitors:
+    def test_clean_trajectory_is_healthy(self):
+        report = check_trajectory(settled_trajectory(), dt=0.01)
+        assert report.ok
+        assert report.frames_checked > 0
+
+    def test_nan_monitor_finds_first_bad_frame(self):
+        frames = settled_trajectory()
+        frames[7, :5] = np.nan
+        events = NaNMonitor().scan(frames, dt=1.0)
+        assert len(events) == 1
+        assert events[0].step == 7
+        assert events[0].severity == "error"
+        assert events[0].data["bad_particles"] == 5
+
+    def test_velocity_monitor_flags_explosion(self):
+        frames = settled_trajectory()
+        frames[12:, 0] += 10.0  # one particle teleports
+        events = VelocityExplosionMonitor().scan(frames, dt=1.0)
+        assert events and events[0].step == 12
+
+    def test_divergence_monitor_compares_to_reference(self):
+        ref = settled_trajectory(seed=1)
+        drifted = ref + np.linspace(0, 0.5, ref.shape[0])[:, None, None]
+        events = DivergenceMonitor(ref, threshold=0.1).scan(drifted, dt=1.0)
+        assert events
+        assert not DivergenceMonitor(ref, threshold=0.1).scan(ref, dt=1.0)
+
+    def test_destabilized_rollout_is_flagged(self):
+        """End-to-end: a NaN-poisoned GNS rollout trips the watchdogs."""
+        sim = make_sim()
+        seed = make_seed(sim, n=30)
+        frames = sim.rollout(seed, 10, material=30.0)
+        frames = frames.copy()
+        frames[-3:] = np.nan  # simulate a mid-rollout blow-up
+        report = check_trajectory(frames,
+                                  default_monitors(reference=frames[:1]),
+                                  dt=1.0)
+        assert not report.ok
+        assert report.triggered("nan")
+
+
+class TestRolloutGuard:
+    def _poisoned_sim(self):
+        """NaN in the acceleration stats poisons the first produced frame."""
+        sim = make_sim()
+        sim.stats.acceleration_mean[:] = np.nan
+        return sim
+
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_aborts_with_structured_diagnostic(self, fast):
+        sim = self._poisoned_sim()
+        seed = make_seed(sim, n=20)
+        with pytest.raises(RolloutDivergedError) as exc:
+            sim.rollout(seed, 5, material=30.0, fast=fast)
+        err = exc.value
+        assert err.step == 0
+        assert err.bad_particles == 20
+        assert "non-finite" in err.reason
+        # the good frames (just the seed) are preserved for post-mortems
+        assert err.frames is not None
+        assert err.frames.shape[0] == seed.shape[0]
+        assert np.isfinite(err.frames).all()
+        d = err.diagnostic
+        assert d["step"] == 0 and d["bad_particles"] == 20
+
+    def test_guard_can_be_disabled(self):
+        sim = self._poisoned_sim()
+        seed = make_seed(sim, n=20)
+        frames = sim.rollout(seed, 3, material=30.0, guard=False)
+        assert np.isnan(frames[-1]).any()  # garbage flows through, by request
+
+    def test_max_velocity_limit(self):
+        sim = make_sim()
+        seed = make_seed(sim, n=20)
+        with pytest.raises(RolloutDivergedError) as exc:
+            sim.rollout(seed, 5, material=30.0, max_velocity=1e-12)
+        assert "limit" in exc.value.reason
+
+    def test_non_finite_seed_rejected_up_front(self):
+        sim = make_sim()
+        seed = make_seed(sim, n=20)
+        seed[0, 3] = np.inf
+        with pytest.raises(RolloutDivergedError) as exc:
+            sim.rollout(seed, 3, material=30.0)
+        assert exc.value.step == -1
+
+    def test_healthy_rollout_unaffected(self):
+        sim = make_sim()
+        seed = make_seed(sim, n=20)
+        guarded = sim.rollout(seed, 10, material=30.0, guard=True)
+        unguarded = sim.rollout(seed, 10, material=30.0, guard=False)
+        np.testing.assert_array_equal(guarded, unguarded)
+
+    def test_as_event_is_exportable(self):
+        err = RolloutDivergedError(step=4, reason="non-finite positions",
+                                   bad_particles=7, max_velocity=float("inf"))
+        event = err.as_event()
+        assert event.severity == "error"
+        assert event.step == 4
+
+
+class TestHybridFallback:
+    def test_diverged_gns_phase_hands_back_to_mpm(self, monkeypatch):
+        """If the surrogate blows up mid-phase the hybrid keeps its frame
+        contract by falling back to physics."""
+        from repro.hybrid import FixedSchedule, HybridSimulator
+        from repro.mpm import granular_column_collapse
+
+        sim = make_sim(history=2)
+        spec = granular_column_collapse(cells_per_unit=12)
+        hybrid = HybridSimulator(sim, spec.solver,
+                                 FixedSchedule(warmup_frames=3, gns_frames=4,
+                                               refine_frames=2),
+                                 substeps=2, material=30.0)
+
+        calls = {"n": 0}
+        real_rollout = sim.rollout
+
+        def exploding_rollout(seed, steps, **kw):
+            calls["n"] += 1
+            raise RolloutDivergedError(step=0, reason="non-finite positions",
+                                       bad_particles=1, max_velocity=np.inf,
+                                       frames=None)
+
+        monkeypatch.setattr(sim, "rollout", exploding_rollout)
+        result = hybrid.run(total_frames=10)
+        monkeypatch.setattr(sim, "rollout", real_rollout)
+
+        assert calls["n"] >= 1
+        assert result.frames.shape[0] == 11  # contract kept
+        assert result.gns_aborts >= 1
+        assert result.gns_frames == 0
+        assert all(e == "mpm" for e in result.engines)
+        assert np.isfinite(result.frames).all()

@@ -1,0 +1,107 @@
+"""Metrics registry: counters, gauges, histogram bucket edges, series."""
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self, reg):
+        c = reg.counter("hits")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_gauge_tracks_extrema(self, reg):
+        g = reg.gauge("speed")
+        for v in (3.0, 1.0, 7.0):
+            g.set(v)
+        row = g.as_row()
+        assert row["value"] == 7.0
+        assert row["min"] == 1.0 and row["max"] == 7.0 and row["count"] == 3
+
+    def test_get_or_create_by_name_and_labels(self, reg):
+        assert reg.counter("n") is reg.counter("n")
+        assert reg.counter("n", kind="a") is not reg.counter("n", kind="b")
+        assert reg.counter("n", a="1", b="2") is reg.counter("n", b="2", a="1")
+        assert len(reg) == 4
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 3.9, 4.0, 4.0001):
+            h.observe(v)
+        row = h.as_row()
+        # counts are per-bucket (non-cumulative): (-inf,1], (1,2], (2,4]
+        assert row["counts"] == [2, 2, 2]
+        assert row["overflow"] == 1
+        assert row["count"] == 7
+        assert row["min"] == 0.5 and row["max"] == 4.0001
+
+    def test_rejects_non_ascending_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(2.0, 1.0))
+
+    def test_mean_and_sum(self, reg):
+        h = reg.histogram("x", buckets=(10.0,))
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        row = h.as_row()
+        assert row["sum"] == pytest.approx(6.0)
+        assert row["mean"] == pytest.approx(2.0)
+
+
+class TestSeries:
+    def test_appends_points(self, reg):
+        s = reg.series("loss")
+        for i in range(5):
+            s.append(i, float(i * i))
+        row = s.as_row()
+        assert row["points"][-1] == [4, 16.0]
+        assert row["last"] == 16.0
+
+    def test_decimation_bounds_memory(self, reg):
+        s = reg.series("long", max_points=64)
+        for i in range(10_000):
+            s.append(i, float(i))
+        assert len(s.points) <= 64
+        # endpoints of the decimated trace still span the data
+        xs = [p[0] for p in s.points]
+        assert xs == sorted(xs)
+        assert xs[-1] >= 9000
+
+
+class TestDisabledRegistry:
+    def test_disabled_metrics_are_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("n")
+        c.inc()
+        assert c.value == 0.0
+        g = reg.gauge("g")
+        g.set(5.0)
+        assert g.as_row()["count"] == 0
+        h = reg.histogram("h", buckets=(1.0,))
+        h.observe(0.5)
+        assert h.as_row()["count"] == 0
+        s = reg.series("s")
+        s.append(0, 1.0)
+        assert s.points == []
+
+    def test_collect_rows_are_json_ready(self, reg):
+        reg.counter("a").inc()
+        reg.gauge("b", site="x").set(1.0)
+        rows = reg.collect()
+        assert all(r["kind"] == "metric" for r in rows)
+        names = {r["name"] for r in rows}
+        assert names == {"a", "b"}
+        import json
+
+        json.dumps(rows)  # must not raise

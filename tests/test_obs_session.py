@@ -1,0 +1,136 @@
+"""TelemetrySession: JSONL export, manifest round-trip, global-state care."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    HealthEvent, TelemetrySession, Tracer, get_registry, get_tracer,
+    read_manifest, read_telemetry, span, summarize_telemetry,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_global():
+    import repro.obs as obs
+
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestSessionLifecycle:
+    def test_enables_and_restores_global_telemetry(self, tmp_path):
+        assert not get_tracer().enabled
+        session = TelemetrySession(tmp_path, command="t")
+        assert get_tracer().enabled and get_registry().enabled
+        session.finish()
+        assert not get_tracer().enabled and not get_registry().enabled
+
+    def test_writes_both_artifacts(self, tmp_path):
+        session = TelemetrySession(tmp_path, command="t")
+        with span("work"):
+            pass
+        session.finish()
+        assert session.telemetry_path.exists()
+        assert session.manifest_path.exists()
+
+    def test_context_manager_records_exception_event(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            with TelemetrySession(tmp_path, command="t"):
+                raise RuntimeError("boom")
+        rows = read_telemetry(tmp_path)
+        errs = [r for r in rows if r["kind"] == "event"
+                and r["name"] == "exception"]
+        assert len(errs) == 1
+        assert "boom" in json.dumps(errs[0])
+
+
+class TestManifestRoundTrip:
+    def test_manifest_captures_run_identity(self, tmp_path):
+        config = {"steps": 7, "radius": 0.08, "path": tmp_path / "x.npz"}
+        session = TelemetrySession(tmp_path, command="rollout",
+                                   config=config, seed=123, dtype="float64")
+        session.finish(summary={"speedup": 2.5})
+        m = read_manifest(tmp_path)
+        assert m["command"] == "rollout"
+        assert m["seed"] == 123
+        assert m["dtype"] == "float64"
+        assert m["config"]["steps"] == 7
+        assert m["config"]["radius"] == 0.08
+        assert m["summary"]["speedup"] == 2.5
+        assert m["elapsed_seconds"] >= 0.0
+        assert "python" in m and "numpy" in m and "platform" in m
+        # the whole manifest must survive a JSON round trip unchanged
+        assert json.loads(json.dumps(m)) == m
+
+    def test_numpy_values_are_jsonable(self, tmp_path):
+        session = TelemetrySession(
+            tmp_path, command="t",
+            config={"arr": np.arange(3), "f": np.float64(1.5),
+                    "i": np.int32(4)})
+        session.finish(summary={"err": np.float32(0.25)})
+        m = read_manifest(tmp_path)
+        assert m["config"]["arr"] == [0, 1, 2]
+        assert m["config"]["f"] == 1.5
+        assert m["summary"]["err"] == 0.25
+
+
+class TestTelemetryRows:
+    def test_full_record_reconstructs_run(self, tmp_path):
+        session = TelemetrySession(tmp_path, command="t", seed=0)
+        with span("rollout"):
+            with span("encode"):
+                pass
+        reg = get_registry()
+        reg.counter("steps").inc(5)
+        reg.gauge("steps_per_sec").set(100.0)
+        reg.series("loss").append(0, 1.0)
+        session.event("checkpoint", path="x.npz")
+        session.record_health(HealthEvent(monitor="nan", severity="error",
+                                          step=3, message="NaN at step 3"))
+        session.finish()
+
+        rows = read_telemetry(session.telemetry_path)  # file path works too
+        kinds = {}
+        for r in rows:
+            kinds.setdefault(r["kind"], []).append(r)
+        assert {"rollout", "rollout/encode"} <= {
+            r["path"] for r in kinds["span"]}
+        assert {r["name"] for r in kinds["metric"]} == {
+            "steps", "steps_per_sec", "loss"}
+        assert kinds["health"][0]["severity"] == "error"
+        assert any(r["name"] == "checkpoint" for r in kinds["event"])
+        m = read_manifest(tmp_path)
+        assert m["health"]["errors"] == 1
+
+    def test_private_tracer_with_scope_and_prefix(self, tmp_path):
+        private = Tracer(enabled=True)
+        with private.span("warmup"):
+            pass
+        mark = private.snapshot()
+        with private.span("stage"):
+            pass
+        session = TelemetrySession(tmp_path, command="t")
+        session.add_tracer(private, prefix="gns/", since=mark)
+        session.finish()
+        paths = {r["path"] for r in read_telemetry(tmp_path)
+                 if r["kind"] == "span"}
+        assert "gns/stage" in paths
+        assert "gns/warmup" not in paths  # excluded by the snapshot scope
+
+
+class TestSummarize:
+    def test_renders_key_sections(self, tmp_path):
+        session = TelemetrySession(tmp_path, command="demo", seed=1)
+        with span("encode"):
+            pass
+        get_registry().gauge("speed").set(3.0)
+        session.finish(summary={"ok": True})
+        text = summarize_telemetry(tmp_path)
+        assert "demo" in text
+        assert "encode" in text
+        assert "speed" in text
