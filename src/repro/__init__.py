@@ -16,12 +16,15 @@ Problems* (SC23 AI4S workshop), built entirely on NumPy:
 * :mod:`repro.nbody`, :mod:`repro.interpret`, :mod:`repro.symreg` —
   n-body springs, message extraction, symbolic regression (Table 1).
 * :mod:`repro.parallel` — data-parallel training substrate.
+* :mod:`repro.train` — the unified training stack: one resumable
+  Trainer, schedules, grad accumulation, EMA, TrainState checkpoints.
 * :mod:`repro.obs` — telemetry: tracing spans, metrics, run manifests,
   physics health monitors.
 """
 
 __version__ = "1.0.0"
 
-from . import autodiff, nn, graph, data, obs, utils  # noqa: F401  (lightweight)
+from . import autodiff, nn, graph, data, obs, train, utils  # noqa: F401  (lightweight)
 
-__all__ = ["autodiff", "nn", "graph", "data", "obs", "utils", "__version__"]
+__all__ = ["autodiff", "nn", "graph", "data", "obs", "train", "utils",
+           "__version__"]

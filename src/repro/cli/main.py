@@ -62,7 +62,26 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("train", help="train a GNS on a dataset")
     p.add_argument("--dataset", type=Path, required=True)
     p.add_argument("--output", type=Path, required=True, help="checkpoint .npz")
-    p.add_argument("--steps", type=int, default=300)
+    p.add_argument("--steps", type=int, default=300,
+                   help="TOTAL step budget (a resumed run trains only the "
+                        "remaining steps)")
+    p.add_argument("--resume", type=Path, default=None, metavar="PATH",
+                   help="TrainState .npz (or checkpoint dir) to resume from")
+    p.add_argument("--accum", type=int, default=1,
+                   help="micro-batches accumulated per optimizer step")
+    p.add_argument("--ema", type=float, default=None, metavar="DECAY",
+                   help="keep EMA shadow weights with this decay")
+    p.add_argument("--schedule", default="exponential",
+                   choices=["constant", "exponential", "cosine", "step",
+                            "plateau"],
+                   help="learning-rate schedule (default: exponential)")
+    p.add_argument("--warmup", type=int, default=0, metavar="N",
+                   help="linear LR warmup steps")
+    p.add_argument("--checkpoint-every", type=int, default=None, metavar="K",
+                   help="write a resumable TrainState every K steps "
+                        "(default: steps // 4)")
+    p.add_argument("--checkpoint-dir", type=Path, default=None, metavar="DIR",
+                   help="TrainState directory (default: <output>.ckpt)")
     p.add_argument("--latent", type=int, default=24)
     p.add_argument("--message-passing", type=int, default=3)
     p.add_argument("--history", type=int, default=4)
@@ -228,8 +247,9 @@ def _cmd_train(args) -> int:
     from ..data import load_trajectories, normalization_stats
     from ..gns import (
         FeatureConfig, GNSNetworkConfig, GNSTrainer, LearnedSimulator, Stats,
-        TrainingConfig,
+        TrainingConfig, one_step_mse,
     )
+    from ..train import CheckpointCallback, ValidationCallback, build_schedule
 
     ds = load_trajectories(args.dataset)
     holdout = min(args.holdout, max(len(ds) - 1, 0))
@@ -246,39 +266,81 @@ def _cmd_train(args) -> int:
                           attention=args.attention)
     sim = LearnedSimulator(fc, nc, stats, rng=np.random.default_rng(args.seed))
     noise = float(np.mean(stats.acceleration_std))
-    trainer = GNSTrainer(sim, train_set, TrainingConfig(
+    cfg = TrainingConfig(
         learning_rate=args.learning_rate, noise_std=noise, batch_size=2,
-        seed=args.seed))
+        grad_accum=args.accum, ema_decay=args.ema, seed=args.seed)
+    trainer = GNSTrainer(sim, train_set, cfg)
+    if args.schedule != "exponential" or args.warmup:
+        trainer.schedule = build_schedule(
+            args.schedule, init_lr=cfg.learning_rate,
+            final_lr=cfg.final_learning_rate, decay_steps=cfg.decay_steps,
+            warmup_steps=args.warmup)
     print(f"training {sim.num_parameters()} parameters on "
           f"{len(trainer.windows)} windows (noise={noise:.2e})")
+
+    resumed_from = 0
+    if args.resume is not None:
+        trainer.restore(args.resume)
+        resumed_from = trainer.global_step
+        print(f"resumed from step {resumed_from} ({args.resume})")
+    remaining = max(args.steps - trainer.global_step, 0)
+    if args.resume is not None and remaining == 0:
+        print(f"checkpoint already at step {trainer.global_step} >= "
+              f"--steps {args.steps}; nothing to train")
+
     session = _open_session(args, steps=args.steps, latent=args.latent,
                             message_passing=args.message_passing,
                             history=args.history, radius=args.radius,
                             learning_rate=args.learning_rate,
-                            noise_std=noise, windows=len(trainer.windows))
+                            noise_std=noise, windows=len(trainer.windows),
+                            schedule=args.schedule, accum=args.accum,
+                            ema=args.ema, resumed_from=resumed_from)
+
+    ckpt_dir = args.checkpoint_dir or args.output.with_suffix(
+        args.output.suffix + ".ckpt")
+    every = args.checkpoint_every or max(args.steps // 4, 1)
+    callbacks = [CheckpointCallback(ckpt_dir, every=every)]
+    logger = None
     if val_set:
-        logger = trainer.train_with_validation(
-            args.steps, val_set, eval_every=max(args.steps // 5, 1))
+        def validate(tr) -> float:
+            total = 0.0
+            for traj in val_set:
+                total += one_step_mse(sim, traj, max_windows=10)
+            return total / max(len(val_set), 1)
+
+        val_cb = ValidationCallback(validate,
+                                    every=max(args.steps // 5, 1))
+        callbacks.append(val_cb)
+        logger = val_cb.logger
+    trainer.fit(remaining, callbacks=callbacks)
+
+    losses = trainer.loss_history
+    if logger is not None and logger.rows:
         for row in logger.rows:
             print(f"  step {int(row['step'])}: train={row['train_loss']:.4f} "
                   f"val={row['val_mse']:.4f}")
         if args.metrics is not None:
             logger.to_csv(args.metrics)
-    else:
-        losses = trainer.train(args.steps)
+    elif losses:
         print(f"  loss {losses[0]:.4f} -> {np.mean(losses[-10:]):.4f}")
     if session is not None:
-        losses = trainer.loss_history
+        from ..obs import check_loss_curve
+
         session.registry.gauge("train.final_loss").set(
             float(np.mean(losses[-10:])) if losses else float("nan"))
+        health = check_loss_curve(losses)
+        session.record_health(health)
         session.finish(summary={
-            "steps": trainer.step_count,
+            "steps": trainer.global_step,
+            "resumed_from": resumed_from,
             "initial_loss": losses[0] if losses else None,
             "final_loss": float(np.mean(losses[-10:])) if losses else None,
-            "parameters": sim.num_parameters()})
+            "parameters": sim.num_parameters(),
+            "health_ok": health.ok})
         print(f"telemetry written to {session.telemetry_path.parent}")
     sim.save(args.output)
-    print(f"saved checkpoint to {args.output}")
+    print(f"saved checkpoint to {args.output} "
+          f"(resumable states in {ckpt_dir})")
     return 0
 
 

@@ -6,7 +6,10 @@ from .datasets import (
     generate_column_collapse_trajectory, generate_obstacle_flow_trajectory,
     normalization_stats, train_test_split,
 )
-from .io import load_checkpoint, load_trajectories, save_checkpoint, save_trajectories
+from .io import (
+    load_checkpoint, load_state_npz, load_trajectories, save_checkpoint,
+    save_state_npz, save_trajectories,
+)
 
 __all__ = [
     "Trajectory", "TrainingWindow",
@@ -15,4 +18,5 @@ __all__ = [
     "generate_obstacle_flow_trajectory",
     "normalization_stats", "train_test_split",
     "load_checkpoint", "load_trajectories", "save_checkpoint", "save_trajectories",
+    "save_state_npz", "load_state_npz",
 ]

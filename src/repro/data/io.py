@@ -9,7 +9,8 @@ import numpy as np
 
 from .trajectory import Trajectory
 
-__all__ = ["save_trajectories", "load_trajectories", "save_checkpoint", "load_checkpoint"]
+__all__ = ["save_trajectories", "load_trajectories", "save_checkpoint",
+           "load_checkpoint", "save_state_npz", "load_state_npz"]
 
 
 def save_trajectories(path: str | Path, trajectories: list[Trajectory]) -> None:
@@ -60,3 +61,32 @@ def load_checkpoint(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
         state = {k[len("param::"):]: data[k] for k in data.files if k.startswith("param::")}
         extra = json.loads(str(data["extra"]))
     return state, extra
+
+
+def save_state_npz(path: str | Path, arrays: dict[str, np.ndarray],
+                   manifest: dict) -> None:
+    """One ``.npz`` of named arrays plus a JSON ``manifest`` entry.
+
+    The generic container behind :class:`repro.train.TrainState`: arrays
+    carry the weights/moments, the manifest carries every scalar
+    (versions, steps, RNG state, config hash). A human-readable copy of
+    the manifest is written next to the archive as ``<path>.json``.
+    """
+    path = Path(path)
+    payload = {f"arr::{k}": np.asarray(v) for k, v in arrays.items()}
+    text = json.dumps(manifest, default=str)
+    payload["manifest"] = np.array(text)
+    np.savez_compressed(path, **payload)
+    path.with_suffix(path.suffix + ".json").write_text(
+        json.dumps(manifest, indent=2, default=str))
+
+
+def load_state_npz(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Load an archive written by :func:`save_state_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        if "manifest" not in data.files:
+            raise ValueError(f"{path} is not a state archive (no manifest)")
+        arrays = {k[len("arr::"):]: data[k] for k in data.files
+                  if k.startswith("arr::")}
+        manifest = json.loads(str(data["manifest"]))
+    return arrays, manifest

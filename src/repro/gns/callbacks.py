@@ -1,174 +1,15 @@
-"""Training infrastructure: EMA weights, early stopping, metric logging,
-and checkpoint management.
+"""Deprecated location — the training callbacks are now shared by every
+trainer and live in :mod:`repro.train.callbacks`.
 
-These are the pieces a 20M-step training run (the paper's budget) cannot
-live without: exponential moving averages stabilize the final weights,
-validation-based early stopping and best-checkpoint retention guard
-against overfitting noise, and CSV metric logs make runs auditable.
+This shim re-exports them so existing imports keep working for one
+release; new code should import from ``repro.train``.
 """
 
 from __future__ import annotations
 
-import csv
-import json
-from pathlib import Path
-
-import numpy as np
-
-from ..nn import Module
+from ..train.callbacks import (
+    CheckpointManager, EarlyStopping, ExponentialMovingAverage, MetricLogger,
+)
 
 __all__ = ["ExponentialMovingAverage", "EarlyStopping", "MetricLogger",
            "CheckpointManager"]
-
-
-class ExponentialMovingAverage:
-    """Shadow parameters θ̄ ← decay·θ̄ + (1−decay)·θ.
-
-    ``apply_to`` swaps the shadow weights into the module (keeping a
-    backup); ``restore`` swaps the training weights back — the standard
-    evaluate-with-EMA pattern.
-    """
-
-    def __init__(self, module: Module, decay: float = 0.999):
-        if not 0.0 < decay < 1.0:
-            raise ValueError("decay must be in (0, 1)")
-        self.module = module
-        self.decay = decay
-        self.shadow = {name: p.data.copy()
-                       for name, p in module.named_parameters()}
-        self._backup: dict[str, np.ndarray] | None = None
-
-    def update(self) -> None:
-        d = self.decay
-        for name, p in self.module.named_parameters():
-            self.shadow[name] = d * self.shadow[name] + (1.0 - d) * p.data
-
-    def apply_to(self) -> None:
-        """Swap EMA weights in (call :meth:`restore` afterwards)."""
-        if self._backup is not None:
-            raise RuntimeError("EMA weights already applied")
-        self._backup = {name: p.data for name, p in
-                        self.module.named_parameters()}
-        for name, p in self.module.named_parameters():
-            p.data = self.shadow[name].copy()
-
-    def restore(self) -> None:
-        if self._backup is None:
-            raise RuntimeError("no backup to restore")
-        for name, p in self.module.named_parameters():
-            p.data = self._backup[name]
-        self._backup = None
-
-    def __enter__(self):
-        self.apply_to()
-        return self
-
-    def __exit__(self, *exc):
-        self.restore()
-
-
-class EarlyStopping:
-    """Stop when a monitored metric hasn't improved for ``patience`` checks."""
-
-    def __init__(self, patience: int = 5, min_delta: float = 0.0):
-        if patience < 1:
-            raise ValueError("patience must be >= 1")
-        self.patience = patience
-        self.min_delta = min_delta
-        self.best = np.inf
-        self.best_step: int | None = None
-        self.stale = 0
-
-    def update(self, value: float, step: int | None = None) -> bool:
-        """Record a metric; returns True when training should stop."""
-        if value < self.best - self.min_delta:
-            self.best = value
-            self.best_step = step
-            self.stale = 0
-        else:
-            self.stale += 1
-        return self.stale >= self.patience
-
-
-class MetricLogger:
-    """Append-only metric rows with CSV persistence."""
-
-    def __init__(self):
-        self.rows: list[dict] = []
-
-    def log(self, **metrics) -> None:
-        self.rows.append(dict(metrics))
-
-    def column(self, key: str) -> list:
-        return [r[key] for r in self.rows if key in r]
-
-    def to_csv(self, path: str | Path) -> None:
-        if not self.rows:
-            Path(path).write_text("")
-            return
-        keys: list[str] = []
-        for r in self.rows:
-            for k in r:
-                if k not in keys:
-                    keys.append(k)
-        with open(path, "w", newline="") as f:
-            writer = csv.DictWriter(f, fieldnames=keys)
-            writer.writeheader()
-            writer.writerows(self.rows)
-
-    @classmethod
-    def from_csv(cls, path: str | Path) -> "MetricLogger":
-        logger = cls()
-        with open(path, newline="") as f:
-            for row in csv.DictReader(f):
-                parsed = {}
-                for k, v in row.items():
-                    try:
-                        parsed[k] = float(v)
-                    except (TypeError, ValueError):
-                        parsed[k] = v
-                logger.rows.append(parsed)
-        return logger
-
-
-class CheckpointManager:
-    """Rolling checkpoints plus a persistent best-by-metric checkpoint.
-
-    Works with any object exposing ``save(path)`` (e.g.
-    :class:`~repro.gns.LearnedSimulator`).
-    """
-
-    def __init__(self, directory: str | Path, max_to_keep: int = 3):
-        if max_to_keep < 1:
-            raise ValueError("max_to_keep must be >= 1")
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        self.max_to_keep = max_to_keep
-        self.best_metric = np.inf
-        self._kept: list[Path] = []
-        self._index_path = self.directory / "index.json"
-
-    @property
-    def best_path(self) -> Path:
-        return self.directory / "best.npz"
-
-    def save(self, model, step: int, metric: float | None = None) -> Path:
-        """Save a step checkpoint (pruning old ones); update best."""
-        path = self.directory / f"step_{step:08d}.npz"
-        model.save(path)
-        self._kept.append(path)
-        while len(self._kept) > self.max_to_keep:
-            old = self._kept.pop(0)
-            old.unlink(missing_ok=True)
-        if metric is not None and metric < self.best_metric:
-            self.best_metric = float(metric)
-            model.save(self.best_path)
-        self._index_path.write_text(json.dumps({
-            "kept": [p.name for p in self._kept],
-            "best_metric": None if np.isinf(self.best_metric)
-                           else self.best_metric,
-        }))
-        return path
-
-    def latest_path(self) -> Path | None:
-        return self._kept[-1] if self._kept else None

@@ -1,22 +1,28 @@
-"""GNS training loop.
+"""GNS training on windowed-noise batches.
 
 One-step supervised learning on (history → next-position) windows with
 random-walk noise injection; loss is MSE on *normalized* accelerations,
 optionally augmented with a momentum-conservation soft constraint (the
 paper's "conservation laws as soft constraints").
+
+The loop mechanics — grad accumulation, clipping, LR schedule, EMA,
+telemetry, and resumable :class:`~repro.train.TrainState` checkpoints —
+live in the shared :class:`repro.train.Trainer`; this module only
+contributes the GNS-specific sampling and loss (the window/noise/fused
+batching logic below).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from ..autodiff import Tensor
 from ..autodiff.functional import mse_loss
 from ..data.trajectory import TrainingWindow, Trajectory
-from ..nn import Adam, ExponentialDecay, clip_grad_norm
-from ..obs import get_registry, span
+from ..nn import Adam
+from ..train import ExponentialDecay, Trainer, TrainerOptions
 from .noise import random_walk_noise
 from .simulator import LearnedSimulator
 
@@ -44,34 +50,69 @@ class TrainingConfig:
     #: is then supervised from its own slightly-wrong state — an
     #: alternative / complement to noise injection for rollout stability
     pushforward_steps: int = 0
+    #: micro-batches (each of ``batch_size`` windows) accumulated per
+    #: optimizer step — the effective batch is ``batch_size * grad_accum``
+    grad_accum: int = 1
+    #: decay for EMA shadow weights; ``None`` disables EMA
+    ema_decay: float | None = None
     seed: int = 0
     log_every: int = 100
 
 
-class GNSTrainer:
-    """Minibatch trainer over a pool of training windows."""
+class GNSTrainer(Trainer):
+    """Minibatch trainer over a pool of training windows (a thin
+    GNS adapter over the shared :class:`repro.train.Trainer`)."""
 
     def __init__(self, simulator: LearnedSimulator,
                  trajectories: list[Trajectory],
                  config: TrainingConfig | None = None):
         self.simulator = simulator
         self.config = config or TrainingConfig()
+        cfg = self.config
         history = simulator.feature_config.history
         self.windows: list[TrainingWindow] = []
         for traj in trajectories:
             self.windows.extend(traj.windows(
-                history, lookback=self.config.pushforward_steps))
+                history, lookback=cfg.pushforward_steps))
         if not self.windows:
             raise ValueError("no training windows — trajectories too short "
                              f"for history={history}")
-        self.rng = np.random.default_rng(self.config.seed)
-        self.optimizer = Adam(list(simulator.parameters()),
-                              lr=self.config.learning_rate)
-        self.schedule = ExponentialDecay(
-            self.config.learning_rate, self.config.final_learning_rate,
-            decay_steps=self.config.decay_steps)
-        self.step_count = 0
-        self.loss_history: list[float] = []
+        super().__init__(
+            simulator,
+            Adam(list(simulator.parameters()), lr=cfg.learning_rate),
+            schedule=ExponentialDecay(cfg.learning_rate,
+                                      cfg.final_learning_rate,
+                                      decay_steps=cfg.decay_steps),
+            options=TrainerOptions(grad_accum=cfg.grad_accum,
+                                   grad_clip=cfg.grad_clip,
+                                   ema_decay=cfg.ema_decay,
+                                   seed=cfg.seed,
+                                   log_every=cfg.log_every))
+
+    @property
+    def step_count(self) -> int:
+        """Deprecated alias for :attr:`global_step`."""
+        return self.global_step
+
+    # -- task protocol --------------------------------------------------
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Window indices of one micro-batch."""
+        return rng.integers(0, len(self.windows), size=self.config.batch_size)
+
+    def loss(self, batch: np.ndarray, rng: np.random.Generator) -> Tensor:
+        """Mean window loss over one sampled micro-batch."""
+        cfg = self.config
+        windows = [self.windows[int(i)] for i in batch]
+        if cfg.fused_batching:
+            return self._fused_batch_loss(windows)
+        total = None
+        for window in windows:
+            loss = self._window_loss(window)
+            total = loss if total is None else total + loss
+        return total / float(len(windows))
+
+    def config_dict(self) -> dict:
+        return dict(asdict(self.config), num_windows=len(self.windows))
 
     # ------------------------------------------------------------------
     def _window_history(self, window: TrainingWindow) -> np.ndarray:
@@ -180,45 +221,7 @@ class GNSTrainer:
             total = loss if total is None else total + loss
         return total / float(len(windows))
 
-    def train_step(self) -> float:
-        """One optimizer update over a sampled minibatch; returns the loss."""
-        cfg = self.config
-        idx = self.rng.integers(0, len(self.windows), size=cfg.batch_size)
-        self.optimizer.zero_grad()
-        with span("train/forward"):
-            if cfg.fused_batching:
-                total = self._fused_batch_loss(
-                    [self.windows[int(i)] for i in idx])
-            else:
-                total = None
-                for i in idx:
-                    loss = self._window_loss(self.windows[int(i)])
-                    total = loss if total is None else total + loss
-                total = total / float(cfg.batch_size)
-        with span("train/backward"):
-            total.backward()
-        with span("train/optimizer"):
-            clip_grad_norm(self.optimizer.params, cfg.grad_clip)
-            self.schedule.apply(self.optimizer, self.step_count)
-            self.optimizer.step()
-        self.step_count += 1
-        value = float(total.data)
-        self.loss_history.append(value)
-        reg = get_registry()
-        if reg.enabled:
-            reg.counter("train.steps").inc()
-            reg.series("train.loss").append(self.step_count, value)
-            reg.gauge("train.learning_rate").set(self.optimizer.lr)
-        return value
-
-    def train(self, num_steps: int, verbose: bool = False) -> list[float]:
-        """Run ``num_steps`` updates; returns the loss trace."""
-        for _ in range(num_steps):
-            loss = self.train_step()
-            if verbose and self.step_count % self.config.log_every == 0:
-                print(f"step {self.step_count}: loss={loss:.6f}")
-        return self.loss_history
-
+    # ------------------------------------------------------------------
     def train_with_validation(self, num_steps: int,
                               val_trajectories: list[Trajectory],
                               eval_every: int = 50,
@@ -226,55 +229,32 @@ class GNSTrainer:
                               patience: int | None = None,
                               checkpoint_dir=None,
                               max_val_windows: int = 10):
-        """Production training loop: periodic validation with optional
-        EMA evaluation, early stopping, best-checkpoint retention, and a
-        metric log.
+        """Validated training through the shared callback path: periodic
+        validation with optional EMA evaluation, early stopping, and
+        best-checkpoint retention.
 
-        Returns the :class:`~repro.gns.callbacks.MetricLogger` with one
-        row per evaluation (columns: step, train_loss, val_mse).
+        Returns the :class:`~repro.train.MetricLogger` with one row per
+        evaluation (columns: step, train_loss, val_mse).
         """
-        from .callbacks import (
-            CheckpointManager, EarlyStopping, ExponentialMovingAverage,
-            MetricLogger,
+        from ..train.callbacks import (
+            ExponentialMovingAverage, ValidationCallback,
         )
 
-        ema = (ExponentialMovingAverage(self.simulator, ema_decay)
-               if ema_decay is not None else None)
-        stopper = EarlyStopping(patience) if patience is not None else None
-        manager = (CheckpointManager(checkpoint_dir)
-                   if checkpoint_dir is not None else None)
-        logger = MetricLogger()
+        if ema_decay is not None:
+            self.ema = ExponentialMovingAverage(self.simulator, ema_decay)
 
-        def validate() -> float:
+        def validate(trainer) -> float:
             total = 0.0
             for traj in val_trajectories:
                 total += one_step_mse(self.simulator, traj,
                                       max_windows=max_val_windows)
             return total / max(len(val_trajectories), 1)
 
-        for _ in range(num_steps):
-            loss = self.train_step()
-            if ema is not None:
-                ema.update()
-            if self.step_count % eval_every == 0:
-                if ema is not None:
-                    with ema:
-                        val = validate()
-                else:
-                    val = validate()
-                logger.log(step=self.step_count, train_loss=loss, val_mse=val)
-                reg = get_registry()
-                if reg.enabled:
-                    reg.series("train.val_mse").append(self.step_count, val)
-                if manager is not None:
-                    if ema is not None:
-                        with ema:
-                            manager.save(self.simulator, self.step_count, val)
-                    else:
-                        manager.save(self.simulator, self.step_count, val)
-                if stopper is not None and stopper.update(val, self.step_count):
-                    break
-        return logger
+        callback = ValidationCallback(validate, every=eval_every,
+                                      patience=patience,
+                                      checkpoint_dir=checkpoint_dir)
+        self.fit(num_steps, callbacks=[callback])
+        return callback.logger
 
 
 # ----------------------------------------------------------------------

@@ -1,16 +1,16 @@
 """Interpretability: message extraction + symbolic regression (Section 6)."""
 
 from .model import (
-    InterpretableConfig, InterpretableGNS, edge_feature_dict,
-    train_interpretable_gns,
+    InterpretableConfig, InterpretableGNS, SpringSampleTask,
+    edge_feature_dict, train_interpretable_gns,
 )
 from .messages import collect_messages, linear_fit_r2, top_components
 from .attention import attention_by_distance, attention_entropy, extract_attention
 from .discover import DEFAULT_VAR_DIMS, DiscoveryResult, discover_law
 
 __all__ = [
-    "InterpretableConfig", "InterpretableGNS", "edge_feature_dict",
-    "train_interpretable_gns",
+    "InterpretableConfig", "InterpretableGNS", "SpringSampleTask",
+    "edge_feature_dict", "train_interpretable_gns",
     "collect_messages", "linear_fit_r2", "top_components",
     "attention_by_distance", "attention_entropy", "extract_attention",
     "DEFAULT_VAR_DIMS", "DiscoveryResult", "discover_law",

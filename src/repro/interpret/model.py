@@ -18,11 +18,12 @@ import numpy as np
 from ..autodiff import Tensor, concatenate, no_grad
 from ..autodiff.functional import l1_penalty, mse_loss, norm
 from ..autodiff.scatter import gather, scatter_add
-from ..nn import MLP, Adam, Module, clip_grad_norm
+from ..nn import MLP, Adam, Module
 from ..nbody.dataset import SpringSample
+from ..train import Trainer, TrainerOptions, TrainTask
 
-__all__ = ["InterpretableConfig", "InterpretableGNS", "train_interpretable_gns",
-           "edge_feature_dict"]
+__all__ = ["InterpretableConfig", "InterpretableGNS", "SpringSampleTask",
+           "train_interpretable_gns", "edge_feature_dict"]
 
 
 @dataclass
@@ -85,38 +86,74 @@ class InterpretableGNS(Module):
         return acc.data
 
 
+class SpringSampleTask(TrainTask):
+    """Epoch-shuffled per-snapshot adapter for the shared Trainer.
+
+    One optimizer step per spring snapshot; the sample ordering is
+    reshuffled (through the trainer's RNG) each time the pool is
+    exhausted, reproducing classic epoch-based training, and the
+    ordering round-trips through checkpoints via ``state_dict``.
+    """
+
+    def __init__(self, model: InterpretableGNS, samples: list[SpringSample],
+                 l1_weight: float, acc_scale: float):
+        self.model = model
+        self.samples = samples
+        self.l1_weight = float(l1_weight)
+        self.acc_scale = float(acc_scale)
+        self._order = np.arange(len(samples))
+        self._pos = len(samples)        # force a shuffle on the first draw
+
+    def sample(self, rng: np.random.Generator) -> SpringSample:
+        if self._pos >= len(self.samples):
+            rng.shuffle(self._order)
+            self._pos = 0
+        sample = self.samples[int(self._order[self._pos])]
+        self._pos += 1
+        return sample
+
+    def loss(self, sample: SpringSample, rng: np.random.Generator) -> Tensor:
+        acc, messages = self.model.forward(*self.model.build_inputs(sample))
+        target = sample.accelerations / self.acc_scale
+        return mse_loss(acc, target) + self.l1_weight * l1_penalty(messages)
+
+    def config_dict(self) -> dict:
+        return {"l1_weight": self.l1_weight, "acc_scale": self.acc_scale,
+                "num_samples": len(self.samples)}
+
+    def state_dict(self) -> dict:
+        return {"order": self._order.tolist(), "pos": self._pos}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._order = np.asarray(state["order"], dtype=np.intp)
+        self._pos = int(state["pos"])
+
+
 def train_interpretable_gns(samples: list[SpringSample],
                             config: InterpretableConfig | None = None,
                             epochs: int = 30,
                             verbose: bool = False) -> tuple[InterpretableGNS, list[float]]:
-    """Train on exact accelerations with the L1 message bottleneck.
+    """Train on exact accelerations with the L1 message bottleneck,
+    through the shared :class:`repro.train.Trainer`.
 
     Returns the model and per-epoch mean losses.
     """
     cfg = config or InterpretableConfig()
     model = InterpretableGNS(cfg)
-    opt = Adam(list(model.parameters()), lr=cfg.learning_rate)
-    rng = np.random.default_rng(cfg.seed)
     # normalize targets to unit scale for stable training
     acc_scale = float(np.abs(np.concatenate(
         [s.accelerations for s in samples])).std()) or 1.0
+    task = SpringSampleTask(model, samples, cfg.l1_weight, acc_scale)
+    trainer = Trainer(model, Adam(list(model.parameters()), lr=cfg.learning_rate),
+                      task=task,
+                      options=TrainerOptions(grad_clip=1.0, seed=cfg.seed,
+                                             log_every=len(samples)))
 
     losses = []
-    order = np.arange(len(samples))
     for epoch in range(epochs):
-        rng.shuffle(order)
-        epoch_loss = 0.0
-        for i in order:
-            sample = samples[int(i)]
-            opt.zero_grad()
-            acc, messages = model.forward(*model.build_inputs(sample))
-            target = sample.accelerations / acc_scale
-            loss = mse_loss(acc, target) + cfg.l1_weight * l1_penalty(messages)
-            loss.backward()
-            clip_grad_norm(opt.params, 1.0)
-            opt.step()
-            epoch_loss += float(loss.data)
-        losses.append(epoch_loss / len(samples))
+        trainer.fit(len(samples))
+        epoch_losses = trainer.loss_history[-len(samples):]
+        losses.append(float(np.mean(epoch_losses)))
         if verbose:
             print(f"epoch {epoch}: loss={losses[-1]:.5f}")
     model._acc_scale = acc_scale  # type: ignore[attr-defined]

@@ -1,15 +1,20 @@
-"""MeshNet training on recorded CFD velocity fields."""
+"""MeshNet training on recorded CFD velocity fields.
+
+The loop mechanics live in the shared :class:`repro.train.Trainer`;
+this module contributes the mesh-field sampling (random frame + input
+noise) and the normalized-delta loss.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from ..autodiff import Tensor
 from ..autodiff.functional import mse_loss
-from ..nn import Adam, clip_grad_norm
-from .meshgraph import MeshSpec
+from ..nn import Adam
+from ..train import Trainer, TrainerOptions
 from .simulator import MeshNetSimulator
 
 __all__ = ["MeshTrainingConfig", "MeshNetTrainer", "fields_to_nodes",
@@ -40,11 +45,17 @@ class MeshTrainingConfig:
     noise_std: float | None = None
     batch_size: int = 1
     grad_clip: float = 1.0
+    #: micro-batches accumulated per optimizer step
+    grad_accum: int = 1
+    #: decay for EMA shadow weights; ``None`` disables EMA
+    ema_decay: float | None = None
     seed: int = 0
+    log_every: int = 50
 
 
-class MeshNetTrainer:
-    """One-step supervision on consecutive velocity fields."""
+class MeshNetTrainer(Trainer):
+    """One-step supervision on consecutive velocity fields (a thin
+    MeshNet adapter over the shared :class:`repro.train.Trainer`)."""
 
     def __init__(self, simulator: MeshNetSimulator,
                  node_velocity_frames: np.ndarray,
@@ -56,42 +67,56 @@ class MeshNetTrainer:
         self.simulator = simulator
         self.frames = np.asarray(node_velocity_frames, dtype=np.float64)
         self.config = config or MeshTrainingConfig()
-        self.rng = np.random.default_rng(self.config.seed)
-        self.optimizer = Adam(list(simulator.parameters()),
-                              lr=self.config.learning_rate)
-        self.loss_history: list[float] = []
+        cfg = self.config
 
         # calibrate normalization scales from the data
         deltas = np.diff(self.frames, axis=0)
         simulator.velocity_scale = float(np.abs(self.frames).std()) or 1.0
         simulator.delta_scale = float(np.abs(deltas).std()) or 1.0
-        if self.config.noise_std is None:
-            self.config.noise_std = 0.3 * simulator.delta_scale
+        if cfg.noise_std is None:
+            cfg.noise_std = 0.3 * simulator.delta_scale
 
-    def train_step(self) -> float:
+        super().__init__(
+            simulator,
+            Adam(list(simulator.parameters()), lr=cfg.learning_rate),
+            options=TrainerOptions(grad_accum=cfg.grad_accum,
+                                   grad_clip=cfg.grad_clip,
+                                   ema_decay=cfg.ema_decay,
+                                   seed=cfg.seed,
+                                   log_every=cfg.log_every))
+
+    @property
+    def step_count(self) -> int:
+        """Alias matching :class:`~repro.gns.GNSTrainer`."""
+        return self.global_step
+
+    # -- task protocol --------------------------------------------------
+    def sample(self, rng: np.random.Generator) -> list[tuple[int, np.ndarray]]:
+        """One micro-batch of (frame index, input noise) draws."""
         cfg = self.config
-        sim = self.simulator
-        self.optimizer.zero_grad()
-        total = None
+        batch = []
         for _ in range(cfg.batch_size):
-            t = int(self.rng.integers(0, self.frames.shape[0] - 1))
-            u_t = self.frames[t]
-            noisy = u_t + self.rng.normal(0.0, cfg.noise_std, size=u_t.shape)
+            t = int(rng.integers(0, self.frames.shape[0] - 1))
+            noise = rng.normal(0.0, cfg.noise_std,
+                               size=self.frames[t].shape)
+            batch.append((t, noise))
+        return batch
+
+    def loss(self, batch: list[tuple[int, np.ndarray]],
+             rng: np.random.Generator) -> Tensor:
+        sim = self.simulator
+        total = None
+        for t, noise in batch:
+            noisy = self.frames[t] + noise
+            # target measured against the noisy input so the model learns
+            # to correct accumulated rollout error
             target_delta = (self.frames[t + 1] - noisy) / sim.delta_scale
             pred = sim.predict_delta(Tensor(noisy))
             loss = mse_loss(pred, target_delta)
             total = loss if total is None else total + loss
-        total = total / float(cfg.batch_size)
-        total.backward()
-        clip_grad_norm(self.optimizer.params, cfg.grad_clip)
-        self.optimizer.step()
-        value = float(total.data)
-        self.loss_history.append(value)
-        return value
+        return total / float(len(batch))
 
-    def train(self, num_steps: int, verbose: bool = False) -> list[float]:
-        for i in range(num_steps):
-            loss = self.train_step()
-            if verbose and (i + 1) % 50 == 0:
-                print(f"step {i + 1}: loss={loss:.6f}")
-        return self.loss_history
+    def config_dict(self) -> dict:
+        return dict(asdict(self.config),
+                    num_frames=int(self.frames.shape[0]),
+                    num_nodes=int(self.frames.shape[1]))

@@ -15,9 +15,19 @@ def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
     """Scale gradients in place so their global L2 norm is ≤ ``max_norm``.
 
     Returns the pre-clip norm. Parameters with ``grad is None`` are skipped.
+    The norm is accumulated in float64 regardless of parameter dtype, and a
+    non-finite norm (any NaN/Inf gradient) drops the offending gradients
+    instead of scaling garbage into the weights: every ``grad`` is set to
+    ``None`` so the following ``step()`` skips the update entirely.
     """
     params = [p for p in params if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    total = float(np.sqrt(sum(
+        float((p.grad.astype(np.float64, copy=False) ** 2).sum())
+        for p in params)))
+    if not np.isfinite(total):
+        for p in params:
+            p.grad = None
+        return total
     if total > max_norm and total > 0.0:
         scale = max_norm / total
         for p in params:
@@ -41,6 +51,31 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # -- checkpointing --------------------------------------------------
+    # ``state_dict`` splits into JSON-serializable scalars ("hyper") and
+    # per-parameter moment arrays ("slots": name -> list aligned with
+    # ``self.params``), so a checkpoint writer can put the arrays in an
+    # .npz and the scalars in a manifest.
+
+    def state_dict(self) -> dict:
+        return {"hyper": {"lr": self.lr}, "slots": {}}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["hyper"]["lr"])
+        for name, arrays in state.get("slots", {}).items():
+            own = getattr(self, f"_{name}")
+            if len(arrays) != len(own):
+                raise ValueError(
+                    f"optimizer slot '{name}' has {len(arrays)} arrays, "
+                    f"expected {len(own)}")
+            for i, arr in enumerate(arrays):
+                arr = np.asarray(arr)
+                if arr.shape != own[i].shape:
+                    raise ValueError(
+                        f"optimizer slot '{name}[{i}]' shape {arr.shape} "
+                        f"!= {own[i].shape}")
+                own[i] = arr.astype(own[i].dtype, copy=True)
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
@@ -60,6 +95,14 @@ class SGD(Optimizer):
                 p.data = p.data - self.lr * v
             else:
                 p.data = p.data - self.lr * p.grad
+
+    def state_dict(self) -> dict:
+        return {"hyper": {"lr": self.lr, "momentum": self.momentum},
+                "slots": {"velocity": [v.copy() for v in self._velocity]}}
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state["hyper"].get("momentum", self.momentum))
 
 
 class Adam(Optimizer):
@@ -87,6 +130,20 @@ class Adam(Optimizer):
             v *= self.b2
             v += (1.0 - self.b2) * (g * g)
             p.data = p.data - self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {"hyper": {"lr": self.lr, "b1": self.b1, "b2": self.b2,
+                          "eps": self.eps, "t": self.t},
+                "slots": {"m": [m.copy() for m in self._m],
+                          "v": [v.copy() for v in self._v]}}
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        h = state["hyper"]
+        self.b1 = float(h.get("b1", self.b1))
+        self.b2 = float(h.get("b2", self.b2))
+        self.eps = float(h.get("eps", self.eps))
+        self.t = int(h.get("t", self.t))
 
 
 class ExponentialDecay:

@@ -27,7 +27,8 @@ registry. See ``docs/observability.md``.
 from .health import (
     DivergenceMonitor, EnergyGainMonitor, HealthEvent, HealthMonitor,
     HealthReport, MomentumDriftMonitor, NaNMonitor, RolloutDivergedError,
-    VelocityExplosionMonitor, check_trajectory, default_monitors,
+    VelocityExplosionMonitor, check_loss_curve, check_trajectory,
+    default_monitors,
 )
 from .metrics import (
     Counter, Gauge, Histogram, MetricsRegistry, Series, disable_metrics,
@@ -55,8 +56,8 @@ __all__ = [
     # health
     "HealthEvent", "HealthReport", "HealthMonitor", "NaNMonitor",
     "VelocityExplosionMonitor", "EnergyGainMonitor", "MomentumDriftMonitor",
-    "DivergenceMonitor", "check_trajectory", "default_monitors",
-    "RolloutDivergedError",
+    "DivergenceMonitor", "check_trajectory", "check_loss_curve",
+    "default_monitors", "RolloutDivergedError",
     # timing / profiling (consolidated from repro.utils)
     "Timer", "benchmark", "profile_block", "top_functions",
     # umbrella switches

@@ -21,7 +21,7 @@ import numpy as np
 __all__ = ["HealthEvent", "HealthReport", "HealthMonitor", "NaNMonitor",
            "VelocityExplosionMonitor", "EnergyGainMonitor",
            "MomentumDriftMonitor", "DivergenceMonitor", "check_trajectory",
-           "default_monitors", "RolloutDivergedError"]
+           "check_loss_curve", "default_monitors", "RolloutDivergedError"]
 
 
 @dataclass
@@ -314,4 +314,41 @@ def check_trajectory(frames: np.ndarray,
                           monitors_run=[m.name for m in monitors])
     for monitor in monitors:
         report.events.extend(monitor.scan(frames))
+    return report
+
+
+def check_loss_curve(losses, divergence_factor: float = 3.0) -> HealthReport:
+    """Health-check a training loss trace (one value per optimizer step).
+
+    Two findings: a non-finite loss anywhere (error — the run is
+    producing garbage gradients), and a diverging trend where the mean of
+    the final quarter exceeds ``divergence_factor``× the mean of the
+    first quarter (warning). Used by the shared trainer's telemetry path;
+    ``step`` on each event is the optimizer-step index.
+    """
+    arr = np.asarray(list(losses), dtype=np.float64)
+    report = HealthReport(frames_checked=int(arr.size),
+                          monitors_run=["nonfinite_loss", "loss_divergence"])
+    if arr.size == 0:
+        return report
+    bad = np.flatnonzero(~np.isfinite(arr))
+    if bad.size:
+        first = int(bad[0])
+        report.events.append(HealthEvent(
+            monitor="nonfinite_loss", severity="error", step=first,
+            message=f"non-finite training loss at step {first} "
+                    f"({bad.size} total)",
+            data={"count": int(bad.size)}))
+    if arr.size >= 8:
+        q = arr.size // 4
+        head = float(np.nanmean(arr[:q]))
+        tail = float(np.nanmean(arr[-q:]))
+        if np.isfinite(head) and np.isfinite(tail) and head > 0.0 \
+                and tail > divergence_factor * head:
+            report.events.append(HealthEvent(
+                monitor="loss_divergence", severity="warning",
+                step=int(arr.size - 1),
+                message=f"loss diverging: tail mean {tail:.3e} > "
+                        f"{divergence_factor:g}x head mean {head:.3e}",
+                data={"head_mean": head, "tail_mean": tail}))
     return report

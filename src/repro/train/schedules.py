@@ -1,0 +1,195 @@
+"""Learning-rate schedules behind one :class:`Schedule` interface.
+
+A schedule is a (mostly pure) function ``step -> lr`` plus an ``apply``
+that rebinds ``optimizer.lr`` — the shared :class:`~repro.train.Trainer`
+calls ``apply(optimizer, global_step)`` right before each optimizer step,
+so a restored checkpoint resumes on the exact same LR curve. Stateful
+schedules (:class:`ReduceOnPlateau`) expose ``state_dict`` /
+``load_state_dict`` and are captured in the
+:class:`~repro.train.TrainState` manifest.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..nn.optim import ExponentialDecay as _ExponentialDecay, Optimizer
+
+__all__ = [
+    "Schedule", "ConstantSchedule", "ExponentialDecay", "CosineDecay",
+    "StepDecay", "ReduceOnPlateau", "WarmupSchedule", "build_schedule",
+    "SCHEDULE_NAMES",
+]
+
+
+class Schedule:
+    """Interface: ``lr = schedule(step)``; ``apply`` pushes it in place."""
+
+    def __call__(self, step: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def apply(self, optimizer: Optimizer, step: int) -> float:
+        lr = self(step)
+        optimizer.lr = lr
+        return lr
+
+    # stateless by default; stateful subclasses override both
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        pass
+
+
+class ConstantSchedule(Schedule):
+    """Fixed learning rate (the implicit schedule of the old trainers)."""
+
+    def __init__(self, lr: float):
+        self.lr = float(lr)
+
+    def __call__(self, step: int) -> float:
+        return self.lr
+
+
+class ExponentialDecay(_ExponentialDecay, Schedule):
+    """GNS schedule ``final + (init − final)·decay^(t/steps)`` (paper
+    default: 1e-4 → 1e-6 over millions of steps), now a :class:`Schedule`.
+
+    Inherits the formula from :class:`repro.nn.optim.ExponentialDecay`,
+    which remains as a deprecated alias for existing callers.
+    """
+
+
+class CosineDecay(Schedule):
+    """Cosine annealing from ``init_lr`` to ``final_lr`` over
+    ``decay_steps``; constant at ``final_lr`` afterwards."""
+
+    def __init__(self, init_lr: float, final_lr: float = 0.0,
+                 decay_steps: int = 100_000):
+        if decay_steps < 1:
+            raise ValueError("decay_steps must be >= 1")
+        self.init_lr = float(init_lr)
+        self.final_lr = float(final_lr)
+        self.decay_steps = int(decay_steps)
+
+    def __call__(self, step: int) -> float:
+        frac = min(max(step, 0) / self.decay_steps, 1.0)
+        cos = 0.5 * (1.0 + math.cos(math.pi * frac))
+        return self.final_lr + (self.init_lr - self.final_lr) * cos
+
+
+class StepDecay(Schedule):
+    """Piecewise-constant decay: ``init_lr · gamma^(step // step_size)``,
+    floored at ``min_lr``."""
+
+    def __init__(self, init_lr: float, step_size: int, gamma: float = 0.1,
+                 min_lr: float = 0.0):
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.init_lr = float(init_lr)
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+        self.min_lr = float(min_lr)
+
+    def __call__(self, step: int) -> float:
+        return max(self.init_lr * self.gamma ** (step // self.step_size),
+                   self.min_lr)
+
+
+class ReduceOnPlateau(Schedule):
+    """Stateful step-plateau schedule: multiply the LR by ``factor`` when
+    a monitored metric hasn't improved for ``patience`` reports.
+
+    Feed it metrics with :meth:`report` (the validation callback does this
+    automatically when the trainer's schedule is a ``ReduceOnPlateau``).
+    """
+
+    def __init__(self, init_lr: float, factor: float = 0.5,
+                 patience: int = 3, min_lr: float = 0.0,
+                 min_delta: float = 0.0):
+        if not 0.0 < factor < 1.0:
+            raise ValueError("factor must be in (0, 1)")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.init_lr = float(init_lr)
+        self.factor = float(factor)
+        self.patience = int(patience)
+        self.min_lr = float(min_lr)
+        self.min_delta = float(min_delta)
+        self.lr = float(init_lr)
+        self.best = math.inf
+        self.stale = 0
+
+    def report(self, metric: float) -> None:
+        """Record a validation metric (lower is better)."""
+        if metric < self.best - self.min_delta:
+            self.best = float(metric)
+            self.stale = 0
+            return
+        self.stale += 1
+        if self.stale >= self.patience:
+            self.lr = max(self.lr * self.factor, self.min_lr)
+            self.stale = 0
+
+    def __call__(self, step: int) -> float:
+        return self.lr
+
+    def state_dict(self) -> dict:
+        return {"lr": self.lr, "best": self.best, "stale": self.stale}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+        self.best = float(state["best"])
+        self.stale = int(state["stale"])
+
+
+class WarmupSchedule(Schedule):
+    """Linear warmup from ``warmup_init`` fraction to the base schedule's
+    value over ``warmup_steps``, then the base schedule verbatim."""
+
+    def __init__(self, base: Schedule, warmup_steps: int,
+                 warmup_init: float = 0.0):
+        if warmup_steps < 1:
+            raise ValueError("warmup_steps must be >= 1")
+        self.base = base
+        self.warmup_steps = int(warmup_steps)
+        self.warmup_init = float(warmup_init)
+
+    def __call__(self, step: int) -> float:
+        lr = self.base(step)
+        if step >= self.warmup_steps:
+            return lr
+        frac = step / self.warmup_steps
+        return lr * (self.warmup_init + (1.0 - self.warmup_init) * frac)
+
+    def state_dict(self) -> dict:
+        return self.base.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        self.base.load_state_dict(state)
+
+
+SCHEDULE_NAMES = ("constant", "exponential", "cosine", "step", "plateau")
+
+
+def build_schedule(name: str, init_lr: float, final_lr: float = 0.0,
+                   decay_steps: int = 100_000,
+                   warmup_steps: int = 0) -> Schedule:
+    """Factory behind the CLI's ``--schedule NAME`` / ``--warmup N``."""
+    if name == "constant":
+        sched: Schedule = ConstantSchedule(init_lr)
+    elif name == "exponential":
+        sched = ExponentialDecay(init_lr, final_lr, decay_steps=decay_steps)
+    elif name == "cosine":
+        sched = CosineDecay(init_lr, final_lr, decay_steps=decay_steps)
+    elif name == "step":
+        sched = StepDecay(init_lr, step_size=max(decay_steps // 4, 1),
+                          min_lr=final_lr)
+    elif name == "plateau":
+        sched = ReduceOnPlateau(init_lr, min_lr=final_lr)
+    else:
+        raise ValueError(f"unknown schedule '{name}' "
+                         f"(choose from {', '.join(SCHEDULE_NAMES)})")
+    if warmup_steps > 0:
+        sched = WarmupSchedule(sched, warmup_steps)
+    return sched

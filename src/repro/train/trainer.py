@@ -1,0 +1,272 @@
+"""The shared training loop behind GNS, MeshNet, and interpret.
+
+One battle-tested :class:`Trainer` drives every learned model in the
+repo: ``zero_grad → accumulate N micro-batch losses → clip → step →
+schedule → EMA update``, with unified ``train/*`` telemetry, a callback
+protocol, and full checkpoint/resume through :class:`TrainState`.
+
+Model families plug in through the :class:`TrainTask` protocol — two
+methods, ``sample(rng)`` (draw one micro-batch) and ``loss(batch, rng)``
+(scalar loss Tensor) — so GNS windowed-noise batches, MeshNet field
+batches, and interpret spring samples are just adapters. All randomness
+must flow through the passed-in ``rng`` (the trainer's own generator):
+that is what makes a restored checkpoint continue the *exact* sample and
+noise sequence of the uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..nn import Module, Optimizer, clip_grad_norm
+from ..obs import get_registry, span
+from .callbacks import Callback, ExponentialMovingAverage
+from .schedules import Schedule
+from .state import TrainState, config_fingerprint, latest_checkpoint, \
+    rng_from_json, rng_state_to_json
+
+__all__ = ["TrainerOptions", "TrainTask", "Trainer"]
+
+
+@dataclass
+class TrainerOptions:
+    """Knobs of the generic loop (task-specific configs live with the
+    task adapters, e.g. ``gns.TrainingConfig``)."""
+
+    #: micro-batches accumulated per optimizer step; gradients simply add
+    #: across ``backward()`` calls, each loss is pre-divided by this
+    grad_accum: int = 1
+    #: global L2 gradient-norm ceiling; ``None`` disables clipping
+    grad_clip: float | None = 1.0
+    #: EMA decay for shadow weights; ``None`` disables EMA
+    ema_decay: float | None = None
+    seed: int = 0
+    log_every: int = 100
+
+    def __post_init__(self):
+        if self.grad_accum < 1:
+            raise ValueError("grad_accum must be >= 1")
+
+
+class TrainTask:
+    """Protocol for model-family adapters (see module docstring).
+
+    ``state_dict``/``load_state_dict`` are optional JSON-serializable
+    hooks for tasks with their own sampling state (e.g. the interpret
+    task's epoch ordering); stateless tasks keep the defaults.
+    """
+
+    def sample(self, rng: np.random.Generator):  # pragma: no cover
+        raise NotImplementedError
+
+    def loss(self, batch, rng: np.random.Generator) -> Tensor:  # pragma: no cover
+        raise NotImplementedError
+
+    def config_dict(self) -> dict:
+        """Task configuration folded into the checkpoint fingerprint."""
+        return {}
+
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        pass
+
+
+class Trainer:
+    """Generic minibatch trainer with full checkpoint/resume.
+
+    Subclasses may either pass a :class:`TrainTask` or implement
+    ``sample``/``loss`` themselves (the trainer then acts as its own
+    task) — ``GNSTrainer`` and ``MeshNetTrainer`` do the latter so their
+    long-standing helper methods stay in place.
+    """
+
+    def __init__(self, model: Module, optimizer: Optimizer,
+                 task: TrainTask | None = None,
+                 schedule: Schedule | None = None,
+                 options: TrainerOptions | None = None):
+        self.model = model
+        self.optimizer = optimizer
+        self.task = task if task is not None else self
+        self.schedule = schedule
+        self.options = options or TrainerOptions()
+        self.rng = np.random.default_rng(self.options.seed)
+        self.ema = (ExponentialMovingAverage(model, self.options.ema_decay)
+                    if self.options.ema_decay is not None else None)
+        self.global_step = 0
+        self.micro_step = 0
+        self.loss_history: list[float] = []
+
+    # -- task protocol (overridable by subclasses) ----------------------
+    def sample(self, rng: np.random.Generator):  # pragma: no cover
+        raise NotImplementedError("pass a task or override sample()")
+
+    def loss(self, batch, rng: np.random.Generator) -> Tensor:  # pragma: no cover
+        raise NotImplementedError("pass a task or override loss()")
+
+    def config_dict(self) -> dict:
+        return {}
+
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        pass
+
+    # -- the loop -------------------------------------------------------
+    def train_step(self) -> float:
+        """One optimizer update (over ``grad_accum`` micro-batches);
+        returns the accumulated loss value."""
+        opts = self.options
+        task = self.task
+        self.optimizer.zero_grad()
+        value = 0.0
+        for micro in range(opts.grad_accum):
+            self.micro_step = micro
+            with span("train/forward"):
+                batch = task.sample(self.rng)
+                loss = task.loss(batch, self.rng)
+                if opts.grad_accum > 1:
+                    loss = loss / float(opts.grad_accum)
+            with span("train/backward"):
+                loss.backward()
+            value += float(loss.data)
+        self.micro_step = 0
+        with span("train/optimizer"):
+            grad_norm = (clip_grad_norm(self.optimizer.params, opts.grad_clip)
+                         if opts.grad_clip is not None else None)
+            if self.schedule is not None:
+                self.schedule.apply(self.optimizer, self.global_step)
+            self.optimizer.step()
+            if self.ema is not None:
+                self.ema.update()
+        self.global_step += 1
+        self.loss_history.append(value)
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("train.steps").inc()
+            reg.series("train.loss").append(self.global_step, value)
+            reg.gauge("train.learning_rate").set(self.optimizer.lr)
+            if grad_norm is not None:
+                reg.series("train.grad_norm").append(self.global_step,
+                                                     grad_norm)
+            if not np.isfinite(value):
+                reg.counter("train.nonfinite_loss").inc()
+        return value
+
+    def fit(self, num_steps: int, callbacks: list[Callback] = (),
+            verbose: bool = False) -> list[float]:
+        """Run up to ``num_steps`` updates with callbacks; returns the
+        loss trace. A callback returning True from ``on_step_end`` stops
+        training early."""
+        callbacks = list(callbacks)
+        for cb in callbacks:
+            cb.on_train_begin(self)
+        try:
+            for _ in range(num_steps):
+                loss = self.train_step()
+                if verbose and self.global_step % self.options.log_every == 0:
+                    print(f"step {self.global_step}: loss={loss:.6f}")
+                stop = False
+                for cb in callbacks:
+                    if cb.on_step_end(self, self.global_step, loss):
+                        stop = True
+                if stop:
+                    break
+        finally:
+            for cb in callbacks:
+                cb.on_train_end(self)
+        return self.loss_history
+
+    def train(self, num_steps: int, verbose: bool = False) -> list[float]:
+        """Run ``num_steps`` updates; returns the loss trace."""
+        return self.fit(num_steps, verbose=verbose)
+
+    # -- checkpoint / resume --------------------------------------------
+    def _fingerprint(self) -> str:
+        params = [(name, list(p.data.shape), str(p.data.dtype))
+                  for name, p in self.model.named_parameters()]
+        task_cfg = (self.task.config_dict() if self.task is not self
+                    else self.config_dict())
+        return config_fingerprint(
+            {"trainer": type(self).__name__,
+             "task": type(self.task).__name__,
+             "optimizer": type(self.optimizer).__name__},
+            asdict(self.options), task_cfg, {"params": params})
+
+    def state(self) -> TrainState:
+        """Snapshot everything needed for a bitwise-identical resume."""
+        opt_state = self.optimizer.state_dict()
+        opt_state["class"] = type(self.optimizer).__name__
+        task_state = (self.task.state_dict() if self.task is not self
+                      else self.state_dict())
+        return TrainState(
+            model_state=self.model.state_dict(),
+            optimizer_state=opt_state,
+            rng_state=rng_state_to_json(self.rng),
+            global_step=self.global_step,
+            micro_step=self.micro_step,
+            ema_state=self.ema.state_dict() if self.ema is not None else None,
+            schedule_state=(self.schedule.state_dict()
+                            if self.schedule is not None else {}),
+            task_state=task_state,
+            config_hash=self._fingerprint(),
+            meta={"loss_last": self.loss_history[-1]
+                  if self.loss_history else None},
+        )
+
+    def save(self, path: str | Path) -> Path:
+        return self.state().save(path)
+
+    def restore(self, source: str | Path | TrainState,
+                strict: bool = True) -> "Trainer":
+        """Restore from a checkpoint file, directory, or TrainState.
+
+        With ``strict`` (default) the stored config hash must match this
+        trainer's — resuming under a different architecture or
+        hyperparameters raises instead of silently drifting.
+        """
+        if isinstance(source, TrainState):
+            state = source
+        else:
+            path = Path(source)
+            if path.is_dir():
+                found = latest_checkpoint(path)
+                if found is None:
+                    raise FileNotFoundError(
+                        f"no TrainState checkpoint found in {path}")
+                path = found
+            state = TrainState.load(path)
+        if strict and state.config_hash and \
+                state.config_hash != self._fingerprint():
+            raise ValueError(
+                "checkpoint config hash mismatch — the run being resumed "
+                "was configured differently (pass strict=False to force)")
+        self.model.load_state_dict(state.model_state)
+        opt_cls = type(self.optimizer).__name__
+        if state.optimizer_state.get("class") not in ("", opt_cls):
+            raise ValueError(
+                f"checkpoint optimizer {state.optimizer_state['class']!r} "
+                f"!= current {opt_cls!r}")
+        self.optimizer.load_state_dict(state.optimizer_state)
+        self.rng = rng_from_json(state.rng_state)
+        self.global_step = state.global_step
+        self.micro_step = state.micro_step
+        if state.ema_state is not None:
+            if self.ema is None:
+                self.ema = ExponentialMovingAverage(
+                    self.model, self.options.ema_decay or 0.999)
+            self.ema.load_state_dict(state.ema_state)
+        if self.schedule is not None and state.schedule_state:
+            self.schedule.load_state_dict(state.schedule_state)
+        if state.task_state:
+            if self.task is not self:
+                self.task.load_state_dict(state.task_state)
+            else:
+                self.load_state_dict(state.task_state)
+        return self

@@ -1,0 +1,160 @@
+"""Resume determinism — the acceptance bar for repro.train.
+
+Kill a training run at step *k*, restore the TrainState, continue to
+step *n*: the parameters must be **bitwise identical** to a run that
+never stopped. Exercised for the GNS and MeshNet adapters, plus EMA
+and RNG round trips.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import Trajectory
+from repro.gns import (
+    FeatureConfig, GNSNetworkConfig, GNSTrainer, LearnedSimulator,
+    TrainingConfig,
+)
+from repro.meshnet import (
+    MeshNetSimulator, MeshNetTrainer, MeshTrainingConfig, mesh_from_lattice,
+)
+from repro.train import TrainState
+
+BOUNDS = np.array([[0.0, 1.0], [0.0, 1.0]])
+
+
+def _net():
+    return GNSNetworkConfig(latent_size=8, mlp_hidden_size=8,
+                            mlp_hidden_layers=1, message_passing_steps=1)
+
+
+def _gns_sim(seed=0):
+    fc = FeatureConfig(connectivity_radius=0.4, history=2, bounds=BOUNDS)
+    return LearnedSimulator(fc, _net(), rng=np.random.default_rng(seed))
+
+
+def _trajectories(num=2, t=8, n=5):
+    out = []
+    for s in range(num):
+        rng = np.random.default_rng(s)
+        frames = [rng.uniform(0.3, 0.7, size=(n, 2))]
+        for _ in range(t - 1):
+            frames.append(frames[-1] + rng.normal(0, 0.002, size=(n, 2)))
+        out.append(Trajectory(np.stack(frames), dt=1.0, material=20.0,
+                              bounds=BOUNDS))
+    return out
+
+
+def _gns_trainer(**cfg):
+    base = dict(learning_rate=1e-3, noise_std=1e-4, batch_size=1, seed=7)
+    base.update(cfg)
+    return GNSTrainer(_gns_sim(), _trajectories(), TrainingConfig(**base))
+
+
+def _mesh_trainer(**cfg):
+    spec = mesh_from_lattice(4, 3, np.zeros(12, dtype=np.int64))
+    sim = MeshNetSimulator(spec, _net(), rng=np.random.default_rng(0))
+    frames = np.random.default_rng(1).normal(size=(6, 12, 2))
+    base = dict(learning_rate=1e-3, noise_std=1e-4, batch_size=1, seed=7)
+    base.update(cfg)
+    return MeshNetTrainer(sim, frames, MeshTrainingConfig(**base))
+
+
+def _assert_bitwise_equal(a, b):
+    """Params, Adam moments, EMA shadow, and the next RNG draw all match."""
+    for (name, pa), (_, pb) in zip(a.model.named_parameters(),
+                                   b.model.named_parameters()):
+        assert np.array_equal(pa.data, pb.data), name
+    sa, sb = a.optimizer.state_dict(), b.optimizer.state_dict()
+    assert sa["hyper"] == sb["hyper"]
+    for slot in sa["slots"]:
+        for ma, mb in zip(sa["slots"][slot], sb["slots"][slot]):
+            assert np.array_equal(ma, mb), slot
+    if a.ema is not None or b.ema is not None:
+        for name in a.ema.shadow:
+            assert np.array_equal(a.ema.shadow[name], b.ema.shadow[name])
+    assert np.array_equal(a.rng.integers(0, 1 << 30, size=8),
+                          b.rng.integers(0, 1 << 30, size=8))
+
+
+@pytest.mark.parametrize("make,extra", [
+    (_gns_trainer, {}),
+    (_gns_trainer, {"grad_accum": 2, "ema_decay": 0.9}),
+    (_gns_trainer, {"fused_batching": True, "batch_size": 2}),
+    (_mesh_trainer, {}),
+    (_mesh_trainer, {"grad_accum": 2, "ema_decay": 0.9}),
+], ids=["gns", "gns-accum-ema", "gns-fused", "mesh", "mesh-accum-ema"])
+def test_interrupted_run_is_bitwise_identical(tmp_path, make, extra):
+    n, k = 6, 3
+
+    straight = make(**extra)
+    losses_straight = straight.train(n)
+
+    interrupted = make(**extra)
+    losses_head = interrupted.train(k)
+    path = interrupted.save(tmp_path / "state.npz")
+    del interrupted
+
+    resumed = make(**extra)         # brand-new process stand-in
+    resumed.restore(path)
+    assert resumed.global_step == k
+    losses_tail = resumed.train(n - k)
+
+    np.testing.assert_array_equal(losses_straight,
+                                  losses_head + losses_tail)
+    assert resumed.global_step == straight.global_step == n
+    _assert_bitwise_equal(straight, resumed)
+
+
+def test_restore_from_directory_picks_latest(tmp_path):
+    from repro.train import CheckpointCallback
+
+    trainer = _gns_trainer()
+    trainer.fit(4, callbacks=[CheckpointCallback(tmp_path, every=2)])
+
+    resumed = _gns_trainer()
+    resumed.restore(tmp_path)       # directory → latest checkpoint
+    assert resumed.global_step == 4
+    _assert_bitwise_equal(trainer, resumed)
+
+
+def test_ema_shadow_roundtrip(tmp_path):
+    trainer = _gns_trainer(ema_decay=0.8)
+    trainer.train(3)
+    path = trainer.save(tmp_path / "state.npz")
+
+    state = TrainState.load(path)
+    assert state.ema_state is not None
+    assert set(state.ema_state) == set(trainer.ema.shadow)
+    for name, arr in state.ema_state.items():
+        assert np.array_equal(arr, trainer.ema.shadow[name])
+
+    fresh = _gns_trainer(ema_decay=0.8)
+    fresh.restore(path)
+    for name, arr in trainer.ema.shadow.items():
+        assert np.array_equal(fresh.ema.shadow[name], arr)
+
+
+def test_rng_state_roundtrip(tmp_path):
+    trainer = _gns_trainer()
+    trainer.train(2)
+    path = trainer.save(tmp_path / "state.npz")
+    expected = trainer.rng.integers(0, 1 << 30, size=16)
+
+    fresh = _gns_trainer()
+    fresh.restore(path)
+    np.testing.assert_array_equal(
+        fresh.rng.integers(0, 1 << 30, size=16), expected)
+
+
+def test_step_budget_semantics(tmp_path):
+    """`train(total - global_step)` after restore lands exactly on total."""
+    trainer = _gns_trainer()
+    trainer.train(2)
+    path = trainer.save(tmp_path / "state.npz")
+
+    resumed = _gns_trainer()
+    resumed.restore(path)
+    total = 5
+    resumed.train(total - resumed.global_step)
+    assert resumed.global_step == total
+    assert len(resumed.loss_history) == total - 2   # only the tail is local

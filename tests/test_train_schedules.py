@@ -1,0 +1,124 @@
+"""Schedule zoo: shapes of each LR curve and the Schedule interface."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Parameter
+from repro.train import (
+    ConstantSchedule, CosineDecay, ExponentialDecay, ReduceOnPlateau,
+    Schedule, StepDecay, WarmupSchedule, build_schedule,
+)
+
+
+def _opt():
+    return Adam([Parameter(np.zeros(3))], lr=1.0)
+
+
+class TestConstant:
+    def test_flat(self):
+        s = ConstantSchedule(3e-4)
+        assert s(0) == s(10_000) == 3e-4
+
+    def test_apply_rebinds_lr(self):
+        opt = _opt()
+        s = ConstantSchedule(0.5)
+        assert s.apply(opt, 7) == 0.5
+        assert opt.lr == 0.5
+
+
+class TestExponentialDecay:
+    def test_endpoints(self):
+        s = ExponentialDecay(1e-4, 1e-6, decay_steps=1000)
+        assert s(0) == pytest.approx(1e-4)
+        # after one full decay period: final + (init-final)*0.1
+        assert s(1000) == pytest.approx(1e-6 + (1e-4 - 1e-6) * 0.1)
+
+    def test_is_schedule(self):
+        assert isinstance(ExponentialDecay(1e-4), Schedule)
+
+    def test_legacy_alias_compatible(self):
+        from repro.nn import ExponentialDecay as Legacy
+
+        legacy, new = Legacy(1e-3, 1e-5), ExponentialDecay(1e-3, 1e-5)
+        for step in (0, 50, 5000):
+            assert new(step) == legacy(step)
+
+
+class TestCosineDecay:
+    def test_monotone_to_final(self):
+        s = CosineDecay(1e-3, 1e-5, decay_steps=100)
+        values = [s(t) for t in range(0, 140, 10)]
+        assert values[0] == pytest.approx(1e-3)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert s(100) == pytest.approx(1e-5)
+        assert s(1000) == pytest.approx(1e-5)  # clamped after decay
+
+    def test_bad_steps(self):
+        with pytest.raises(ValueError):
+            CosineDecay(1e-3, decay_steps=0)
+
+
+class TestStepDecay:
+    def test_piecewise(self):
+        s = StepDecay(1.0, step_size=10, gamma=0.5)
+        assert s(0) == s(9) == 1.0
+        assert s(10) == 0.5
+        assert s(25) == 0.25
+
+    def test_floor(self):
+        s = StepDecay(1.0, step_size=1, gamma=0.1, min_lr=0.01)
+        assert s(100) == 0.01
+
+
+class TestReduceOnPlateau:
+    def test_drops_after_patience(self):
+        s = ReduceOnPlateau(1.0, factor=0.5, patience=2)
+        s.report(1.0)           # best
+        assert s(0) == 1.0
+        s.report(1.0)           # stale 1
+        s.report(1.0)           # stale 2 -> drop
+        assert s(0) == 0.5
+
+    def test_improvement_resets(self):
+        s = ReduceOnPlateau(1.0, factor=0.5, patience=2)
+        s.report(1.0)
+        s.report(0.5)           # improvement
+        s.report(0.6)
+        assert s(0) == 1.0      # only one stale check so far
+
+    def test_state_roundtrip(self):
+        s = ReduceOnPlateau(1.0, factor=0.5, patience=1)
+        s.report(1.0)
+        s.report(2.0)           # drop
+        clone = ReduceOnPlateau(1.0, factor=0.5, patience=1)
+        clone.load_state_dict(s.state_dict())
+        assert clone(0) == s(0)
+        assert clone.best == s.best and clone.stale == s.stale
+
+
+class TestWarmup:
+    def test_ramps_then_follows_base(self):
+        s = WarmupSchedule(ConstantSchedule(1.0), warmup_steps=10)
+        assert s(0) == 0.0
+        assert s(5) == pytest.approx(0.5)
+        assert s(10) == 1.0
+        assert s(500) == 1.0
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["constant", "exponential", "cosine",
+                                      "step", "plateau"])
+    def test_builds_every_name(self, name):
+        s = build_schedule(name, init_lr=1e-3, final_lr=1e-5,
+                           decay_steps=100)
+        assert isinstance(s, Schedule)
+        assert s(0) > 0.0
+
+    def test_warmup_wrapping(self):
+        s = build_schedule("constant", init_lr=1.0, warmup_steps=4)
+        assert isinstance(s, WarmupSchedule)
+        assert s(0) == 0.0 and s(4) == 1.0
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            build_schedule("linear", init_lr=1e-3)

@@ -1,0 +1,329 @@
+"""The shared Trainer core: loop mechanics, grad accumulation, EMA,
+callbacks, TrainState round trips, and the hardened clip_grad_norm."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.autodiff.functional import mse_loss
+from repro.nn import SGD, Adam, Linear, Parameter, clip_grad_norm
+from repro.train import (
+    Callback, CheckpointCallback, ConstantSchedule, TrainState, Trainer,
+    TrainerOptions, TrainTask, latest_checkpoint,
+)
+
+
+class _LineTask(TrainTask):
+    """Fit y = 2x on synthetic draws — tiny and fully deterministic."""
+
+    def __init__(self, model):
+        self.model = model
+
+    def sample(self, rng):
+        x = rng.normal(size=(4, 1))
+        return x, 2.0 * x
+
+    def loss(self, batch, rng):
+        x, y = batch
+        return mse_loss(self.model(Tensor(x)), y)
+
+    def config_dict(self):
+        return {"task": "line"}
+
+
+def _trainer(seed=0, **opts):
+    model = Linear(1, 1, np.random.default_rng(0))
+    task = _LineTask(model)
+    return Trainer(model, Adam(list(model.parameters()), lr=1e-2),
+                   task=task, options=TrainerOptions(seed=seed, **opts))
+
+
+class TestLoop:
+    def test_loss_decreases(self):
+        trainer = _trainer()
+        losses = trainer.train(60)
+        assert len(losses) == 60
+        assert np.mean(losses[-10:]) < np.mean(losses[:10])
+        assert trainer.global_step == 60
+
+    def test_schedule_applied(self):
+        trainer = _trainer()
+        trainer.schedule = ConstantSchedule(0.123)
+        trainer.train(1)
+        assert trainer.optimizer.lr == 0.123
+
+    def test_grad_accum_matches_big_batch_gradient(self):
+        """K accumulated micro-batches == mean loss over the same K."""
+        a = _trainer(seed=1, grad_accum=4, grad_clip=None)
+        b = _trainer(seed=1, grad_clip=None)
+
+        # run one accumulated step on a
+        a.train_step()
+
+        # replay the same four micro-batches as one averaged loss on b
+        total = None
+        for _ in range(4):
+            batch = b.task.sample(b.rng)
+            loss = b.task.loss(batch, b.rng) / 4.0
+            total = loss if total is None else total + loss
+        b.optimizer.zero_grad()
+        total.backward()
+        grads_b = [p.grad.copy() for p in b.optimizer.params]
+        b.optimizer.step()
+
+        for pa, pb in zip(a.optimizer.params, b.optimizer.params):
+            np.testing.assert_allclose(pa.data, pb.data, rtol=0, atol=1e-15)
+
+    def test_ema_tracks_weights(self):
+        trainer = _trainer(ema_decay=0.5)
+        trainer.train(20)
+        assert trainer.ema is not None
+        for name, p in trainer.model.named_parameters():
+            shadow = trainer.ema.shadow[name]
+            assert shadow.shape == p.data.shape
+            assert not np.array_equal(shadow, p.data)  # lags behind
+
+    def test_callback_stop_and_hooks(self):
+        events = []
+
+        class Probe(Callback):
+            def on_train_begin(self, trainer):
+                events.append("begin")
+
+            def on_step_end(self, trainer, step, loss):
+                events.append(step)
+                return step >= 3
+
+            def on_train_end(self, trainer):
+                events.append("end")
+
+        trainer = _trainer()
+        trainer.fit(100, callbacks=[Probe()])
+        assert events == ["begin", 1, 2, 3, "end"]
+        assert trainer.global_step == 3
+
+
+class TestOptimizerStateRoundtrip:
+    def test_adam(self):
+        params = [Parameter(np.ones(3)), Parameter(np.zeros((2, 2)))]
+        opt = Adam(params, lr=1e-3)
+        for p in params:
+            p.grad = np.full_like(p.data, 0.5)
+        opt.step()
+        state = opt.state_dict()
+
+        clone = Adam([Parameter(np.ones(3)), Parameter(np.zeros((2, 2)))],
+                     lr=9.0)
+        clone.load_state_dict(state)
+        assert clone.lr == 1e-3 and clone.t == 1
+        for a, b in zip(opt._m, clone._m):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(opt._v, clone._v):
+            np.testing.assert_array_equal(a, b)
+
+    def test_sgd_momentum(self):
+        p = Parameter(np.ones(4))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        p.grad = np.ones(4)
+        opt.step()
+        state = opt.state_dict()
+
+        clone = SGD([Parameter(np.ones(4))], lr=0.1, momentum=0.0)
+        clone.load_state_dict(state)
+        assert clone.momentum == 0.9
+        np.testing.assert_array_equal(clone._velocity[0], opt._velocity[0])
+
+    def test_shape_mismatch_raises(self):
+        opt = Adam([Parameter(np.ones(3))], lr=1e-3)
+        state = opt.state_dict()
+        state["slots"]["m"] = [np.zeros(7)]
+        with pytest.raises(ValueError):
+            opt.load_state_dict(state)
+
+
+class TestClipGradNorm:
+    def test_preclip_norm_returned(self):
+        p = Parameter(np.array([3.0, 4.0]))
+        p.grad = p.data.copy()
+        assert clip_grad_norm([p], 1.0) == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_float32_grads_use_float64_norm(self):
+        p = Parameter(np.ones(4, dtype=np.float32))
+        p.grad = np.full(4, 1e20, dtype=np.float32)  # squares overflow fp32
+        total = clip_grad_norm([p], 1.0)
+        assert np.isfinite(total)
+        assert np.isfinite(p.grad).all()
+
+    def test_nonfinite_grad_dropped(self):
+        good = Parameter(np.ones(2))
+        bad = Parameter(np.ones(2))
+        good.grad = np.ones(2)
+        bad.grad = np.array([np.nan, 1.0])
+        total = clip_grad_norm([good, bad], 1.0)
+        assert not np.isfinite(total)
+        # gradients dropped so the next optimizer step is a no-op
+        assert good.grad is None and bad.grad is None
+
+    def test_nonfinite_step_leaves_weights_finite(self):
+        trainer = _trainer()
+
+        class Poison(_LineTask):
+            def loss(self, batch, rng):
+                x, y = batch
+                return mse_loss(self.model(Tensor(x)), y) * np.nan
+
+        trainer.task = Poison(trainer.model)
+        trainer.train_step()
+        for p in trainer.model.parameters():
+            assert np.isfinite(p.data).all()
+
+
+class TestTrainState:
+    def test_roundtrip_file(self, tmp_path):
+        trainer = _trainer(ema_decay=0.9)
+        trainer.train(5)
+        path = trainer.save(tmp_path / "state.npz")
+        assert path.exists()
+        assert path.with_suffix(".npz.json").exists()  # manifest sidecar
+
+        state = TrainState.load(path)
+        assert state.global_step == 5
+        assert state.version == 1
+        assert state.ema_state is not None
+        assert set(state.model_state) == {
+            name for name, _ in trainer.model.named_parameters()}
+
+    def test_restore_rejects_config_mismatch(self, tmp_path):
+        trainer = _trainer()
+        trainer.train(2)
+        path = trainer.save(tmp_path / "state.npz")
+
+        other = _trainer(grad_accum=2)     # different options → new hash
+        with pytest.raises(ValueError, match="config hash"):
+            other.restore(path)
+        other.restore(path, strict=False)  # forced restore still works
+        assert other.global_step == 2
+
+    def test_restore_rejects_wrong_optimizer(self, tmp_path):
+        trainer = _trainer()
+        trainer.train(1)
+        path = trainer.save(tmp_path / "state.npz")
+        model = Linear(1, 1, np.random.default_rng(0))
+        sgd_trainer = Trainer(model, SGD(list(model.parameters()), lr=0.1),
+                              task=_LineTask(model))
+        with pytest.raises(ValueError):
+            sgd_trainer.restore(path, strict=False)
+
+    def test_version_gate(self, tmp_path):
+        trainer = _trainer()
+        trainer.train(1)
+        path = trainer.save(tmp_path / "state.npz")
+        state = TrainState.load(path)
+        state.version = 999
+        newer = state.save(tmp_path / "future.npz")
+        with pytest.raises(ValueError, match="version"):
+            TrainState.load(newer)
+
+
+class TestCheckpointCallback:
+    def test_periodic_writes_prune_and_index(self, tmp_path):
+        trainer = _trainer()
+        cdir = tmp_path / "ck"
+        trainer.fit(10, callbacks=[CheckpointCallback(cdir, every=2,
+                                                      max_to_keep=2)])
+        kept = sorted(p.name for p in cdir.glob("state_*.npz"))
+        assert len(kept) == 2                      # pruned to max_to_keep
+        assert kept[-1] == "state_00000010.npz"
+        assert latest_checkpoint(cdir).name == "state_00000010.npz"
+
+    def test_final_state_written_on_end(self, tmp_path):
+        trainer = _trainer()
+        cdir = tmp_path / "ck"
+        trainer.fit(3, callbacks=[CheckpointCallback(cdir, every=100)])
+        assert latest_checkpoint(cdir) is not None
+        assert TrainState.load(latest_checkpoint(cdir)).global_step == 3
+
+    def test_latest_checkpoint_empty_dir(self, tmp_path):
+        assert latest_checkpoint(tmp_path) is None
+
+
+class TestTelemetryNames:
+    """GNS, MeshNet, and interpret runs share train/* span and metric
+    names — the 'same dashboards for every trainer' guarantee."""
+
+    EXPECTED_METRICS = {"train.steps", "train.loss", "train.learning_rate",
+                        "train.grad_norm"}
+    EXPECTED_SPANS = {"train/forward", "train/backward", "train/optimizer"}
+
+    @pytest.fixture()
+    def observed(self):
+        import repro.obs as obs
+        from repro.obs import get_registry, get_tracer
+
+        def _observe(fn):
+            obs.enable()
+            obs.reset()
+            try:
+                fn()
+                metrics = {m.name for m in get_registry().metrics()}
+                spans = set(get_tracer().stats())
+            finally:
+                obs.disable()
+                obs.reset()
+            return metrics, spans
+
+        return _observe
+
+    def _check(self, observed, fn):
+        metrics, spans = observed(fn)
+        assert self.EXPECTED_METRICS <= metrics
+        assert self.EXPECTED_SPANS <= spans
+
+    def test_gns(self, observed):
+        from repro.data import Trajectory
+        from repro.gns import (
+            FeatureConfig, GNSNetworkConfig, GNSTrainer, LearnedSimulator,
+            TrainingConfig,
+        )
+
+        bounds = np.array([[0.0, 1.0], [0.0, 1.0]])
+        rng = np.random.default_rng(0)
+        frames = [rng.uniform(0.3, 0.7, size=(5, 2))]
+        for _ in range(7):
+            frames.append(frames[-1] + rng.normal(0, 0.002, size=(5, 2)))
+        traj = Trajectory(np.stack(frames), dt=1.0, material=20.0,
+                          bounds=bounds)
+        sim = LearnedSimulator(
+            FeatureConfig(connectivity_radius=0.4, history=2, bounds=bounds),
+            GNSNetworkConfig(latent_size=8, mlp_hidden_size=8,
+                             mlp_hidden_layers=1, message_passing_steps=1),
+            rng=np.random.default_rng(0))
+        self._check(observed, lambda: GNSTrainer(
+            sim, [traj], TrainingConfig(noise_std=1e-4, batch_size=1)).train(2))
+
+    def test_meshnet(self, observed):
+        from repro.gns.network import GNSNetworkConfig
+        from repro.meshnet import (
+            MeshNetSimulator, MeshNetTrainer, MeshTrainingConfig,
+            mesh_from_lattice,
+        )
+
+        spec = mesh_from_lattice(4, 3, np.zeros(12, dtype=np.int64))
+        sim = MeshNetSimulator(
+            spec, GNSNetworkConfig(latent_size=8, mlp_hidden_size=8,
+                                   mlp_hidden_layers=1,
+                                   message_passing_steps=1),
+            rng=np.random.default_rng(0))
+        frames = np.random.default_rng(1).normal(size=(5, 12, 2))
+        self._check(observed, lambda: MeshNetTrainer(
+            sim, frames, MeshTrainingConfig(batch_size=1)).train(2))
+
+    def test_interpret(self, observed):
+        from repro.interpret import InterpretableConfig, train_interpretable_gns
+        from repro.nbody import spring_training_samples
+
+        samples = spring_training_samples(num_systems=2, num_bodies=3, seed=0)
+        self._check(observed, lambda: train_interpretable_gns(
+            samples, InterpretableConfig(message_dim=4, hidden=8,
+                                         hidden_layers=1), epochs=1))
