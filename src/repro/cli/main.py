@@ -29,6 +29,15 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _add_faults_args(p) -> None:
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="arm deterministic fault injection (e.g. "
+                        "'train.poison_batch@3;ckpt.corrupt@1'; see "
+                        "docs/resilience.md; also via REPRO_FAULTS)")
+    p.add_argument("--faults-seed", type=int, default=0, metavar="N",
+                   help="seed for probabilistic fault clauses")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -50,6 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cProfile the run and print hotspots")
     p.add_argument("--telemetry", type=Path, default=None, metavar="DIR",
                    help="write telemetry.jsonl + manifest.json to DIR")
+    _add_faults_args(p)
 
     p = sub.add_parser("generate", help="build a GNS training dataset")
     p.add_argument("--output", type=Path, required=True, help="dataset .npz")
@@ -95,6 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--telemetry", type=Path, default=None, metavar="DIR",
                    help="write telemetry.jsonl + manifest.json to DIR")
+    p.add_argument("--max-recoveries", type=int, default=None, metavar="N",
+                   help="self-heal from non-finite loss streaks by "
+                        "reloading the newest valid checkpoint, at most "
+                        "N times (enables the resilient training loop)")
+    _add_faults_args(p)
 
     p = sub.add_parser("rollout", help="roll a checkpoint vs ground truth")
     p.add_argument("--checkpoint", type=Path, required=True)
@@ -115,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cProfile the rollout and print hotspots")
     p.add_argument("--telemetry", type=Path, default=None, metavar="DIR",
                    help="write telemetry.jsonl + manifest.json to DIR")
+    _add_faults_args(p)
 
     p = sub.add_parser("invert", help="friction-angle inversion (Sec 5)")
     p.add_argument("--checkpoint", type=Path, required=True,
@@ -128,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed-frame offset into the trajectory")
     p.add_argument("--telemetry", type=Path, default=None, metavar="DIR",
                    help="write telemetry.jsonl + manifest.json to DIR")
+    _add_faults_args(p)
 
     p = sub.add_parser("info", help="inspect a dataset or checkpoint")
     p.add_argument("path", type=Path)
@@ -249,9 +266,12 @@ def _cmd_train(args) -> int:
         FeatureConfig, GNSNetworkConfig, GNSTrainer, LearnedSimulator, Stats,
         TrainingConfig, one_step_mse,
     )
+    from ..resilience import retry_call
     from ..train import CheckpointCallback, ValidationCallback, build_schedule
 
-    ds = load_trajectories(args.dataset)
+    ds = retry_call(load_trajectories, args.dataset,
+                    give_up_on=(FileNotFoundError, IsADirectoryError),
+                    op="load_trajectories")
     holdout = min(args.holdout, max(len(ds) - 1, 0))
     train_set = ds[:len(ds) - holdout] if holdout else ds
     val_set = ds[len(ds) - holdout:] if holdout else []
@@ -312,9 +332,22 @@ def _cmd_train(args) -> int:
                                     every=max(args.steps // 5, 1))
         callbacks.append(val_cb)
         logger = val_cb.logger
-    trainer.fit(remaining, callbacks=callbacks)
+    if args.max_recoveries is not None:
+        from ..resilience import RecoveryPolicy, train_with_recovery
+
+        train_with_recovery(
+            trainer, args.steps, ckpt_dir, callbacks=callbacks,
+            policy=RecoveryPolicy(max_recoveries=args.max_recoveries),
+            verbose=True)
+    else:
+        trainer.fit(remaining, callbacks=callbacks)
 
     losses = trainer.loss_history
+    # recovery keeps non-finite losses in the history (telemetry wants
+    # the truth), so summary statistics must look at the finite tail
+    finite_losses = [ls for ls in losses if np.isfinite(ls)]
+    final_loss = (float(np.mean(finite_losses[-10:]))
+                  if finite_losses else float("nan"))
     if logger is not None and logger.rows:
         for row in logger.rows:
             print(f"  step {int(row['step'])}: train={row['train_loss']:.4f} "
@@ -322,19 +355,18 @@ def _cmd_train(args) -> int:
         if args.metrics is not None:
             logger.to_csv(args.metrics)
     elif losses:
-        print(f"  loss {losses[0]:.4f} -> {np.mean(losses[-10:]):.4f}")
+        print(f"  loss {losses[0]:.4f} -> {final_loss:.4f}")
     if session is not None:
         from ..obs import check_loss_curve
 
-        session.registry.gauge("train.final_loss").set(
-            float(np.mean(losses[-10:])) if losses else float("nan"))
+        session.registry.gauge("train.final_loss").set(final_loss)
         health = check_loss_curve(losses)
         session.record_health(health)
         session.finish(summary={
             "steps": trainer.global_step,
             "resumed_from": resumed_from,
             "initial_loss": losses[0] if losses else None,
-            "final_loss": float(np.mean(losses[-10:])) if losses else None,
+            "final_loss": final_loss if finite_losses else None,
             "parameters": sim.num_parameters(),
             "health_ok": health.ok})
         print(f"telemetry written to {session.telemetry_path.parent}")
@@ -348,11 +380,14 @@ def _cmd_rollout(args) -> int:
     from ..analysis import compare_trajectories
     from ..data import load_trajectories
     from ..gns import LearnedSimulator
+    from ..resilience import retry_call
 
     sim = LearnedSimulator.load(args.checkpoint)
     if args.fp32:
         sim.inference_dtype = np.float32
-    ds = load_trajectories(args.dataset)
+    ds = retry_call(load_trajectories, args.dataset,
+                    give_up_on=(FileNotFoundError, IsADirectoryError),
+                    op="load_trajectories")
     traj = ds[args.index]
     c = sim.feature_config.history
     steps = args.steps if args.steps is not None else traj.num_steps - (c + 1)
@@ -525,6 +560,10 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "faults", None):
+        from ..resilience import arm_faults
+
+        arm_faults(args.faults, seed=args.faults_seed)
     return _COMMANDS[args.command](args)
 
 

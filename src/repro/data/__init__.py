@@ -7,8 +7,9 @@ from .datasets import (
     normalization_stats, train_test_split,
 )
 from .io import (
-    load_checkpoint, load_state_npz, load_trajectories, save_checkpoint,
-    save_state_npz, save_trajectories,
+    CorruptStateError, atomic_write_bytes, file_sha256, load_checkpoint,
+    load_state_npz, load_trajectories, save_checkpoint, save_state_npz,
+    save_trajectories, verify_state_npz,
 )
 
 __all__ = [
@@ -18,5 +19,6 @@ __all__ = [
     "generate_obstacle_flow_trajectory",
     "normalization_stats", "train_test_split",
     "load_checkpoint", "load_trajectories", "save_checkpoint", "save_trajectories",
-    "save_state_npz", "load_state_npz",
+    "save_state_npz", "load_state_npz", "verify_state_npz",
+    "CorruptStateError", "atomic_write_bytes", "file_sha256",
 ]

@@ -1,8 +1,26 @@
-"""NPZ serialization of trajectory datasets and model checkpoints."""
+"""NPZ serialization of trajectory datasets and model checkpoints.
+
+Every writer here is **atomic**: payloads go to a ``<name>.tmp`` file in
+the destination directory, are fsync'd, and are moved into place with
+``os.replace`` — a process killed mid-save can leave a stale ``*.tmp``
+behind (pruned by :func:`repro.train.latest_checkpoint`) but never a
+truncated file under the real name. State archives additionally carry a
+SHA-256 of the ``.npz`` bytes in their JSON sidecar so loaders can
+reject silent corruption (:func:`verify_state_npz`).
+
+Loaders are instrumented with the :mod:`repro.resilience.faults` sites
+``io.load`` (raise on load) and writers with ``ckpt.corrupt`` /
+``ckpt.truncate`` (damage the just-written archive) — no-ops unless a
+chaos run arms them.
+"""
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -10,11 +28,73 @@ import numpy as np
 from .trajectory import Trajectory
 
 __all__ = ["save_trajectories", "load_trajectories", "save_checkpoint",
-           "load_checkpoint", "save_state_npz", "load_state_npz"]
+           "load_checkpoint", "save_state_npz", "load_state_npz",
+           "verify_state_npz", "atomic_write_bytes", "file_sha256",
+           "CorruptStateError"]
 
 
+class CorruptStateError(ValueError):
+    """A state archive failed its checksum or could not be parsed."""
+
+
+def _injector():
+    from ..resilience.faults import get_injector
+
+    return get_injector()
+
+
+# ----------------------------------------------------------------------
+# atomic write machinery
+# ----------------------------------------------------------------------
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + replace)."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as f:
+        f.write(data)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def _atomic_savez(path: Path, payload: dict) -> None:
+    """``np.savez_compressed`` through the atomic tmp-file protocol."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as f:
+        np.savez_compressed(f, **payload)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+def file_sha256(path: str | Path) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def _apply_ckpt_faults(path: Path) -> None:
+    """Damage a just-written archive when chaos clauses select it."""
+    inj = _injector()
+    if not inj.armed:
+        return
+    if inj.fire("ckpt.corrupt"):
+        with open(path, "r+b") as f:
+            f.seek(max(path.stat().st_size // 2, 0))
+            f.write(b"\x00CHAOS\x00")
+    if inj.fire("ckpt.truncate"):
+        with open(path, "r+b") as f:
+            f.truncate(max(path.stat().st_size // 3, 1))
+
+
+# ----------------------------------------------------------------------
+# trajectory datasets
+# ----------------------------------------------------------------------
 def save_trajectories(path: str | Path, trajectories: list[Trajectory]) -> None:
-    """Save a dataset to a single ``.npz`` file."""
+    """Save a dataset to a single ``.npz`` file (atomically)."""
     payload: dict[str, np.ndarray] = {"count": np.array(len(trajectories))}
     for i, t in enumerate(trajectories):
         payload[f"positions_{i}"] = t.positions
@@ -25,11 +105,12 @@ def save_trajectories(path: str | Path, trajectories: list[Trajectory]) -> None:
         if t.particle_types is not None:
             payload[f"types_{i}"] = t.particle_types
         payload[f"meta_{i}"] = np.array(json.dumps(t.meta, default=str))
-    np.savez_compressed(path, **payload)
+    _atomic_savez(Path(path), payload)
 
 
 def load_trajectories(path: str | Path) -> list[Trajectory]:
     """Load a dataset written by :func:`save_trajectories`."""
+    _injector().raise_if("io.load")
     with np.load(path, allow_pickle=False) as data:
         count = int(data["count"])
         out = []
@@ -47,22 +128,29 @@ def load_trajectories(path: str | Path) -> list[Trajectory]:
     return out
 
 
+# ----------------------------------------------------------------------
+# weights-only model checkpoints
+# ----------------------------------------------------------------------
 def save_checkpoint(path: str | Path, state: dict[str, np.ndarray],
                     extra: dict | None = None) -> None:
     """Persist a model ``state_dict`` (plus JSON-serializable extras)."""
     payload = {f"param::{k}": v for k, v in state.items()}
     payload["extra"] = np.array(json.dumps(extra or {}, default=str))
-    np.savez_compressed(path, **payload)
+    _atomic_savez(Path(path), payload)
 
 
 def load_checkpoint(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
     """Load a checkpoint written by :func:`save_checkpoint`."""
+    _injector().raise_if("io.load")
     with np.load(path, allow_pickle=False) as data:
         state = {k[len("param::"):]: data[k] for k in data.files if k.startswith("param::")}
         extra = json.loads(str(data["extra"]))
     return state, extra
 
 
+# ----------------------------------------------------------------------
+# generic state archives (TrainState)
+# ----------------------------------------------------------------------
 def save_state_npz(path: str | Path, arrays: dict[str, np.ndarray],
                    manifest: dict) -> None:
     """One ``.npz`` of named arrays plus a JSON ``manifest`` entry.
@@ -70,23 +158,70 @@ def save_state_npz(path: str | Path, arrays: dict[str, np.ndarray],
     The generic container behind :class:`repro.train.TrainState`: arrays
     carry the weights/moments, the manifest carries every scalar
     (versions, steps, RNG state, config hash). A human-readable copy of
-    the manifest is written next to the archive as ``<path>.json``.
+    the manifest — extended with the archive's SHA-256 and byte size —
+    is written next to the archive as ``<path>.json``; both writes are
+    atomic, and the sidecar lands only after the archive, so a checksum-
+    bearing sidecar always describes complete bytes.
     """
     path = Path(path)
     payload = {f"arr::{k}": np.asarray(v) for k, v in arrays.items()}
-    text = json.dumps(manifest, default=str)
-    payload["manifest"] = np.array(text)
-    np.savez_compressed(path, **payload)
-    path.with_suffix(path.suffix + ".json").write_text(
-        json.dumps(manifest, indent=2, default=str))
+    payload["manifest"] = np.array(json.dumps(manifest, default=str))
+    _atomic_savez(path, payload)
+    _apply_ckpt_faults(path)
+    sidecar = dict(manifest)
+    sidecar["sha256"] = file_sha256(path)
+    sidecar["size_bytes"] = path.stat().st_size
+    atomic_write_bytes(path.with_suffix(path.suffix + ".json"),
+                       json.dumps(sidecar, indent=2, default=str).encode())
 
 
-def load_state_npz(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
-    """Load an archive written by :func:`save_state_npz`."""
-    with np.load(path, allow_pickle=False) as data:
-        if "manifest" not in data.files:
-            raise ValueError(f"{path} is not a state archive (no manifest)")
-        arrays = {k[len("arr::"):]: data[k] for k in data.files
-                  if k.startswith("arr::")}
-        manifest = json.loads(str(data["manifest"]))
+def verify_state_npz(path: str | Path) -> bool:
+    """True when ``path`` matches the SHA-256 its sidecar recorded.
+
+    Archives without a sidecar (or with a pre-checksum sidecar) verify
+    by parseability alone; unreadable/corrupt archives are False, never
+    an exception — this is the probe :func:`repro.train.latest_checkpoint`
+    uses to skip damaged files.
+    """
+    path = Path(path)
+    if not path.exists():
+        return False
+    sidecar = path.with_suffix(path.suffix + ".json")
+    try:
+        if sidecar.exists():
+            recorded = json.loads(sidecar.read_text()).get("sha256")
+            if recorded is not None:
+                return file_sha256(path) == recorded
+        with np.load(path, allow_pickle=False) as data:
+            return "manifest" in data.files
+    except (OSError, ValueError, KeyError, json.JSONDecodeError,
+            zipfile.BadZipFile, zlib.error):
+        return False
+
+
+def load_state_npz(path: str | Path,
+                   verify: bool = True) -> tuple[dict[str, np.ndarray], dict]:
+    """Load an archive written by :func:`save_state_npz`.
+
+    With ``verify`` (default) the archive's SHA-256 is checked against
+    its sidecar first; a mismatch raises :class:`CorruptStateError`
+    instead of whatever confusing error the torn bytes would produce
+    downstream.
+    """
+    _injector().raise_if("io.load")
+    path = Path(path)
+    if verify and not verify_state_npz(path):
+        raise CorruptStateError(
+            f"{path} failed verification (checksum mismatch or unreadable)")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if "manifest" not in data.files:
+                raise CorruptStateError(
+                    f"{path} is not a state archive (no manifest)")
+            arrays = {k[len("arr::"):]: data[k] for k in data.files
+                      if k.startswith("arr::")}
+            manifest = json.loads(str(data["manifest"]))
+    except (OSError, KeyError, json.JSONDecodeError,
+            zipfile.BadZipFile, zlib.error) as err:
+        raise CorruptStateError(f"{path} is unreadable: {err}") from err
     return arrays, manifest

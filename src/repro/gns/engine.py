@@ -45,6 +45,7 @@ import numpy as np
 
 from ..graph import NeighborListCache
 from ..obs import RolloutDivergedError, Tracer
+from ..resilience.faults import get_injector
 from ..utils.buffers import Workspace
 
 __all__ = ["InferenceEngine"]
@@ -283,6 +284,12 @@ class InferenceEngine:
             acc = self._forward(window, node_feats, senders, receivers)
             with self._spans["integrate"]:
                 x_next = self._integrate(window, acc, static_mask)
+            inj = get_injector()
+            if inj.armed and inj.fire("rollout.diverge"):
+                # chaos site: one produced frame goes NaN (counter is per
+                # rollout step across the process); the guard below must
+                # turn it into a structured RolloutDivergedError
+                x_next = np.full_like(x_next, np.nan)
             if guard:
                 self._guard_step(t, window[-1], x_next,
                                  out[:window_len + t], max_velocity)

@@ -21,6 +21,7 @@ import numpy as np
 from ..gns.simulator import LearnedSimulator
 from ..mpm.solver import MPMSolver
 from ..obs import RolloutDivergedError, get_registry, span
+from ..resilience.guards import GuardedMPMStepper, RewindPolicy
 from .schedule import AdaptiveSchedule, FixedSchedule, Phase
 
 __all__ = ["HybridResult", "HybridSimulator"]
@@ -39,6 +40,12 @@ class HybridResult:
     switches: int = 0
     #: GNS phases cut short by a divergence guard (NaN/exploding velocity)
     gns_aborts: int = 0
+    #: aborted GNS phases recovered by rewinding to the last stable
+    #: state and re-entering MPM refinement
+    rewinds: int = 0
+    #: True when the rewind budget ran out and the run circuit-broke to
+    #: pure MPM for its remaining frames
+    mpm_fallback: bool = False
     #: per-stage GNS wall-clock breakdown (graph/features/encode/…),
     #: scoped to THIS run (the engine persists across runs)
     gns_timings: dict = field(default_factory=dict)
@@ -55,12 +62,19 @@ class HybridSimulator:
 
     def __init__(self, gns: LearnedSimulator, mpm: MPMSolver,
                  schedule: FixedSchedule | None = None,
-                 substeps: int = 4, material: float | None = None):
+                 substeps: int = 4, material: float | None = None,
+                 recovery: RewindPolicy | None = None,
+                 guard_mpm: bool = False):
         self.gns = gns
         self.mpm = mpm
         self.schedule = schedule or FixedSchedule()
         self.substeps = substeps
         self.material = material
+        self.recovery = recovery or RewindPolicy()
+        #: CFL/velocity watchdog around MPM frames: adaptively sub-steps
+        #: instead of trusting the fixed per-phase dt (slightly different
+        #: numerics, so opt-in)
+        self.mpm_guard = GuardedMPMStepper(mpm) if guard_mpm else None
         history = gns.feature_config.history
         if self.schedule.warmup_frames < history:
             raise ValueError(
@@ -71,8 +85,11 @@ class HybridSimulator:
         frames = []
         dt = self.mpm.stable_dt()
         for _ in range(num_frames):
-            for _ in range(self.substeps):
-                self.mpm.step(dt)
+            if self.mpm_guard is not None:
+                self.mpm_guard.advance(dt * self.substeps)
+            else:
+                for _ in range(self.substeps):
+                    self.mpm.step(dt)
             frames.append(self.mpm.particles.positions.copy())
         return frames
 
@@ -103,12 +120,22 @@ class HybridSimulator:
         criterion may cut a GNS phase short, in which case the remaining
         frame budget rolls into the following phases (the run never comes
         up short).
+
+        **Rewind-and-retry**: a GNS phase aborted by the divergence
+        guard keeps only its pre-divergence frames; the MPM state is
+        (re)synced from the last stable frame and at least one MPM
+        refinement frame is forced before the GNS gets another attempt.
+        After :attr:`recovery` ``.max_rewinds`` such rewinds the run
+        circuit-breaks to pure MPM for its remaining budget — it always
+        completes, it never raises out of a surrogate excursion.
         """
         all_frames: list[np.ndarray] = [self.mpm.particles.positions.copy()]
         engines: list[str] = []
         mpm_time = gns_time = 0.0
         mpm_count = gns_count = 0
         switches = 0
+        rewinds = 0
+        mpm_fallback = False
         adaptive = isinstance(self.schedule, AdaptiveSchedule)
         sched = self.schedule
         # engine timers persist across runs; snapshot now so gns_timings
@@ -134,21 +161,40 @@ class HybridSimulator:
             remaining -= warmup
 
         while remaining > 0:
+            if mpm_fallback:
+                # rewind budget spent: physics carries the rest
+                run_mpm(remaining)
+                remaining = 0
+                break
             budget = min(sched.gns_frames, remaining)
+            aborts_before = self._gns_aborts
             t0 = time.perf_counter()
             with span("hybrid/gns"):
                 produced = self._run_gns_phase(Phase("gns", budget),
                                                all_frames, adaptive)
             gns_time += time.perf_counter() - t0
+            aborted = self._gns_aborts > aborts_before
             gns_count += len(produced)
             all_frames.extend(produced)
             engines.extend(["gns"] * len(produced))
-            self._sync_mpm_from_frames(all_frames)
+            if produced:
+                self._sync_mpm_from_frames(all_frames)
+            # (no frames produced → the MPM still holds the last stable
+            # state; nothing to sync, the rewind is implicit)
             switches += 1
             remaining -= len(produced)
             if remaining <= 0:
                 break
             refine = min(sched.refine_frames, remaining)
+            if aborted:
+                rewinds += 1
+                # re-enter MPM refinement from the last stable state:
+                # force at least one re-equilibration frame even when
+                # the schedule configures none
+                refine = min(max(refine, self.recovery.refine_after_rewind,
+                                 1), remaining)
+                if rewinds >= self.recovery.max_rewinds:
+                    mpm_fallback = True
             if refine:
                 run_mpm(refine)
                 remaining -= refine
@@ -165,6 +211,10 @@ class HybridSimulator:
             reg.counter("hybrid.switches").inc(switches)
             if self._gns_aborts:
                 reg.counter("hybrid.gns_aborts").inc(self._gns_aborts)
+            if rewinds:
+                reg.counter("hybrid.rewinds").inc(rewinds)
+            if mpm_fallback:
+                reg.counter("hybrid.mpm_fallbacks").inc()
 
         # the GNS phases all ran through one shared inference engine; its
         # cache persists across phases (MPM motion triggers exact rebuilds)
@@ -172,7 +222,8 @@ class HybridSimulator:
             frames=np.stack(all_frames, axis=0), engines=engines,
             mpm_time=mpm_time, gns_time=gns_time,
             mpm_frames=mpm_count, gns_frames=gns_count, switches=switches,
-            gns_aborts=self._gns_aborts,
+            gns_aborts=self._gns_aborts, rewinds=rewinds,
+            mpm_fallback=mpm_fallback,
             gns_timings=engine.timings(scope=run_mark),
             gns_cache=engine.cache_stats())
 

@@ -73,6 +73,40 @@ class MPMSolver:
             raise KeyError(f"no material registered for ids {missing}")
 
     # ------------------------------------------------------------------
+    def max_speed(self) -> float:
+        """Current maximum particle speed (NaN if any velocity is)."""
+        v = self.particles.velocities
+        if v.size == 0:
+            return 0.0
+        return float(np.sqrt((v ** 2).sum(axis=1)).max())
+
+    def snapshot(self) -> dict:
+        """Copy of the full mutable solver state — positions,
+        velocities, volumes, stresses, clock — for rewind-and-retry
+        (:class:`repro.resilience.GuardedMPMStepper`, hybrid recovery)."""
+        p = self.particles
+        return {
+            "positions": p.positions.copy(),
+            "velocities": p.velocities.copy(),
+            "volumes": p.volumes.copy(),
+            "stresses": p.stresses.copy(),
+            "sigma_zz": p.sigma_zz.copy(),
+            "time": self.time,
+            "step_count": self.step_count,
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Rewind to a :meth:`snapshot` (arrays are copied back in)."""
+        p = self.particles
+        p.positions = snap["positions"].copy()
+        p.velocities = snap["velocities"].copy()
+        p.volumes = snap["volumes"].copy()
+        p.stresses = snap["stresses"].copy()
+        p.sigma_zz = snap["sigma_zz"].copy()
+        self.time = float(snap["time"])
+        self.step_count = int(snap["step_count"])
+
+    # ------------------------------------------------------------------
     def stable_dt(self) -> float:
         """CFL time step from the stiffest material's P-wave speed and the
         current maximum particle speed."""

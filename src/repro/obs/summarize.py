@@ -21,29 +21,38 @@ def _fmt_seconds(s: float) -> str:
     return f"{s * 1e3:8.3f} ms"
 
 
+def _num(value) -> str:
+    # non-finite metric values round-trip through JSON as the strings
+    # "nan"/"inf"/"-inf"; render them instead of crashing the report
+    try:
+        return f"{float(value):g}"
+    except (TypeError, ValueError):
+        return str(value)
+
+
 def _metric_digest(row: dict) -> str:
     kind = row.get("type", "?")
     if kind == "counter":
-        return f"{row.get('value', 0):g}"
+        return _num(row.get("value", 0))
     if kind == "gauge":
         if row.get("count", 0) == 0:
             return "(unset)"
-        parts = f"{row['value']:g}"
+        parts = _num(row["value"])
         if row.get("count", 0) > 1:
-            parts += f"  (min {row['min']:g}, max {row['max']:g}, " \
+            parts += f"  (min {_num(row['min'])}, max {_num(row['max'])}, " \
                      f"n={row['count']})"
         return parts
     if kind == "histogram":
         if row.get("count", 0) == 0:
             return "(empty)"
-        return (f"n={row['count']}  mean={row['mean']:g}  "
-                f"min={row['min']:g}  max={row['max']:g}")
+        return (f"n={row['count']}  mean={_num(row['mean'])}  "
+                f"min={_num(row['min'])}  max={_num(row['max'])}")
     if kind == "series":
         points = row.get("points", [])
         if not points:
             return "(empty)"
-        return (f"{len(points)} points  last={row.get('last', 0):g}  "
-                f"min={row.get('min', 0):g}  max={row.get('max', 0):g}")
+        return (f"{len(points)} points  last={_num(row.get('last', 0))}  "
+                f"min={_num(row.get('min', 0))}  max={_num(row.get('max', 0))}")
     return "?"
 
 
@@ -90,6 +99,35 @@ def format_rows(rows: list[dict], manifest: dict | None = None) -> str:
         lines.append("")
 
     metrics = [r for r in rows if r.get("kind") == "metric"]
+
+    # resilience highlight: surface chaos/recovery activity at the top
+    # of the metric section so an operator can see at a glance whether
+    # the run injected faults and how many of them were healed
+    _RESILIENCE = ("faults.injected", "resilience.retries",
+                   "resilience.giveups", "train.recoveries",
+                   "train.recovery_giveups", "pool.task_timeouts",
+                   "pool.task_failures", "pool.task_retries",
+                   "pool.respawns", "hybrid.rewinds", "hybrid.mpm_fallbacks",
+                   "mpm.substep_rescues", "mpm.extra_substeps")
+    resilient = [r for r in metrics
+                 if r["name"] in _RESILIENCE and r.get("value", 0)]
+    if resilient:
+        injected = sum(r.get("value", 0) for r in resilient
+                       if r["name"] == "faults.injected")
+        recovered = sum(r.get("value", 0) for r in resilient
+                        if r["name"] in ("train.recoveries",
+                                         "resilience.retries",
+                                         "pool.task_retries",
+                                         "hybrid.rewinds",
+                                         "mpm.substep_rescues"))
+        lines.append(f"resilience: {injected:g} faults injected, "
+                     f"{recovered:g} recoveries/retries")
+        for r in sorted(resilient, key=lambda r: (r["name"],
+                                                  str(r.get("labels", "")))):
+            name = r["name"] + _labels_suffix(r)
+            lines.append(f"  {name:<40} {_metric_digest(r)}")
+        lines.append("")
+
     if metrics:
         lines.append(f"metrics ({len(metrics)}):")
         for r in sorted(metrics, key=lambda r: (r["name"],

@@ -1,11 +1,14 @@
 """Data-parallel training substrate and graph partitioning (E7)."""
 
 from .allreduce import allreduce_state, ring_allreduce
-from .pool import DataParallelConfig, DataParallelTrainer, worker_gradients
+from .pool import (
+    DataParallelConfig, DataParallelTrainer, WorkerPoolError, worker_gradients,
+)
 from .partition import communication_volume, edge_cut, halo_nodes, partition_graph
 
 __all__ = [
     "allreduce_state", "ring_allreduce",
-    "DataParallelConfig", "DataParallelTrainer", "worker_gradients",
+    "DataParallelConfig", "DataParallelTrainer", "WorkerPoolError",
+    "worker_gradients",
     "communication_volume", "edge_cut", "halo_nodes", "partition_graph",
 ]

@@ -5,11 +5,20 @@ Each worker evaluates the one-step GNS loss on its own shard of training
 windows and returns named gradients; the master combines them with the
 ring all-reduce and applies one optimizer update — synchronous data-
 parallel SGD, the same semantics as the paper's multi-GPU setup.
+
+The process pool is **supervised**: every task is dispatched
+asynchronously with a per-task deadline (``task_timeout``), stragglers
+and crashed tasks are re-dispatched up to ``max_task_retries`` times,
+and a pool whose workers keep dying is respawned from scratch
+(``pool.respawns`` counter) before the step is abandoned. Chaos sites
+``pool.crash`` (task raises) and ``pool.stall`` (task sleeps past its
+deadline) exercise exactly these paths deterministically.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -18,13 +27,36 @@ from ..data.trajectory import TrainingWindow, Trajectory
 from ..gns.simulator import LearnedSimulator
 from ..gns.training import GNSTrainer, TrainingConfig
 from ..nn import Adam, clip_grad_norm
+from ..obs import get_registry
+from ..resilience.faults import get_injector
+from ..resilience.retry import RetryPolicy, retry_call
 from .allreduce import allreduce_state
 
-__all__ = ["DataParallelConfig", "DataParallelTrainer", "worker_gradients"]
+__all__ = ["DataParallelConfig", "DataParallelTrainer", "WorkerPoolError",
+           "worker_gradients"]
 
 # module-level worker state (populated by the fork; see _init_worker)
 _WORKER_SIM: LearnedSimulator | None = None
 _WORKER_TRAINER: GNSTrainer | None = None
+
+#: how long an injected ``pool.stall`` sleeps — long enough to blow any
+#: test-sized task_timeout, short enough to keep the suite fast
+_STALL_SECONDS = 0.5
+
+
+class WorkerPoolError(RuntimeError):
+    """A task failed every retry (and any pool respawn) it was granted."""
+
+
+def _apply_task_faults() -> None:
+    """Chaos sites for worker tasks (counted per worker process)."""
+    inj = get_injector()
+    if not inj.armed:
+        return
+    if inj.fire("pool.stall"):
+        time.sleep(_STALL_SECONDS)
+    if inj.fire("pool.crash"):
+        raise WorkerPoolError("injected worker crash (pool.crash)")
 
 
 def worker_gradients(simulator: LearnedSimulator, windows: list[TrainingWindow],
@@ -50,6 +82,7 @@ def _worker_entry(args) -> dict[str, np.ndarray]:
     state, payload = args
     sim = _WORKER_SIM
     assert sim is not None, "worker not initialized"
+    _apply_task_faults()
     sim.load_state_dict(state)
     windows, noise_std, seed = payload
     return worker_gradients(sim, windows, noise_std, seed)
@@ -64,10 +97,7 @@ def _init_worker(sim_ckpt_bytes):
 
 
 def _sim_to_bytes(sim: LearnedSimulator) -> bytes:
-    import io
-
-    buf = io.BytesIO()
-    import tempfile, os
+    import os, tempfile
 
     with tempfile.NamedTemporaryFile(suffix=".npz", delete=False) as f:
         path = f.name
@@ -101,10 +131,19 @@ class DataParallelConfig:
     seed: int = 0
     use_processes: bool = False   # False = sequential workers (deterministic,
                                   # no fork overhead); True = mp.Pool
+    #: per-task deadline in seconds; a task not done by then is treated
+    #: as a straggler and re-dispatched (None = wait forever)
+    task_timeout: float | None = None
+    #: re-dispatches granted per task (crash or straggler) before the
+    #: pool is respawned / the step fails
+    max_task_retries: int = 2
+    #: rebuild the pool once when a task has failed every retry
+    respawn_on_failure: bool = True
 
 
 class DataParallelTrainer:
-    """Synchronous data-parallel trainer with ring-allreduce combining."""
+    """Synchronous data-parallel trainer with ring-allreduce combining
+    and a supervised worker pool (timeouts, retries, respawn)."""
 
     def __init__(self, simulator: LearnedSimulator,
                  trajectories: list[Trajectory],
@@ -123,23 +162,46 @@ class DataParallelTrainer:
         self.step_count = 0
         self.loss_history: list[float] = []
         self._pool = None
+        self._closed = False
         if self.config.use_processes:
-            ctx = mp.get_context("fork")
-            self._pool = ctx.Pool(
-                self.config.num_workers, initializer=_init_worker,
-                initargs=(_sim_to_bytes(simulator),))
+            self._spawn_pool()
 
-    def close(self):
+    # -- pool lifecycle -------------------------------------------------
+    def _spawn_pool(self):
+        ctx = mp.get_context("fork")
+        self._pool = ctx.Pool(
+            self.config.num_workers, initializer=_init_worker,
+            initargs=(_sim_to_bytes(self.simulator),))
+
+    def _respawn_pool(self):
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
-            self._pool = None
+        self._spawn_pool()
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("pool.respawns").inc()
+
+    def close(self):
+        """Tear the pool down. Idempotent: safe to call any number of
+        times, from ``__exit__``, error paths, and finalizers alike."""
+        self._closed = True
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
 
     def __enter__(self):
         return self
 
     def __exit__(self, *exc):
         self.close()
+
+    def __del__(self):  # best-effort backstop for non-context-manager use
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     def _sample_shards(self) -> list[list[TrainingWindow]]:
@@ -151,20 +213,82 @@ class DataParallelTrainer:
             shards.append([self.windows[int(i)] for i in idx])
         return shards
 
+    # -- supervised dispatch --------------------------------------------
+    def _dispatch(self, args: list) -> list[dict]:
+        """Run all tasks on the pool with per-task deadlines, retrying
+        stragglers and crashed tasks; respawns the pool once if a task
+        exhausts its retries. Raises :class:`WorkerPoolError` when a
+        task cannot be completed at all."""
+        cfg = self.config
+        reg = get_registry()
+        results: list[dict | None] = [None] * len(args)
+
+        def attempt_all(pending: list[int]) -> list[int]:
+            """One round: dispatch ``pending`` tasks, collect, return
+            the indices that failed or timed out."""
+            handles = [(i, self._pool.apply_async(_worker_entry, (args[i],)))
+                       for i in pending]
+            failed: list[int] = []
+            for i, handle in handles:
+                try:
+                    results[i] = handle.get(cfg.task_timeout)
+                except mp.TimeoutError:
+                    failed.append(i)
+                    if reg.enabled:
+                        reg.counter("pool.task_timeouts").inc()
+                except Exception:
+                    failed.append(i)
+                    if reg.enabled:
+                        reg.counter("pool.task_failures").inc()
+            return failed
+
+        pending = list(range(len(args)))
+        for round_no in range(cfg.max_task_retries + 1):
+            pending = attempt_all(pending)
+            if not pending:
+                return results  # type: ignore[return-value]
+            if round_no < cfg.max_task_retries and reg.enabled:
+                reg.counter("pool.task_retries").inc(len(pending))
+        if cfg.respawn_on_failure:
+            # workers may be wedged (stalled tasks hold them); rebuild
+            # the pool and give the stragglers one fresh round
+            self._respawn_pool()
+            pending = attempt_all(pending)
+            if not pending:
+                return results  # type: ignore[return-value]
+        raise WorkerPoolError(
+            f"{len(pending)} task(s) failed after "
+            f"{cfg.max_task_retries + 1} attempts"
+            + (" and a pool respawn" if cfg.respawn_on_failure else ""))
+
+    def _sequential_gradients(self, shard, noise_std, seed) -> dict:
+        _apply_task_faults()
+        return worker_gradients(self.simulator, shard, noise_std, seed)
+
     def train_step(self) -> float:
         cfg = self.config
         shards = self._sample_shards()
         seeds = [int(self.rng.integers(0, 2 ** 31)) for _ in shards]
 
-        if self._pool is not None:
-            state = self.simulator.state_dict()
-            args = [(state, (shard, cfg.noise_std, seed))
+        try:
+            if self._pool is not None:
+                state = self.simulator.state_dict()
+                args = [(state, (shard, cfg.noise_std, seed))
+                        for shard, seed in zip(shards, seeds)]
+                grads_per_worker = self._dispatch(args)
+            else:
+                policy = RetryPolicy(max_attempts=cfg.max_task_retries + 1)
+                grads_per_worker = [
+                    retry_call(self._sequential_gradients, shard,
+                               cfg.noise_std, seed, policy=policy,
+                               retry_on=(WorkerPoolError,),
+                               op="pool.worker")
                     for shard, seed in zip(shards, seeds)]
-            grads_per_worker = self._pool.map(_worker_entry, args)
-        else:
-            grads_per_worker = [
-                worker_gradients(self.simulator, shard, cfg.noise_std, seed)
-                for shard, seed in zip(shards, seeds)]
+        except Exception:
+            # never leak a half-broken pool past a failed step: callers
+            # without a context manager still get a clean teardown
+            self.close()
+            raise
 
         mean_grads = allreduce_state(grads_per_worker)
         for name, p in self.simulator.named_parameters():

@@ -1,0 +1,55 @@
+"""repro.resilience — fault tolerance for long simulations and training.
+
+The third leg of the production stack: :mod:`repro.obs` *detects*
+(health monitors, ``RolloutDivergedError``), :mod:`repro.train`
+*resumes* (bitwise TrainState checkpoints), and this package *recovers
+automatically* — proven by deterministic fault injection rather than
+hope:
+
+* :mod:`~repro.resilience.faults` — a seeded, counter-deterministic
+  fault injector (``REPRO_FAULTS`` / ``--faults``) that can NaN
+  gradients, poison batches, fail IO, corrupt/truncate checkpoint
+  bytes, crash or stall pool workers, and diverge rollouts at chosen
+  invocations. Chaos tests replay bit-for-bit.
+* :mod:`~repro.resilience.retry` — budget-capped exponential backoff
+  (jitterless deterministic mode) with ``resilience.retries`` /
+  ``resilience.giveups`` telemetry.
+* :mod:`~repro.resilience.guards` — the MPM CFL/velocity watchdog
+  (:class:`GuardedMPMStepper`: adaptive sub-stepping instead of
+  explosion, snapshot rewind on non-finite state) and the hybrid
+  :class:`RewindPolicy`.
+* :mod:`~repro.resilience.recovery` — :func:`train_with_recovery`:
+  N consecutive non-finite losses → reload the newest *valid*
+  checkpoint (corrupt ones are skipped), optionally skip the poisoned
+  draw, keep training; bounded by a recovery budget.
+
+Self-healing checkpoints themselves live where checkpoints live:
+:mod:`repro.data.io` (atomic tmp+fsync+replace writes, SHA-256
+sidecars, :func:`~repro.data.io.verify_state_npz`) and
+:mod:`repro.train.state` (:func:`~repro.train.state.latest_checkpoint`
+falls back past damaged files and prunes ``*.tmp`` orphans).
+
+See ``docs/resilience.md`` for the failure model and the fault-spec
+grammar.
+"""
+
+from .faults import (
+    FAULTS_ENV, FAULTS_SEED_ENV, FaultClause, FaultError, FaultInjector,
+    arm_faults, disarm_faults, get_injector, parse_faults,
+)
+from .guards import GuardedMPMStepper, MPMGuardError, RewindPolicy
+from .recovery import RecoveryPolicy, TrainingAbortedError, train_with_recovery
+from .retry import RetryBudget, RetryExhaustedError, RetryPolicy, retry_call
+
+__all__ = [
+    # faults
+    "FaultClause", "FaultError", "FaultInjector", "parse_faults",
+    "get_injector", "arm_faults", "disarm_faults", "FAULTS_ENV",
+    "FAULTS_SEED_ENV",
+    # retry
+    "RetryPolicy", "RetryBudget", "RetryExhaustedError", "retry_call",
+    # guards
+    "GuardedMPMStepper", "MPMGuardError", "RewindPolicy",
+    # recovery
+    "RecoveryPolicy", "TrainingAbortedError", "train_with_recovery",
+]

@@ -1,0 +1,261 @@
+"""Deterministic fault injection — the test substrate for recovery.
+
+A :class:`FaultInjector` arms a set of *sites* (dotted names baked into
+the code paths that can fail in production: gradient computation,
+checkpoint bytes, data loads, pool tasks, rollout steps). Each time an
+instrumented code path reaches a site it asks :meth:`FaultInjector.fire`
+whether the armed spec selects this invocation; the decision is purely a
+function of the per-site invocation counter (and, for probabilistic
+clauses, a seeded PCG64 stream), so a chaos test replays bit-for-bit.
+
+Spec grammar (``--faults SPEC`` / ``REPRO_FAULTS``)::
+
+    SPEC    := clause (';' clause)*
+    clause  := site '@' selector (',' selector)*
+    selector:= INT            fire on that 0-based invocation of the site
+             | INT '+'        fire on that invocation and every later one
+             | INT '-' INT    fire on the inclusive invocation range
+             | '*'            fire on every invocation
+             | 'p' FLOAT      fire with that probability (seeded stream)
+
+Examples::
+
+    train.nan_grad@3                 NaN gradients on optimizer step 3
+    ckpt.corrupt@0;io.load@1         corrupt first save, fail second load
+    pool.crash@2,5  pool.stall@p0.1  crash tasks 2 and 5; stall ~10%
+
+Known sites (each instrumented call names its own):
+
+==================  ====================================================
+``train.nan_grad``  gradients become NaN after ``backward()``
+``train.poison_batch``  the micro-batch loss is forced non-finite
+``io.load``         dataset/checkpoint load raises :class:`OSError`
+``ckpt.corrupt``    checkpoint bytes are flipped after a save
+``ckpt.truncate``   checkpoint file is truncated after a save
+``pool.crash``      a parallel worker task raises
+``pool.stall``      a parallel worker task hangs past its deadline
+``rollout.diverge`` a GNS rollout step produces NaN positions
+``mpm.kick``        MPM particle velocities get a large impulse
+==================  ====================================================
+
+Nothing in the hot paths pays for this when faults are off: every
+instrumented site first checks the injector's :attr:`armed` flag (a
+plain attribute read), and site counters only advance while armed, so an
+un-armed process is bitwise-identical to one without the subsystem.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FaultClause", "FaultInjector", "FaultError", "parse_faults",
+           "get_injector", "arm_faults", "disarm_faults", "FAULTS_ENV",
+           "FAULTS_SEED_ENV"]
+
+FAULTS_ENV = "REPRO_FAULTS"
+FAULTS_SEED_ENV = "REPRO_FAULTS_SEED"
+
+
+class FaultError(OSError):
+    """The error raised by injected IO faults (an :class:`OSError`
+    subclass so production retry paths treat it like the real thing,
+    while tests can still assert the failure was injected)."""
+
+    def __init__(self, site: str, invocation: int):
+        self.site = site
+        self.invocation = invocation
+        super().__init__(f"injected fault at {site} (invocation {invocation})")
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One armed selector for one site."""
+
+    site: str
+    #: explicit invocation indices
+    indices: frozenset[int] = frozenset()
+    #: fire on every invocation >= this (None = disabled)
+    from_index: int | None = None
+    #: fire on every invocation
+    always: bool = False
+    #: fire with this probability (None = deterministic only)
+    probability: float | None = None
+
+    def selects(self, invocation: int, rng: np.random.Generator) -> bool:
+        if self.always or invocation in self.indices:
+            return True
+        if self.from_index is not None and invocation >= self.from_index:
+            return True
+        if self.probability is not None:
+            return bool(rng.random() < self.probability)
+        return False
+
+
+def _parse_selector(site: str, token: str) -> dict:
+    token = token.strip()
+    if not token:
+        raise ValueError(f"empty selector for site {site!r}")
+    if token == "*":
+        return {"always": True}
+    if token.startswith("p"):
+        p = float(token[1:])
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability out of range in {site}@{token}")
+        return {"probability": p}
+    if token.endswith("+"):
+        return {"from_index": int(token[:-1])}
+    if "-" in token[1:]:
+        lo_s, _, hi_s = token.partition("-")
+        lo, hi = int(lo_s), int(hi_s)
+        if hi < lo:
+            raise ValueError(f"descending range in {site}@{token}")
+        return {"indices": set(range(lo, hi + 1))}
+    return {"indices": {int(token)}}
+
+
+def parse_faults(spec: str) -> list[FaultClause]:
+    """Parse a fault spec string into clauses (see module docstring)."""
+    clauses: list[FaultClause] = []
+    for raw in spec.replace("\n", ";").split(";"):
+        raw = raw.strip()
+        if not raw:
+            continue
+        site, sep, selectors = raw.partition("@")
+        site = site.strip()
+        if not sep or not site:
+            raise ValueError(
+                f"bad fault clause {raw!r} (expected 'site@selector')")
+        indices: set[int] = set()
+        from_index: int | None = None
+        always = False
+        probability: float | None = None
+        for token in selectors.split(","):
+            sel = _parse_selector(site, token)
+            indices |= sel.get("indices", set())
+            always = always or sel.get("always", False)
+            if "from_index" in sel:
+                fi = sel["from_index"]
+                from_index = fi if from_index is None else min(from_index, fi)
+            if "probability" in sel:
+                probability = sel["probability"]
+        clauses.append(FaultClause(site=site, indices=frozenset(indices),
+                                   from_index=from_index, always=always,
+                                   probability=probability))
+    return clauses
+
+
+@dataclass
+class FaultInjector:
+    """Armed fault clauses plus per-site invocation counters.
+
+    ``armed`` is the single cheap flag instrumented sites check first;
+    everything else only runs in chaos mode.
+    """
+
+    clauses: dict[str, list[FaultClause]] = field(default_factory=dict)
+    seed: int = 0
+    armed: bool = False
+
+    def __post_init__(self):
+        self._counters: dict[str, int] = {}
+        self._fired: dict[str, int] = {}
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    def arm(self, spec: str | list[FaultClause], seed: int | None = None) -> "FaultInjector":
+        """Arm (or re-arm) the injector with a spec; resets counters."""
+        if isinstance(spec, str):
+            spec = parse_faults(spec)
+        self.clauses = {}
+        for clause in spec:
+            self.clauses.setdefault(clause.site, []).append(clause)
+        if seed is not None:
+            self.seed = seed
+        self.reset()
+        self.armed = bool(self.clauses)
+        return self
+
+    def disarm(self) -> None:
+        self.clauses = {}
+        self.armed = False
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter and reseed the probabilistic stream."""
+        self._counters = {}
+        self._fired = {}
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    def fire(self, site: str) -> bool:
+        """Advance ``site``'s invocation counter; True when a clause
+        selects this invocation. No-op (False, no counter advance) while
+        disarmed, so un-armed runs stay bitwise-identical."""
+        if not self.armed:
+            return False
+        invocation = self._counters.get(site, 0)
+        self._counters[site] = invocation + 1
+        hit = any(c.selects(invocation, self._rng)
+                  for c in self.clauses.get(site, ()))
+        if hit:
+            self._fired[site] = self._fired.get(site, 0) + 1
+            from ..obs import get_registry
+            reg = get_registry()
+            if reg.enabled:
+                reg.counter("faults.injected", site=site).inc()
+        return hit
+
+    def raise_if(self, site: str) -> None:
+        """:meth:`fire`, raising :class:`FaultError` on a hit — the
+        one-liner for IO sites."""
+        if self.fire(site):
+            raise FaultError(site, self._counters[site] - 1)
+
+    # ------------------------------------------------------------------
+    def invocations(self, site: str) -> int:
+        return self._counters.get(site, 0)
+
+    def fired(self, site: str | None = None) -> int:
+        if site is not None:
+            return self._fired.get(site, 0)
+        return sum(self._fired.values())
+
+    def summary(self) -> dict:
+        return {"armed": self.armed, "seed": self.seed,
+                "sites": sorted(self.clauses),
+                "invocations": dict(self._counters),
+                "fired": dict(self._fired)}
+
+
+# ----------------------------------------------------------------------
+# process-global injector (armed from REPRO_FAULTS or the CLI)
+# ----------------------------------------------------------------------
+_GLOBAL = FaultInjector()
+_ENV_CHECKED = False
+
+
+def get_injector() -> FaultInjector:
+    """The process-global injector. On first access, arms itself from
+    ``REPRO_FAULTS`` / ``REPRO_FAULTS_SEED`` if set."""
+    global _ENV_CHECKED
+    if not _ENV_CHECKED:
+        _ENV_CHECKED = True
+        spec = os.environ.get(FAULTS_ENV)
+        if spec:
+            seed = int(os.environ.get(FAULTS_SEED_ENV, "0"))
+            _GLOBAL.arm(spec, seed=seed)
+    return _GLOBAL
+
+
+def arm_faults(spec: str, seed: int = 0) -> FaultInjector:
+    """Arm the global injector programmatically (tests, CLI)."""
+    global _ENV_CHECKED
+    _ENV_CHECKED = True
+    return get_injector().arm(spec, seed=seed)
+
+
+def disarm_faults() -> None:
+    get_injector().disarm()

@@ -1,0 +1,152 @@
+"""Guarded stepping: keep simulations alive instead of letting them die.
+
+Two guards, one per engine family:
+
+* :class:`GuardedMPMStepper` — a CFL/velocity watchdog around
+  :class:`repro.mpm.MPMSolver`. Asked to advance a frame interval
+  ``dt``, it adaptively *sub-steps*: the stable CFL step is re-evaluated
+  after every substep (particle speeds change the CFL bound), so a
+  velocity transient that would blow an explicit fixed-``dt`` integrator
+  apart simply costs a few extra substeps. Non-finite state after a
+  substep triggers a rewind to the pre-call snapshot and a structured
+  :class:`MPMGuardError` — the caller gets the last stable state back,
+  not a grid full of NaNs.
+* :class:`RewindPolicy` — the knobs for the hybrid simulator's
+  rewind-and-retry loop (:class:`repro.hybrid.HybridSimulator`): how
+  many diverged GNS phases to absorb before circuit-breaking to pure
+  MPM, and how many MPM refinement frames to force after each rewind.
+
+Fault site ``mpm.kick`` (an impulsive velocity scale-up) lives here so
+chaos tests can provoke exactly the transient the watchdog exists for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..obs import get_registry
+from .faults import get_injector
+
+__all__ = ["MPMGuardError", "GuardedMPMStepper", "RewindPolicy"]
+
+#: velocity multiplier applied by the ``mpm.kick`` fault
+_KICK_FACTOR = 50.0
+
+
+class MPMGuardError(RuntimeError):
+    """The MPM state went non-finite (or past the velocity ceiling) and
+    was rewound to the last stable snapshot."""
+
+    def __init__(self, reason: str, step_count: int, max_speed: float):
+        self.reason = reason
+        self.step_count = int(step_count)
+        self.max_speed = float(max_speed)
+        super().__init__(
+            f"MPM guard tripped at step {step_count}: {reason} "
+            f"(max speed {max_speed:.3e}); state rewound to last snapshot")
+
+
+@dataclass
+class RewindPolicy:
+    """Recovery knobs for the hybrid GNS/MPM loop."""
+
+    #: diverged GNS phases tolerated before falling back to pure MPM
+    #: for the remainder of the run (the circuit breaker)
+    max_rewinds: int = 3
+    #: minimum MPM refinement frames forced after a rewind (0 keeps the
+    #: schedule's own refine length)
+    refine_after_rewind: int = 0
+
+    def __post_init__(self):
+        if self.max_rewinds < 0:
+            raise ValueError("max_rewinds must be >= 0")
+
+
+class GuardedMPMStepper:
+    """Adaptive sub-stepping wrapper around one :class:`MPMSolver`.
+
+    Parameters
+    ----------
+    solver:
+        The solver to guard (stepped in place).
+    velocity_limit:
+        Optional hard ceiling on particle speed; exceeding it after a
+        completed interval rewinds and raises :class:`MPMGuardError`
+        (``None`` disables — the CFL adaptation alone usually keeps the
+        integration stable).
+    max_substeps:
+        Budget per :meth:`advance` call; hitting it with time still
+        remaining rewinds and raises (the state is degenerating faster
+        than sub-stepping can absorb).
+    """
+
+    def __init__(self, solver, velocity_limit: float | None = None,
+                 max_substeps: int = 256):
+        if max_substeps < 1:
+            raise ValueError("max_substeps must be >= 1")
+        self.solver = solver
+        self.velocity_limit = velocity_limit
+        self.max_substeps = max_substeps
+        self.substeps_taken = 0
+        self.rescues = 0
+
+    # ------------------------------------------------------------------
+    def _finite(self) -> bool:
+        p = self.solver.particles
+        return bool(np.isfinite(p.positions).all()
+                    and np.isfinite(p.velocities).all()
+                    and np.isfinite(p.stresses).all())
+
+    def advance(self, dt: float) -> int:
+        """Advance exactly ``dt`` of simulated time; returns the number
+        of substeps taken.
+
+        The plain loop ``solver.step(dt)`` trusts the caller's ``dt``;
+        this one splits the interval into CFL-stable pieces, re-deriving
+        the stable step between pieces. A single stable step that covers
+        the whole interval degenerates to one plain ``solver.step(dt)``
+        — bitwise-identical to the unguarded path.
+        """
+        solver = self.solver
+        inj = get_injector()
+        if inj.armed and inj.fire("mpm.kick"):
+            solver.particles.velocities *= _KICK_FACTOR
+        snap = solver.snapshot()
+        remaining = float(dt)
+        taken = 0
+        eps = 1e-12 * max(dt, 1.0)
+        while remaining > eps:
+            if taken >= self.max_substeps:
+                solver.restore(snap)
+                raise MPMGuardError("substep budget exhausted",
+                                    solver.step_count, solver.max_speed())
+            stable = solver.stable_dt()
+            if not np.isfinite(stable) or stable <= 0.0:
+                solver.restore(snap)
+                raise MPMGuardError("non-finite CFL bound",
+                                    solver.step_count, solver.max_speed())
+            h = min(stable, remaining)
+            solver.step(h)
+            taken += 1
+            remaining -= h
+            if not self._finite():
+                solver.restore(snap)
+                raise MPMGuardError("non-finite particle state",
+                                    solver.step_count, solver.max_speed())
+        if self.velocity_limit is not None:
+            speed = solver.max_speed()
+            if speed > self.velocity_limit:
+                solver.restore(snap)
+                raise MPMGuardError(
+                    f"speed above limit {self.velocity_limit:g}",
+                    solver.step_count, speed)
+        self.substeps_taken += taken
+        if taken > 1:
+            self.rescues += 1
+            reg = get_registry()
+            if reg.enabled:
+                reg.counter("mpm.substep_rescues").inc()
+                reg.counter("mpm.extra_substeps").inc(taken - 1)
+        return taken

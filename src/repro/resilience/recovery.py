@@ -1,0 +1,163 @@
+"""Self-healing training: reload-from-checkpoint on poisoned steps.
+
+:func:`train_with_recovery` drives a :class:`repro.train.Trainer` to a
+*target global step* (not a fixed iteration count), absorbing the
+failure modes a long run actually hits:
+
+* **Non-finite loss streaks** — ``streak`` consecutive non-finite
+  losses (a poisoned shard, a NaN'd kernel) trigger a reload of the
+  newest *valid* checkpoint (:func:`repro.train.latest_checkpoint`
+  skips corrupt/truncated files), optionally skipping ahead in the RNG
+  stream to route around the poisoned draw, then training continues.
+  Each reload increments the ``train.recoveries`` counter.
+* **Transient checkpoint-IO failures** — restores retry under a
+  deterministic :class:`~repro.resilience.retry.RetryPolicy` before a
+  recovery attempt is abandoned.
+* **Recovery budget** — more than ``max_recoveries`` reloads raises
+  :class:`TrainingAbortedError` (and increments
+  ``train.recovery_giveups``): a systemically broken run fails loudly
+  instead of looping forever.
+
+Because a reload restores the RNG bit-generator state, a recovery from a
+*transient* fault replays the exact sample sequence of the uninterrupted
+run — the chaos suite asserts final weights are **bitwise identical** to
+a fault-free run. ``skip_draws`` exists for the *persistent* case (a
+shard that is NaN every time): burning draws deterministically reroutes
+sampling around it, trading bitwise parity for liveness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..obs import get_registry
+from .retry import RetryPolicy, retry_call
+
+__all__ = ["RecoveryPolicy", "TrainingAbortedError", "train_with_recovery"]
+
+
+class TrainingAbortedError(RuntimeError):
+    """The recovery budget ran out (or no valid checkpoint remained)."""
+
+    def __init__(self, reason: str, recoveries: int, global_step: int):
+        self.reason = reason
+        self.recoveries = recoveries
+        self.global_step = global_step
+        super().__init__(
+            f"training aborted at step {global_step} after "
+            f"{recoveries} recoveries: {reason}")
+
+
+@dataclass
+class RecoveryPolicy:
+    """Knobs for :func:`train_with_recovery`."""
+
+    #: consecutive non-finite losses that trigger a checkpoint reload
+    streak: int = 3
+    #: reloads tolerated before aborting
+    max_recoveries: int = 3
+    #: RNG draws burned after each reload (0 = pure replay, which is
+    #: bitwise-exact for transient faults; >0 reroutes around a
+    #: persistently poisoned shard)
+    skip_draws: int = 0
+    #: retry policy for the checkpoint load itself
+    retry: RetryPolicy = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.streak < 1:
+            raise ValueError("streak must be >= 1")
+        if self.max_recoveries < 0:
+            raise ValueError("max_recoveries must be >= 0")
+        if self.retry is None:
+            self.retry = RetryPolicy(max_attempts=3)
+
+
+def _restore_latest(trainer, checkpoint_dir: Path,
+                    policy: RecoveryPolicy) -> Path:
+    """Reload the newest valid checkpoint (with IO retries); returns the
+    path restored from."""
+    from ..train.state import latest_checkpoint
+
+    found = latest_checkpoint(checkpoint_dir)
+    if found is None:
+        raise TrainingAbortedError(
+            f"no valid checkpoint left in {checkpoint_dir}",
+            recoveries=0, global_step=trainer.global_step)
+    retry_call(trainer.restore, found, policy=policy.retry,
+               retry_on=(OSError,), op="trainer.restore")
+    return found
+
+
+def train_with_recovery(trainer, target_steps: int,
+                        checkpoint_dir: str | Path,
+                        callbacks: list = (),
+                        policy: RecoveryPolicy | None = None,
+                        verbose: bool = False) -> list[float]:
+    """Train until ``trainer.global_step >= target_steps``, recovering
+    from non-finite loss streaks by reloading checkpoints.
+
+    ``checkpoint_dir`` must receive periodic checkpoints for recovery to
+    rewind to — pass a :class:`~repro.train.CheckpointCallback` writing
+    there in ``callbacks`` (a step-0 baseline state is written up front
+    so a fault in the very first steps still has a rewind target).
+    Returns the loss history (including the non-finite entries that
+    triggered recoveries — telemetry wants the truth).
+    """
+    policy = policy or RecoveryPolicy()
+    checkpoint_dir = Path(checkpoint_dir)
+    callbacks = list(callbacks)
+    reg = get_registry()
+
+    from ..train.state import latest_checkpoint
+
+    if latest_checkpoint(checkpoint_dir) is None:
+        checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        trainer.save(checkpoint_dir /
+                     f"state_{trainer.global_step:08d}.npz")
+
+    recoveries = 0
+    streak = 0
+    for cb in callbacks:
+        cb.on_train_begin(trainer)
+    try:
+        while trainer.global_step < target_steps:
+            loss = trainer.train_step()
+            finite = bool(np.isfinite(loss))
+            streak = 0 if finite else streak + 1
+            if streak >= policy.streak:
+                if recoveries >= policy.max_recoveries:
+                    if reg.enabled:
+                        reg.counter("train.recovery_giveups").inc()
+                    raise TrainingAbortedError(
+                        f"{streak} consecutive non-finite losses with "
+                        f"recovery budget spent", recoveries,
+                        trainer.global_step)
+                restored = _restore_latest(trainer, checkpoint_dir, policy)
+                for _ in range(policy.skip_draws):
+                    trainer.rng.random()
+                recoveries += 1
+                streak = 0
+                if reg.enabled:
+                    reg.counter("train.recoveries").inc()
+                if verbose:
+                    print(f"recovery {recoveries}: restored {restored.name} "
+                          f"(step {trainer.global_step})")
+                continue
+            if not finite:
+                # a suspect step must never be checkpointed or validated:
+                # persisting mid-streak state would make the upcoming
+                # reload rewind INTO the fault instead of past it
+                continue
+            stop = False
+            for cb in callbacks:
+                if cb.on_step_end(trainer, trainer.global_step, loss):
+                    stop = True
+            if stop:
+                break
+    finally:
+        for cb in callbacks:
+            cb.on_train_end(trainer)
+    return trainer.loss_history

@@ -1,0 +1,121 @@
+"""Retry/backoff primitives for transient-failure paths.
+
+:func:`retry_call` wraps one callable invocation in an exponential-
+backoff retry loop; :class:`RetryPolicy` carries the knobs. Two points
+matter for this repo:
+
+* **Deterministic mode** — ``deterministic=True`` (the default) sleeps
+  nothing and adds no jitter, so retried chaos tests replay exactly and
+  the unit suite stays fast. Production callers opt into real sleeps.
+* **Shared budgets** — a :class:`RetryBudget` caps the *total* retries
+  spent across many call sites (e.g. one budget for a whole training
+  run), so a systemic failure degenerates into a clean abort instead of
+  an unbounded retry storm.
+
+Every retry and give-up increments ``resilience.retries`` /
+``resilience.giveups`` counters (labeled by ``op``) in the global
+metrics registry when telemetry is enabled.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["RetryPolicy", "RetryBudget", "RetryExhaustedError", "retry_call"]
+
+
+class RetryExhaustedError(RuntimeError):
+    """All attempts (or the shared budget) were spent."""
+
+    def __init__(self, op: str, attempts: int, last_error: BaseException):
+        self.op = op
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            f"{op}: gave up after {attempts} attempt(s): {last_error!r}")
+
+
+@dataclass
+class RetryBudget:
+    """A shared pool of retry tokens. ``spend()`` returns False once the
+    pool is empty — callers then fail instead of retrying."""
+
+    total: int = 10
+
+    def __post_init__(self):
+        self.spent = 0
+
+    @property
+    def remaining(self) -> int:
+        return max(self.total - self.spent, 0)
+
+    def spend(self) -> bool:
+        if self.spent >= self.total:
+            return False
+        self.spent += 1
+        return True
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff: delay = base_delay * multiplier**(attempt-1),
+    capped at max_delay. ``deterministic`` skips sleeping entirely."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    deterministic: bool = True
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return min(self.base_delay * self.multiplier ** (attempt - 1),
+                   self.max_delay)
+
+
+def retry_call(fn: Callable, *args,
+               policy: RetryPolicy | None = None,
+               retry_on: tuple[type[BaseException], ...] = (OSError,),
+               give_up_on: tuple[type[BaseException], ...] = (),
+               budget: RetryBudget | None = None,
+               op: str = "",
+               on_retry: Callable[[int, BaseException], None] | None = None,
+               **kwargs):
+    """Call ``fn(*args, **kwargs)``, retrying on ``retry_on`` errors.
+
+    Raises :class:`RetryExhaustedError` (chaining the last error) when
+    ``policy.max_attempts`` or the shared ``budget`` runs out. Any error
+    outside ``retry_on`` propagates immediately, as does anything in
+    ``give_up_on`` — the carve-out for non-transient subclasses (e.g.
+    retry ``OSError`` but not ``FileNotFoundError``).
+    """
+    policy = policy or RetryPolicy()
+    name = op or getattr(fn, "__name__", "call")
+    last: BaseException | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn(*args, **kwargs)
+        except retry_on as err:
+            if give_up_on and isinstance(err, give_up_on):
+                raise
+            last = err
+            out_of_budget = budget is not None and not budget.spend()
+            from ..obs import get_registry
+            reg = get_registry()
+            if attempt >= policy.max_attempts or out_of_budget:
+                if reg.enabled:
+                    reg.counter("resilience.giveups", op=name).inc()
+                raise RetryExhaustedError(name, attempt, err) from err
+            if reg.enabled:
+                reg.counter("resilience.retries", op=name).inc()
+            if on_retry is not None:
+                on_retry(attempt, err)
+            if not policy.deterministic:
+                time.sleep(policy.delay(attempt))
+    raise RetryExhaustedError(name, policy.max_attempts, last)  # pragma: no cover

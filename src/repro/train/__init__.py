@@ -29,13 +29,14 @@ from .schedules import (
 )
 from .state import (
     TRAIN_STATE_VERSION, TrainState, config_fingerprint, latest_checkpoint,
+    prune_tmp_files, verify_checkpoint,
 )
 from .trainer import Trainer, TrainerOptions, TrainTask
 
 __all__ = [
     "Trainer", "TrainerOptions", "TrainTask",
     "TrainState", "TRAIN_STATE_VERSION", "config_fingerprint",
-    "latest_checkpoint",
+    "latest_checkpoint", "verify_checkpoint", "prune_tmp_files",
     "Schedule", "ConstantSchedule", "ExponentialDecay", "CosineDecay",
     "StepDecay", "ReduceOnPlateau", "WarmupSchedule", "build_schedule",
     "SCHEDULE_NAMES",

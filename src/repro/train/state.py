@@ -23,10 +23,11 @@ from pathlib import Path
 
 import numpy as np
 
-from ..data.io import load_state_npz, save_state_npz
+from ..data.io import load_state_npz, save_state_npz, verify_state_npz
 
 __all__ = ["TRAIN_STATE_VERSION", "TrainState", "config_fingerprint",
-           "rng_state_to_json", "rng_from_json", "latest_checkpoint"]
+           "rng_state_to_json", "rng_from_json", "latest_checkpoint",
+           "verify_checkpoint", "prune_tmp_files"]
 
 TRAIN_STATE_VERSION = 1
 
@@ -157,18 +158,70 @@ class TrainState:
         )
 
 
-def latest_checkpoint(directory: str | Path) -> Path | None:
-    """The newest TrainState ``.npz`` in a checkpoint directory.
+def verify_checkpoint(path: str | Path) -> bool:
+    """True when ``path`` is a readable, checksum-clean TrainState.
+
+    Never raises: unreadable bytes, checksum mismatches, and non-
+    TrainState archives all return False. (Checksum verification uses
+    the SHA-256 the :func:`repro.data.save_state_npz` sidecar records;
+    sidecar-less archives verify by parseability.)
+    """
+    path = Path(path)
+    if not verify_state_npz(path):
+        return False
+    try:
+        arrays, manifest = load_state_npz(path, verify=False)
+    except Exception:
+        return False
+    return manifest.get("format") == "repro.train.TrainState"
+
+
+def prune_tmp_files(directory: str | Path) -> list[Path]:
+    """Delete orphaned ``*.tmp`` files a killed save left behind.
+
+    The atomic write protocol (tmp + fsync + ``os.replace``) guarantees
+    a ``*.tmp`` under a checkpoint directory is never a live artifact;
+    returns the paths removed.
+    """
+    directory = Path(directory)
+    removed = []
+    if directory.is_dir():
+        for tmp in directory.glob("*.tmp"):
+            try:
+                tmp.unlink()
+                removed.append(tmp)
+            except OSError:
+                pass
+    return removed
+
+
+def latest_checkpoint(directory: str | Path,
+                      verify: bool = True) -> Path | None:
+    """The newest *valid* TrainState ``.npz`` in a checkpoint directory.
 
     Prefers the ``latest.json`` index written by
     :class:`~repro.train.callbacks.CheckpointCallback`; falls back to the
-    highest-numbered ``state_*.npz``.
+    highest-numbered ``state_*.npz``. With ``verify`` (default) every
+    candidate is checked with :func:`verify_checkpoint` newest-first and
+    corrupt/truncated entries are silently skipped — the self-healing
+    fallback a crashed or chaos-injected save relies on. Orphaned
+    ``*.tmp`` files are pruned on every call.
     """
     directory = Path(directory)
+    prune_tmp_files(directory)
+    candidates: list[Path] = []
     index = directory / "latest.json"
     if index.exists():
-        name = json.loads(index.read_text()).get("latest")
+        try:
+            name = json.loads(index.read_text()).get("latest")
+        except (OSError, json.JSONDecodeError):
+            name = None
         if name and (directory / name).exists():
-            return directory / name
-    candidates = sorted(directory.glob("state_*.npz"))
-    return candidates[-1] if candidates else None
+            candidates.append(directory / name)
+    for path in sorted(directory.glob("state_*.npz"), reverse=True):
+        if path not in candidates:
+            candidates.append(path)
+    for path in candidates:
+        if not verify or verify_checkpoint(path):
+            return path
+    return None

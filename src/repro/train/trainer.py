@@ -24,6 +24,7 @@ import numpy as np
 from ..autodiff import Tensor
 from ..nn import Module, Optimizer, clip_grad_norm
 from ..obs import get_registry, span
+from ..resilience.faults import get_injector
 from .callbacks import Callback, ExponentialMovingAverage
 from .schedules import Schedule
 from .state import TrainState, config_fingerprint, latest_checkpoint, \
@@ -124,6 +125,7 @@ class Trainer:
         returns the accumulated loss value."""
         opts = self.options
         task = self.task
+        inj = get_injector()
         self.optimizer.zero_grad()
         value = 0.0
         for micro in range(opts.grad_accum):
@@ -131,12 +133,21 @@ class Trainer:
             with span("train/forward"):
                 batch = task.sample(self.rng)
                 loss = task.loss(batch, self.rng)
+                if inj.armed and inj.fire("train.poison_batch"):
+                    # chaos site: a poisoned shard yields a non-finite loss
+                    loss = loss * float("nan")
                 if opts.grad_accum > 1:
                     loss = loss / float(opts.grad_accum)
             with span("train/backward"):
                 loss.backward()
             value += float(loss.data)
         self.micro_step = 0
+        if inj.armed and inj.fire("train.nan_grad"):
+            # chaos site: gradients come back NaN (clip_grad_norm's
+            # non-finite guard must drop them, skipping the update)
+            for p in self.optimizer.params:
+                if p.grad is not None:
+                    p.grad = np.full_like(p.grad, np.nan)
         with span("train/optimizer"):
             grad_norm = (clip_grad_norm(self.optimizer.params, opts.grad_clip)
                          if opts.grad_clip is not None else None)

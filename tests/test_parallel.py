@@ -9,10 +9,11 @@ from hypothesis import strategies as st
 from repro.data import Trajectory
 from repro.gns import FeatureConfig, GNSNetworkConfig, LearnedSimulator
 from repro.parallel import (
-    DataParallelConfig, DataParallelTrainer, allreduce_state,
-    communication_volume, edge_cut, halo_nodes, partition_graph,
-    ring_allreduce, worker_gradients,
+    DataParallelConfig, DataParallelTrainer, WorkerPoolError,
+    allreduce_state, communication_volume, edge_cut, halo_nodes,
+    partition_graph, ring_allreduce, worker_gradients,
 )
+from repro.resilience import RetryExhaustedError, arm_faults, disarm_faults
 
 BOUNDS = np.array([[0.0, 1.0], [0.0, 1.0]])
 
@@ -133,6 +134,49 @@ class TestDataParallelTrainer:
         with DataParallelTrainer(sim, [_toy_trajectory()], cfg) as trainer:
             trainer.train(1)
         assert trainer.step_count == 1
+
+
+class TestPoolLifecycle:
+    def test_close_is_idempotent(self):
+        cfg = DataParallelConfig(num_workers=2, windows_per_worker=1,
+                                 use_processes=True)
+        trainer = DataParallelTrainer(_tiny_sim(), [_toy_trajectory()], cfg)
+        trainer.close()
+        trainer.close()          # second close must be a no-op, not a crash
+        assert trainer._pool is None
+
+    def test_close_without_pool_is_noop(self):
+        trainer = DataParallelTrainer(_tiny_sim(), [_toy_trajectory()])
+        trainer.close()
+        trainer.close()
+
+    def test_worker_exception_closes_pool(self):
+        """Regression: a step that fails all retries must tear the pool
+        down on its way out (no leaked child processes)."""
+        arm_faults("pool.crash@*")
+        try:
+            cfg = DataParallelConfig(num_workers=2, windows_per_worker=1,
+                                     use_processes=True, max_task_retries=0,
+                                     respawn_on_failure=False)
+            trainer = DataParallelTrainer(_tiny_sim(), [_toy_trajectory()],
+                                          cfg)
+            with pytest.raises(WorkerPoolError):
+                trainer.train_step()
+            assert trainer._pool is None    # closed by the error path
+        finally:
+            disarm_faults()
+
+    def test_sequential_exhausted_retries_raise(self):
+        arm_faults("pool.crash@*")
+        try:
+            cfg = DataParallelConfig(num_workers=1, windows_per_worker=1,
+                                     max_task_retries=1)
+            trainer = DataParallelTrainer(_tiny_sim(), [_toy_trajectory()],
+                                          cfg)
+            with pytest.raises(RetryExhaustedError):
+                trainer.train_step()
+        finally:
+            disarm_faults()
 
 
 class TestPartitioning:

@@ -1,0 +1,150 @@
+"""Self-healing checkpoint tests: atomic writes, checksum sidecars,
+corruption detection, and the newest-valid fallback."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CorruptStateError, atomic_write_bytes, file_sha256, load_state_npz,
+    save_state_npz, verify_state_npz,
+)
+from repro.resilience import arm_faults, disarm_faults
+from repro.train import latest_checkpoint, prune_tmp_files, verify_checkpoint
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_injector():
+    disarm_faults()
+    yield
+    disarm_faults()
+
+
+def _write_state(path, step=0, value=1.0):
+    """A minimal archive that verify_checkpoint accepts as a TrainState."""
+    save_state_npz(path, {"w": np.full(3, value)},
+                   {"format": "repro.train.TrainState", "version": 1,
+                    "global_step": step, "rng_state": {}})
+    return path
+
+
+class TestAtomicWrites:
+    def test_atomic_write_bytes(self, tmp_path):
+        p = tmp_path / "blob.bin"
+        atomic_write_bytes(p, b"hello")
+        assert p.read_bytes() == b"hello"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_save_leaves_no_tmp(self, tmp_path):
+        _write_state(tmp_path / "state.npz")
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_sidecar_records_checksum_and_size(self, tmp_path):
+        p = _write_state(tmp_path / "state.npz")
+        sidecar = json.loads((tmp_path / "state.npz.json").read_text())
+        assert sidecar["sha256"] == file_sha256(p)
+        assert sidecar["size_bytes"] == p.stat().st_size
+        assert sidecar["format"] == "repro.train.TrainState"
+
+
+class TestVerification:
+    def test_clean_archive_verifies(self, tmp_path):
+        p = _write_state(tmp_path / "state.npz")
+        assert verify_state_npz(p)
+        assert verify_checkpoint(p)
+
+    def test_flipped_bytes_detected(self, tmp_path):
+        p = _write_state(tmp_path / "state.npz")
+        data = bytearray(p.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        p.write_bytes(bytes(data))
+        assert not verify_state_npz(p)
+        assert not verify_checkpoint(p)
+        with pytest.raises(CorruptStateError):
+            load_state_npz(p)
+
+    def test_truncated_file_detected(self, tmp_path):
+        p = _write_state(tmp_path / "state.npz")
+        p.write_bytes(p.read_bytes()[: p.stat().st_size // 3])
+        assert not verify_state_npz(p)
+        with pytest.raises(CorruptStateError):
+            load_state_npz(p)
+
+    def test_missing_file_is_false_not_raise(self, tmp_path):
+        assert not verify_state_npz(tmp_path / "nope.npz")
+        assert not verify_checkpoint(tmp_path / "nope.npz")
+
+    def test_sidecarless_archive_verifies_by_parse(self, tmp_path):
+        p = _write_state(tmp_path / "state.npz")
+        (tmp_path / "state.npz.json").unlink()
+        assert verify_state_npz(p)
+        arrays, manifest = load_state_npz(p)
+        np.testing.assert_array_equal(arrays["w"], np.ones(3))
+        assert manifest["global_step"] == 0
+
+    def test_non_trainstate_archive_rejected_by_verify_checkpoint(self,
+                                                                  tmp_path):
+        p = tmp_path / "other.npz"
+        save_state_npz(p, {"x": np.zeros(2)}, {"format": "something.else"})
+        assert verify_state_npz(p)          # bytes are fine...
+        assert not verify_checkpoint(p)     # ...but not a TrainState
+
+    def test_injected_corruption_detected(self, tmp_path):
+        arm_faults("ckpt.corrupt@0")
+        p = _write_state(tmp_path / "state.npz")
+        # the sidecar hashed the damaged bytes, so checksum passes but
+        # parsing does not — load must still refuse
+        with pytest.raises(CorruptStateError):
+            load_state_npz(p, verify=False)
+
+    def test_injected_truncation_detected(self, tmp_path):
+        arm_faults("ckpt.truncate@0")
+        p = _write_state(tmp_path / "state.npz")
+        with pytest.raises(CorruptStateError):
+            load_state_npz(p, verify=False)
+
+
+class TestLatestCheckpoint:
+    def test_prefers_newest_valid(self, tmp_path):
+        _write_state(tmp_path / "state_00000004.npz", step=4)
+        _write_state(tmp_path / "state_00000008.npz", step=8)
+        assert latest_checkpoint(tmp_path).name == "state_00000008.npz"
+
+    def test_falls_back_past_corrupt_newest(self, tmp_path):
+        _write_state(tmp_path / "state_00000004.npz", step=4)
+        newest = _write_state(tmp_path / "state_00000008.npz", step=8)
+        newest.write_bytes(b"garbage")
+        assert latest_checkpoint(tmp_path).name == "state_00000004.npz"
+        # unverified lookup still reports the (broken) newest
+        assert latest_checkpoint(tmp_path,
+                                 verify=False).name == "state_00000008.npz"
+
+    def test_all_corrupt_returns_none(self, tmp_path):
+        p = _write_state(tmp_path / "state_00000001.npz")
+        p.write_bytes(b"garbage")
+        assert latest_checkpoint(tmp_path) is None
+
+    def test_latest_json_index_honored_and_fallback(self, tmp_path):
+        _write_state(tmp_path / "state_00000002.npz", step=2)
+        _write_state(tmp_path / "state_00000006.npz", step=6)
+        (tmp_path / "latest.json").write_text(
+            json.dumps({"latest": "state_00000002.npz"}))
+        # the index wins when its target is valid
+        assert latest_checkpoint(tmp_path).name == "state_00000002.npz"
+        (tmp_path / "state_00000002.npz").write_bytes(b"garbage")
+        # ...and is skipped when it points at damage
+        assert latest_checkpoint(tmp_path).name == "state_00000006.npz"
+
+    def test_prunes_orphaned_tmp_files(self, tmp_path):
+        (tmp_path / "state_00000001.npz.tmp").write_bytes(b"partial")
+        _write_state(tmp_path / "state_00000001.npz")
+        latest_checkpoint(tmp_path)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_prune_tmp_files_returns_removed(self, tmp_path):
+        a = tmp_path / "x.npz.tmp"
+        a.write_bytes(b"partial")
+        removed = prune_tmp_files(tmp_path)
+        assert removed == [a] and not a.exists()
+        assert prune_tmp_files(tmp_path / "missing") == []

@@ -1,0 +1,157 @@
+"""Fault-injector unit tests: spec grammar, counter determinism, and
+the global arm/disarm lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    FaultClause, FaultError, FaultInjector, arm_faults, disarm_faults,
+    parse_faults,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_injector():
+    disarm_faults()
+    yield
+    disarm_faults()
+
+
+class TestParse:
+    def test_single_index(self):
+        (c,) = parse_faults("io.load@3")
+        assert c.site == "io.load"
+        assert c.indices == frozenset({3})
+        assert not c.always and c.from_index is None and c.probability is None
+
+    def test_index_list(self):
+        (c,) = parse_faults("pool.crash@2,5,9")
+        assert c.indices == frozenset({2, 5, 9})
+
+    def test_range(self):
+        (c,) = parse_faults("train.nan_grad@4-7")
+        assert c.indices == frozenset({4, 5, 6, 7})
+
+    def test_from_index(self):
+        (c,) = parse_faults("train.poison_batch@10+")
+        assert c.from_index == 10 and not c.indices
+
+    def test_star(self):
+        (c,) = parse_faults("ckpt.corrupt@*")
+        assert c.always
+
+    def test_probability(self):
+        (c,) = parse_faults("pool.stall@p0.25")
+        assert c.probability == pytest.approx(0.25)
+
+    def test_multiple_clauses_and_whitespace(self):
+        clauses = parse_faults(" io.load@0 ; ckpt.corrupt@1 ;; ")
+        assert [c.site for c in clauses] == ["io.load", "ckpt.corrupt"]
+
+    def test_mixed_selectors_merge(self):
+        (c,) = parse_faults("io.load@1,4-5,9+")
+        assert c.indices == frozenset({1, 4, 5})
+        assert c.from_index == 9
+
+    @pytest.mark.parametrize("bad", ["io.load", "@3", "io.load@",
+                                     "io.load@5-2", "io.load@p1.5"])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_faults(bad)
+
+
+class TestClauseSelects:
+    def test_index_and_range_semantics(self):
+        rng = np.random.default_rng(0)
+        c = FaultClause(site="s", indices=frozenset({1, 3}))
+        hits = [c.selects(i, rng) for i in range(5)]
+        assert hits == [False, True, False, True, False]
+
+    def test_from_index_is_open_ended(self):
+        rng = np.random.default_rng(0)
+        c = FaultClause(site="s", from_index=2)
+        assert [c.selects(i, rng) for i in range(4)] == [False, False,
+                                                        True, True]
+
+    def test_probability_reproducible(self):
+        c = FaultClause(site="s", probability=0.5)
+        a = [c.selects(i, np.random.default_rng(7)) for i in range(1)]
+        b = [c.selects(i, np.random.default_rng(7)) for i in range(1)]
+        assert a == b
+
+
+class TestInjector:
+    def test_deterministic_firing_sequence(self):
+        inj = FaultInjector().arm("train.nan_grad@1")
+        hits = [inj.fire("train.nan_grad") for _ in range(4)]
+        assert hits == [False, True, False, False]
+        assert inj.invocations("train.nan_grad") == 4
+        assert inj.fired("train.nan_grad") == 1
+
+    def test_disarmed_is_inert(self):
+        inj = FaultInjector()
+        assert not inj.armed
+        assert not inj.fire("io.load")
+        # counters must NOT advance while disarmed (bitwise-identical
+        # un-armed runs)
+        assert inj.invocations("io.load") == 0
+
+    def test_counters_are_per_site(self):
+        inj = FaultInjector().arm("a@0;b@1")
+        assert inj.fire("a")
+        assert not inj.fire("b")
+        assert inj.fire("b")
+        assert inj.invocations("a") == 1 and inj.invocations("b") == 2
+
+    def test_rearm_resets_counters(self):
+        inj = FaultInjector().arm("a@0")
+        inj.fire("a")
+        inj.arm("a@0")
+        assert inj.invocations("a") == 0
+        assert inj.fire("a")
+
+    def test_raise_if(self):
+        inj = FaultInjector().arm("io.load@0")
+        with pytest.raises(FaultError) as exc:
+            inj.raise_if("io.load")
+        assert isinstance(exc.value, OSError)  # retry paths treat as IO
+        assert exc.value.site == "io.load" and exc.value.invocation == 0
+        inj.raise_if("io.load")  # invocation 1: no hit, no raise
+
+    def test_probabilistic_replay(self):
+        spec = "pool.stall@p0.5"
+        a = FaultInjector().arm(spec, seed=3)
+        b = FaultInjector().arm(spec, seed=3)
+        seq_a = [a.fire("pool.stall") for _ in range(20)]
+        seq_b = [b.fire("pool.stall") for _ in range(20)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+
+    def test_summary(self):
+        inj = FaultInjector().arm("a@*", seed=5)
+        inj.fire("a")
+        s = inj.summary()
+        assert s["armed"] and s["seed"] == 5
+        assert s["sites"] == ["a"]
+        assert s["invocations"] == {"a": 1} and s["fired"] == {"a": 1}
+
+
+class TestGlobalInjector:
+    def test_arm_and_disarm(self):
+        inj = arm_faults("io.load@0")
+        assert inj.armed
+        with pytest.raises(FaultError):
+            inj.raise_if("io.load")
+        disarm_faults()
+        assert not inj.armed
+
+    def test_env_arming(self, monkeypatch):
+        import repro.resilience.faults as faults
+
+        monkeypatch.setenv(faults.FAULTS_ENV, "io.load@2")
+        monkeypatch.setenv(faults.FAULTS_SEED_ENV, "9")
+        monkeypatch.setattr(faults, "_ENV_CHECKED", False)
+        inj = faults.get_injector()
+        assert inj.armed and inj.seed == 9
+        assert [inj.fire("io.load") for i in range(3)] == [False, False,
+                                                           True]

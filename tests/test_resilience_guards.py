@@ -1,0 +1,124 @@
+"""GuardedMPMStepper tests: snapshot/restore fidelity, adaptive
+sub-stepping, and the rewind-on-failure contract."""
+
+import numpy as np
+import pytest
+
+from repro.mpm import granular_box_flow
+from repro.resilience import (
+    GuardedMPMStepper, MPMGuardError, RewindPolicy, arm_faults,
+    disarm_faults,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_injector():
+    disarm_faults()
+    yield
+    disarm_faults()
+
+
+def _solver(seed=0):
+    return granular_box_flow(seed=seed, cells_per_unit=12).solver
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_is_bitwise(self):
+        solver = _solver()
+        snap = solver.snapshot()
+        dt = solver.stable_dt()
+        for _ in range(3):
+            solver.step(dt)
+        assert not np.array_equal(snap["positions"],
+                                  solver.particles.positions)
+        solver.restore(snap)
+        np.testing.assert_array_equal(solver.particles.positions,
+                                      snap["positions"])
+        np.testing.assert_array_equal(solver.particles.velocities,
+                                      snap["velocities"])
+        np.testing.assert_array_equal(solver.particles.stresses,
+                                      snap["stresses"])
+        assert solver.step_count == snap["step_count"]
+
+    def test_snapshot_is_a_copy(self):
+        solver = _solver()
+        snap = solver.snapshot()
+        solver.step(solver.stable_dt())
+        # mutating the live state must not leak into the snapshot
+        assert not np.shares_memory(snap["positions"],
+                                    solver.particles.positions)
+
+    def test_max_speed_matches_velocities(self):
+        solver = _solver()
+        expected = float(np.linalg.norm(solver.particles.velocities,
+                                        axis=1).max())
+        assert solver.max_speed() == pytest.approx(expected)
+
+
+class TestGuardedAdvance:
+    def test_single_stable_step_matches_unguarded(self):
+        a, b = _solver(), _solver()
+        dt = a.stable_dt()
+        taken = GuardedMPMStepper(a).advance(dt)
+        b.step(dt)
+        assert taken == 1
+        np.testing.assert_array_equal(a.particles.positions,
+                                      b.particles.positions)
+        np.testing.assert_array_equal(a.particles.velocities,
+                                      b.particles.velocities)
+
+    def test_long_interval_substeps_and_stays_finite(self):
+        solver = _solver()
+        guard = GuardedMPMStepper(solver)
+        dt = solver.stable_dt()
+        taken = guard.advance(dt * 8)
+        assert taken >= 8
+        assert guard.substeps_taken == taken
+        assert np.isfinite(solver.particles.positions).all()
+        assert np.isfinite(solver.particles.velocities).all()
+
+    def test_substep_budget_rewinds_and_raises(self):
+        solver = _solver()
+        before = solver.particles.positions.copy()
+        guard = GuardedMPMStepper(solver, max_substeps=2)
+        with pytest.raises(MPMGuardError, match="budget"):
+            guard.advance(solver.stable_dt() * 100)
+        # state rewound to the pre-call snapshot, not abandoned mid-flight
+        np.testing.assert_array_equal(solver.particles.positions, before)
+
+    def test_velocity_limit_rewinds_and_raises(self):
+        solver = _solver()
+        arm_faults("mpm.kick@0")  # 50x velocity impulse on first advance
+        before = solver.particles.positions.copy()
+        guard = GuardedMPMStepper(solver, velocity_limit=1e-9)
+        with pytest.raises(MPMGuardError, match="speed"):
+            guard.advance(solver.stable_dt())
+        # the kick scales velocities only, so restored positions are the
+        # pre-call positions bit-for-bit
+        np.testing.assert_array_equal(solver.particles.positions, before)
+
+    def test_kick_absorbed_by_adaptive_substepping(self):
+        """Without a hard velocity limit the CFL adaptation alone must
+        survive the impulse: more substeps, still-finite state."""
+        solver = _solver()
+        arm_faults("mpm.kick@0")
+        guard = GuardedMPMStepper(solver)
+        dt = solver.stable_dt()  # stable for *pre-kick* speeds
+        taken = guard.advance(dt * 2)
+        assert taken > 2          # the kick shrank the stable step
+        assert guard.rescues == 1
+        assert np.isfinite(solver.particles.positions).all()
+
+    def test_invalid_budget_raises(self):
+        with pytest.raises(ValueError):
+            GuardedMPMStepper(_solver(), max_substeps=0)
+
+
+class TestRewindPolicy:
+    def test_defaults(self):
+        p = RewindPolicy()
+        assert p.max_rewinds == 3 and p.refine_after_rewind == 0
+
+    def test_negative_budget_raises(self):
+        with pytest.raises(ValueError):
+            RewindPolicy(max_rewinds=-1)

@@ -1,0 +1,123 @@
+"""Retry primitive tests: backoff math, budgets, error carve-outs, and
+telemetry counters."""
+
+import pytest
+
+from repro.resilience import (
+    RetryBudget, RetryExhaustedError, RetryPolicy, retry_call,
+)
+
+
+class _Flaky:
+    """Fails ``failures`` times, then succeeds."""
+
+    def __init__(self, failures, error=OSError("transient")):
+        self.failures = failures
+        self.error = error
+        self.calls = 0
+
+    def __call__(self, value=42):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return value
+
+
+class TestRetryCall:
+    def test_success_first_try(self):
+        fn = _Flaky(0)
+        assert retry_call(fn) == 42
+        assert fn.calls == 1
+
+    def test_success_after_failures(self):
+        fn = _Flaky(2)
+        assert retry_call(fn, policy=RetryPolicy(max_attempts=3)) == 42
+        assert fn.calls == 3
+
+    def test_kwargs_forwarded(self):
+        assert retry_call(_Flaky(0), value=7) == 7
+
+    def test_exhaustion_chains_last_error(self):
+        fn = _Flaky(10)
+        with pytest.raises(RetryExhaustedError) as exc:
+            retry_call(fn, policy=RetryPolicy(max_attempts=3), op="probe")
+        assert fn.calls == 3
+        assert exc.value.op == "probe" and exc.value.attempts == 3
+        assert isinstance(exc.value.__cause__, OSError)
+
+    def test_unlisted_error_propagates_immediately(self):
+        fn = _Flaky(1, error=KeyError("not transient"))
+        with pytest.raises(KeyError):
+            retry_call(fn, retry_on=(OSError,))
+        assert fn.calls == 1
+
+    def test_give_up_on_carve_out(self):
+        fn = _Flaky(1, error=FileNotFoundError("gone"))
+        with pytest.raises(FileNotFoundError):
+            retry_call(fn, retry_on=(OSError,),
+                       give_up_on=(FileNotFoundError,))
+        assert fn.calls == 1  # no retry wasted on a permanent error
+
+    def test_on_retry_hook(self):
+        seen = []
+        fn = _Flaky(2)
+        retry_call(fn, policy=RetryPolicy(max_attempts=3),
+                   on_retry=lambda attempt, err: seen.append(attempt))
+        assert seen == [1, 2]
+
+    def test_budget_limits_total_retries(self):
+        budget = RetryBudget(total=1)
+        retry_call(_Flaky(1), budget=budget)  # spends the only token
+        assert budget.remaining == 0
+        with pytest.raises(RetryExhaustedError):
+            retry_call(_Flaky(1), policy=RetryPolicy(max_attempts=5),
+                       budget=budget)
+
+    def test_counters_recorded(self):
+        import repro.obs as obs
+        from repro.obs import get_registry
+
+        obs.enable()
+        obs.reset()
+        try:
+            retry_call(_Flaky(1), op="op_a")
+            with pytest.raises(RetryExhaustedError):
+                retry_call(_Flaky(9), policy=RetryPolicy(max_attempts=2),
+                           op="op_b")
+            names = {(m.name, m.labels.get("op"))
+                     for m in get_registry().metrics()}
+        finally:
+            obs.disable()
+            obs.reset()
+        assert ("resilience.retries", "op_a") in names
+        assert ("resilience.giveups", "op_b") in names
+
+
+class TestRetryPolicy:
+    def test_exponential_delay_capped(self):
+        p = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.3)
+        assert p.delay(1) == pytest.approx(0.1)
+        assert p.delay(2) == pytest.approx(0.2)
+        assert p.delay(3) == pytest.approx(0.3)  # capped
+        assert p.delay(10) == pytest.approx(0.3)
+
+    def test_invalid_attempts_raise(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_deterministic_mode_never_sleeps(self, monkeypatch):
+        import repro.resilience.retry as retry_mod
+
+        def boom(_):  # pragma: no cover - failing is the assertion
+            raise AssertionError("slept in deterministic mode")
+
+        monkeypatch.setattr(retry_mod.time, "sleep", boom)
+        assert retry_call(_Flaky(2), policy=RetryPolicy(max_attempts=3)) == 42
+
+
+class TestRetryBudget:
+    def test_spend_and_remaining(self):
+        b = RetryBudget(total=2)
+        assert b.spend() and b.spend()
+        assert not b.spend()
+        assert b.remaining == 0
