@@ -97,7 +97,7 @@ def scatter_softmax(logits: Tensor, index: np.ndarray, num_segments: int) -> Ten
     if logits.ndim != 1:
         raise ValueError("scatter_softmax expects 1-D logits (one per edge)")
     # per-segment max as a constant shift
-    seg_max = np.full(num_segments, -np.inf)
+    seg_max = np.full(num_segments, -np.inf, dtype=logits.data.dtype)
     np.maximum.at(seg_max, index, logits.data)
     seg_max[~np.isfinite(seg_max)] = 0.0
     shifted = logits - Tensor(seg_max[index])

@@ -23,9 +23,21 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor",
+           "set_tape_hook"]
 
 _GRAD_ENABLED = True
+
+# Optional runtime-sanitizer hook (repro.lint.sanitize): called with
+# (out_data, backward_fn) for every tape op created through Tensor._make.
+# None in normal operation — the per-op cost is one attribute read.
+_TAPE_HOOK: Callable[[np.ndarray, Callable], None] | None = None
+
+
+def set_tape_hook(hook: Callable[[np.ndarray, Callable], None] | None) -> None:
+    """Install (or clear, with ``None``) the tape-dispatch sanitizer hook."""
+    global _TAPE_HOOK
+    _TAPE_HOOK = hook
 
 
 @contextlib.contextmanager
@@ -101,16 +113,20 @@ class Tensor:
     # ------------------------------------------------------------------
     @staticmethod
     def zeros(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+        return Tensor(np.zeros(shape, dtype=np.float64),
+                      requires_grad=requires_grad)
 
     @staticmethod
     def ones(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape), requires_grad=requires_grad)
+        return Tensor(np.ones(shape, dtype=np.float64),
+                      requires_grad=requires_grad)
 
     @classmethod
     def _make(cls, data: np.ndarray, parents: Sequence["Tensor"],
               backward_fn: Callable[[np.ndarray], None]) -> "Tensor":
         """Create a non-leaf tensor, recording the tape edge when enabled."""
+        if _TAPE_HOOK is not None:
+            _TAPE_HOOK(data, backward_fn)
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = cls(data, requires_grad=requires)
         if requires:

@@ -12,6 +12,9 @@ Subcommands cover the full paper workflow without writing Python:
 * ``repro info``     — inspect datasets and checkpoints.
 * ``repro telemetry summarize`` — render a telemetry run directory
   (``telemetry.jsonl`` + ``manifest.json``) as a human-readable report.
+* ``repro lint``     — run the domain static-analysis rules
+  (determinism, dtype discipline, autodiff contracts, conventions; see
+  ``docs/static-analysis.md``).
 
 ``simulate``/``train``/``rollout``/``invert`` accept ``--telemetry DIR``
 which enables the :mod:`repro.obs` subsystem for the run and writes the
@@ -154,6 +157,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="what to do with the telemetry data")
     p.add_argument("path", type=Path,
                    help="run directory or telemetry.jsonl file")
+
+    p = sub.add_parser("lint", help="run the domain static-analysis rules")
+    p.add_argument("root", type=Path, nargs="?", default=Path("."),
+                   help="repository root (default: cwd)")
+    p.add_argument("--strict", action="store_true",
+                   help="fail on any fresh violation regardless of severity")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report format")
+    p.add_argument("--baseline", type=Path, default=None, metavar="FILE",
+                   help="JSON baseline of grandfathered violations")
+    p.add_argument("--write-baseline", type=Path, default=None,
+                   metavar="FILE", help="write the current violations as a "
+                   "new baseline and exit 0")
+    p.add_argument("--rules", default=None, metavar="IDS",
+                   help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
     return parser
 
 
@@ -384,7 +404,9 @@ def _cmd_rollout(args) -> int:
 
     sim = LearnedSimulator.load(args.checkpoint)
     if args.fp32:
-        sim.inference_dtype = np.float32
+        # the entry point of the fp32 inference mode (per-file allowlists
+        # live in LintConfig.fp32_allowlist / the fp32-ok pragma)
+        sim.inference_dtype = np.float32  # lint: ignore[DTY002]
     ds = retry_call(load_trajectories, args.dataset,
                     give_up_on=(FileNotFoundError, IsADirectoryError),
                     op="load_trajectories")
@@ -547,6 +569,32 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from ..lint import (LintConfig, iter_rules, load_baseline, run_lint,
+                        write_baseline)
+
+    if args.list_rules:
+        # force rule registration, then print the catalog
+        run_lint(LintConfig(root=args.root), rules=[], sources=[])
+        for r in iter_rules():
+            print(f"{r.id}  [{r.scope:>7}]  {r.name}")
+        return 0
+    baseline = None
+    if args.baseline is not None and args.baseline.exists():
+        baseline = load_baseline(args.baseline)
+    rules = ([s.strip() for s in args.rules.split(",") if s.strip()]
+             if args.rules else None)
+    report = run_lint(LintConfig(root=args.root, strict=args.strict),
+                      rules=rules, baseline=baseline)
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, report)
+        print(f"wrote baseline with {len(report.violations)} violation(s) "
+              f"to {args.write_baseline}")
+        return 0
+    print(report.as_json() if args.format == "json" else report.as_text())
+    return report.exit_code(strict=args.strict)
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "generate": _cmd_generate,
@@ -555,6 +603,7 @@ _COMMANDS = {
     "invert": _cmd_invert,
     "info": _cmd_info,
     "telemetry": _cmd_telemetry,
+    "lint": _cmd_lint,
 }
 
 

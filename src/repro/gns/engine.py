@@ -44,6 +44,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph import NeighborListCache
+from ..lint.sanitize import active as active_sanitizer
 from ..obs import RolloutDivergedError, Tracer
 from ..resilience.faults import get_injector
 from ..utils.buffers import Workspace
@@ -264,11 +265,11 @@ class InferenceEngine:
         if guard:
             self._guard_seed(frames)
         n, dim = frames.shape[1], frames.shape[2]
-        out = np.empty((window_len + num_steps, n, dim))
+        out = np.empty((window_len + num_steps, n, dim), dtype=np.float64)
         out[:window_len] = frames
         window = frames.copy()
         static_mask = cfg.static_mask(particle_types)
-        node_feats = np.empty((n, cfg.node_feature_size()))
+        node_feats = np.empty((n, cfg.node_feature_size()), dtype=np.float64)
         self.simulator.featurizer.write_static_columns(node_feats, material,
                                                        particle_types)
         self.begin_run()
@@ -276,12 +277,15 @@ class InferenceEngine:
                                             buckets=_EDGE_BUCKETS)
                      if self.metrics is not None else None)
         cache = self.cache
+        san = active_sanitizer()
         for t in range(num_steps):
             with self._spans["graph"]:
                 senders, receivers = cache.query(window[-1])
             if edge_hist is not None:
                 edge_hist.observe(senders.shape[0])
             acc = self._forward(window, node_feats, senders, receivers)
+            if san is not None:
+                san.check("engine.forward", acc, step=t)
             with self._spans["integrate"]:
                 x_next = self._integrate(window, acc, static_mask)
             inj = get_injector()
@@ -290,6 +294,10 @@ class InferenceEngine:
                 # rollout step across the process); the guard below must
                 # turn it into a structured RolloutDivergedError
                 x_next = np.full_like(x_next, np.nan)
+            if san is not None:
+                # sanitized runs pinpoint the originating op+step before
+                # the coarser trajectory guard fires
+                san.check("engine.integrate", x_next, step=t)
             if guard:
                 self._guard_step(t, window[-1], x_next,
                                  out[:window_len + t], max_velocity)
@@ -347,7 +355,8 @@ class InferenceEngine:
                           else types.reshape(b * n))
         static_mask = cfg.static_mask(types_flat)
 
-        node_feats = np.empty((b * n, cfg.node_feature_size()))
+        node_feats = np.empty((b * n, cfg.node_feature_size()),
+                              dtype=np.float64)
         featurizer = self.simulator.featurizer
         if np.isscalar(materials) or materials is None:
             featurizer.write_static_columns(node_feats, materials, types_flat)
@@ -364,9 +373,10 @@ class InferenceEngine:
             self._batch_caches.append(self._new_cache())
 
         self.begin_run()
-        out = np.empty((window_len + num_steps, b * n, dim))
+        out = np.empty((window_len + num_steps, b * n, dim), dtype=np.float64)
         out[:window_len] = window
         offsets = np.arange(b, dtype=np.intp) * n
+        san = active_sanitizer()
         for t in range(num_steps):
             with self._spans["graph"]:
                 parts_s, parts_r = [], []
@@ -379,8 +389,12 @@ class InferenceEngine:
                 senders = np.concatenate(parts_s)
                 receivers = np.concatenate(parts_r)
             acc = self._forward(window, node_feats, senders, receivers)
+            if san is not None:
+                san.check("engine.forward", acc, step=t)
             with self._spans["integrate"]:
                 x_next = self._integrate(window, acc, static_mask)
+            if san is not None:
+                san.check("engine.integrate", x_next, step=t)
             if guard:
                 self._guard_step(t, window[-1], x_next,
                                  out[:window_len + t], max_velocity)

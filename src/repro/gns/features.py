@@ -53,7 +53,7 @@ class Stats:
 
     @classmethod
     def unit(cls, dim: int = 2) -> "Stats":
-        z, o = np.zeros(dim), np.ones(dim)
+        z, o = np.zeros(dim, dtype=np.float64), np.ones(dim, dtype=np.float64)
         return cls(z.copy(), o.copy(), z.copy(), o.copy())
 
     def to_dict(self) -> dict:
@@ -104,7 +104,8 @@ class FeatureConfig:
         types = np.asarray(particle_types, dtype=np.int64)
         if types.min() < 0 or types.max() >= self.num_particle_types:
             raise ValueError("particle type out of range")
-        out = np.zeros((types.shape[0], self.num_particle_types))
+        out = np.zeros((types.shape[0], self.num_particle_types),
+                       dtype=np.float64)
         out[np.arange(types.shape[0]), types] = 1.0
         return out
 
@@ -167,7 +168,8 @@ class GNSFeaturizer:
             if material is None:
                 raise ValueError("featurizer configured with use_material but none given")
             m = as_tensor(material)
-            col = (m / cfg.material_scale).reshape(1, 1) * Tensor(np.ones((n, 1)))
+            col = (m / cfg.material_scale).reshape(1, 1) * Tensor(
+                np.ones((n, 1), dtype=np.float64))
             feats.append(col)
         if cfg.num_particle_types > 1:
             if particle_types is None:
@@ -224,7 +226,7 @@ class GNSFeaturizer:
         x_t = frames[-1]
         n = x_t.shape[0]
         if out is None:
-            out = np.empty((n, cfg.node_feature_size()))
+            out = np.empty((n, cfg.node_feature_size()), dtype=np.float64)
         col = 0
         vmean, vstd = self.stats.velocity_mean, self.stats.velocity_std
         for prev, cur in zip(frames[:-1], frames[1:]):
@@ -272,7 +274,8 @@ class GNSFeaturizer:
         """Relative displacement and distance edge features into ``out``."""
         cfg = self.config
         if out is None:
-            out = np.empty((senders.shape[0], cfg.edge_feature_size()))
+            out = np.empty((senders.shape[0], cfg.edge_feature_size()),
+                           dtype=np.float64)
         rel = out[:, :cfg.dim]
         np.subtract(x_t.take(senders, axis=0), x_t.take(receivers, axis=0),
                     out=rel)

@@ -210,7 +210,9 @@ class EncodeProcessDecode(Module):
                          nodes.take(receivers, axis=0)], axis=1)
                     messages = block.edge_mlp.forward_numpy(edge_in)
                     logits = block.attn_mlp.forward_numpy(edge_in).ravel()
-                    seg_max = np.full(n, -np.inf)
+                    # dtype follows the logits so the fp32 fast path is
+                    # not silently promoted back to float64
+                    seg_max = np.full(n, -np.inf, dtype=logits.dtype)
                     np.maximum.at(seg_max, receivers, logits)
                     seg_max[~np.isfinite(seg_max)] = 0.0
                     exp = np.exp(logits - seg_max[receivers])

@@ -30,6 +30,6 @@ def random_walk_noise(position_history: np.ndarray, noise_std: float,
         return np.zeros_like(position_history)
     vel_noise = rng.normal(0.0, noise_std / np.sqrt(c), size=(c, n, d))
     vel_noise = np.cumsum(vel_noise, axis=0)
-    pos_noise = np.concatenate([np.zeros((1, n, d)), np.cumsum(vel_noise, axis=0)],
-                               axis=0)
+    pos_noise = np.concatenate([np.zeros((1, n, d), dtype=vel_noise.dtype),
+                                np.cumsum(vel_noise, axis=0)], axis=0)
     return pos_noise

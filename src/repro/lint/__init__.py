@@ -1,0 +1,33 @@
+"""Domain-aware static analysis + runtime sanitizers.
+
+Static side (``repro lint``): an AST rule engine enforcing the
+invariants the reproduction's guarantees rest on — seeded RNG only,
+dtype discipline in the hot modules, a complete VJP table with
+gradcheck coverage, and telemetry/fault-site naming that matches the
+live registries. See :mod:`repro.lint.rules` for the catalog and
+``docs/static-analysis.md`` for the workflow.
+
+Runtime side (``REPRO_SANITIZE=nan,shape,dtype``): opt-in value
+sanitizers wrapping tensor-op dispatch and the rollout engine, catching
+NaN creation, silent dtype promotion, and shape drift at the op that
+caused them. See :mod:`repro.lint.sanitize`.
+"""
+
+from .engine import (
+    LintConfig, LintReport, Rule, SourceFile, Violation, fingerprint,
+    get_rule, iter_rules, load_baseline, rule, run_lint, source_from_text,
+    write_baseline,
+)
+from .sanitize import (
+    SANITIZE_ENV, Sanitizer, SanitizerError, active, install, parse_modes,
+    uninstall,
+)
+from . import rules  # registers the rule catalog on import
+
+__all__ = [
+    "LintConfig", "LintReport", "Rule", "SourceFile", "Violation",
+    "fingerprint", "get_rule", "iter_rules", "load_baseline", "rule",
+    "run_lint", "source_from_text", "write_baseline", "rules",
+    "Sanitizer", "SanitizerError", "SANITIZE_ENV", "active", "install",
+    "parse_modes", "uninstall",
+]

@@ -1,0 +1,365 @@
+"""Domain-aware static-analysis engine (stdlib ``ast``, zero deps).
+
+The reproduction's guarantees — bitwise kill-and-resume, chaos recovery
+converging to identical weights, the f64-bitwise-equal fast path — rest
+on invariants that generic linters cannot see: seeded RNG only, strict
+float64 discipline outside a declared fp32 allowlist, a complete VJP
+table in :mod:`repro.autodiff`, and telemetry/fault-site naming that
+matches the live registries. This engine checks them statically.
+
+Structure
+---------
+* :class:`SourceFile` — one parsed module (path, text, AST, lines).
+* :class:`Rule` + the :func:`rule` decorator — the registry. A rule has
+  a stable id (``DET001`` …), a scope (``"file"`` rules run once per
+  module, ``"project"`` rules see the whole corpus for cross-reference
+  checks), and a check callable yielding :class:`Violation`.
+* :func:`run_lint` — collect sources, run rules, apply suppressions and
+  an optional baseline, return a :class:`LintReport`.
+
+Suppressions
+------------
+A trailing ``# lint: ignore[DET001]`` comment suppresses that rule on
+that line (``# lint: ignore`` suppresses every rule). File-level
+pragmas declare properties of the whole module — currently
+``# repro-lint: fp32-ok`` marks a file as part of the fp32 allowlist.
+Every suppression should carry a justification in the same comment.
+
+Baselines
+---------
+``--baseline FILE`` loads a JSON map of violation fingerprints (rule id
++ path + a hash of the stripped source line) to counts; matching
+violations are reported as ``baselined`` and do not fail the run. A
+fresh baseline is written with ``--write-baseline``. The committed
+baseline is expected to stay empty — fix violations instead of
+grandfathering them.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import hashlib
+import json
+import re
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "Violation", "LintConfig", "SourceFile", "Rule", "rule", "iter_rules",
+    "get_rule", "run_lint", "LintReport", "load_baseline", "write_baseline",
+]
+
+#: hot modules: packages where dtype discipline is enforced (the paths
+#: the fp32 inference mode and the fused kernels flow through)
+DEFAULT_HOT_MODULES = ("autodiff", "gns", "mpm", "graph", "nn")
+
+_IGNORE_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Z0-9, ]+)\])?")
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*([a-z0-9-]+)")
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One rule finding, anchored to a source line."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+    baselined: bool = False
+
+    def as_row(self) -> dict:
+        row = dataclasses.asdict(self)
+        return row
+
+    def as_text(self) -> str:
+        tag = " (baselined)" if self.baselined else ""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.message}{tag}")
+
+
+@dataclasses.dataclass
+class LintConfig:
+    """Scope and policy knobs for one lint run."""
+
+    root: Path = Path(".")
+    #: directories (relative to root) whose modules get file rules
+    src_dirs: tuple[str, ...] = ("src",)
+    #: directories read into the corpus for cross-reference only
+    ref_dirs: tuple[str, ...] = ("tests",)
+    #: package names where DTY001 (explicit dtype) applies
+    hot_modules: tuple[str, ...] = DEFAULT_HOT_MODULES
+    #: path suffixes allowed to mention float32 without the pragma
+    fp32_allowlist: tuple[str, ...] = ()
+    strict: bool = False
+
+    def __post_init__(self):
+        self.root = Path(self.root)
+
+
+class SourceFile:
+    """A parsed module plus per-line suppression/pragma metadata."""
+
+    def __init__(self, path: Path, rel: str, text: str):
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree: ast.Module | None = None
+        self.parse_error: SyntaxError | None = None
+        try:
+            self.tree = ast.parse(text, filename=rel)
+        except SyntaxError as err:
+            self.parse_error = err
+        self._ignores: dict[int, set[str] | None] = {}
+        self.pragmas: set[str] = set()
+        for i, line in enumerate(self.lines, start=1):
+            if "#" not in line:
+                continue
+            m = _IGNORE_RE.search(line)
+            if m:
+                ids = m.group(1)
+                self._ignores[i] = (None if ids is None else
+                                    {s.strip() for s in ids.split(",")})
+            for pm in _PRAGMA_RE.finditer(line):
+                self.pragmas.add(pm.group(1))
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        ids = self._ignores.get(line, ...)
+        if ids is ...:
+            return False
+        return ids is None or rule_id in ids
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """A registered check. ``scope`` is ``"file"`` or ``"project"``."""
+
+    id: str
+    name: str
+    scope: str
+    doc: str
+    severity: str
+    check: Callable
+
+    def describe(self) -> dict:
+        return {"id": self.id, "name": self.name, "scope": self.scope,
+                "severity": self.severity, "doc": self.doc}
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(id: str, name: str, scope: str = "file", severity: str = "error"):
+    """Register a check. File rules get ``(source, config)``; project
+    rules get ``(sources, ref_sources, config)``. Both yield
+    ``(line, col, message)`` tuples (project rules yield
+    ``(source, line, col, message)``)."""
+    if scope not in ("file", "project"):
+        raise ValueError(f"unknown rule scope {scope!r}")
+
+    def decorate(fn):
+        if id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {id}")
+        _REGISTRY[id] = Rule(id=id, name=name, scope=scope,
+                             doc=(fn.__doc__ or "").strip(),
+                             severity=severity, check=fn)
+        return fn
+
+    return decorate
+
+
+def iter_rules() -> Iterator[Rule]:
+    return iter(sorted(_REGISTRY.values(), key=lambda r: r.id))
+
+
+def get_rule(rule_id: str) -> Rule:
+    return _REGISTRY[rule_id]
+
+
+# ----------------------------------------------------------------------
+# source collection
+# ----------------------------------------------------------------------
+
+def _collect_dir(root: Path, sub: str) -> list[SourceFile]:
+    base = root / sub
+    if not base.is_dir():
+        return []
+    out = []
+    for path in sorted(base.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        out.append(SourceFile(path, rel, path.read_text()))
+    return out
+
+
+def collect_sources(config: LintConfig) -> tuple[list[SourceFile], list[SourceFile]]:
+    """Return ``(lint targets, cross-reference corpus)``."""
+    targets: list[SourceFile] = []
+    for sub in config.src_dirs:
+        targets.extend(_collect_dir(config.root, sub))
+    refs: list[SourceFile] = []
+    for sub in config.ref_dirs:
+        refs.extend(_collect_dir(config.root, sub))
+    return targets, refs
+
+
+def source_from_text(text: str, rel: str = "<memory>") -> SourceFile:
+    """Parse an in-memory snippet (the fixture-test entry point)."""
+    return SourceFile(Path(rel), rel, text)
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+
+def fingerprint(v: Violation, source: SourceFile | None = None,
+                line_text: str | None = None) -> str:
+    """Stable id for a violation that survives unrelated line moves:
+    rule + path + hash of the stripped source line."""
+    if line_text is None:
+        line_text = source.line_text(v.line) if source is not None else ""
+    digest = hashlib.sha256(line_text.strip().encode()).hexdigest()[:16]
+    return f"{v.rule}:{v.path}:{digest}"
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    data = json.loads(Path(path).read_text())
+    entries = data.get("violations", data) if isinstance(data, dict) else {}
+    return {str(k): int(v) for k, v in entries.items()}
+
+
+def write_baseline(path: str | Path, report: "LintReport") -> None:
+    counts: dict[str, int] = {}
+    for fp in report.fingerprints:
+        counts[fp] = counts.get(fp, 0) + 1
+    payload = {"format": "repro.lint.baseline", "version": 1,
+               "violations": dict(sorted(counts.items()))}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+# runner
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class LintReport:
+    """All findings from one run plus formatting/exit-code policy."""
+
+    violations: list[Violation]
+    fingerprints: list[str]
+    files_checked: int
+    rules_run: int
+    suppressed: int = 0
+
+    @property
+    def fresh(self) -> list[Violation]:
+        return [v for v in self.violations if not v.baselined]
+
+    def exit_code(self, strict: bool = False) -> int:
+        fresh = self.fresh
+        if strict:
+            return 1 if fresh else 0
+        return 1 if any(v.severity == "error" for v in fresh) else 0
+
+    def as_text(self) -> str:
+        lines = [v.as_text() for v in self.violations]
+        fresh = self.fresh
+        lines.append(f"checked {self.files_checked} files with "
+                     f"{self.rules_run} rules: {len(fresh)} violation(s)"
+                     + (f", {len(self.violations) - len(fresh)} baselined"
+                        if len(fresh) != len(self.violations) else "")
+                     + (f", {self.suppressed} suppressed"
+                        if self.suppressed else ""))
+        return "\n".join(lines)
+
+    def as_json(self) -> str:
+        return json.dumps({
+            "format": "repro.lint.report", "version": 1,
+            "files_checked": self.files_checked,
+            "rules_run": self.rules_run,
+            "suppressed": self.suppressed,
+            "violations": [v.as_row() for v in self.violations],
+            "summary": {"total": len(self.violations),
+                        "fresh": len(self.fresh),
+                        "baselined": len(self.violations) - len(self.fresh)},
+        }, indent=2)
+
+
+def _emit(source: SourceFile, rule_obj: Rule, line: int, col: int,
+          message: str, counters: dict) -> Violation | None:
+    if source.suppressed(rule_obj.id, line):
+        counters["suppressed"] += 1
+        return None
+    return Violation(rule=rule_obj.id, path=source.rel, line=line, col=col,
+                     message=message, severity=rule_obj.severity)
+
+
+def run_lint(config: LintConfig | None = None,
+             rules: Iterable[str] | None = None,
+             baseline: dict[str, int] | None = None,
+             sources: list[SourceFile] | None = None,
+             ref_sources: list[SourceFile] | None = None) -> LintReport:
+    """Run the registered rules and return a :class:`LintReport`.
+
+    ``sources``/``ref_sources`` override filesystem collection (fixture
+    tests lint in-memory snippets); ``rules`` restricts to a subset of
+    rule ids; ``baseline`` marks known violations as ``baselined``.
+    """
+    # rule modules self-register on import
+    from . import rules as _rules  # noqa: F401
+
+    config = config or LintConfig()
+    if sources is None:
+        sources, collected_refs = collect_sources(config)
+        if ref_sources is None:
+            ref_sources = collected_refs
+    ref_sources = ref_sources or []
+
+    active = [r for r in iter_rules()
+              if rules is None or r.id in set(rules)]
+    counters = {"suppressed": 0}
+    found: list[tuple[Violation, SourceFile]] = []
+
+    for src in sources:
+        if src.parse_error is not None:
+            v = Violation(rule="SYNTAX", path=src.rel,
+                          line=src.parse_error.lineno or 1, col=0,
+                          message=f"cannot parse: {src.parse_error.msg}")
+            found.append((v, src))
+    parsed = [s for s in sources if s.tree is not None]
+
+    for r in active:
+        if r.scope == "file":
+            for src in parsed:
+                for line, col, message in r.check(src, config):
+                    v = _emit(src, r, line, col, message, counters)
+                    if v is not None:
+                        found.append((v, src))
+        else:
+            for src, line, col, message in r.check(parsed, ref_sources,
+                                                   config):
+                v = _emit(src, r, line, col, message, counters)
+                if v is not None:
+                    found.append((v, src))
+
+    violations: list[Violation] = []
+    fingerprints: list[str] = []
+    remaining = dict(baseline or {})
+    for v, src in sorted(found, key=lambda it: (it[0].path, it[0].line,
+                                                it[0].col, it[0].rule)):
+        fp = fingerprint(v, src)
+        fingerprints.append(fp)
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            v = dataclasses.replace(v, baselined=True)
+        violations.append(v)
+    return LintReport(violations=violations, fingerprints=fingerprints,
+                      files_checked=len(sources), rules_run=len(active),
+                      suppressed=counters["suppressed"])

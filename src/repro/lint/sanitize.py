@@ -1,0 +1,172 @@
+"""Opt-in runtime sanitizers: catch NaNs, dtype promotion, shape drift
+at the op that caused them.
+
+The static rules in :mod:`repro.lint.rules` guard what the AST can see;
+this layer guards what it cannot — values. Armed via the environment::
+
+    REPRO_SANITIZE=nan          # non-finite outputs
+    REPRO_SANITIZE=nan,dtype    # + silent dtype changes per site
+    REPRO_SANITIZE=all          # nan + dtype + shape drift
+
+Two hook points:
+
+* **Tape dispatch** — :func:`install` registers a hook with
+  :func:`repro.autodiff.tensor.set_tape_hook`; every ``Tensor._make``
+  (all primitive and fused tape ops) passes its freshly computed output
+  through :meth:`Sanitizer.check_tape`, which derives the op site from
+  the VJP closure's qualname (``Tensor.__mul__``, ``fused_edge_mlp``).
+* **Engine rollout** — :class:`repro.gns.engine.InferenceEngine` checks
+  the per-step acceleration and integrated positions, so a no-grad fast
+  path failure is pinned to its step and stage.
+
+A failing check raises :class:`SanitizerError` naming the site, the
+issue, and (where known) the rollout step — instead of NaNs surfacing
+hundreds of steps later as a diverged trajectory.
+
+Cost discipline: when ``REPRO_SANITIZE`` is unset, :func:`active`
+returns ``None`` and instrumented code pays a single ``is None`` branch
+— checks never run, never allocate, and never touch the arrays, so an
+unsanitized run is bitwise-identical to an uninstrumented one.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["Sanitizer", "SanitizerError", "active", "install", "uninstall",
+           "SANITIZE_ENV", "parse_modes"]
+
+SANITIZE_ENV = "REPRO_SANITIZE"
+MODES = ("nan", "shape", "dtype")
+
+
+class SanitizerError(RuntimeError):
+    """A sanitized op produced a value that violates an invariant."""
+
+    def __init__(self, site: str, issue: str, detail: str,
+                 step: int | None = None):
+        self.site = site
+        self.issue = issue
+        self.step = step
+        at = f" (step {step})" if step is not None else ""
+        super().__init__(f"[{issue}] at op '{site}'{at}: {detail}")
+
+
+def parse_modes(spec: str) -> frozenset[str]:
+    """``"nan,dtype"`` → modes; ``"all"`` enables everything."""
+    modes: set[str] = set()
+    for token in spec.replace(";", ",").split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        if token == "all":
+            modes.update(MODES)
+        elif token in MODES:
+            modes.add(token)
+        else:
+            raise ValueError(
+                f"unknown sanitize mode {token!r} (expected one of "
+                f"{', '.join(MODES)} or 'all')")
+    return frozenset(modes)
+
+
+class Sanitizer:
+    """Per-site value checks. ``shape``/``dtype`` modes remember the
+    first shape/dtype seen at each site and flag any later change —
+    drift at a fixed op site is exactly what a silent promotion or a
+    ragged rebuild looks like."""
+
+    def __init__(self, modes: frozenset[str]):
+        self.modes = frozenset(modes)
+        self._check_nan = "nan" in self.modes
+        self._check_shape = "shape" in self.modes
+        self._check_dtype = "dtype" in self.modes
+        self._shapes: dict[str, tuple] = {}
+        self._dtypes: dict[str, np.dtype] = {}
+        self.checks = 0
+
+    def reset(self) -> None:
+        """Forget remembered shapes/dtypes (between independent runs)."""
+        self._shapes.clear()
+        self._dtypes.clear()
+        self.checks = 0
+
+    # ------------------------------------------------------------------
+    def check(self, site: str, value: np.ndarray,
+              step: int | None = None) -> None:
+        """Validate one op output; raises :class:`SanitizerError`."""
+        self.checks += 1
+        arr = np.asarray(value)
+        if self._check_nan and np.issubdtype(arr.dtype, np.floating):
+            if not np.isfinite(arr).all():
+                bad = int((~np.isfinite(arr)).sum())
+                raise SanitizerError(
+                    site, "nan", f"{bad}/{arr.size} non-finite element(s), "
+                    f"shape {arr.shape}", step=step)
+        if self._check_dtype:
+            seen = self._dtypes.get(site)
+            if seen is None:
+                self._dtypes[site] = arr.dtype
+            elif seen != arr.dtype:
+                raise SanitizerError(
+                    site, "dtype", f"dtype changed {seen} -> {arr.dtype} "
+                    f"(silent promotion?)", step=step)
+        if self._check_shape:
+            seen_shape = self._shapes.get(site)
+            if seen_shape is None:
+                self._shapes[site] = arr.shape
+            elif seen_shape != arr.shape:
+                raise SanitizerError(
+                    site, "shape", f"shape drifted {seen_shape} -> "
+                    f"{arr.shape}", step=step)
+
+    def check_tape(self, data: np.ndarray, backward_fn) -> None:
+        """Tape-dispatch hook: derive the op site from the VJP closure
+        (``Tensor.__mul__.<locals>.backward`` → ``Tensor.__mul__``)."""
+        qual = getattr(backward_fn, "__qualname__", "tape_op")
+        site, _, _ = qual.partition(".<locals>")
+        self.check(site, data)
+
+
+# ----------------------------------------------------------------------
+# process-global sanitizer (armed from REPRO_SANITIZE or install())
+# ----------------------------------------------------------------------
+_ACTIVE: Sanitizer | None = None
+_ENV_CHECKED = False
+
+
+def active() -> Sanitizer | None:
+    """The armed process sanitizer, or ``None`` (the common, free case).
+    On first access arms itself from ``REPRO_SANITIZE`` if set."""
+    global _ENV_CHECKED
+    if not _ENV_CHECKED:
+        _ENV_CHECKED = True
+        spec = os.environ.get(SANITIZE_ENV)
+        if spec:
+            install(parse_modes(spec))
+    return _ACTIVE
+
+
+def install(modes: frozenset[str] | str) -> Sanitizer:
+    """Arm the sanitizer programmatically and hook tape dispatch."""
+    global _ACTIVE, _ENV_CHECKED
+    if isinstance(modes, str):
+        modes = parse_modes(modes)
+    _ENV_CHECKED = True
+    _ACTIVE = Sanitizer(frozenset(modes))
+    from ..autodiff import tensor as _tensor
+
+    _tensor.set_tape_hook(_ACTIVE.check_tape)
+    return _ACTIVE
+
+
+def uninstall() -> None:
+    """Disarm: drop the sanitizer and unhook tape dispatch."""
+    global _ACTIVE, _ENV_CHECKED
+    _ENV_CHECKED = True
+    _ACTIVE = None
+    from ..autodiff import tensor as _tensor
+
+    _tensor.set_tape_hook(None)

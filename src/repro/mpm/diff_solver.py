@@ -65,7 +65,7 @@ class DiffMPMState:
                              requires_grad=requires_grad),
             velocities=Tensor(np.asarray(velocities, dtype=np.float64),
                               requires_grad=requires_grad),
-            stresses=Tensor(np.zeros((n, 2, 2))),
+            stresses=Tensor(np.zeros((n, 2, 2), dtype=np.float64)),
             volumes=Tensor(np.asarray(volumes, dtype=np.float64)),
             masses=np.asarray(masses, dtype=np.float64),
         )
@@ -130,12 +130,12 @@ class DifferentiableMPM:
 
         fx = frac[:, 0]
         fy = frac[:, 1]
-        one = Tensor(np.ones(fx.shape[0]))
+        one = Tensor(np.ones(fx.shape[0], dtype=np.float64))
         wx = [one - fx, fx]
         wy = [one - fy, fy]
         # d/dx of the 1-D hats: ∓1/h (constants)
-        minus = Tensor(np.full(fx.shape[0], -1.0 / h))
-        plus = Tensor(np.full(fx.shape[0], 1.0 / h))
+        minus = Tensor(np.full(fx.shape[0], -1.0 / h, dtype=np.float64))
+        plus = Tensor(np.full(fx.shape[0], 1.0 / h, dtype=np.float64))
         dwx = [minus, plus]
         dwy = [minus, plus]
 
@@ -194,10 +194,10 @@ class DifferentiableMPM:
         empty = grid_mass.data <= 1e-12
         v_old = grid_mom * inv_mass.reshape(-1, 1)
         v_old = where(empty[:, None] | self.wall_mask[:, None],
-                      Tensor(np.zeros((nn, 2))), v_old)
+                      Tensor(np.zeros((nn, 2), dtype=np.float64)), v_old)
         v_new = v_old + grid_f * (dt * inv_mass).reshape(-1, 1)
         v_new = where(empty[:, None] | self.wall_mask[:, None],
-                      Tensor(np.zeros((nn, 2))), v_new)
+                      Tensor(np.zeros((nn, 2), dtype=np.float64)), v_new)
 
         # --- G2P ----------------------------------------------------------
         v_pic_parts = []
@@ -278,7 +278,7 @@ class DifferentiableMPM:
         gx, gy = np.meshgrid(xs, ys, indexing="ij")
         pos = np.stack([gx.ravel(), gy.ravel()], axis=1)
         n = pos.shape[0]
-        vol = np.full(n, spacing * spacing)
+        vol = np.full(n, spacing * spacing, dtype=np.float64)
         vel = np.tile(np.asarray(velocity, dtype=np.float64), (n, 1))
         return DiffMPMState.from_particles(pos, vel, vol * density, vol,
                                            requires_grad=requires_grad)

@@ -89,9 +89,9 @@ class Grid:
         self.node_positions = np.stack(
             [self.node_ix * spacing, self.node_iy * spacing], axis=1)
 
-        self.mass = np.zeros(self.num_nodes)
-        self.momentum = np.zeros((self.num_nodes, 2))
-        self.force = np.zeros((self.num_nodes, 2))
+        self.mass = np.zeros(self.num_nodes, dtype=np.float64)
+        self.momentum = np.zeros((self.num_nodes, 2), dtype=np.float64)
+        self.force = np.zeros((self.num_nodes, 2), dtype=np.float64)
         #: optional static in-domain obstacle: velocities at these nodes
         #: are zeroed every step (rigid, sticky inclusion)
         self.obstacle_mask: np.ndarray | None = None

@@ -76,14 +76,14 @@ class Particles:
             rng = rng or np.random.default_rng(0)
             pos = pos + rng.uniform(-jitter, jitter, size=pos.shape) * spacing
         n = pos.shape[0]
-        vol = np.full(n, spacing * spacing)
+        vol = np.full(n, spacing * spacing, dtype=np.float64)
         return cls(
             positions=pos,
             velocities=np.tile(np.asarray(velocity, dtype=np.float64), (n, 1)),
             masses=vol * density,
             volumes=vol.copy(),
-            stresses=np.zeros((n, 2, 2)),
-            sigma_zz=np.zeros(n),
+            stresses=np.zeros((n, 2, 2), dtype=np.float64),
+            sigma_zz=np.zeros(n, dtype=np.float64),
         )
 
     def copy(self) -> "Particles":

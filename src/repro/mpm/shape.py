@@ -64,8 +64,8 @@ class LinearShape(ShapeFunction):
 
         ny = grid_dims[1]
         nodes = np.empty((n, 4), dtype=np.int64)
-        weights = np.empty((n, 4))
-        grads = np.empty((n, 4, 2))
+        weights = np.empty((n, 4), dtype=np.float64)
+        grads = np.empty((n, 4, 2), dtype=np.float64)
         k = 0
         for i in range(2):
             for j in range(2):
@@ -101,8 +101,8 @@ class QuadraticShape(ShapeFunction):
         base = np.floor(xi - 0.5).astype(np.int64)     # leftmost of 3 nodes
 
         # signed distance from particle to each of the 3 nodes per dim
-        w1d = np.empty((3, n, 2))
-        dw1d = np.empty((3, n, 2))
+        w1d = np.empty((3, n, 2), dtype=np.float64)
+        dw1d = np.empty((3, n, 2), dtype=np.float64)
         for o in range(3):
             d = xi - (base + o)
             w1d[o], dw1d[o] = _bspline_quadratic(d)
@@ -110,8 +110,8 @@ class QuadraticShape(ShapeFunction):
 
         ny = grid_dims[1]
         nodes = np.empty((n, 9), dtype=np.int64)
-        weights = np.empty((n, 9))
-        grads = np.empty((n, 9, 2))
+        weights = np.empty((n, 9), dtype=np.float64)
+        grads = np.empty((n, 9, 2), dtype=np.float64)
         k = 0
         for i in range(3):
             for j in range(3):

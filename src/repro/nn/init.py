@@ -25,4 +25,4 @@ def kaiming_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.n
 
 
 def zeros(*shape: int) -> np.ndarray:
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=np.float64)

@@ -26,7 +26,7 @@ class Linear(Module):
         super().__init__()
         init = kaiming_uniform if activation == "relu" else xavier_uniform
         self.weight = Parameter(init(in_features, out_features, rng))
-        self.bias = Parameter(np.zeros(out_features))
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float64))
         self.in_features = in_features
         self.out_features = out_features
 
@@ -56,8 +56,8 @@ class LayerNorm(Module):
 
     def __init__(self, features: int, eps: float = 1e-5):
         super().__init__()
-        self.gamma = Parameter(np.ones(features))
-        self.beta = Parameter(np.zeros(features))
+        self.gamma = Parameter(np.ones(features, dtype=np.float64))
+        self.beta = Parameter(np.zeros(features, dtype=np.float64))
         self.eps = eps
 
     def forward(self, x: Tensor) -> Tensor:

@@ -200,8 +200,8 @@ class DataParallelTrainer:
     def __del__(self):  # best-effort backstop for non-context-manager use
         try:
             self.close()
-        except Exception:
-            pass
+        except (OSError, ValueError, RuntimeError):
+            pass  # interpreter teardown: the pool may already be gone
 
     # ------------------------------------------------------------------
     def _sample_shards(self) -> list[list[TrainingWindow]]:
@@ -236,7 +236,11 @@ class DataParallelTrainer:
                     failed.append(i)
                     if reg.enabled:
                         reg.counter("pool.task_timeouts").inc()
+                except (KeyboardInterrupt, SystemExit):
+                    raise
                 except Exception:
+                    # a worker task re-raises arbitrary user exceptions
+                    # through handle.get(); anything non-fatal is a retry
                     failed.append(i)
                     if reg.enabled:
                         reg.counter("pool.task_failures").inc()
@@ -284,9 +288,10 @@ class DataParallelTrainer:
                                retry_on=(WorkerPoolError,),
                                op="pool.worker")
                     for shard, seed in zip(shards, seeds)]
-        except Exception:
-            # never leak a half-broken pool past a failed step: callers
-            # without a context manager still get a clean teardown
+        except BaseException:
+            # never leak a half-broken pool past a failed step (including
+            # Ctrl-C): callers without a context manager still get a clean
+            # teardown; the exception always propagates
             self.close()
             raise
 

@@ -53,10 +53,24 @@ import numpy as np
 
 __all__ = ["FaultClause", "FaultInjector", "FaultError", "parse_faults",
            "get_injector", "arm_faults", "disarm_faults", "FAULTS_ENV",
-           "FAULTS_SEED_ENV"]
+           "FAULTS_SEED_ENV", "KNOWN_SITES"]
 
 FAULTS_ENV = "REPRO_FAULTS"
 FAULTS_SEED_ENV = "REPRO_FAULTS_SEED"
+
+#: every fault site instrumented anywhere in the library. Lint rule
+#: CNV002 cross-references ``fire()``/``raise_if()`` call sites against
+#: this set, so a typo'd site string fails `repro lint` instead of
+#: silently producing a chaos test that never fires. Add new sites here
+#: *and* to the table in the module docstring.
+KNOWN_SITES = frozenset({
+    "train.nan_grad", "train.poison_batch",
+    "io.load",
+    "ckpt.corrupt", "ckpt.truncate",
+    "pool.crash", "pool.stall",
+    "rollout.diverge",
+    "mpm.kick",
+})
 
 
 class FaultError(OSError):

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -171,7 +172,10 @@ def verify_checkpoint(path: str | Path) -> bool:
         return False
     try:
         arrays, manifest = load_state_npz(path, verify=False)
-    except Exception:
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+        # unreadable bytes, truncated archives, corrupt zip directories,
+        # bad JSON manifests (JSONDecodeError is a ValueError) — all mean
+        # "not a usable checkpoint", never an error
         return False
     return manifest.get("format") == "repro.train.TrainState"
 

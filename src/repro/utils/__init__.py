@@ -6,9 +6,9 @@ here unchanged for backwards compatibility.
 """
 
 from .timer import Timer, benchmark
-from .seeding import seed_everything, spawn_rngs
+from .seeding import make_rng, seed_everything, spawn_rngs
 from .profiling import profile_block, top_functions
 from .buffers import Workspace
 
-__all__ = ["Timer", "benchmark", "seed_everything", "spawn_rngs",
-           "profile_block", "top_functions", "Workspace"]
+__all__ = ["Timer", "benchmark", "make_rng", "seed_everything",
+           "spawn_rngs", "profile_block", "top_functions", "Workspace"]

@@ -1,0 +1,44 @@
+"""The repository lints clean against its own rules.
+
+This is the enforcement test behind ``repro lint --strict`` in CI: every
+rule in the catalog runs over ``src/`` with ``tests/`` as the
+cross-reference corpus, and any fresh violation fails the suite. New
+code that breaks determinism, dtype discipline, an autodiff contract, or
+a naming convention is caught here before it lands.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import LintConfig, iter_rules, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_repo_is_lint_clean_strict():
+    report = run_lint(LintConfig(root=REPO_ROOT))
+    fresh = report.fresh
+    assert not fresh, "repository has lint violations:\n" + "\n".join(
+        v.as_text() for v in fresh)
+    assert report.exit_code(strict=True) == 0
+    assert report.files_checked > 50
+    assert report.rules_run >= 10
+
+
+def test_committed_baseline_is_empty():
+    """The committed baseline grandfathers nothing — violations get fixed
+    or individually suppressed with a justification, not baselined."""
+    path = REPO_ROOT / "lint-baseline.json"
+    data = json.loads(path.read_text())
+    assert data["format"] == "repro.lint.baseline"
+    assert data["violations"] == {}
+
+
+def test_every_registered_rule_runs():
+    run_lint(LintConfig(root=REPO_ROOT), rules=[], sources=[])
+    ids = {r.id for r in iter_rules()}
+    for prefix in ("DET", "DTY", "ADF", "CNV"):
+        assert any(i.startswith(prefix) for i in ids), (
+            f"no {prefix} rules registered")

@@ -1,0 +1,174 @@
+"""Runtime sanitizers: mode parsing, per-site checks, tape hook, and the
+acceptance scenario — a fault-injected GNS rollout pinpointed at the
+originating op and step, with unsanitized runs bitwise-unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.gns import FeatureConfig, GNSNetworkConfig, LearnedSimulator, Stats
+from repro.lint import sanitize
+from repro.lint.sanitize import (Sanitizer, SanitizerError, active, install,
+                                 parse_modes, uninstall)
+from repro.resilience.faults import arm_faults, disarm_faults
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    """Every test starts and ends with sanitizer + faults disarmed."""
+    uninstall()
+    disarm_faults()
+    yield
+    uninstall()
+    disarm_faults()
+
+
+# ---------------------------------------------------------------- parsing
+
+def test_parse_modes():
+    assert parse_modes("nan") == frozenset({"nan"})
+    assert parse_modes("nan,dtype") == frozenset({"nan", "dtype"})
+    assert parse_modes("all") == frozenset({"nan", "shape", "dtype"})
+    assert parse_modes("") == frozenset()
+    with pytest.raises(ValueError, match="unknown sanitize mode"):
+        parse_modes("nan,bogus")
+
+
+def test_env_arming(monkeypatch):
+    monkeypatch.setenv(sanitize.SANITIZE_ENV, "nan,shape")
+    sanitize._ENV_CHECKED = False
+    san = active()
+    assert san is not None
+    assert san.modes == frozenset({"nan", "shape"})
+
+
+def test_unarmed_is_none(monkeypatch):
+    monkeypatch.delenv(sanitize.SANITIZE_ENV, raising=False)
+    sanitize._ENV_CHECKED = False
+    assert active() is None
+
+
+# ---------------------------------------------------------------- checks
+
+def test_nan_check_names_site_and_step():
+    san = Sanitizer(parse_modes("nan"))
+    san.check("mpm/p2g", np.zeros(4), step=3)  # clean passes
+    bad = np.array([1.0, np.nan, np.inf])
+    with pytest.raises(SanitizerError) as err:
+        san.check("mpm/p2g", bad, step=7)
+    assert err.value.site == "mpm/p2g"
+    assert err.value.issue == "nan"
+    assert err.value.step == 7
+    assert "2/3 non-finite" in str(err.value)
+
+
+def test_nan_check_skips_integer_arrays():
+    san = Sanitizer(parse_modes("nan"))
+    san.check("idx", np.array([1, 2, 3]))  # no floating check on ints
+
+
+def test_dtype_drift_per_site():
+    san = Sanitizer(parse_modes("dtype"))
+    san.check("op", np.zeros(3, dtype=np.float64))
+    san.check("op", np.zeros(9, dtype=np.float64))  # same dtype: fine
+    san.check("other", np.zeros(3, dtype=np.float32))  # other site: fine
+    with pytest.raises(SanitizerError) as err:
+        san.check("op", np.zeros(3, dtype=np.float32))
+    assert err.value.issue == "dtype"
+    assert "float64 -> float32" in str(err.value)
+
+
+def test_shape_drift_per_site():
+    san = Sanitizer(parse_modes("shape"))
+    san.check("op", np.zeros((4, 3)))
+    with pytest.raises(SanitizerError) as err:
+        san.check("op", np.zeros((5, 3)))
+    assert err.value.issue == "shape"
+    san.reset()
+    san.check("op", np.zeros((5, 3)))  # forgotten after reset
+
+
+# ---------------------------------------------------------------- tape hook
+
+def test_tape_hook_catches_nan_at_originating_op():
+    install("nan")
+    x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+    (x * 2.0).sum()  # clean ops pass through
+    bad = Tensor(np.array([0.0, -1.0]), requires_grad=True)
+    with pytest.raises(SanitizerError) as err, np.errstate(invalid="ignore",
+                                                           divide="ignore"):
+        bad.log()  # log(-1) = nan, raised AT the op, not downstream
+    assert err.value.site == "Tensor.log"
+    assert err.value.issue == "nan"
+
+
+def test_tape_hook_disarmed_is_free():
+    install("nan")
+    uninstall()
+    x = Tensor(np.array([0.0, -1.0]))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = x.log()  # no hook: nan flows like stock numpy
+    assert np.isnan(out.data).any()
+
+
+# ------------------------------------------------------- rollout acceptance
+
+def _make_sim(seed=1):
+    bounds = np.array([[0.0, 1.0], [0.0, 1.0]])
+    cfg = FeatureConfig(connectivity_radius=0.15, history=3, bounds=bounds,
+                        use_material=True)
+    net = GNSNetworkConfig(latent_size=12, mlp_hidden_size=12,
+                           message_passing_steps=2)
+    stats = Stats(np.zeros(2), np.full(2, 0.01), np.zeros(2),
+                  np.full(2, 2e-4))
+    return LearnedSimulator(cfg, net, stats,
+                            rng=np.random.default_rng(seed))
+
+
+def _make_seed_frames(sim, n=30, seed=0):
+    rng = np.random.default_rng(seed)
+    x0 = rng.uniform(0.25, 0.75, size=(n, 2))
+    frames = [x0]
+    for _ in range(sim.feature_config.history):
+        frames.append(frames[-1] + rng.normal(0, 5e-4, size=(n, 2)))
+    return np.stack(frames, axis=0)
+
+
+def test_sanitized_rollout_pinpoints_injected_divergence():
+    """REPRO_SANITIZE=nan + an injected ``rollout.diverge`` fault: the
+    error names the integration op and the exact step, instead of a
+    diverged-trajectory error hundreds of steps downstream."""
+    sim = _make_sim()
+    frames = _make_seed_frames(sim)
+    install("nan")
+    arm_faults("rollout.diverge@2")
+    with pytest.raises(SanitizerError) as err:
+        sim.rollout(frames, 8, material=30.0)
+    assert err.value.site == "engine.integrate"
+    assert err.value.step == 2
+    assert err.value.issue == "nan"
+
+
+def test_unsanitized_rollout_is_bitwise_unchanged():
+    """The ``is None`` fast path: with REPRO_SANITIZE unset the rollout
+    output is bitwise-identical to a sanitized clean run — instrumenting
+    the engine cost nothing."""
+    sim = _make_sim()
+    frames = _make_seed_frames(sim)
+    plain = sim.rollout(frames, 10, material=30.0)
+    san = install("nan")
+    sanitized = sim.rollout(frames, 10, material=30.0)
+    assert san.checks > 0  # the sanitizer actually ran
+    np.testing.assert_array_equal(plain, sanitized)
+
+
+def test_batch_rollout_is_sanitized_too():
+    sim = _make_sim()
+    frames = _make_seed_frames(sim)
+    batch = np.stack([frames, frames], axis=0)
+    san = install("nan")
+    sim.rollout_batch(batch, 4, materials=[30.0, 30.0])
+    assert san.checks > 0
