@@ -1,0 +1,11 @@
+"""Optional CPU acceleration kernels for the float32 inference fast path.
+
+The package compiles a small set of fused elementwise C kernels at runtime
+(via cffi + the system C compiler) and exposes them behind a feature gate:
+every call site keeps a pure-NumPy fallback, so the kernels are a strict
+speed-up, never a requirement.  See :mod:`repro.accel.cpu`.
+"""
+
+from .cpu import CpuKernels, available, kernels
+
+__all__ = ["CpuKernels", "available", "kernels"]

@@ -1,0 +1,357 @@
+"""Runtime-compiled fused C kernels for float32 CPU inference.
+
+The float32 fast path (``InferenceEngine(dtype=np.float32)``) spends its
+time in two places: BLAS sgemm calls, which are already optimal, and
+memory-bound elementwise glue (bias + ReLU, LayerNorm, gather-add,
+segment-sum) where NumPy pays one full pass over the array per ufunc.
+This module fuses that glue into single-pass C loops, compiled once per
+machine with the system ``cc`` through cffi's ABI mode.
+
+Gating and fallback
+-------------------
+* ``kernels()`` returns a :class:`CpuKernels` handle, or ``None`` when the
+  toolchain is unavailable (no compiler, no cffi, sandboxed tmpdir, ...).
+  Call sites must treat ``None`` as "use the NumPy path".
+* ``REPRO_NO_CKERNELS=1`` disables compilation entirely — the kill switch
+  for debugging or reproducing pure-NumPy numbers.
+* The float64 inference path never dispatches here: its contract is
+  bitwise equality with the legacy per-op implementation, which only the
+  NumPy kernels guarantee.
+
+Numerics
+--------
+Two translation units with different flag sets:
+
+* strict IEEE (``relu``/``bias_relu``/``gather2_add_relu``/``segment_sum``):
+  plain ``-O3``; ReLU uses ``v > 0 ? v : 0*v`` so NaNs propagate exactly
+  like ``np.maximum`` (the ``0*v`` keeps NaN; only the sign of zero can
+  differ from NumPy, which compares equal).  The segment sum accumulates
+  rows in edge order — the same order as the CSR matmul it replaces.
+* reassociation-enabled (``ln``/``bias_ln``): ``-fassociative-math`` and
+  friends, required for the compiler to vectorize the float reductions in
+  LayerNorm (4x faster than NumPy's multi-pass version).  NaNs still
+  propagate (``-ffinite-math-only`` is *not* enabled), but the summation
+  order inside a row is unspecified, so results differ from NumPy in the
+  last ulp or two.
+
+All kernels require C-contiguous float32 arrays and int64 indices; the
+wrappers validate this and raise rather than fall back, because a silent
+copy would hide the performance bug the caller is trying to avoid.
+"""
+
+# repro-lint: fp32-ok
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import tempfile
+
+import numpy as np
+
+__all__ = ["CpuKernels", "available", "kernels"]
+
+_CDEF = """
+void repro_relu32(float* h, long long n);
+void repro_bias_relu32(float* h, long long n, long long w, const float* bias);
+void repro_gather2_add_relu32(float* h, long long e, long long w,
+                              const float* ps, const float* pr,
+                              const long long* senders,
+                              const long long* receivers, int relu);
+void repro_segsum32(const float* msgs, long long w, const long long* indptr,
+                    long long n, float* out);
+void repro_ln32(float* h, long long n, long long w, const float* gamma,
+                const float* beta, float eps);
+void repro_bias_ln32(float* h, long long n, long long w, const float* bias,
+                     const float* gamma, const float* beta, float eps);
+"""
+
+# Translation unit 1: strict IEEE semantics (no reassociation). The ReLU
+# branches multiply by zero instead of loading a zero constant so that a
+# NaN input stays NaN, matching np.maximum(h, 0).
+_SRC_STRICT = r"""
+#include <stdint.h>
+
+typedef long long i64;
+
+void repro_relu32(float* restrict h, i64 n)
+{
+    for (i64 i = 0; i < n; i++) {
+        float v = h[i];
+        h[i] = v > 0.0f ? v : 0.0f * v;
+    }
+}
+
+void repro_bias_relu32(float* restrict h, i64 n, i64 w,
+                       const float* restrict bias)
+{
+    for (i64 i = 0; i < n; i++) {
+        float* row = h + i * w;
+        for (i64 j = 0; j < w; j++) {
+            float v = row[j] + bias[j];
+            row[j] = v > 0.0f ? v : 0.0f * v;
+        }
+    }
+}
+
+void repro_gather2_add_relu32(float* restrict h, i64 e, i64 w,
+                              const float* restrict ps,
+                              const float* restrict pr,
+                              const i64* restrict senders,
+                              const i64* restrict receivers, int relu)
+{
+    for (i64 i = 0; i < e; i++) {
+        float* row = h + i * w;
+        const float* s = ps + senders[i] * w;
+        const float* r = pr + receivers[i] * w;
+        if (relu) {
+            for (i64 j = 0; j < w; j++) {
+                float v = row[j] + s[j] + r[j];
+                row[j] = v > 0.0f ? v : 0.0f * v;
+            }
+        } else {
+            /* left-associated like the NumPy reference (h + s) + r */
+            for (i64 j = 0; j < w; j++)
+                row[j] = row[j] + s[j] + r[j];
+        }
+    }
+}
+
+/* Rows of a segment accumulate in edge order: identical order to the CSR
+ * matmul (scipy csr_matrix @ dense walks column indices sequentially per
+ * output row), so the result is bitwise-equal to the NumPy plan path. */
+void repro_segsum32(const float* restrict msgs, i64 w,
+                    const i64* restrict indptr, i64 n, float* restrict out)
+{
+    for (i64 i = 0; i < n; i++) {
+        float* o = out + i * w;
+        for (i64 j = 0; j < w; j++)
+            o[j] = 0.0f;
+        for (i64 k = indptr[i]; k < indptr[i + 1]; k++) {
+            const float* m = msgs + k * w;
+            for (i64 j = 0; j < w; j++)
+                o[j] += m[j];
+        }
+    }
+}
+"""
+
+# Translation unit 2: LayerNorm. Compiled with reassociation so the two
+# row reductions (mean, variance) vectorize; see the module docstring for
+# the numerics contract.
+_SRC_LN = r"""
+#include <stdint.h>
+#include <math.h>
+
+typedef long long i64;
+
+void repro_ln32(float* restrict h, i64 n, i64 w, const float* restrict gamma,
+                const float* restrict beta, float eps)
+{
+    for (i64 i = 0; i < n; i++) {
+        float* row = h + i * w;
+        float mu = 0.0f;
+        for (i64 j = 0; j < w; j++)
+            mu += row[j];
+        mu /= (float)w;
+        float var = 0.0f;
+        for (i64 j = 0; j < w; j++) {
+            float c = row[j] - mu;
+            var += c * c;
+        }
+        float inv = 1.0f / sqrtf(var / (float)w + eps);
+        for (i64 j = 0; j < w; j++)
+            row[j] = (row[j] - mu) * inv * gamma[j] + beta[j];
+    }
+}
+
+void repro_bias_ln32(float* restrict h, i64 n, i64 w,
+                     const float* restrict bias, const float* restrict gamma,
+                     const float* restrict beta, float eps)
+{
+    for (i64 i = 0; i < n; i++) {
+        float* row = h + i * w;
+        float mu = 0.0f;
+        for (i64 j = 0; j < w; j++) {
+            row[j] += bias[j];
+            mu += row[j];
+        }
+        mu /= (float)w;
+        float var = 0.0f;
+        for (i64 j = 0; j < w; j++) {
+            float c = row[j] - mu;
+            var += c * c;
+        }
+        float inv = 1.0f / sqrtf(var / (float)w + eps);
+        for (i64 j = 0; j < w; j++)
+            row[j] = (row[j] - mu) * inv * gamma[j] + beta[j];
+    }
+}
+"""
+
+_FLAGS_COMMON = ["-O3", "-march=native", "-fPIC"]
+_FLAGS_LN = ["-fno-math-errno", "-fassociative-math", "-fno-signed-zeros",
+             "-fno-trapping-math", "-freciprocal-math"]
+
+
+def _build_dir() -> str:
+    override = os.environ.get("REPRO_CKERNEL_CACHE")
+    if override:
+        os.makedirs(override, exist_ok=True)
+        return override
+    path = os.path.join(tempfile.gettempdir(),
+                        f"repro-ckernels-{os.getuid()}")
+    os.makedirs(path, mode=0o700, exist_ok=True)
+    return path
+
+
+def _compile() -> str:
+    """Compile both translation units into one shared library; return its
+    path. Cached on disk by content hash, so the compiler runs at most
+    once per machine per source revision."""
+    cc = os.environ.get("CC", "cc")
+    tag = hashlib.sha256(
+        "\x00".join([_SRC_STRICT, _SRC_LN, cc,
+                     " ".join(_FLAGS_COMMON + _FLAGS_LN)]).encode()
+    ).hexdigest()[:16]
+    build = _build_dir()
+    so_path = os.path.join(build, f"repro_ckernels_{tag}.so")
+    if os.path.exists(so_path):
+        return so_path
+    with tempfile.TemporaryDirectory(dir=build) as tmp:
+        strict_c = os.path.join(tmp, "strict.c")
+        ln_c = os.path.join(tmp, "ln.c")
+        with open(strict_c, "w") as fh:
+            fh.write(_SRC_STRICT)
+        with open(ln_c, "w") as fh:
+            fh.write(_SRC_LN)
+        strict_o = os.path.join(tmp, "strict.o")
+        ln_o = os.path.join(tmp, "ln.o")
+        tmp_so = os.path.join(tmp, "out.so")
+        for cmd in (
+            [cc, *_FLAGS_COMMON, "-c", strict_c, "-o", strict_o],
+            [cc, *_FLAGS_COMMON, *_FLAGS_LN, "-c", ln_c, "-o", ln_o],
+            [cc, "-shared", strict_o, ln_o, "-o", tmp_so, "-lm"],
+        ):
+            subprocess.run(cmd, check=True, capture_output=True)
+        # atomic publish so concurrent processes never dlopen a partial file
+        os.replace(tmp_so, so_path)
+    return so_path
+
+
+class CpuKernels:
+    """Thin validating wrappers over the compiled kernels.
+
+    Every method mutates its first argument in place (except
+    :meth:`segment_sum`, which fills ``out``). Arrays must be
+    C-contiguous float32; index arrays must be int64 (``np.intp`` on all
+    supported platforms).
+    """
+
+    def __init__(self, ffi, lib):
+        self._ffi = ffi
+        self._lib = lib
+
+    def _f32(self, a: np.ndarray):
+        if a.dtype != np.float32 or not a.flags.c_contiguous:
+            raise TypeError("accel kernels need C-contiguous float32 arrays")
+        return self._ffi.cast("float *", a.ctypes.data)
+
+    def _i64(self, a: np.ndarray):
+        if a.dtype != np.int64 or not a.flags.c_contiguous:
+            raise TypeError("accel kernels need C-contiguous int64 indices")
+        return self._ffi.cast("long long *", a.ctypes.data)
+
+    def relu(self, h: np.ndarray) -> np.ndarray:
+        """In-place ``h = max(h, 0)`` (NaN-propagating)."""
+        self._lib.repro_relu32(self._f32(h), h.size)
+        return h
+
+    def bias_relu(self, h: np.ndarray, bias: np.ndarray) -> np.ndarray:
+        """In-place ``h = max(h + bias, 0)`` over rows."""
+        n, w = h.shape
+        self._lib.repro_bias_relu32(self._f32(h), n, w, self._f32(bias))
+        return h
+
+    def ln(self, h: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+           eps: float) -> np.ndarray:
+        """In-place LayerNorm over the last axis."""
+        n, w = h.shape
+        self._lib.repro_ln32(self._f32(h), n, w, self._f32(gamma),
+                             self._f32(beta), eps)
+        return h
+
+    def bias_ln(self, h: np.ndarray, bias: np.ndarray, gamma: np.ndarray,
+                beta: np.ndarray, eps: float) -> np.ndarray:
+        """In-place ``LayerNorm(h + bias)`` over rows."""
+        n, w = h.shape
+        self._lib.repro_bias_ln32(self._f32(h), n, w, self._f32(bias),
+                                  self._f32(gamma), self._f32(beta), eps)
+        return h
+
+    def gather2_add_relu(self, h: np.ndarray, proj_s: np.ndarray,
+                         proj_r: np.ndarray, senders: np.ndarray,
+                         receivers: np.ndarray, relu: bool = True
+                         ) -> np.ndarray:
+        """In-place ``h += proj_s[senders] + proj_r[receivers]`` with an
+        optional fused ReLU — the edge-MLP first layer in one pass."""
+        e, w = h.shape
+        if proj_s.shape[1] != w or proj_r.shape[1] != w:
+            raise ValueError("projection width mismatch")
+        self._lib.repro_gather2_add_relu32(
+            self._f32(h), e, w, self._f32(proj_s), self._f32(proj_r),
+            self._i64(senders), self._i64(receivers), 1 if relu else 0)
+        return h
+
+    def segment_sum(self, msgs: np.ndarray, indptr: np.ndarray,
+                    out: np.ndarray) -> np.ndarray:
+        """``out[i] = msgs[indptr[i]:indptr[i+1]].sum(axis=0)`` — the CSR
+        aggregation for receiver-sorted edges, bitwise-equal to the scipy
+        matmul path (same accumulation order)."""
+        e, w = msgs.shape
+        n = out.shape[0]
+        if indptr.shape[0] != n + 1 or out.shape[1] != w:
+            raise ValueError("segment_sum plan/output shape mismatch")
+        if e and int(indptr[-1]) != e:
+            raise ValueError("indptr does not cover all edges")
+        self._lib.repro_segsum32(self._f32(msgs), w, self._i64(indptr), n,
+                                 self._f32(out))
+        return out
+
+
+_KERNELS: CpuKernels | None = None
+_TRIED = False
+
+
+def kernels() -> CpuKernels | None:
+    """Compiled kernel handle, or ``None`` when unavailable.
+
+    The first call pays for (cached) compilation; later calls are a
+    global read. Failure is remembered — one broken toolchain probe per
+    process, not one per forward pass.
+    """
+    global _KERNELS, _TRIED
+    if _TRIED:
+        return _KERNELS
+    _TRIED = True
+    if os.environ.get("REPRO_NO_CKERNELS"):
+        return None
+    try:
+        import cffi
+        ffi = cffi.FFI()
+        ffi.cdef(_CDEF)
+        lib = ffi.dlopen(_compile())
+        _KERNELS = CpuKernels(ffi, lib)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception:
+        # any toolchain failure (no gcc, no cffi, sandboxed tmpdir, bad
+        # dlopen) falls back to the numpy path
+        _KERNELS = None
+    return _KERNELS
+
+
+def available() -> bool:
+    """True when the compiled float32 kernels can be used."""
+    return kernels() is not None

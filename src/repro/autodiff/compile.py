@@ -1,0 +1,287 @@
+"""Tape fusion: collapse elementwise ``Tensor`` chains into one tape node.
+
+A chain like ``((cur - prev) - vmean) / vstd`` records three tape nodes,
+three VJP closures, and three parent tuples per call. For the GNS feature
+pipeline (five velocity chains, two boundary chains, the acceleration
+de/normalization — every rollout step) that bookkeeping is pure overhead:
+the chain's combined vector-Jacobian product is known in closed form.
+
+:func:`compile_tape` traces a python function once over symbolic operands,
+records the elementwise program, and returns a :class:`CompiledChain` that
+replays the same NumPy ops (same order, same ufuncs — bitwise identical
+forward) while emitting a *single* ``Tensor._make`` node whose backward
+walks the recorded program in reverse with hand-derived per-op VJP rules.
+
+Supported ops: ``+ - * / -x  x**const  exp log sqrt tanh sigmoid relu
+clip abs sin cos``. Operands may be other traced values, ndarray/scalar
+constants, or non-grad ``Tensor`` constants captured by the closure —
+constants are baked into the program by reference, so a compiled chain
+must only be cached while its constants are alive and unchanged (the
+featurizer keys its cache on the identity of the statistics arrays).
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+
+from .tensor import Tensor, _unbroadcast, as_tensor
+
+__all__ = ["CompiledChain", "compile_tape"]
+
+
+class _Builder:
+    """Accumulates the traced instruction list during symbolic tracing."""
+
+    def __init__(self, num_inputs: int):
+        self.prog: list = []
+        self.num_slots = num_inputs
+
+    def emit(self, name, a, b=None, aux=None) -> "_Sym":
+        out = self.num_slots
+        self.num_slots += 1
+        self.prog.append((name, out, a, b, aux))
+        return _Sym(self, out)
+
+
+class _Sym:
+    """Symbolic operand standing in for an array during tracing."""
+
+    __slots__ = ("builder", "slot")
+
+    # make `ndarray <op> _Sym` defer to our reflected operators instead of
+    # numpy broadcasting over the object
+    __array_ufunc__ = None
+
+    def __init__(self, builder: _Builder, slot: int):
+        self.builder = builder
+        self.slot = slot
+
+    def _operand(self, value):
+        if isinstance(value, _Sym):
+            if value.builder is not self.builder:
+                raise ValueError("cannot mix operands from different traces")
+            return ("v", value.slot)
+        if isinstance(value, Tensor):
+            if value.requires_grad:
+                raise ValueError(
+                    "compiled chains treat closed-over Tensors as constants; "
+                    "pass differentiable values as function arguments")
+            return ("c", value.data)
+        if isinstance(value, np.ndarray) or np.isscalar(value):
+            return ("c", value)
+        raise TypeError(f"unsupported operand type: {type(value).__name__}")
+
+    def _binary(self, name, other, swap=False):
+        a, b = self._operand(other if swap else self), \
+            self._operand(self if swap else other)
+        return self.builder.emit(name, a, b)
+
+    def _unary(self, name, aux=None):
+        return self.builder.emit(name, self._operand(self), None, aux)
+
+    def __add__(self, other):
+        return self._binary("add", other)
+
+    def __radd__(self, other):
+        return self._binary("add", other, swap=True)
+
+    def __sub__(self, other):
+        return self._binary("sub", other)
+
+    def __rsub__(self, other):
+        return self._binary("sub", other, swap=True)
+
+    def __mul__(self, other):
+        return self._binary("mul", other)
+
+    def __rmul__(self, other):
+        return self._binary("mul", other, swap=True)
+
+    def __truediv__(self, other):
+        return self._binary("div", other)
+
+    def __rtruediv__(self, other):
+        return self._binary("div", other, swap=True)
+
+    def __neg__(self):
+        return self._unary("neg")
+
+    def __pow__(self, exponent):
+        return self._unary("pow", float(exponent))
+
+    def exp(self):
+        return self._unary("exp")
+
+    def log(self):
+        return self._unary("log")
+
+    def sqrt(self):
+        return self._unary("sqrt")
+
+    def tanh(self):
+        return self._unary("tanh")
+
+    def sigmoid(self):
+        return self._unary("sigmoid")
+
+    def relu(self):
+        return self._unary("relu")
+
+    def abs(self):
+        return self._unary("abs")
+
+    def sin(self):
+        return self._unary("sin")
+
+    def cos(self):
+        return self._unary("cos")
+
+    def clip(self, lo, hi):
+        return self._unary("clip", (lo, hi))
+
+
+# forward kernels — the exact ufunc expressions of the unfused Tensor ops,
+# so fusing a chain never changes a single bit of the forward pass
+_FORWARD = {
+    "add": lambda a, b, aux: a + b,
+    "sub": lambda a, b, aux: a - b,
+    "mul": lambda a, b, aux: a * b,
+    "div": lambda a, b, aux: a / b,
+    "neg": lambda a, b, aux: -a,
+    "pow": lambda a, b, aux: a ** aux,
+    "exp": lambda a, b, aux: np.exp(a),
+    "log": lambda a, b, aux: np.log(a),
+    "sqrt": lambda a, b, aux: np.sqrt(a),
+    "tanh": lambda a, b, aux: np.tanh(a),
+    "sigmoid": lambda a, b, aux: 1.0 / (1.0 + np.exp(-a)),
+    "relu": lambda a, b, aux: np.where(a > 0, a, 0.0),
+    "clip": lambda a, b, aux: np.clip(a, aux[0], aux[1]),
+    "abs": lambda a, b, aux: np.abs(a),
+    "sin": lambda a, b, aux: np.sin(a),
+    "cos": lambda a, b, aux: np.cos(a),
+}
+
+
+def _clip_mask(a, aux):
+    lo, hi = aux
+    mask = np.ones(np.shape(a), dtype=bool)
+    if lo is not None:
+        mask &= a >= lo
+    if hi is not None:
+        mask &= a <= hi
+    return mask
+
+
+# per-op local VJP rules: (g, a, b, out, aux) -> (grad_a, grad_b)
+# mirrors the rules of the individual Tensor ops (tensor.py)
+_BACKWARD = {
+    "add": lambda g, a, b, out, aux: (g, g),
+    "sub": lambda g, a, b, out, aux: (g, -g),
+    "mul": lambda g, a, b, out, aux: (g * b, g * a),
+    "div": lambda g, a, b, out, aux: (g / b, -g * a / (b * b)),
+    "neg": lambda g, a, b, out, aux: (-g, None),
+    "pow": lambda g, a, b, out, aux: (g * aux * a ** (aux - 1.0), None),
+    "exp": lambda g, a, b, out, aux: (g * out, None),
+    "log": lambda g, a, b, out, aux: (g / a, None),
+    "sqrt": lambda g, a, b, out, aux: (g * 0.5 / out, None),
+    "tanh": lambda g, a, b, out, aux: (g * (1.0 - out * out), None),
+    "sigmoid": lambda g, a, b, out, aux: (g * out * (1.0 - out), None),
+    "relu": lambda g, a, b, out, aux: (g * (a > 0), None),
+    "clip": lambda g, a, b, out, aux: (g * _clip_mask(a, aux), None),
+    "abs": lambda g, a, b, out, aux: (g * np.sign(a), None),
+    "sin": lambda g, a, b, out, aux: (g * np.cos(a), None),
+    "cos": lambda g, a, b, out, aux: (-g * np.sin(a), None),
+}
+
+
+class CompiledChain:
+    """A fused elementwise chain: one tape node, combined VJP.
+
+    Create with :func:`compile_tape`. Calling the chain evaluates the
+    recorded program on the inputs' arrays and returns a single Tensor
+    whose backward distributes the upstream gradient through the whole
+    chain (with NumPy-broadcast handling per operand).
+    """
+
+    __slots__ = ("name", "_prog", "_num_inputs", "_num_slots", "_out_slot")
+
+    def __init__(self, fn, num_inputs: int, name: str | None = None):
+        builder = _Builder(num_inputs)
+        out = fn(*[_Sym(builder, i) for i in range(num_inputs)])
+        if not isinstance(out, _Sym):
+            raise TypeError("traced function must return a traced value")
+        if not builder.prog:
+            raise ValueError("traced function recorded no elementwise ops")
+        self.name = name or getattr(fn, "__name__", None) or "chain"
+        self._prog = tuple(builder.prog)
+        self._num_inputs = num_inputs
+        self._num_slots = builder.num_slots
+        self._out_slot = out.slot
+
+    def __repr__(self) -> str:
+        return (f"CompiledChain({self.name!r}, inputs={self._num_inputs}, "
+                f"ops={len(self._prog)})")
+
+    def __call__(self, *inputs) -> Tensor:
+        if len(inputs) != self._num_inputs:
+            raise ValueError(
+                f"{self.name}: expected {self._num_inputs} inputs, "
+                f"got {len(inputs)}")
+        tensors = [as_tensor(x) for x in inputs]
+        prog = self._prog
+        vals: list = [None] * self._num_slots
+        for i, t in enumerate(tensors):
+            vals[i] = t.data
+        for name, out_slot, a, b, aux in prog:
+            av = vals[a[1]] if a[0] == "v" else a[1]
+            bv = None if b is None else (vals[b[1]] if b[0] == "v" else b[1])
+            vals[out_slot] = _FORWARD[name](av, bv, aux)
+        final_slot = self._out_slot
+
+        def backward(g, grads):
+            # reverse walk of the recorded program; slot -> accumulated grad
+            gslots: dict = {final_slot: g}
+            for name, out_slot, a, b, aux in reversed(prog):
+                gout = gslots.pop(out_slot, None)
+                if gout is None:
+                    continue
+                av = vals[a[1]] if a[0] == "v" else a[1]
+                bv = None if b is None else (vals[b[1]] if b[0] == "v"
+                                             else b[1])
+                ga, gb = _BACKWARD[name](gout, av, bv, vals[out_slot], aux)
+                for operand, grad in ((a, ga), (b, gb)):
+                    if grad is None or operand is None or operand[0] != "v":
+                        continue
+                    slot = operand[1]
+                    grad = _unbroadcast(np.asarray(grad),
+                                        np.shape(vals[slot]))
+                    prev = gslots.get(slot)
+                    gslots[slot] = grad if prev is None else prev + grad
+            for i, t in enumerate(tensors):
+                gi = gslots.get(i)
+                if gi is not None:
+                    Tensor._add_grad(grads, t, gi)
+
+        return Tensor._make(vals[final_slot], tensors, backward)
+
+
+def compile_tape(fn, num_inputs: int | None = None, *,
+                 name: str | None = None) -> CompiledChain:
+    """Trace ``fn`` over symbolic operands and return the fused chain.
+
+    Parameters
+    ----------
+    fn:
+        Function of one or more array-like arguments built from the
+        supported elementwise ops. Closed-over ndarrays / scalars /
+        non-grad Tensors become baked-in constants.
+    num_inputs:
+        Arity of ``fn``; inferred from its signature when omitted.
+    name:
+        Label used in error messages and ``repr``.
+    """
+    if num_inputs is None:
+        num_inputs = len(inspect.signature(fn).parameters)
+    return CompiledChain(fn, num_inputs, name=name)

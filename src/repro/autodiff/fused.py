@@ -26,11 +26,13 @@ which replaces two *edge-sized* matmul blocks with *node-sized* ones
 edge-sized concatenation entirely. The bias is folded into the sender
 projection so it is added once per node instead of once per edge.
 """
+# repro-lint: fp32-ok — float32 inference fast path
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..accel import kernels as _accel_kernels
 from .scatter import segment_sum
 from .tensor import Tensor, as_tensor
 
@@ -60,6 +62,19 @@ def _buf(getbuf, tag: str, shape: tuple, dtype) -> np.ndarray:
     return getbuf(tag, shape, dtype)
 
 
+def _accel_for(h: np.ndarray, saved) -> object | None:
+    """Compiled C kernels for ``h``, or None when the NumPy path applies.
+
+    Only the no-grad float32 path ever dispatches to the C kernels: the
+    float64 path keeps its bitwise-equality contract with the legacy
+    per-op implementation, and tape mode (``saved``) needs the NumPy
+    intermediates for the VJP.
+    """
+    if saved is not None or h.dtype != np.float32 or not h.flags.c_contiguous:
+        return None
+    return _accel_kernels()
+
+
 # ----------------------------------------------------------------------
 # NumPy forward kernels (shared by tape ops and no-grad inference)
 # ----------------------------------------------------------------------
@@ -79,7 +94,16 @@ def _ln_stats(h: np.ndarray, eps: float) -> tuple[np.ndarray, np.ndarray]:
 
 def layer_norm_inplace(h: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
                        eps: float) -> np.ndarray:
-    """LayerNorm over the last axis, overwriting ``h``."""
+    """LayerNorm over the last axis, overwriting ``h``.
+
+    float32 inputs dispatch to the single-pass C kernel when available
+    (last-ulp differences vs NumPy; see :mod:`repro.accel.cpu`)."""
+    if h.ndim == 2:
+        kern = _accel_for(h, None)
+        if (kern is not None and gamma.dtype == np.float32
+                and beta.dtype == np.float32
+                and gamma.flags.c_contiguous and beta.flags.c_contiguous):
+            return kern.ln(h, gamma, beta, eps)
     width = h.shape[-1]
     mu = h @ _mean_vec(width, h.dtype)
     np.subtract(h, mu[:, None], out=h)
@@ -94,6 +118,35 @@ def layer_norm_inplace(h: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
     return h
 
 
+def _mlp_tail_accel(h: np.ndarray, weights, biases, gamma, beta, eps: float,
+                    getbuf, tag: str, kern, bias0: np.ndarray | None = None,
+                    activated: bool = False) -> np.ndarray:
+    """float32 tail using the fused C kernels (bias+ReLU, bias+LayerNorm).
+
+    ``h`` is the layer-0 pre-activation. With ``bias0`` the layer-0 bias
+    has not been added yet and is fused into the first ReLU; with
+    ``activated`` the caller already applied bias and ReLU (the fused
+    edge first layer). Requires ``len(weights) > 1``.
+    """
+    depth = len(weights)
+    for k in range(1, depth):
+        if k > 1:
+            kern.bias_relu(h, biases[k - 1])
+        elif not activated:
+            if bias0 is not None:
+                kern.bias_relu(h, bias0)
+            else:
+                kern.relu(h)
+        out = _buf(getbuf, f"{tag}.{k}", (h.shape[0], weights[k].shape[1]),
+                   h.dtype)
+        h = np.matmul(h, weights[k], out=out)
+    if gamma is not None:
+        kern.bias_ln(h, biases[depth - 1], gamma, beta, eps)
+    else:
+        h += biases[depth - 1]
+    return h
+
+
 def _mlp_tail(h: np.ndarray, weights, biases, gamma, beta, eps: float,
               getbuf=None, tag: str = "mlp",
               saved: dict | None = None) -> np.ndarray:
@@ -102,8 +155,15 @@ def _mlp_tail(h: np.ndarray, weights, biases, gamma, beta, eps: float,
     With ``saved`` (tape mode) every intermediate is a fresh allocation
     and the post-ReLU activations / LayerNorm stats are recorded for the
     VJP. Without it, ReLU and LayerNorm run in place and matmuls target
-    caller buffers — same operations, bitwise-identical values.
+    caller buffers — same operations, bitwise-identical values. On the
+    no-grad float32 path, multi-layer tails dispatch to the fused C
+    kernels when available.
     """
+    if len(weights) > 1:
+        kern = _accel_for(h, saved)
+        if kern is not None:
+            return _mlp_tail_accel(h, weights, biases, gamma, beta, eps,
+                                   getbuf, tag, kern)
     acts = []
     for k in range(1, len(weights)):
         np.maximum(h, 0.0, out=h)
@@ -141,6 +201,12 @@ def mlp_forward_numpy(x: np.ndarray, weights, biases, gamma=None, beta=None,
     h = np.matmul(x, weights[0],
                   out=_buf(getbuf, f"{tag}.0", (x.shape[0], weights[0].shape[1]),
                            x.dtype))
+    if len(weights) > 1:
+        kern = _accel_for(h, saved)
+        if kern is not None:
+            # layer-0 bias folds into the first fused bias+ReLU pass
+            return _mlp_tail_accel(h, weights, biases, gamma, beta, eps,
+                                   getbuf, tag, kern, bias0=biases[0])
     h += biases[0]
     return _mlp_tail(h, weights, biases, gamma, beta, eps,
                      getbuf=getbuf, tag=tag, saved=saved)
@@ -321,14 +387,21 @@ def fused_edge_mlp(edge_f, node_f, senders: np.ndarray, receivers: np.ndarray,
 
 
 def fused_node_mlp(node_f, agg, weights, biases, gamma=None, beta=None,
-                   eps: float = 1e-5) -> Tensor:
+                   eps: float = 1e-5, residual=None) -> Tensor:
     """Node MLP ``φ_v([v, Σe'])`` with the split first layer, fused into
-    one tape node."""
+    one tape node.
+
+    ``residual`` optionally folds the interaction-network skip connection
+    ``residual + φ_v(...)`` into the same node (its VJP is the identity),
+    saving one tape node and one closure per processor block.
+    """
     node_f, agg = as_tensor(node_f), as_tensor(agg)
     weights, biases = _as_param_lists(weights, biases)
     ln_parents, gamma, beta = _ln_parents(
         as_tensor(gamma) if gamma is not None else None,
         as_tensor(beta) if beta is not None else None)
+    if residual is not None:
+        residual = as_tensor(residual)
     saved: dict = {}
     h0 = node_mlp_first_layer(node_f.data, agg.data, weights[0].data,
                               biases[0].data)
@@ -336,8 +409,14 @@ def fused_node_mlp(node_f, agg, weights, biases, gamma=None, beta=None,
                     gamma.data if gamma is not None else None,
                     beta.data if beta is not None else None,
                     eps, saved=saved)
+    if residual is not None:
+        # same operand order as the unfused `residual + update` tape op,
+        # so the fold is bitwise-neutral
+        out = residual.data + out
 
     def backward(g, grads):
+        if residual is not None and residual.requires_grad:
+            Tensor._add_grad(grads, residual, g)
         gh = _mlp_backward_tail(g, saved, weights, biases, gamma, beta, grads)
         w0 = weights[0].data
         width = node_f.data.shape[1]
@@ -353,5 +432,7 @@ def fused_node_mlp(node_f, agg, weights, biases, gamma=None, beta=None,
         if agg.requires_grad:
             Tensor._add_grad(grads, agg, gh @ w0[width:].T)
 
-    return Tensor._make(out, [node_f, agg] + weights + biases + ln_parents,
-                        backward)
+    parents = [node_f, agg] + weights + biases + ln_parents
+    if residual is not None:
+        parents.append(residual)
+    return Tensor._make(out, parents, backward)

@@ -3,7 +3,16 @@
 GNS aggregates edge messages onto receiver nodes. The forward pass is a
 segment-sum (``np.add.at``); its vector-Jacobian product is a gather of the
 upstream node gradient back to the edges — both fully vectorized.
+
+When the same edge list is reused across many reductions (five message
+passing steps per forward, hundreds of rollout steps between neighbor-list
+rebuilds), the per-call bookkeeping — rebuilding the sparse aggregation
+matrix, re-counting segment sizes — dominates. :class:`SortedSegments`
+precomputes that bookkeeping once per edge list; the ops below accept it
+via their ``plan=`` argument and fall back to the stateless path when it
+is absent.
 """
+# repro-lint: fp32-ok — float32 inference fast path
 
 from __future__ import annotations
 
@@ -12,17 +21,144 @@ from scipy import sparse
 
 from .tensor import Tensor, as_tensor
 
-__all__ = ["gather", "scatter_add", "scatter_mean", "scatter_softmax", "segment_sum"]
+__all__ = ["SortedSegments", "gather", "scatter_add", "scatter_mean",
+           "scatter_softmax", "segment_sum"]
 
 
-def segment_sum(values: np.ndarray, index: np.ndarray,
-                num_segments: int) -> np.ndarray:
+class SortedSegments:
+    """Precomputed segment-reduction plan for a fixed edge→segment map.
+
+    Built once per neighbor-list rebuild from the receiver index of the
+    radius graph and reused for every aggregation over those edges. The
+    Verlet cache in :mod:`repro.graph` emits edges lexsorted by
+    ``(receiver, sender)``, so in the common case the index is already
+    sorted and the plan is just a ``searchsorted`` over it; unsorted
+    indices are handled with a stable argsort (kept per-segment in
+    original edge order, which preserves bitwise equality with the
+    stateless CSR path).
+
+    All reductions match the stateless ops bit for bit:
+
+    * ``segment_sum`` uses the same accumulation order as the sparse CSR
+      matmul in :func:`segment_sum` (and ``np.bincount`` for 1-D values);
+    * ``segment_max`` is order-insensitive and NaN-propagating, like
+      ``np.maximum.at``.
+    """
+
+    __slots__ = ("index", "order", "indptr", "num_edges", "num_segments",
+                 "_matrices", "_counts")
+
+    def __init__(self, index: np.ndarray, num_segments: int):
+        index = np.asarray(index, dtype=np.intp)
+        if index.ndim != 1:
+            raise ValueError("segment index must be 1-D")
+        self.index = index
+        self.num_edges = int(index.shape[0])
+        self.num_segments = int(num_segments)
+        if self.num_edges and np.any(index[:-1] > index[1:]):
+            self.order: np.ndarray | None = np.argsort(index, kind="stable")
+            sorted_index = index[self.order]
+        else:
+            self.order = None
+            sorted_index = index
+        self.indptr = np.searchsorted(
+            sorted_index, np.arange(self.num_segments + 1)).astype(np.intp)
+        self._matrices: dict = {}
+        self._counts: np.ndarray | None = None
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Edges per segment (``np.diff(indptr)``), cached."""
+        if self._counts is None:
+            self._counts = np.diff(self.indptr)
+        return self._counts
+
+    def matrix(self, dtype) -> sparse.csr_matrix:
+        """The ``(num_segments, num_edges)`` CSR aggregation matrix in
+        ``dtype``, built directly from ``indptr`` (no COO round trip)."""
+        dtype = np.dtype(dtype)
+        mat = self._matrices.get(dtype)
+        if mat is None:
+            e = self.num_edges
+            cols = self.order if self.order is not None else np.arange(e)
+            mat = sparse.csr_matrix(
+                (np.ones(e, dtype=dtype), np.asarray(cols, dtype=np.int32),
+                 self.indptr),
+                shape=(self.num_segments, e))
+            self._matrices[dtype] = mat
+        return mat
+
+    def segment_sum(self, values: np.ndarray,
+                    out: np.ndarray | None = None) -> np.ndarray:
+        """Per-segment sum of ``values`` (leading axis = edges).
+
+        ``out`` is used when the execution path supports writing in place
+        (the float32 C kernel and the trivial zero-edge case); callers
+        must always use the return value.
+        """
+        shape = (self.num_segments,) + values.shape[1:]
+        if self.num_edges == 0:
+            if out is not None:
+                out[...] = 0
+                return out
+            return np.zeros(shape, dtype=values.dtype)
+        if values.ndim == 1:
+            res = np.bincount(self.index, weights=values,
+                              minlength=self.num_segments)
+            return res.astype(values.dtype, copy=False)
+        flat = values.reshape(self.num_edges, -1)
+        if (flat.dtype == np.float32 and self.order is None
+                and flat.flags.c_contiguous
+                and self.indptr.dtype == np.int64):
+            from ..accel import kernels as _accel_kernels
+            kern = _accel_kernels()
+            if kern is not None:
+                res = out if (out is not None and out.shape == shape
+                              and out.dtype == np.float32
+                              and out.flags.c_contiguous) \
+                    else np.empty((self.num_segments, flat.shape[1]),
+                                  dtype=np.float32)
+                kern.segment_sum(flat, self.indptr,
+                                 res.reshape(self.num_segments, -1))
+                return res if res.shape == shape else res.reshape(shape)
+        res = self.matrix(flat.dtype) @ flat
+        return np.asarray(res).reshape(shape)
+
+    def segment_max(self, values: np.ndarray, empty: float = 0.0
+                    ) -> np.ndarray:
+        """Per-segment maximum; segments with no edges yield ``empty``.
+
+        Exact (bitwise) match for ``np.maximum.at`` into a ``full(empty)``
+        buffer: max is order-insensitive and ``np.maximum.reduceat``
+        propagates NaNs the same way.
+        """
+        shape = (self.num_segments,) + values.shape[1:]
+        if self.num_edges == 0:
+            return np.full(shape, empty, dtype=values.dtype)
+        v = values if self.order is None else values[self.order]
+        nonempty = self.counts > 0
+        starts = self.indptr[:-1][nonempty]
+        out = np.full(shape, empty, dtype=values.dtype)
+        if starts.size:
+            # reduceat over only the non-empty starts: each slice runs to
+            # the next non-empty start, which is exactly that segment's
+            # edge range (empty segments contribute zero-width gaps)
+            out[nonempty] = np.maximum.reduceat(v, starts, axis=0)
+        return out
+
+
+def segment_sum(values: np.ndarray, index: np.ndarray, num_segments: int,
+                plan: SortedSegments | None = None) -> np.ndarray:
     """Vectorized segment sum: ``out[i] = Σ_{k: index[k]==i} values[k]``.
 
     Implemented as a sparse matrix–matrix product, which profiles ~6×
     faster than ``np.add.at`` at GNS-typical sizes (thousands of edges,
-    tens of feature columns).
+    tens of feature columns). Pass a :class:`SortedSegments` built from
+    the same ``index`` to skip the per-call matrix construction (the
+    result is bitwise identical).
     """
+    if plan is not None:
+        return plan.segment_sum(values)
     e = index.shape[0]
     if e == 0:
         return np.zeros((num_segments,) + values.shape[1:], dtype=values.dtype)
@@ -41,25 +177,29 @@ def segment_sum(values: np.ndarray, index: np.ndarray,
     return np.asarray(out).reshape((num_segments,) + values.shape[1:])
 
 
-def gather(x: Tensor, index: np.ndarray) -> Tensor:
+def gather(x: Tensor, index: np.ndarray,
+           plan: SortedSegments | None = None) -> Tensor:
     """Select rows ``x[index]`` (differentiable w.r.t. ``x``).
 
     Parameters
     ----------
     x: ``(n, ...)`` tensor of node features.
     index: ``(m,)`` integer array; duplicates allowed.
+    plan: optional :class:`SortedSegments` over ``index`` — reused by the
+        backward segment-sum.
     """
     x = as_tensor(x)
     index = np.asarray(index, dtype=np.intp)
     n = x.data.shape[0]
 
     def backward(g, grads):
-        Tensor._add_grad(grads, x, segment_sum(g, index, n))
+        Tensor._add_grad(grads, x, segment_sum(g, index, n, plan=plan))
 
     return Tensor._make(x.data[index], (x,), backward)
 
 
-def scatter_add(x: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+def scatter_add(x: Tensor, index: np.ndarray, num_segments: int,
+                plan: SortedSegments | None = None) -> Tensor:
     """Sum rows of ``x`` into ``num_segments`` buckets given by ``index``.
 
     ``out[i] = sum_{k: index[k]==i} x[k]`` — the canonical message
@@ -67,7 +207,7 @@ def scatter_add(x: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
     """
     x = as_tensor(x)
     index = np.asarray(index, dtype=np.intp)
-    out = segment_sum(x.data, index, num_segments)
+    out = segment_sum(x.data, index, num_segments, plan=plan)
 
     def backward(g, grads):
         Tensor._add_grad(grads, x, g[index])
@@ -75,16 +215,21 @@ def scatter_add(x: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
     return Tensor._make(out, (x,), backward)
 
 
-def scatter_mean(x: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+def scatter_mean(x: Tensor, index: np.ndarray, num_segments: int,
+                 plan: SortedSegments | None = None) -> Tensor:
     """Average rows of ``x`` per segment; empty segments yield zeros."""
     index = np.asarray(index, dtype=np.intp)
-    counts = np.bincount(index, minlength=num_segments).astype(np.float64)
+    if plan is not None:
+        counts = plan.counts.astype(np.float64)
+    else:
+        counts = np.bincount(index, minlength=num_segments).astype(np.float64)
     counts = np.maximum(counts, 1.0)
-    total = scatter_add(x, index, num_segments)
+    total = scatter_add(x, index, num_segments, plan=plan)
     return total * Tensor(1.0 / counts).reshape((num_segments,) + (1,) * (total.ndim - 1))
 
 
-def scatter_softmax(logits: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+def scatter_softmax(logits: Tensor, index: np.ndarray, num_segments: int,
+                    plan: SortedSegments | None = None) -> Tensor:
     """Softmax of ``logits`` normalized within each segment.
 
     Used by the attention processor: attention coefficients over the
@@ -97,10 +242,13 @@ def scatter_softmax(logits: Tensor, index: np.ndarray, num_segments: int) -> Ten
     if logits.ndim != 1:
         raise ValueError("scatter_softmax expects 1-D logits (one per edge)")
     # per-segment max as a constant shift
-    seg_max = np.full(num_segments, -np.inf, dtype=logits.data.dtype)
-    np.maximum.at(seg_max, index, logits.data)
+    if plan is not None:
+        seg_max = plan.segment_max(logits.data, empty=-np.inf)
+    else:
+        seg_max = np.full(num_segments, -np.inf, dtype=logits.data.dtype)
+        np.maximum.at(seg_max, index, logits.data)
     seg_max[~np.isfinite(seg_max)] = 0.0
     shifted = logits - Tensor(seg_max[index])
     exp = shifted.exp()
-    denom = scatter_add(exp, index, num_segments)
-    return exp * gather(denom ** -1.0, index)
+    denom = scatter_add(exp, index, num_segments, plan=plan)
+    return exp * gather(denom ** -1.0, index, plan=plan)

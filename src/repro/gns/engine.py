@@ -38,11 +38,13 @@ graph (edges never cross trajectories), which turns B small MLP matmuls
 into one B×-taller matmul — the shape the inverse-problem ensemble
 needs.
 """
+# repro-lint: fp32-ok — float32 inference fast path
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..autodiff.scatter import SortedSegments
 from ..graph import NeighborListCache
 from ..lint.sanitize import active as active_sanitizer
 from ..obs import RolloutDivergedError, Tracer
@@ -80,12 +82,27 @@ class InferenceEngine:
     metrics:
         Optional :class:`~repro.obs.MetricsRegistry`; when set, the
         engine records edges-per-graph histograms and step counters.
+    dtype:
+        Precision of the network forward pass: ``np.float64`` (default,
+        bitwise-equal to the naive path) or ``np.float32`` (the fast
+        path: features, encoder, processor and decoder run end-to-end in
+        fp32 — weights are cast once and cached). Integration, the
+        rollout window and all returned positions stay float64 in both
+        modes. ``None`` follows ``simulator.inference_dtype``. Training
+        paths must stay float64; this knob exists for inference only.
     """
 
     def __init__(self, simulator, skin: float | None = None,
-                 tracer: Tracer | None = None, metrics=None):
+                 tracer: Tracer | None = None, metrics=None, dtype=None):
         self.simulator = simulator
         self.skin = skin
+        resolved = np.dtype(dtype if dtype is not None
+                            else simulator.inference_dtype)
+        if resolved not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(
+                f"InferenceEngine dtype must be float32 or float64, "
+                f"got {resolved}")
+        self.dtype = resolved
         self.work = Workspace()
         self.tracer = tracer if tracer is not None else Tracer(enabled=True)
         self.metrics = metrics
@@ -157,8 +174,15 @@ class InferenceEngine:
 
     # ------------------------------------------------------------------
     def _forward(self, window: np.ndarray, node_feats: np.ndarray,
-                 senders: np.ndarray, receivers: np.ndarray) -> np.ndarray:
-        """Features (dynamic columns) → network → denormalized accel."""
+                 senders: np.ndarray, receivers: np.ndarray,
+                 plan=None) -> np.ndarray:
+        """Features (dynamic columns) → network → denormalized accel.
+
+        Features are assembled directly into the run-dtype buffers (the
+        assembly ufuncs write through ``out=``, so the fp32 mode never
+        materializes float64 feature arrays); the denormalized
+        acceleration is promoted back to float64 for integration.
+        """
         sim = self.simulator
         featurizer = sim.featurizer
         x_t = window[-1]
@@ -169,14 +193,10 @@ class InferenceEngine:
                 out=self.work.get("feat.edge",
                                   (senders.shape[0],
                                    featurizer.config.edge_feature_size()),
-                                  np.float64))
-            node_f, edge_f = node_feats, edge_feats
-            if sim.inference_dtype != np.float64:
-                node_f = node_f.astype(sim.inference_dtype)
-                edge_f = edge_f.astype(sim.inference_dtype)
-        acc_norm = sim.network.forward_fast(node_f, edge_f, senders,
+                                  node_feats.dtype))
+        acc_norm = sim.network.forward_fast(node_feats, edge_feats, senders,
                                             receivers, work=self.work,
-                                            timers=self._spans)
+                                            timers=self._spans, plan=plan)
         if acc_norm.dtype != np.float64:
             acc_norm = acc_norm.astype(np.float64)
         return featurizer.denormalize_acceleration(acc_norm)
@@ -269,7 +289,7 @@ class InferenceEngine:
         out[:window_len] = frames
         window = frames.copy()
         static_mask = cfg.static_mask(particle_types)
-        node_feats = np.empty((n, cfg.node_feature_size()), dtype=np.float64)
+        node_feats = np.empty((n, cfg.node_feature_size()), dtype=self.dtype)
         self.simulator.featurizer.write_static_columns(node_feats, material,
                                                        particle_types)
         self.begin_run()
@@ -281,9 +301,14 @@ class InferenceEngine:
         for t in range(num_steps):
             with self._spans["graph"]:
                 senders, receivers = cache.query(window[-1])
+                # receivers come out of the cache already sorted, so the
+                # reduction plan shared by all processor blocks is a
+                # single searchsorted — no per-block matrix rebuilds
+                plan = SortedSegments(receivers, n)
             if edge_hist is not None:
                 edge_hist.observe(senders.shape[0])
-            acc = self._forward(window, node_feats, senders, receivers)
+            acc = self._forward(window, node_feats, senders, receivers,
+                                plan=plan)
             if san is not None:
                 san.check("engine.forward", acc, step=t)
             with self._spans["integrate"]:
@@ -356,7 +381,7 @@ class InferenceEngine:
         static_mask = cfg.static_mask(types_flat)
 
         node_feats = np.empty((b * n, cfg.node_feature_size()),
-                              dtype=np.float64)
+                              dtype=self.dtype)
         featurizer = self.simulator.featurizer
         if np.isscalar(materials) or materials is None:
             featurizer.write_static_columns(node_feats, materials, types_flat)
@@ -388,7 +413,11 @@ class InferenceEngine:
                     parts_r.append(r + offsets[i])
                 senders = np.concatenate(parts_s)
                 receivers = np.concatenate(parts_r)
-            acc = self._forward(window, node_feats, senders, receivers)
+                # per-trajectory receiver blocks are sorted and offset in
+                # increasing order, so the concatenation is sorted too
+                plan = SortedSegments(receivers, b * n)
+            acc = self._forward(window, node_feats, senders, receivers,
+                                plan=plan)
             if san is not None:
                 san.check("engine.forward", acc, step=t)
             with self._spans["integrate"]:

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..autodiff import Tensor, as_tensor, concatenate
+from ..autodiff.compile import compile_tape
 from ..autodiff.functional import norm
 from ..autodiff.scatter import gather
 from ..graph import Graph, radius_graph
@@ -125,6 +126,50 @@ class GNSFeaturizer:
     def __init__(self, config: FeatureConfig, stats: Stats | None = None):
         self.config = config
         self.stats = stats or Stats.unit(config.dim)
+        self._chains = None
+        self._chain_key = None
+
+    def _compiled_chains(self) -> dict:
+        """Fused elementwise tape chains for the feature pipeline.
+
+        Each chain replaces 2–3 separate tape nodes with a single fused
+        node (one VJP closure, no intermediate Tensors) while computing
+        the exact same ufunc sequence, so results stay bitwise-identical
+        to the unfused ops. Constants (stats arrays, bounds, radius) are
+        baked in by reference at trace time; the cache is keyed on their
+        identities so rebinding ``self.stats`` retraces.
+        """
+        s, cfg = self.stats, self.config
+        key = (id(s.velocity_mean), id(s.velocity_std),
+               id(s.acceleration_mean), id(s.acceleration_std),
+               id(cfg.bounds), cfg.connectivity_radius)
+        if self._chains is not None and self._chain_key == key:
+            return self._chains
+        R = cfg.connectivity_radius
+        vmean, vstd = s.velocity_mean, s.velocity_std
+        amean, astd = s.acceleration_mean, s.acceleration_std
+        chains = {
+            "velocity": compile_tape(
+                lambda cur, prev: (cur - prev - vmean) / vstd,
+                name="feat.velocity"),
+            "rel": compile_tape(lambda xs, xr: (xs - xr) / R,
+                                name="feat.rel"),
+            "norm_acc": compile_tape(lambda a: (a - amean) / astd,
+                                     name="feat.norm_acc"),
+            "denorm_acc": compile_tape(lambda a: a * astd + amean,
+                                       name="feat.denorm_acc"),
+        }
+        if cfg.bounds is not None:
+            lower, upper = cfg.bounds[:, 0], cfg.bounds[:, 1]
+            chains["dist_lower"] = compile_tape(
+                lambda x: ((x - lower) / R).clip(0.0, 1.0),
+                name="feat.dist_lower")
+            chains["dist_upper"] = compile_tape(
+                lambda x: ((upper - x) / R).clip(0.0, 1.0),
+                name="feat.dist_upper")
+        self._chains = chains
+        self._chain_key = key
+        return chains
 
     def build_graph(self, position_history: list[Tensor],
                     material: Tensor | float | None = None,
@@ -152,18 +197,15 @@ class GNSFeaturizer:
             x_t.data, cfg.connectivity_radius, method=cfg.neighbor_method)
 
         # --- node features ----------------------------------------------
-        vstd = Tensor(self.stats.velocity_std)
-        vmean = Tensor(self.stats.velocity_mean)
+        # compiled elementwise chains: one fused tape node per feature
+        # block instead of one per ufunc (bitwise-identical results)
+        chains = self._compiled_chains()
         feats = []
         for prev, cur in zip(frames[:-1], frames[1:]):
-            v = cur - prev
-            feats.append((v - vmean) / vstd)
+            feats.append(chains["velocity"](cur, prev))
         if cfg.bounds is not None:
-            lower = Tensor(cfg.bounds[:, 0])
-            upper = Tensor(cfg.bounds[:, 1])
-            dist_lower = ((x_t - lower) / cfg.connectivity_radius).clip(0.0, 1.0)
-            dist_upper = ((upper - x_t) / cfg.connectivity_radius).clip(0.0, 1.0)
-            feats.extend([dist_lower, dist_upper])
+            feats.extend([chains["dist_lower"](x_t),
+                          chains["dist_upper"](x_t)])
         if cfg.use_material:
             if material is None:
                 raise ValueError("featurizer configured with use_material but none given")
@@ -181,7 +223,7 @@ class GNSFeaturizer:
         # --- edge features ------------------------------------------------
         xs = gather(x_t, senders)
         xr = gather(x_t, receivers)
-        rel = (xs - xr) / cfg.connectivity_radius
+        rel = chains["rel"](xs, xr)
         dist = norm(rel, axis=1, keepdims=True)
         edge_features = concatenate([rel, dist], axis=1)
 
@@ -290,11 +332,11 @@ class GNSFeaturizer:
     def normalize_acceleration(self, acc):
         """(a − μ)/σ with dataset statistics (works on Tensor or ndarray)."""
         if isinstance(acc, Tensor):
-            return (acc - Tensor(self.stats.acceleration_mean)) / Tensor(self.stats.acceleration_std)
+            return self._compiled_chains()["norm_acc"](acc)
         return (acc - self.stats.acceleration_mean) / self.stats.acceleration_std
 
     def denormalize_acceleration(self, acc_norm):
         """Inverse of :meth:`normalize_acceleration`."""
         if isinstance(acc_norm, Tensor):
-            return acc_norm * Tensor(self.stats.acceleration_std) + Tensor(self.stats.acceleration_mean)
+            return self._compiled_chains()["denorm_acc"](acc_norm)
         return acc_norm * self.stats.acceleration_std + self.stats.acceleration_mean

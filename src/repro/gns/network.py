@@ -6,6 +6,7 @@
   with edge-softmax coefficients (the paper's graph-attention extension).
 * **Decoder** — node MLP extracting the dynamics (acceleration).
 """
+# repro-lint: fp32-ok — float32 inference fast path
 
 from __future__ import annotations
 
@@ -18,9 +19,11 @@ from scipy import sparse
 from ..autodiff import Tensor, concatenate
 from ..autodiff.fused import (
     edge_mlp_first_layer, fused_edge_mlp, fused_node_mlp, mlp_forward_numpy,
-    node_mlp_first_layer, _buf, _mlp_tail,
+    node_mlp_first_layer, _accel_for, _buf, _mlp_tail, _mlp_tail_accel,
 )
-from ..autodiff.scatter import gather, scatter_add, scatter_softmax, segment_sum
+from ..autodiff.scatter import (
+    SortedSegments, gather, scatter_add, scatter_softmax, segment_sum,
+)
 from ..graph import Graph
 from ..nn import MLP, Module
 
@@ -90,39 +93,45 @@ class InteractionNetwork(Module):
             self.attn_mlp = MLP([3 * ls, cfg.mlp_hidden_size, 1], rng)
 
     def attention_coefficients(self, edge_in: Tensor, receivers: np.ndarray,
-                               num_nodes: int) -> Tensor:
+                               num_nodes: int,
+                               plan: SortedSegments | None = None) -> Tensor:
         """Edge-softmax attention over each receiver's incoming edges."""
         logits = self.attn_mlp(edge_in).reshape(-1)
-        return scatter_softmax(logits, receivers, num_nodes)
+        return scatter_softmax(logits, receivers, num_nodes, plan=plan)
 
     def forward(self, nodes: Tensor, edges: Tensor,
                 senders: np.ndarray, receivers: np.ndarray,
-                collect_attention: list | None = None
+                collect_attention: list | None = None,
+                plan: SortedSegments | None = None
                 ) -> tuple[Tensor, Tensor]:
         n = nodes.shape[0]
         if self.attention:
             # attention needs the explicit concatenated edge input for the
             # coefficient MLP, so it keeps the composite-op path
+            # the plan indexes by receiver, so only receiver-side ops use it
             vs = gather(nodes, senders)
-            vr = gather(nodes, receivers)
+            vr = gather(nodes, receivers, plan=plan)
             edge_in = concatenate([edges, vs, vr], axis=1)
             messages = self.edge_mlp(edge_in)
-            alpha = self.attention_coefficients(edge_in, receivers, n)
+            alpha = self.attention_coefficients(edge_in, receivers, n,
+                                                plan=plan)
             if collect_attention is not None:
                 collect_attention.append(alpha.data.copy())
             weighted = messages * alpha.reshape(-1, 1)
-            aggregated = scatter_add(weighted, receivers, n)
+            aggregated = scatter_add(weighted, receivers, n, plan=plan)
             node_update = self.node_mlp(concatenate([nodes, aggregated], axis=1))
-        else:
-            # fused path: one tape node per MLP, split first layers — no
-            # edge-sized concat, node-sized sender/receiver projections
-            messages = fused_edge_mlp(edges, nodes, senders, receivers,
-                                      *self.edge_mlp.fused_params())
-            aggregated = scatter_add(messages, receivers, n)
-            node_update = fused_node_mlp(nodes, aggregated,
-                                         *self.node_mlp.fused_params())
-        # residual connections stabilize deep message-passing stacks
-        return nodes + node_update, edges + messages
+            # residual connections stabilize deep message-passing stacks
+            return nodes + node_update, edges + messages
+        # fused path: one tape node per MLP, split first layers — no
+        # edge-sized concat, node-sized sender/receiver projections; the
+        # node-side residual folds into the fused node MLP's tape node
+        messages = fused_edge_mlp(edges, nodes, senders, receivers,
+                                  *self.edge_mlp.fused_params())
+        aggregated = scatter_add(messages, receivers, n, plan=plan)
+        new_nodes = fused_node_mlp(nodes, aggregated,
+                                   *self.node_mlp.fused_params(),
+                                   residual=nodes)
+        return new_nodes, edges + messages
 
 
 class EncodeProcessDecode(Module):
@@ -145,8 +154,11 @@ class EncodeProcessDecode(Module):
     def forward(self, graph: Graph) -> Tensor:
         nodes = self.node_encoder(graph.node_features)
         edges = self.edge_encoder(graph.edge_features)
+        # one receiver-sorted reduction plan shared by every block
+        plan = SortedSegments(graph.receivers, nodes.shape[0])
         for block in self.blocks:
-            nodes, edges = block(nodes, edges, graph.senders, graph.receivers)
+            nodes, edges = block(nodes, edges, graph.senders, graph.receivers,
+                                 plan=plan)
         return self.decoder(nodes)
 
     def forward_with_attention(self, graph: Graph
@@ -156,9 +168,10 @@ class EncodeProcessDecode(Module):
         collected: list[np.ndarray] = []
         nodes = self.node_encoder(graph.node_features)
         edges = self.edge_encoder(graph.edge_features)
+        plan = SortedSegments(graph.receivers, nodes.shape[0])
         for block in self.blocks:
             nodes, edges = block(nodes, edges, graph.senders, graph.receivers,
-                                 collect_attention=collected)
+                                 collect_attention=collected, plan=plan)
         return self.decoder(nodes), collected
 
     def forward_numpy(self, node_features: np.ndarray, edge_features: np.ndarray,
@@ -175,7 +188,8 @@ class EncodeProcessDecode(Module):
     def forward_fast(self, node_features: np.ndarray,
                      edge_features: np.ndarray,
                      senders: np.ndarray, receivers: np.ndarray,
-                     work=None, timers: dict | None = None) -> np.ndarray:
+                     work=None, timers: dict | None = None,
+                     plan: SortedSegments | None = None) -> np.ndarray:
         """No-grad forward with optional buffer reuse and stage timing.
 
         Runs the same fused kernels as the tape path (split first layers,
@@ -187,6 +201,13 @@ class EncodeProcessDecode(Module):
         workspace view, valid until the next call. ``timers`` may map
         ``"encode"/"process"/"decode"`` to accumulating
         :class:`repro.utils.Timer` objects.
+
+        ``plan`` is a :class:`SortedSegments` over ``receivers``; the
+        engine builds it once per neighbor-list rebuild so every block of
+        every step between rebuilds shares one set of aggregation
+        structures (bitwise-identical to the per-call matrix). On float32
+        inputs the block loop additionally dispatches to the fused C
+        kernels of :mod:`repro.accel` when available.
         """
         timers = timers or {}
         getbuf = work.get if work is not None else None
@@ -201,8 +222,14 @@ class EncodeProcessDecode(Module):
                                                     "enc.edge")
 
         with timers.get("process", _NULL_TIMER):
-            agg_mat = _aggregation_matrix(receivers, e, n, dtype)
-            for block in self.blocks:
+            agg_mat = None if plan is not None else \
+                _aggregation_matrix(receivers, e, n, dtype)
+            kern = _accel_for(nodes, None)
+            if kern is not None and (senders.dtype != np.int64
+                                     or receivers.dtype != np.int64):
+                kern = None
+            last = len(self.blocks) - 1
+            for bi, block in enumerate(self.blocks):
                 ews, ebs, egamma, ebeta, eeps = block.edge_mlp.arrays(dtype)
                 if block.attention:
                     edge_in = np.concatenate(
@@ -212,30 +239,80 @@ class EncodeProcessDecode(Module):
                     logits = block.attn_mlp.forward_numpy(edge_in).ravel()
                     # dtype follows the logits so the fp32 fast path is
                     # not silently promoted back to float64
-                    seg_max = np.full(n, -np.inf, dtype=logits.dtype)
-                    np.maximum.at(seg_max, receivers, logits)
+                    if plan is not None:
+                        seg_max = plan.segment_max(logits, empty=-np.inf)
+                    else:
+                        seg_max = np.full(n, -np.inf, dtype=logits.dtype)
+                        np.maximum.at(seg_max, receivers, logits)
                     seg_max[~np.isfinite(seg_max)] = 0.0
                     exp = np.exp(logits - seg_max[receivers])
-                    denom = segment_sum(exp, receivers, n)
+                    denom = segment_sum(exp, receivers, n, plan=plan)
                     alpha = exp / denom[receivers]
-                    aggregated = segment_sum(messages * alpha[:, None],
-                                             receivers, n)
+                    weighted = messages * alpha[:, None]
+                    aggregated = plan.segment_sum(weighted) \
+                        if plan is not None else segment_sum(weighted,
+                                                             receivers, n)
                 else:
-                    h0 = edge_mlp_first_layer(
-                        edges, nodes, senders, receivers, ews[0], ebs[0],
-                        out=_buf(getbuf, "blk.edge.0", (e, ews[0].shape[1]),
-                                 dtype))
-                    messages = _mlp_tail(h0, ews, ebs, egamma, ebeta, eeps,
-                                         getbuf=getbuf, tag="blk.edge")
-                    aggregated = agg_mat @ messages
+                    hidden = ews[0].shape[1]
+                    h0 = _buf(getbuf, "blk.edge.0", (e, hidden), dtype)
+                    if kern is not None and len(ews) > 1:
+                        # fp32: single-pass gather+add+ReLU C kernel for
+                        # the split first layer, fused bias/LN tail
+                        ein = edges.shape[1]
+                        width = nodes.shape[1]
+                        proj_s = np.matmul(
+                            nodes, ews[0][ein:ein + width],
+                            out=_buf(getbuf, "blk.proj_s", (n, hidden), dtype))
+                        proj_s += ebs[0]
+                        proj_r = np.matmul(
+                            nodes, ews[0][ein + width:],
+                            out=_buf(getbuf, "blk.proj_r", (n, hidden), dtype))
+                        np.matmul(edges, ews[0][:ein], out=h0)
+                        kern.gather2_add_relu(h0, proj_s, proj_r,
+                                              senders, receivers)
+                        messages = _mlp_tail_accel(h0, ews, ebs, egamma,
+                                                   ebeta, eeps, getbuf,
+                                                   "blk.edge", kern,
+                                                   activated=True)
+                    else:
+                        h0 = edge_mlp_first_layer(edges, nodes, senders,
+                                                  receivers, ews[0], ebs[0],
+                                                  out=h0)
+                        messages = _mlp_tail(h0, ews, ebs, egamma, ebeta,
+                                             eeps, getbuf=getbuf,
+                                             tag="blk.edge")
+                    if plan is not None:
+                        agg_out = _buf(getbuf, "blk.agg",
+                                       (n, messages.shape[1]), dtype) \
+                            if dtype == np.float32 else None
+                        aggregated = plan.segment_sum(messages, out=agg_out)
+                    else:
+                        aggregated = agg_mat @ messages
                 nws, nbs, ngamma, nbeta, neps = block.node_mlp.arrays(dtype)
-                h0 = node_mlp_first_layer(
-                    nodes, aggregated, nws[0], nbs[0],
-                    out=_buf(getbuf, "blk.node.0", (n, nws[0].shape[1]), dtype))
-                node_update = _mlp_tail(h0, nws, nbs, ngamma, nbeta, neps,
-                                        getbuf=getbuf, tag="blk.node")
+                if kern is not None and len(nws) > 1 and not block.attention:
+                    width = nodes.shape[1]
+                    h0 = np.matmul(nodes, nws[0][:width],
+                                   out=_buf(getbuf, "blk.node.0",
+                                            (n, nws[0].shape[1]), dtype))
+                    h0 += np.matmul(aggregated, nws[0][width:],
+                                    out=_buf(getbuf, "blk.node.agg",
+                                             (n, nws[0].shape[1]), dtype))
+                    node_update = _mlp_tail_accel(h0, nws, nbs, ngamma,
+                                                  nbeta, neps, getbuf,
+                                                  "blk.node", kern,
+                                                  bias0=nbs[0])
+                else:
+                    h0 = node_mlp_first_layer(
+                        nodes, aggregated, nws[0], nbs[0],
+                        out=_buf(getbuf, "blk.node.0", (n, nws[0].shape[1]),
+                                 dtype))
+                    node_update = _mlp_tail(h0, nws, nbs, ngamma, nbeta, neps,
+                                            getbuf=getbuf, tag="blk.node")
                 nodes += node_update
-                edges += messages
+                if bi != last:
+                    # the final block's edge residual is dead — nothing
+                    # downstream reads the edge latents (values identical)
+                    edges += messages
 
         with timers.get("decode", _NULL_TIMER):
             out = self.decoder.forward_numpy(nodes, getbuf, "dec")
@@ -246,9 +323,11 @@ class EncodeProcessDecode(Module):
         used by the interpretability pipeline (Section 6)."""
         nodes = self.node_encoder(graph.node_features)
         edges = self.edge_encoder(graph.edge_features)
+        plan = SortedSegments(graph.receivers, nodes.shape[0])
         message_log: list[Tensor] = []
         for block in self.blocks:
-            new_nodes, new_edges = block(nodes, edges, graph.senders, graph.receivers)
+            new_nodes, new_edges = block(nodes, edges, graph.senders,
+                                         graph.receivers, plan=plan)
             message_log.append(new_edges - edges)  # the block's raw messages
             nodes, edges = new_nodes, new_edges
         return self.decoder(nodes), message_log

@@ -106,15 +106,17 @@ class LearnedSimulator(Module):
         return x_next
 
     # ------------------------------------------------------------------
-    def engine(self, skin: float | None = None):
+    def engine(self, skin: float | None = None, dtype=None):
         """The lazily-created :class:`~repro.gns.engine.InferenceEngine`
         for this simulator (buffers, neighbor cache, stage timers persist
-        across rollouts). A ``skin`` differing from the current engine's
-        rebuilds it."""
+        across rollouts). A ``skin`` or ``dtype`` differing from the
+        current engine's rebuilds it (``dtype=None`` follows
+        ``inference_dtype``)."""
+        want = np.dtype(dtype if dtype is not None else self.inference_dtype)
         eng = getattr(self, "_engine", None)
-        if eng is None or eng.skin != skin:
+        if eng is None or eng.skin != skin or eng.dtype != want:
             from .engine import InferenceEngine
-            eng = InferenceEngine(self, skin=skin)
+            eng = InferenceEngine(self, skin=skin, dtype=want)
             object.__setattr__(self, "_engine", eng)
         return eng
 
@@ -123,7 +125,7 @@ class LearnedSimulator(Module):
                 particle_types: np.ndarray | None = None,
                 fast: bool = True, skin: float | None = None,
                 max_velocity: float | None = None,
-                guard: bool = True) -> np.ndarray:
+                guard: bool = True, dtype=None) -> np.ndarray:
         """Fast inference rollout (tape-free NumPy path).
 
         Parameters
@@ -143,16 +145,20 @@ class LearnedSimulator(Module):
             offending particle count, max |v|, good frames so far) the
             moment a step produces NaN/Inf positions, instead of rolling
             out garbage for the remaining steps.
+        dtype: run the network in this dtype (float32 trades ~1e-4
+            relative accuracy for speed; None follows
+            ``inference_dtype``). Fast path only.
 
         Returns
         -------
         ``(C+1+num_steps, n, d)`` positions including the seed frames.
         """
         if fast:
-            return self.engine(skin).rollout(initial_history, num_steps,
-                                             material, particle_types,
-                                             max_velocity=max_velocity,
-                                             guard=guard)
+            return self.engine(skin, dtype=dtype).rollout(
+                initial_history, num_steps, material, particle_types,
+                max_velocity=max_velocity, guard=guard)
+        if dtype is not None and np.dtype(dtype) != np.dtype(self.inference_dtype):
+            raise ValueError("dtype override requires fast=True")
         from .engine import InferenceEngine
 
         frames = [np.asarray(f, dtype=np.float64) for f in initial_history]
@@ -174,13 +180,12 @@ class LearnedSimulator(Module):
                       particle_types: np.ndarray | None = None,
                       skin: float | None = None,
                       max_velocity: float | None = None,
-                      guard: bool = True) -> np.ndarray:
+                      guard: bool = True, dtype=None) -> np.ndarray:
         """Batched multi-initial-condition rollout via the fast engine;
         see :meth:`repro.gns.engine.InferenceEngine.rollout_batch`."""
-        return self.engine(skin).rollout_batch(initial_histories, num_steps,
-                                               materials, particle_types,
-                                               max_velocity=max_velocity,
-                                               guard=guard)
+        return self.engine(skin, dtype=dtype).rollout_batch(
+            initial_histories, num_steps, materials, particle_types,
+            max_velocity=max_velocity, guard=guard)
 
     def rollout_differentiable(self, initial_history: list[Tensor],
                                num_steps: int, material=None,

@@ -1,0 +1,156 @@
+"""Runtime-compiled float32 C kernels (:mod:`repro.accel`): parity with
+the numpy reference, IEEE semantics (NaN propagation), and the input
+validation contract. All parity tests are skipped when no C toolchain
+is available — the numpy fallback is what runs then anyway."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.accel import available, kernels
+
+pytestmark = pytest.mark.skipif(not available(),
+                                reason="no C toolchain / cffi")
+
+RNG = np.random.default_rng(3)
+
+
+def _f32(shape):
+    return RNG.normal(size=shape).astype(np.float32)
+
+
+class TestElementwise:
+    def test_relu_matches_numpy(self):
+        kern = kernels()
+        h = _f32((40, 16))
+        expect = np.maximum(h, 0.0)
+        kern.relu(h)
+        np.testing.assert_array_equal(h, expect)
+
+    def test_relu_propagates_nan(self):
+        kern = kernels()
+        h = _f32((4, 4))
+        h[1, 2] = np.nan
+        kern.relu(h)
+        assert np.isnan(h[1, 2])
+
+    def test_bias_relu(self):
+        kern = kernels()
+        h = _f32((30, 8))
+        b = _f32(8)
+        expect = np.maximum(h + b, 0.0)
+        kern.bias_relu(h, b)
+        np.testing.assert_array_equal(h, expect)
+
+    def test_ln_close_to_f64_reference(self):
+        kern = kernels()
+        h = _f32((50, 32))
+        gamma, beta = _f32(32), _f32(32)
+        x = h.astype(np.float64)
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        ref = (x - mu) / np.sqrt(var + 1e-5) * gamma + beta
+        kern.ln(h, gamma, beta, 1e-5)
+        np.testing.assert_allclose(h, ref, atol=5e-6)
+
+    def test_bias_ln(self):
+        kern = kernels()
+        h = _f32((20, 16))
+        b, gamma, beta = _f32(16), _f32(16), _f32(16)
+        x = (h.astype(np.float64) + b)
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        ref = (x - mu) / np.sqrt(var + 1e-5) * gamma + beta
+        kern.bias_ln(h, b, gamma, beta, 1e-5)
+        np.testing.assert_allclose(h, ref, atol=5e-6)
+
+    def test_ln_propagates_nan(self):
+        kern = kernels()
+        h = _f32((3, 8))
+        h[0, 0] = np.nan
+        kern.ln(h, np.ones(8, np.float32), np.zeros(8, np.float32), 1e-5)
+        assert np.isnan(h[0]).all()
+        assert np.isfinite(h[1:]).all()
+
+
+class TestGraphKernels:
+    def test_gather2_add_relu(self):
+        kern = kernels()
+        e, n, w = 60, 12, 16
+        senders = RNG.integers(0, n, size=e)
+        receivers = RNG.integers(0, n, size=e)
+        h = _f32((e, w))
+        ps, pr = _f32((n, w)), _f32((n, w))
+        expect = np.maximum(h + ps[senders] + pr[receivers], 0.0)
+        kern.gather2_add_relu(h, ps, pr, senders, receivers)
+        np.testing.assert_array_equal(h, expect)
+
+    def test_gather2_add_no_relu(self):
+        kern = kernels()
+        e, n, w = 20, 6, 8
+        senders = RNG.integers(0, n, size=e)
+        receivers = RNG.integers(0, n, size=e)
+        h = _f32((e, w))
+        ps, pr = _f32((n, w)), _f32((n, w))
+        expect = h + ps[senders] + pr[receivers]
+        kern.gather2_add_relu(h, ps, pr, senders, receivers, relu=False)
+        np.testing.assert_array_equal(h, expect)
+
+    def test_segment_sum_bitwise_vs_csr(self):
+        kern = kernels()
+        e, n, w = 120, 25, 8
+        idx = np.sort(RNG.integers(0, n, size=e))
+        msgs = _f32((e, w))
+        indptr = np.searchsorted(idx, np.arange(n + 1)).astype(np.int64)
+        mat = sparse.csr_matrix(
+            (np.ones(e, dtype=np.float32),
+             np.arange(e, dtype=np.int32), indptr), shape=(n, e))
+        expect = np.asarray(mat @ msgs)
+        out = np.empty((n, w), dtype=np.float32)
+        kern.segment_sum(msgs, indptr, out)
+        np.testing.assert_array_equal(out, expect)
+
+    def test_segment_sum_empty_segments(self):
+        kern = kernels()
+        idx = np.array([1, 1, 3])
+        msgs = _f32((3, 4))
+        indptr = np.searchsorted(idx, np.arange(6)).astype(np.int64)
+        out = np.empty((5, 4), dtype=np.float32)
+        kern.segment_sum(msgs, indptr, out)
+        np.testing.assert_array_equal(out[0], 0.0)
+        np.testing.assert_array_equal(out[2], 0.0)
+        np.testing.assert_array_equal(out[4], 0.0)
+        np.testing.assert_array_equal(out[1], msgs[0] + msgs[1])
+
+
+class TestValidation:
+    def test_wrong_dtype_rejected(self):
+        kern = kernels()
+        with pytest.raises(TypeError):
+            kern.relu(np.ones((3, 3), dtype=np.float64))
+
+    def test_non_contiguous_rejected(self):
+        kern = kernels()
+        h = np.ones((6, 6), dtype=np.float32)[:, ::2]
+        with pytest.raises(TypeError):
+            kern.relu(h)
+
+    def test_bad_indptr_rejected(self):
+        kern = kernels()
+        msgs = np.ones((3, 2), dtype=np.float32)
+        indptr = np.array([0, 1, 2], dtype=np.int64)  # [-1] != e
+        out = np.empty((2, 2), dtype=np.float32)
+        with pytest.raises(ValueError):
+            kern.segment_sum(msgs, indptr, out)
+
+
+def test_kill_switch(monkeypatch):
+    """REPRO_NO_CKERNELS must disable compilation in a fresh probe."""
+    from repro.accel import cpu
+
+    monkeypatch.setenv("REPRO_NO_CKERNELS", "1")
+    monkeypatch.setattr(cpu, "_TRIED", False)
+    monkeypatch.setattr(cpu, "_KERNELS", None)
+    assert cpu.kernels() is None

@@ -143,6 +143,13 @@ COUT6 = _arr(32, 6, 2)
 CH5 = _arr(33, 4, 5)
 SEND = np.array([0, 1, 2, 3, 0, 2], dtype=np.intp)
 RECV = np.array([1, 2, 3, 0, 2, 1], dtype=np.intp)
+# residual variant: output width must match the node width (3)
+WRES = 0.4 * _arr(34, 5, 3)
+BRES = 0.1 * _arr(35, 3)
+GAMMA_RES = 1.0 + 0.1 * _arr(36, 3)
+BETA_RES = 0.1 * _arr(37, 3)
+CRES = _arr(38, 4, 3)
+RES_F = _arr(39, 4, 3)
 
 FUSED_CASES = {
     "linear_relu_x": (NODE_F,
@@ -207,6 +214,22 @@ FUSED_CASES = {
                              [w, Tensor(W1)],
                              [Tensor(B0), Tensor(B1)],
                              Tensor(GAMMA), Tensor(BETA)) * COUT).sum()),
+    # the folded interaction-network skip connection: v is both the MLP
+    # input and the residual, so its grad accumulates both paths
+    "fused_node_mlp_residual_v": (
+        NODE_F,
+        lambda v: (fused_node_mlp(
+            v, Tensor(AGG_F), [Tensor(WN0), Tensor(WRES)],
+            [Tensor(B0), Tensor(BRES)],
+            Tensor(GAMMA_RES), Tensor(BETA_RES),
+            residual=v) * CRES).sum()),
+    "fused_node_mlp_residual_r": (
+        RES_F,
+        lambda r: (fused_node_mlp(
+            Tensor(NODE_F), Tensor(AGG_F), [Tensor(WN0), Tensor(WRES)],
+            [Tensor(B0), Tensor(BRES)],
+            Tensor(GAMMA_RES), Tensor(BETA_RES),
+            residual=r) * CRES).sum()),
 }
 
 

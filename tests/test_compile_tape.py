@@ -1,0 +1,177 @@
+"""Tape fusion (:mod:`repro.autodiff.compile`): forward bitwise parity
+with the unfused ops, gradients vs central differences, and the trace
+error contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, compile_tape
+from repro.autodiff.compile import CompiledChain
+
+from .helpers import check_grad
+
+RNG = np.random.default_rng(11)
+
+
+class TestForwardParity:
+    def test_velocity_chain_bitwise(self):
+        vmean = RNG.normal(size=2)
+        vstd = np.abs(RNG.normal(size=2)) + 0.5
+        chain = compile_tape(lambda cur, prev: (cur - prev - vmean) / vstd)
+        cur, prev = RNG.random((30, 2)), RNG.random((30, 2))
+        fused = chain(Tensor(cur), Tensor(prev))
+        unfused = (Tensor(cur) - Tensor(prev) - Tensor(vmean)) / Tensor(vstd)
+        np.testing.assert_array_equal(fused.data, unfused.data)
+
+    def test_clip_chain_bitwise(self):
+        lower = np.array([0.0, 0.0])
+        R = 0.07
+        chain = compile_tape(lambda x: ((x - lower) / R).clip(0.0, 1.0))
+        x = RNG.random((30, 2))
+        fused = chain(Tensor(x))
+        unfused = ((Tensor(x) - Tensor(lower)) / R).clip(0.0, 1.0)
+        np.testing.assert_array_equal(fused.data, unfused.data)
+
+    def test_reflected_ops(self):
+        # ndarray <op> sym must defer to the trace, not numpy broadcasting
+        upper = np.array([1.0, 2.0])
+        chain = compile_tape(lambda x: (upper - x) / 2.0 + 1.0)
+        x = RNG.random((5, 2))
+        np.testing.assert_array_equal(chain(Tensor(x)).data,
+                                      (upper - x) / 2.0 + 1.0)
+
+    def test_unary_math(self):
+        chain = compile_tape(
+            lambda x: (x * x).exp().tanh() + (-x).sigmoid())
+        x = RNG.normal(size=(4, 3)) * 0.3
+        expect = np.tanh(np.exp(x * x)) + 1.0 / (1.0 + np.exp(x))
+        np.testing.assert_allclose(chain(Tensor(x)).data, expect, rtol=1e-15)
+
+    def test_single_tape_node(self):
+        chain = compile_tape(lambda a, b: (a - b) * 2.0 + 1.0)
+        a = Tensor(RNG.random(4), requires_grad=True)
+        b = Tensor(RNG.random(4), requires_grad=True)
+        out = chain(a, b)
+        # one fused node: its parents are exactly the chain inputs
+        assert len(out._parents) == 2
+        assert out._parents[0] is a and out._parents[1] is b
+
+
+class TestGradients:
+    def test_velocity_chain(self):
+        vmean = RNG.normal(size=3)
+        vstd = np.abs(RNG.normal(size=3)) + 0.5
+        chain = compile_tape(lambda cur, prev: (cur - prev - vmean) / vstd)
+        prev = Tensor(RNG.random((6, 3)))
+        check_grad(lambda t: (chain(t, prev) ** 2).sum(),
+                   RNG.random((6, 3)))
+
+    def test_second_input(self):
+        chain = compile_tape(lambda a, b: (a - b) / 2.0)
+        a = Tensor(RNG.random((5, 2)))
+        check_grad(lambda t: (chain(a, t) ** 2).sum(), RNG.random((5, 2)))
+
+    def test_clip_chain(self):
+        chain = compile_tape(lambda x: (x / 0.1).clip(0.0, 1.0))
+        # keep inputs away from the clip kinks
+        x0 = np.array([[-0.3, 0.02], [0.05, 0.4], [0.08, -0.1]])
+        check_grad(lambda t: (chain(t) ** 2).sum(), x0)
+
+    def test_diamond_reuse(self):
+        # a slot consumed by two later ops must accumulate both grads
+        chain = compile_tape(lambda x: (x * 2.0) * (x + 1.0))
+        check_grad(lambda t: chain(t).sum(), RNG.random(5) + 0.1)
+
+    def test_broadcast_constant_grad(self):
+        scale = RNG.random(3) + 0.5
+        chain = compile_tape(lambda x: x * scale + 1.0)
+        check_grad(lambda t: (chain(t) ** 2).sum(), RNG.random((4, 3)))
+
+    def test_broadcast_input_grad(self):
+        # (4,3) result from a (3,) input: grad must unbroadcast-sum
+        other = Tensor(RNG.random((4, 3)))
+        chain = compile_tape(lambda a, b: a * b)
+        check_grad(lambda t: (chain(other, t) ** 2).sum(), RNG.random(3))
+
+    def test_unary_math_grads(self):
+        chain = compile_tape(lambda x: x.exp().log() + x.sqrt() * x.tanh())
+        check_grad(lambda t: chain(t).sum(), RNG.random(6) + 0.5)
+
+    def test_pow_neg_abs(self):
+        chain = compile_tape(lambda x: (x ** 3.0).abs() + (-x) * 2.0)
+        check_grad(lambda t: chain(t).sum(), RNG.random(5) + 0.2)
+
+    def test_trig(self):
+        chain = compile_tape(lambda x: x.sin() * x.cos())
+        check_grad(lambda t: chain(t).sum(), RNG.normal(size=6))
+
+    def test_relu_sigmoid(self):
+        chain = compile_tape(lambda x: x.relu() + x.sigmoid())
+        x0 = RNG.normal(size=8)
+        x0[np.abs(x0) < 0.05] = 0.1  # stay off the relu kink
+        check_grad(lambda t: chain(t).sum(), x0)
+
+    def test_matches_unfused_grad_bitwise(self):
+        vmean = RNG.normal(size=2)
+        vstd = np.abs(RNG.normal(size=2)) + 0.5
+        chain = compile_tape(lambda cur, prev: (cur - prev - vmean) / vstd)
+        x0 = RNG.random((7, 2))
+        prev = RNG.random((7, 2))
+        grads = []
+        for fused in (True, False):
+            t = Tensor(x0.copy(), requires_grad=True)
+            if fused:
+                out = chain(t, Tensor(prev))
+            else:
+                out = (t - Tensor(prev) - Tensor(vmean)) / Tensor(vstd)
+            (out * out).sum().backward()
+            grads.append(t.grad)
+        np.testing.assert_array_equal(grads[0], grads[1])
+
+
+class TestTraceContract:
+    def test_arity_inferred(self):
+        chain = compile_tape(lambda a, b: a + b)
+        assert chain._num_inputs == 2
+
+    def test_wrong_arity_call(self):
+        chain = compile_tape(lambda a, b: a + b)
+        with pytest.raises(ValueError, match="expected 2 inputs"):
+            chain(Tensor(np.ones(2)))
+
+    def test_grad_constant_rejected(self):
+        const = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError, match="constants"):
+            compile_tape(lambda x: x * const)
+
+    def test_no_ops_rejected(self):
+        with pytest.raises(ValueError, match="no elementwise ops"):
+            compile_tape(lambda x: x)
+
+    def test_non_sym_return_rejected(self):
+        with pytest.raises(TypeError, match="traced value"):
+            compile_tape(lambda x: np.ones(3))
+
+    def test_mixed_traces_rejected(self):
+        other = compile_tape(lambda a: a + 1.0)
+        leaked = {}
+
+        def capture(a):
+            leaked["sym"] = a
+            return a + 1.0
+
+        compile_tape(capture)
+        with pytest.raises(ValueError, match="different traces"):
+            compile_tape(lambda x: x + leaked["sym"])
+
+    def test_repr(self):
+        chain = compile_tape(lambda a: a * 2.0, name="double")
+        assert "double" in repr(chain)
+        assert isinstance(chain, CompiledChain)
+
+    def test_no_grad_inputs_no_tape(self):
+        chain = compile_tape(lambda a: a * 2.0)
+        out = chain(Tensor(np.ones(3)))
+        assert not out.requires_grad
