@@ -31,6 +31,10 @@ Usage::
 
     python benchmarks/bench_fastpath.py [--quick] [--steps N]
         [--no-sweep] [--min-speedup X] [--output PATH] [--telemetry DIR]
+        [--record HISTORY]
+
+``--record HISTORY`` appends a perf-ledger entry (git SHA, config
+hash, flattened metrics) for ``repro bench compare`` regression gating.
 """
 
 from __future__ import annotations
@@ -416,10 +420,21 @@ def main(argv=None) -> int:
                         / "BENCH_fastpath.json")
     parser.add_argument("--telemetry", type=Path, default=None, metavar="DIR",
                         help="also write telemetry.jsonl + manifest.json")
+    parser.add_argument("--record", type=Path, default=None,
+                        metavar="HISTORY",
+                        help="append a perf-ledger entry to HISTORY "
+                             "(same as 'repro bench record')")
     args = parser.parse_args(argv)
     result = run(args)
     args.output.write_text(json.dumps(result, indent=2) + "\n")
     print(f"\nwrote {args.output}")
+    if args.record is not None:
+        from repro.obs.ledger import entry_from_fastpath, record_entry
+
+        entry = entry_from_fastpath(result)
+        record_entry(args.record, entry)
+        print(f"ledger entry (config {entry['config_hash']}) appended "
+              f"to {args.record}")
     best = max(result["speedup_f64"], result["speedup_fp32"])
     if args.min_speedup is not None and best < args.min_speedup:
         print(f"FAIL: best speedup {best:.2f}x below the required "

@@ -28,16 +28,45 @@ __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor",
 
 _GRAD_ENABLED = True
 
-# Optional runtime-sanitizer hook (repro.lint.sanitize): called with
-# (out_data, backward_fn) for every tape op created through Tensor._make.
-# None in normal operation — the per-op cost is one attribute read.
+# Optional tape-dispatch hooks, called with (out_data, backward_fn) for
+# every tape op created through Tensor._make. Hooks live in named slots
+# (runtime sanitizers use "sanitize", the op profiler uses "profile") so
+# independent subsystems can coexist; the dispatched callable is kept
+# pre-composed in _TAPE_HOOK, which stays None in normal operation — the
+# per-op cost of the disarmed state is one attribute read and a branch.
+_TAPE_HOOKS: dict[str, Callable[[np.ndarray, Callable], None]] = {}
 _TAPE_HOOK: Callable[[np.ndarray, Callable], None] | None = None
 
 
-def set_tape_hook(hook: Callable[[np.ndarray, Callable], None] | None) -> None:
-    """Install (or clear, with ``None``) the tape-dispatch sanitizer hook."""
+def _rebuild_tape_hook() -> None:
     global _TAPE_HOOK
-    _TAPE_HOOK = hook
+    if not _TAPE_HOOKS:
+        _TAPE_HOOK = None
+    elif len(_TAPE_HOOKS) == 1:
+        _TAPE_HOOK = next(iter(_TAPE_HOOKS.values()))
+    else:
+        hooks = tuple(_TAPE_HOOKS[k] for k in sorted(_TAPE_HOOKS))
+
+        def _dispatch(data: np.ndarray, backward_fn: Callable) -> None:
+            for hook in hooks:
+                hook(data, backward_fn)
+
+        _TAPE_HOOK = _dispatch
+
+
+def set_tape_hook(hook: Callable[[np.ndarray, Callable], None] | None,
+                  slot: str = "sanitize") -> None:
+    """Install (or clear, with ``None``) one tape-dispatch hook slot.
+
+    The default slot keeps backward compatibility with the sanitizer
+    API; other subsystems (e.g. the op-level profiler) pass their own
+    ``slot`` so arming one never disarms the other.
+    """
+    if hook is None:
+        _TAPE_HOOKS.pop(slot, None)
+    else:
+        _TAPE_HOOKS[slot] = hook
+    _rebuild_tape_hook()
 
 
 @contextlib.contextmanager

@@ -10,8 +10,13 @@ Subcommands cover the full paper workflow without writing Python:
 * ``repro invert``   — identify the friction angle from a target runout
   by AD through the rollout (Section 5).
 * ``repro info``     — inspect datasets and checkpoints.
-* ``repro telemetry summarize`` — render a telemetry run directory
-  (``telemetry.jsonl`` + ``manifest.json``) as a human-readable report.
+* ``repro telemetry summarize|report|merge`` — render a telemetry run
+  directory as text or self-contained HTML (flame chart, op table,
+  metric percentiles), or merge per-worker shards into one labeled
+  timeline.
+* ``repro bench record|compare`` — append benchmark results to the
+  perf ledger (``benchmarks/history.jsonl``) and flag regressions vs
+  the trailing window (the CI perf gate).
 * ``repro lint``     — run the domain static-analysis rules
   (determinism, dtype discipline, autodiff contracts, conventions; see
   ``docs/static-analysis.md``).
@@ -140,6 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print per-stage timing breakdown and cache stats")
     p.add_argument("--profile", action="store_true",
                    help="cProfile the rollout and print hotspots")
+    p.add_argument("--profile-ops", action="store_true",
+                   help="op-level tape profile: re-run a short window on "
+                        "the tape path and print the span->op cost tree "
+                        "(rows land in --telemetry when set)")
     p.add_argument("--telemetry", type=Path, default=None, metavar="DIR",
                    help="write telemetry.jsonl + manifest.json to DIR")
     _add_faults_args(p)
@@ -162,10 +171,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path", type=Path)
 
     p = sub.add_parser("telemetry", help="inspect telemetry output")
-    p.add_argument("action", choices=["summarize"],
-                   help="what to do with the telemetry data")
+    p.add_argument("action", choices=["summarize", "report", "merge"],
+                   help="summarize = text report; report = self-contained "
+                        "HTML (flame chart + op table + percentiles); "
+                        "merge = combine worker shards into one labeled "
+                        "timeline")
     p.add_argument("path", type=Path,
                    help="run directory or telemetry.jsonl file")
+    p.add_argument("--output", type=Path, default=None, metavar="FILE",
+                   help="output path (report: default report.html next to "
+                        "the input, '-' prints the terminal fallback; "
+                        "merge: default merged.jsonl in the run dir)")
+
+    p = sub.add_parser("bench", help="perf-regression ledger")
+    p.add_argument("action", choices=["record", "compare"],
+                   help="record = append a benchmark result to the "
+                        "history; compare = flag regressions vs the "
+                        "trailing window (exit 1 on regression)")
+    p.add_argument("--input", type=Path, required=True, metavar="JSON",
+                   help="benchmark result (bench_fastpath.py output)")
+    p.add_argument("--history", type=Path,
+                   default=Path("benchmarks/history.jsonl"),
+                   help="ledger file (default: benchmarks/history.jsonl)")
+    p.add_argument("--label", default="fastpath",
+                   help="ledger entry label (default: fastpath)")
+    p.add_argument("--tolerance", type=float, default=0.1,
+                   help="fractional regression tolerance (default 0.1)")
+    p.add_argument("--metrics", default=None, metavar="NAMES",
+                   help="comma-separated metric names to compare "
+                        "(default: every metric in the entry)")
+    p.add_argument("--window", type=int, default=5,
+                   help="trailing history entries per baseline (default 5)")
+    p.add_argument("--require-history", action="store_true",
+                   help="compare: exit 1 when no baseline entries match "
+                        "(guards against a silently empty ledger)")
 
     p = sub.add_parser("lint", help="run the domain static-analysis rules")
     p.add_argument("root", type=Path, nargs="?", default=Path("."),
@@ -476,6 +515,19 @@ def _cmd_rollout(args) -> int:
             print(f"  neighbor cache: {cs['builds']} builds / "
                   f"{cs['queries']} queries (hit rate {cs['hit_rate']:.1%}, "
                   f"skin {cs['skin']:g})")
+    if args.profile_ops:
+        from ..obs import format_op_tree, profiled_rollout
+
+        # short tape-path window: the fast path is pure NumPy (no tape
+        # ops), so op attribution reruns the Tensor path under no_grad
+        prof_steps = min(steps, 5)
+        _, tape_prof, span_stats = profiled_rollout(
+            sim, seed, prof_steps, material=material,
+            particle_types=traj.particle_types)
+        print(f"\nop profile ({prof_steps} tape-path steps):")
+        print(format_op_tree(tape_prof.rows(), span_stats))
+        if session is not None:
+            session.add_profiler(tape_prof)
     if session is not None:
         from ..obs import check_trajectory, default_monitors
 
@@ -582,13 +634,67 @@ def _cmd_info(args) -> int:
 def _cmd_telemetry(args) -> int:
     from ..obs import summarize_telemetry
 
-    if args.action == "summarize":
-        try:
+    try:
+        if args.action == "summarize":
             print(summarize_telemetry(args.path))
-        except FileNotFoundError as err:
-            print(f"error: {err}")
-            return 1
+        elif args.action == "report":
+            if args.output is not None and str(args.output) == "-":
+                from ..obs import read_manifest, render_text
+                from ..obs.session import read_telemetry_tolerant
+
+                rows, skipped = read_telemetry_tolerant(args.path)
+                print(render_text(rows, read_manifest(args.path),
+                                  skipped_lines=skipped))
+            else:
+                from ..obs import write_report
+
+                out = write_report(args.path, output=args.output)
+                print(f"report written to {out}")
+        elif args.action == "merge":
+            from ..obs import merge_worker_telemetry
+
+            path, rows, skipped = merge_worker_telemetry(
+                args.path, output=args.output)
+            note = f" ({skipped} corrupt line(s) skipped)" if skipped else ""
+            print(f"merged {len(rows)} row(s) into {path}{note}")
+    except FileNotFoundError as err:
+        print(f"error: {err}")
+        return 1
     return 0
+
+
+def _cmd_bench(args) -> int:
+    import json as _json
+
+    from ..obs.ledger import (compare_entry, entry_from_fastpath,
+                              format_comparison, load_history, record_entry)
+
+    try:
+        result = _json.loads(args.input.read_text())
+    except (OSError, ValueError) as err:
+        print(f"error: cannot read {args.input}: {err}", file=sys.stderr)
+        return 2
+    entry = entry_from_fastpath(result, label=args.label)
+
+    if args.action == "record":
+        path = record_entry(args.history, entry)
+        print(f"recorded {args.label} entry "
+              f"(config {entry['config_hash']}, "
+              f"{len(entry['metrics'])} metric(s)) to {path}")
+        return 0
+
+    history = load_history(args.history)
+    metrics = ([s.strip() for s in args.metrics.split(",") if s.strip()]
+               if args.metrics else None)
+    report = compare_entry(entry, history, metrics=metrics,
+                           tolerance=args.tolerance, window=args.window)
+    print(format_comparison(report, args.tolerance), end="")
+    if args.require_history and report.baseline_runs == 0:
+        print(f"FAIL: no baseline entries in {args.history} match label="
+              f"{args.label} config={entry['config_hash']}",
+              file=sys.stderr)
+        return 1
+    return 0 if report.ok else 1
 
 
 def _cmd_lint(args) -> int:
@@ -625,6 +731,7 @@ _COMMANDS = {
     "invert": _cmd_invert,
     "info": _cmd_info,
     "telemetry": _cmd_telemetry,
+    "bench": _cmd_bench,
     "lint": _cmd_lint,
 }
 

@@ -42,6 +42,8 @@ needs.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..autodiff.scatter import SortedSegments
@@ -57,6 +59,10 @@ _STAGES = ("graph", "features", "encode", "process", "decode", "integrate")
 
 #: edge-count histogram buckets (edges per graph per step)
 _EDGE_BUCKETS = (1e2, 3e2, 1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6)
+
+#: per-step latency buckets (seconds), 100 µs .. 3 s
+_STEP_SECONDS_BUCKETS = (1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+                         1e-1, 3e-1, 1.0, 3.0)
 
 
 class InferenceEngine:
@@ -298,7 +304,11 @@ class InferenceEngine:
                      if self.metrics is not None else None)
         cache = self.cache
         san = active_sanitizer()
+        step_hist = (self.metrics.histogram("gns.step_seconds",
+                                            buckets=_STEP_SECONDS_BUCKETS)
+                     if self.metrics is not None else None)
         for t in range(num_steps):
+            t_step = time.perf_counter() if step_hist is not None else 0.0
             with self._spans["graph"]:
                 senders, receivers = cache.query(window[-1])
                 # receivers come out of the cache already sorted, so the
@@ -329,6 +339,10 @@ class InferenceEngine:
             with self._spans["integrate"]:
                 out[window_len + t] = x_next
                 self._shift_window(window, x_next)
+            if step_hist is not None:
+                # per-step latency distribution: p50/p95/p99 make
+                # neighbor-rebuild hiccups visible where a mean cannot
+                step_hist.observe(time.perf_counter() - t_step)
         if self.metrics is not None:
             self.metrics.counter("gns.rollout_steps").inc(num_steps)
         return out

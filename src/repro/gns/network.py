@@ -152,14 +152,18 @@ class EncodeProcessDecode(Module):
                            layer_norm=False)
 
     def forward(self, graph: Graph) -> Tensor:
-        nodes = self.node_encoder(graph.node_features)
-        edges = self.edge_encoder(graph.edge_features)
-        # one receiver-sorted reduction plan shared by every block
-        plan = SortedSegments(graph.receivers, nodes.shape[0])
-        for block in self.blocks:
-            nodes, edges = block(nodes, edges, graph.senders, graph.receivers,
-                                 plan=plan)
-        return self.decoder(nodes)
+        from ..obs import span
+        with span("encode"):
+            nodes = self.node_encoder(graph.node_features)
+            edges = self.edge_encoder(graph.edge_features)
+        with span("process"):
+            # one receiver-sorted reduction plan shared by every block
+            plan = SortedSegments(graph.receivers, nodes.shape[0])
+            for block in self.blocks:
+                nodes, edges = block(nodes, edges, graph.senders,
+                                     graph.receivers, plan=plan)
+        with span("decode"):
+            return self.decoder(nodes)
 
     def forward_with_attention(self, graph: Graph
                                ) -> tuple[Tensor, list[np.ndarray]]:

@@ -18,6 +18,15 @@ The measurement layer the paper's quantitative claims rest on:
 * :mod:`~repro.obs.timing` / :mod:`~repro.obs.profiling` — the classic
   :class:`Timer` / :func:`profile_block` helpers (moved here from
   ``repro.utils``, which still re-exports them).
+* :mod:`~repro.obs.deep` — op-level tape profiling (span → op cost
+  trees via the ``Tensor._make`` hook) and deterministic merging of
+  per-worker telemetry shards into one labeled timeline.
+* :mod:`~repro.obs.ledger` — append-only benchmark history
+  (``benchmarks/history.jsonl``) with trailing-window regression
+  detection (``repro bench record/compare``).
+* :mod:`~repro.obs.report` — self-contained HTML flame chart + op
+  table + metric percentiles from any telemetry dir
+  (``repro telemetry report``), with a terminal fallback.
 
 Global telemetry is **off by default**; ``obs.enable()`` (or opening a
 :class:`TelemetrySession`) turns on the process-global tracer and
@@ -30,12 +39,24 @@ from .health import (
     VelocityExplosionMonitor, check_loss_curve, check_trajectory,
     default_monitors,
 )
+from .deep import (
+    TapeProfiler, format_op_tree, merge_worker_telemetry, op_tree,
+    profiled_rollout,
+)
+from .ledger import (
+    BenchComparison, compare_entry, entry_from_fastpath, format_comparison,
+    load_history, metric_direction, record_entry,
+)
 from .metrics import (
     Counter, Gauge, Histogram, MetricsRegistry, Series, disable_metrics,
-    enable_metrics, get_registry, reset_metrics,
+    enable_metrics, get_registry, percentile_from_row, reset_metrics,
 )
 from .profiling import profile_block, top_functions
-from .session import TelemetrySession, git_sha, read_manifest, read_telemetry
+from .report import render_html, render_text, write_report
+from .session import (
+    TelemetrySession, current_session, git_sha, read_manifest,
+    read_telemetry, read_telemetry_tolerant,
+)
 from .summarize import summarize_telemetry
 from .timing import Timer, benchmark
 from .trace import (
@@ -50,9 +71,19 @@ __all__ = [
     # metrics
     "Counter", "Gauge", "Histogram", "Series", "MetricsRegistry",
     "get_registry", "enable_metrics", "disable_metrics", "reset_metrics",
+    "percentile_from_row",
     # session / export
-    "TelemetrySession", "git_sha", "read_telemetry", "read_manifest",
-    "summarize_telemetry",
+    "TelemetrySession", "current_session", "git_sha", "read_telemetry",
+    "read_telemetry_tolerant", "read_manifest", "summarize_telemetry",
+    # deep profiling / merge
+    "TapeProfiler", "profiled_rollout", "op_tree", "format_op_tree",
+    "merge_worker_telemetry",
+    # perf ledger
+    "BenchComparison", "entry_from_fastpath", "record_entry",
+    "load_history", "compare_entry", "format_comparison",
+    "metric_direction",
+    # reports
+    "render_html", "render_text", "write_report",
     # health
     "HealthEvent", "HealthReport", "HealthMonitor", "NaNMonitor",
     "VelocityExplosionMonitor", "EnergyGainMonitor", "MomentumDriftMonitor",

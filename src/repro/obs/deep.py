@@ -1,0 +1,291 @@
+"""Deep performance observatory: op-level tape profiling and
+cross-worker telemetry merge.
+
+Spans (``repro.obs.trace``) answer *which stage* is slow; this module
+answers *which ops inside the stage*. A :class:`TapeProfiler` hooks
+tape dispatch via :func:`repro.autodiff.tensor.set_tape_hook` (slot
+``"profile"``, coexisting with the sanitizer's ``"sanitize"`` slot) and
+attributes every ``Tensor._make`` to the tracing span open at the time,
+so a rollout decomposes into a span → op cost tree::
+
+    gns/step/process
+        fused_linear_relu      41.2 ms  x480   38.1 MB
+        segment_sum            18.7 ms  x240   12.4 MB
+        Tensor.__add__          6.1 ms  x720    9.2 MB
+
+Timing is *delta-based*: each hook invocation charges the op with the
+wall time since the previous hook **or** the most recent span
+enter/exit (``Tracer.last_event``), whichever is later — so the span's
+own transition cost is never double-counted and the op totals of a
+tape-dense span sum to ≈ the span's wall time. Output bytes and call
+counts ride along for free.
+
+Cost discipline: the hook only exists while a profiler is installed;
+the ``_TAPE_HOOK is None`` fast path in ``Tensor._make`` keeps
+unprofiled runs bitwise-identical to uninstrumented ones (same
+guarantee as the sanitizers, covered by tests).
+
+The second half of the module merges per-worker telemetry shards
+(written by :class:`~repro.parallel.pool.DataParallelPool` workers)
+into one deterministic, worker-labeled timeline — see
+:func:`merge_worker_telemetry`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .session import read_manifest, read_telemetry_tolerant
+from .trace import Tracer, get_tracer
+
+__all__ = ["TapeProfiler", "profiled_rollout", "op_tree", "format_op_tree",
+           "merge_worker_telemetry", "MERGED_NAME"]
+
+MERGED_NAME = "merged.jsonl"
+
+
+def op_site(backward_fn) -> str:
+    """Op site from a VJP closure's qualname
+    (``Tensor.__mul__.<locals>.backward`` → ``Tensor.__mul__``)."""
+    qual = getattr(backward_fn, "__qualname__", "tape_op")
+    site, _, _ = qual.partition(".<locals>")
+    return site
+
+
+class TapeProfiler:
+    """Attributes tape-op wall time, bytes, and counts to trace spans.
+
+    Use as a context manager (installs/uninstalls the tape hook)::
+
+        prof = TapeProfiler()
+        with prof:
+            frames = sim.rollout_differentiable(...)
+        print(format_op_tree(prof.rows()))
+
+    One table row per ``(span path, op site)`` pair; memory stays
+    bounded no matter how many steps run.
+    """
+
+    def __init__(self, tracer: Tracer | None = None):
+        self.tracer = tracer if tracer is not None else get_tracer()
+        # (span_path, site) -> [seconds, count, bytes]
+        self._table: dict[tuple[str, str], list] = {}
+        self._anchor = 0.0
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    def install(self) -> "TapeProfiler":
+        """Hook tape dispatch (slot ``"profile"``); resets the clock."""
+        from ..autodiff import tensor as _tensor
+
+        self._anchor = time.perf_counter()
+        _tensor.set_tape_hook(self._hook, slot="profile")
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        from ..autodiff import tensor as _tensor
+
+        _tensor.set_tape_hook(None, slot="profile")
+        self._installed = False
+
+    def __enter__(self) -> "TapeProfiler":
+        return self.install()
+
+    def __exit__(self, *exc) -> bool:
+        self.uninstall()
+        return False
+
+    def reset(self) -> None:
+        self._table.clear()
+        self._anchor = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def _hook(self, data: np.ndarray, backward_fn) -> None:
+        now = time.perf_counter()
+        start = self._anchor
+        last_event = self.tracer.last_event
+        if last_event > start:
+            start = last_event
+        self._anchor = now
+        key = (self.tracer.current_path(), op_site(backward_fn))
+        rec = self._table.get(key)
+        nbytes = getattr(data, "nbytes", 0)
+        if rec is None:
+            self._table[key] = [now - start, 1, nbytes]
+        else:
+            rec[0] += now - start
+            rec[1] += 1
+            rec[2] += nbytes
+
+    # ------------------------------------------------------------------
+    def rows(self) -> list[dict]:
+        """One ``kind="op"`` dict per (span, site), deterministic order."""
+        rows = []
+        for (span_path, site) in sorted(self._table):
+            sec, count, nbytes = self._table[(span_path, site)]
+            rows.append({"kind": "op", "span": span_path, "site": site,
+                         "total": sec, "count": count, "bytes": nbytes,
+                         "mean": sec / count if count else 0.0})
+        return rows
+
+    def span_totals(self) -> dict[str, float]:
+        """Summed op seconds per span path."""
+        totals: dict[str, float] = {}
+        for (span_path, _site), rec in self._table.items():
+            totals[span_path] = totals.get(span_path, 0.0) + rec[0]
+        return totals
+
+
+def op_tree(rows: list[dict]) -> dict[str, dict]:
+    """Group ``kind="op"`` rows into ``{span: {"total", "ops": [...]}}``,
+    ops sorted hottest-first."""
+    tree: dict[str, dict] = {}
+    for row in rows:
+        if row.get("kind") != "op":
+            continue
+        node = tree.setdefault(row.get("span", ""),
+                               {"total": 0.0, "ops": []})
+        node["total"] += row.get("total", 0.0)
+        node["ops"].append(row)
+    for node in tree.values():
+        node["ops"].sort(key=lambda r: -r.get("total", 0.0))
+    return tree
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(n) < 1024.0:
+            return f"{n:7.1f} {unit}"
+        n /= 1024.0
+    return f"{n:7.1f} TB"
+
+
+def format_op_tree(rows: list[dict],
+                   span_stats: dict | None = None) -> str:
+    """Text rendering of the span → op cost tree.
+
+    ``span_stats`` (a ``Tracer.stats()`` dict) annotates each span with
+    its measured wall time so op coverage is visible at a glance.
+    """
+    tree = op_tree(rows)
+    if not tree:
+        return "(no op rows)\n"
+    lines: list[str] = []
+    for span_path in sorted(tree, key=lambda p: -tree[p]["total"]):
+        node = tree[span_path]
+        label = span_path or "(root)"
+        header = f"{label}  ops {node['total'] * 1e3:.3f} ms"
+        if span_stats and span_path in span_stats:
+            wall = span_stats[span_path]["total"]
+            cover = 100.0 * node["total"] / wall if wall else 0.0
+            header += f"  /  span {wall * 1e3:.3f} ms  ({cover:.0f}% covered)"
+        lines.append(header)
+        for op in node["ops"]:
+            lines.append(
+                f"    {op['site']:<36} {op['total'] * 1e3:9.3f} ms "
+                f"x{op['count']:<7d} {_fmt_bytes(op['bytes'])}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# profiled rollout
+# ----------------------------------------------------------------------
+def profiled_rollout(sim, initial_history, num_steps: int, material=None,
+                     particle_types=None, tracer: Tracer | None = None):
+    """Roll out ``num_steps`` on the *tape* path under ``no_grad`` with
+    the op profiler armed.
+
+    The fast inference path (``InferenceEngine``) is pure NumPy — no
+    tape ops fire there, so there is nothing below a span to attribute.
+    The tape path runs the same network math through ``Tensor`` ops;
+    ``no_grad`` keeps the tape from retaining memory while
+    ``Tensor._make`` still dispatches the hook for every op.
+
+    Returns ``(positions, profiler, span_stats)``: the
+    ``(C+1+num_steps, n, d)`` trajectory, the armed-then-disarmed
+    :class:`TapeProfiler`, and the span aggregates scoped to this run.
+    """
+    from ..autodiff import as_tensor, no_grad
+    from . import trace as _trace
+
+    tracer = tracer if tracer is not None else get_tracer()
+    was_enabled = tracer.enabled
+    # the network's encode/process/decode spans go through the *global*
+    # tracer, so a caller-supplied tracer must stand in for it here
+    prev_global = _trace._GLOBAL
+    _trace._GLOBAL = tracer
+    tracer.enable()
+    snap = tracer.snapshot()
+    prof = TapeProfiler(tracer)
+    frames = [np.asarray(f, dtype=np.float64) for f in initial_history]
+    window_len = sim.feature_config.history + 1
+    step_span = tracer.span("gns/step")
+    try:
+        with prof, no_grad():
+            for _ in range(num_steps):
+                window = [as_tensor(f) for f in frames[-window_len:]]
+                with step_span:
+                    x_next = sim.step(window, material, particle_types)
+                frames.append(np.asarray(x_next.data, dtype=np.float64))
+    finally:
+        _trace._GLOBAL = prev_global
+        tracer.enabled = was_enabled
+    return np.stack(frames, axis=0), prof, tracer.stats(since=snap)
+
+
+# ----------------------------------------------------------------------
+# cross-worker telemetry merge
+# ----------------------------------------------------------------------
+def merge_worker_telemetry(run_dir: str | Path,
+                           output: str | Path | None = None):
+    """Merge per-worker telemetry shards into one labeled timeline.
+
+    ``run_dir`` holds one subdirectory per shard (``worker_00``,
+    ``worker_01``, ... — any name works), each containing a
+    ``telemetry.jsonl``; a ``telemetry.jsonl`` directly in ``run_dir``
+    is included first under the label ``parent``. Every row gains a
+    ``worker`` field; shards are visited in sorted-name order and rows
+    keep file order, with each line serialized via
+    ``json.dumps(..., sort_keys=True)`` — so identical inputs produce a
+    byte-identical ``merged.jsonl`` (deterministic-merge test relies on
+    this). Corrupt trailing lines from crash-killed workers are
+    skipped and counted.
+
+    Returns ``(merged_path, rows, skipped_lines)``.
+    """
+    run_dir = Path(run_dir)
+    sources: list[tuple[str, Path]] = []
+    if (run_dir / "telemetry.jsonl").exists():
+        sources.append(("parent", run_dir / "telemetry.jsonl"))
+    for sub in sorted(p for p in run_dir.iterdir() if p.is_dir()):
+        shard = sub / "telemetry.jsonl"
+        if shard.exists():
+            sources.append((sub.name, shard))
+
+    merged: list[dict] = []
+    skipped = 0
+    for label, shard in sources:
+        rows, bad = read_telemetry_tolerant(shard)
+        skipped += bad
+        manifest = read_manifest(shard)
+        if manifest is not None:
+            merged.append({"kind": "worker", "worker": label,
+                           "command": manifest.get("command"),
+                           "elapsed_seconds":
+                               manifest.get("elapsed_seconds"),
+                           "num_rows": len(rows)})
+        for row in rows:
+            tagged = dict(row)
+            tagged["worker"] = label
+            merged.append(tagged)
+
+    out_path = Path(output) if output is not None else run_dir / MERGED_NAME
+    with open(out_path, "w") as f:
+        for row in merged:
+            f.write(json.dumps(row, sort_keys=True) + "\n")
+    return out_path, merged, skipped

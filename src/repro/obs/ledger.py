@@ -1,0 +1,234 @@
+"""Perf-regression ledger: an append-only benchmark history with
+automated regression detection.
+
+Every recorded run appends one structured JSONL entry to
+``benchmarks/history.jsonl``: git SHA, benchmark config + hash,
+per-stage timings, dtype, and a flat ``metrics`` dict. ``compare``
+checks a fresh run against the trailing window of entries with the
+*same label and config hash* (different problem sizes never compare
+against each other) and flags any metric that moved beyond a tolerance
+in its bad direction::
+
+    repro bench record  --input BENCH_fastpath.json
+    repro bench compare --input bench-quick.json --tolerance 0.2 \
+        --metrics speedup_f64,speedup_fp32
+
+Direction is inferred from the metric name: ``steps_per_sec`` /
+``speedup`` / ``throughput`` are higher-better; ``*_ms`` /
+``*_seconds`` / ``drift`` / ``error`` / ``loss`` are lower-better.
+The baseline is the **median** of the trailing window, so one noisy
+historical run cannot mask (or fake) a regression.
+
+CI note: absolute steps/sec do not transfer across machines — the CI
+gate compares only *scale-free* ratios (``speedup_f64``,
+``speedup_fp32``: engine vs legacy timed on the same host in the same
+run) with a generous tolerance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .session import git_sha
+
+__all__ = ["SCHEMA_VERSION", "BenchComparison", "compare_entry",
+           "config_hash", "entry_from_fastpath", "format_comparison",
+           "load_history", "metric_direction", "record_entry"]
+
+SCHEMA_VERSION = 1
+
+#: name fragments that mark a metric as lower-better (costs)
+_LOWER_BETTER = ("_ms", "seconds", "drift", "error", "loss")
+#: name fragments that mark a metric as higher-better (rates)
+_HIGHER_BETTER = ("steps_per_sec", "speedup", "throughput")
+
+
+def metric_direction(name: str) -> str:
+    """``"higher"`` or ``"lower"`` — which way this metric should move."""
+    low = name.lower()
+    for token in _HIGHER_BETTER:
+        if token in low:
+            return "higher"
+    for token in _LOWER_BETTER:
+        if token in low:
+            return "lower"
+    return "higher"
+
+
+def config_hash(config: dict) -> str:
+    """Stable short hash of a benchmark configuration."""
+    blob = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
+# ----------------------------------------------------------------------
+# entries
+# ----------------------------------------------------------------------
+_FASTPATH_CONFIG_KEYS = ("n_particles", "latent_size",
+                         "message_passing_steps", "num_steps", "quick",
+                         "ckernels")
+
+
+def entry_from_fastpath(result: dict, label: str = "fastpath") -> dict:
+    """Flatten a ``bench_fastpath.py`` result dict into a ledger entry."""
+    config = {k: result.get(k) for k in _FASTPATH_CONFIG_KEYS}
+    metrics: dict[str, float] = {}
+    for key in ("speedup_f64", "speedup_fp32"):
+        if key in result:
+            metrics[key] = float(result[key])
+    for name, path in (result.get("paths") or {}).items():
+        metrics[f"{name}.steps_per_sec"] = float(path["steps_per_sec"])
+        metrics[f"{name}.seconds"] = float(path["seconds"])
+        for stage, ms in (path.get("stages_ms_per_step") or {}).items():
+            metrics[f"{name}.{stage}_ms"] = float(ms)
+    fp32 = result.get("fp32") or {}
+    if "max_position_drift_vs_f64" in fp32:
+        metrics["fp32.position_drift"] = \
+            float(fp32["max_position_drift_vs_f64"])
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "label": label,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": git_sha(),
+        "dtype": "float32+float64",
+        "config": config,
+        "config_hash": config_hash(config),
+        "metrics": metrics,
+    }
+
+
+def record_entry(history_path: str | Path, entry: dict) -> Path:
+    """Append one entry to the JSONL history (created if missing)."""
+    path = Path(history_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as f:
+        f.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(history_path: str | Path) -> list[dict]:
+    """All parseable entries, file order; [] for a missing history."""
+    path = Path(history_path)
+    if not path.exists():
+        return []
+    entries: list[dict] = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # truncated trailing line from a killed run
+            if isinstance(row, dict):
+                entries.append(row)
+    return entries
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+@dataclass
+class BenchComparison:
+    """Result of checking one entry against the trailing history."""
+
+    label: str
+    baseline_runs: int
+    checked: list[dict] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[dict]:
+        return [c for c in self.checked if c["status"] == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def compare_entry(entry: dict, history: list[dict],
+                  metrics: list[str] | None = None,
+                  tolerance: float = 0.1,
+                  window: int = 5) -> BenchComparison:
+    """Flag metrics of ``entry`` that regressed vs the trailing window.
+
+    Baseline per metric = median over the last ``window`` history
+    entries sharing the entry's label **and** config hash. A metric
+    regresses when it moves more than ``tolerance`` (fractional) past
+    its baseline in the bad direction. Metrics without any baseline are
+    reported as ``no-baseline`` (never failing — a fresh history or a
+    config change starts a new trailing window).
+    """
+    relevant = [e for e in history
+                if e.get("label") == entry.get("label")
+                and e.get("config_hash") == entry.get("config_hash")]
+    trailing = relevant[-window:]
+    names = metrics if metrics is not None \
+        else sorted(entry.get("metrics", {}))
+    report = BenchComparison(label=str(entry.get("label")),
+                             baseline_runs=len(trailing))
+    for name in names:
+        current = entry.get("metrics", {}).get(name)
+        if current is None:
+            report.checked.append({"metric": name, "status": "missing",
+                                   "current": None, "baseline": None,
+                                   "ratio": None,
+                                   "direction": metric_direction(name)})
+            continue
+        samples = [e["metrics"][name] for e in trailing
+                   if isinstance(e.get("metrics"), dict)
+                   and isinstance(e["metrics"].get(name), (int, float))]
+        direction = metric_direction(name)
+        if not samples:
+            report.checked.append({"metric": name, "status": "no-baseline",
+                                   "current": float(current),
+                                   "baseline": None, "ratio": None,
+                                   "direction": direction})
+            continue
+        baseline = _median(samples)
+        ratio = float(current) / baseline if baseline else None
+        if direction == "higher":
+            regressed = float(current) < baseline * (1.0 - tolerance)
+        else:
+            regressed = float(current) > baseline * (1.0 + tolerance)
+        report.checked.append({
+            "metric": name,
+            "status": "regression" if regressed else "ok",
+            "current": float(current), "baseline": baseline,
+            "ratio": ratio, "direction": direction,
+            "samples": len(samples)})
+    return report
+
+
+def format_comparison(report: BenchComparison,
+                      tolerance: float) -> str:
+    """Text rendering of a :class:`BenchComparison`."""
+    lines = [f"bench compare: label={report.label}  "
+             f"baseline_runs={report.baseline_runs}  "
+             f"tolerance={tolerance:.0%}"]
+    for c in report.checked:
+        name, status = c["metric"], c["status"]
+        if status in ("missing", "no-baseline"):
+            lines.append(f"  {name:<36} {status}")
+            continue
+        arrow = "^" if c["direction"] == "higher" else "v"
+        flag = "REGRESSION" if status == "regression" else "ok"
+        lines.append(
+            f"  {name:<36} {c['current']:>12.4g} vs median "
+            f"{c['baseline']:>12.4g} ({arrow} better, n={c['samples']}) "
+            f"{flag}")
+    lines.append("PASS: no regressions" if report.ok else
+                 f"FAIL: {len(report.regressions)} metric(s) regressed")
+    return "\n".join(lines) + "\n"

@@ -155,12 +155,33 @@ class Histogram(_Metric):
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate, ``q`` in [0, 100].
+
+        Linear interpolation inside the bucket that contains the target
+        rank, with the observed ``min``/``max`` tightening the first and
+        overflow bucket edges — exact at q=0/q=100, and exact whenever
+        all mass in the deciding bucket sits at one value that min/max
+        pin down. Returns 0.0 for an empty histogram.
+        """
+        if self.count == 0:
+            return 0.0
+        return _bucket_percentile(self.buckets, self.counts, self.overflow,
+                                  self.count, self.min, self.max, q)
+
+    def percentiles(self, qs=(50.0, 95.0, 99.0)) -> dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` for the given qs."""
+        return {f"p{q:g}": self.percentile(q) for q in qs}
+
     def _payload(self) -> dict:
-        return {"buckets": list(self.buckets), "counts": list(self.counts),
-                "overflow": self.overflow, "sum": self.sum,
-                "count": self.count, "mean": self.mean,
-                "min": None if self.count == 0 else self.min,
-                "max": None if self.count == 0 else self.max}
+        payload = {"buckets": list(self.buckets), "counts": list(self.counts),
+                   "overflow": self.overflow, "sum": self.sum,
+                   "count": self.count, "mean": self.mean,
+                   "min": None if self.count == 0 else self.min,
+                   "max": None if self.count == 0 else self.max}
+        if self.count:
+            payload.update(self.percentiles())
+        return payload
 
 
 class Series(_Metric):
@@ -205,6 +226,45 @@ class Series(_Metric):
             payload["min"] = min(ys)
             payload["max"] = max(ys)
         return payload
+
+
+def _bucket_percentile(edges, counts, overflow: int, total: int,
+                       lo_obs: float, hi_obs: float, q: float) -> float:
+    """Shared bucket-interpolation core (see :meth:`Histogram.percentile`)."""
+    q = min(max(float(q), 0.0), 100.0)
+    rank = q / 100.0 * total
+    # walk buckets (including the synthetic overflow bucket) until the
+    # cumulative count reaches the target rank, then interpolate
+    cum = 0.0
+    bins = list(zip(edges, counts)) + [(hi_obs, overflow)]
+    lo = lo_obs
+    for i, (edge, c) in enumerate(bins):
+        hi = min(float(edge), hi_obs) if c else float(edge)
+        lo_eff = max(lo, lo_obs) if i == 0 else lo
+        if c and cum + c >= rank:
+            frac = (rank - cum) / c
+            value = lo_eff + (hi - lo_eff) * frac
+            return min(max(value, lo_obs), hi_obs)
+        cum += c
+        lo = float(edge)
+    return hi_obs
+
+
+def percentile_from_row(row: dict, q: float) -> float | None:
+    """:meth:`Histogram.percentile` over an exported histogram row
+    (``as_row()``/JSONL dict) — lets reports compute percentiles from
+    telemetry files written before percentiles were exported inline.
+    Returns None when the row is not a non-empty histogram row."""
+    if row.get("type") != "histogram" or not row.get("count"):
+        return None
+    try:
+        return _bucket_percentile(
+            [float(b) for b in row["buckets"]],
+            [float(c) for c in row["counts"]],
+            float(row.get("overflow", 0)), float(row["count"]),
+            float(row["min"]), float(row["max"]), q)
+    except (KeyError, TypeError, ValueError):
+        return None
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram,

@@ -1,0 +1,318 @@
+"""Self-contained HTML telemetry reports (plus a terminal fallback).
+
+``repro telemetry report <dir>`` renders any telemetry artifact — a
+single run's ``telemetry.jsonl`` or a merged multi-worker
+``merged.jsonl`` — into one dependency-free HTML file:
+
+* a **flame chart** of the span tree (pure CSS, widths proportional to
+  wall time, nesting from the slash-joined span paths);
+* an **op table** from the tape profiler's ``kind="op"`` rows, grouped
+  by enclosing span and sorted hottest-first;
+* a **metrics table** with bucket-interpolated p50/p95/p99 for every
+  histogram (computed from the exported buckets when the run predates
+  inline percentiles);
+* an **event timeline** (retries, respawns, re-dispatches, worker task
+  completions), worker-labeled when rendering a merged file.
+
+Everything is inlined — no external JS/CSS, no network — so the file
+can be attached to a CI run or mailed around as-is. ``render_text``
+provides the terminal fallback used when ``--output`` is ``-``.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+
+from .metrics import percentile_from_row
+from .session import read_manifest, read_telemetry_tolerant
+from .summarize import format_rows
+
+__all__ = ["render_html", "render_text", "write_report"]
+
+_CSS = """
+body { font: 13px/1.45 -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 70em; color: #1a1a2e; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: 3px 10px; border-bottom: 1px solid #eee;
+         font-variant-numeric: tabular-nums; }
+th { border-bottom: 2px solid #ccc; }
+td.num, th.num { text-align: right; }
+.manifest { background: #f6f7fb; padding: 0.8em 1.2em; border-radius: 6px; }
+.manifest code { background: none; }
+.flame { margin: 2px 0; }
+.flame .bar { display: inline-block; box-sizing: border-box;
+              padding: 2px 6px; border-radius: 3px; color: #fff;
+              white-space: nowrap; overflow: hidden;
+              text-overflow: ellipsis; vertical-align: top; }
+.flame .children { margin-left: 0; }
+.warn { color: #b23; }
+.mono { font-family: ui-monospace, 'SF Mono', Menlo, monospace;
+        font-size: 12px; }
+"""
+
+_BAR_COLORS = ("#4c6ef5", "#12b886", "#fab005", "#e8590c", "#ae3ec9",
+               "#228be6", "#40c057", "#f76707")
+
+
+def _esc(value) -> str:
+    return html.escape(str(value))
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    return f"{seconds * 1e3:.3f} ms"
+
+
+# ----------------------------------------------------------------------
+# span tree / flame chart
+# ----------------------------------------------------------------------
+def _span_tree(spans: list[dict]) -> dict:
+    """Nest span-aggregate rows by their slash paths.
+
+    Returns the synthetic root ``{"total", "children": {name: node}}``;
+    a parent missing from the rows (ops recorded only at leaf paths)
+    is synthesized with the sum of its children.
+    """
+    root: dict = {"name": "", "total": 0.0, "count": 0, "children": {}}
+    for row in sorted(spans, key=lambda r: r.get("path", "")):
+        parts = [p for p in row.get("path", "").split("/") if p]
+        node = root
+        for part in parts:
+            node = node["children"].setdefault(
+                part, {"name": part, "total": 0.0, "count": 0,
+                       "children": {}})
+        node["total"] += row.get("total", 0.0)
+        node["count"] += row.get("count", 0)
+    # synthesize totals for structural-only parents, bottom-up
+    def _fill(node: dict) -> float:
+        child_sum = sum(_fill(c) for c in node["children"].values())
+        if node["total"] == 0.0:
+            node["total"] = child_sum
+        return node["total"]
+
+    _fill(root)
+    return root
+
+
+def _flame_html(node: dict, parent_total: float, depth: int) -> str:
+    """One flame row per child of ``node``, recursively."""
+    out = []
+    children = sorted(node["children"].values(),
+                      key=lambda c: -c["total"])
+    for child in children:
+        share = child["total"] / parent_total if parent_total else 0.0
+        width = max(share * 100.0, 1.5)
+        color = _BAR_COLORS[depth % len(_BAR_COLORS)]
+        label = (f"{child['name']}  {_fmt_s(child['total'])}"
+                 + (f"  x{child['count']}" if child["count"] else ""))
+        tip = (f"{child['name']}: {_fmt_s(child['total'])}, "
+               f"{child['count']} call(s), {share:.1%} of parent")
+        out.append(
+            f'<div class="flame" style="margin-left:{depth * 1.5}em">'
+            f'<span class="bar" style="width:{width:.2f}%;'
+            f'background:{color}" title="{_esc(tip)}">{_esc(label)}'
+            f'</span></div>')
+        if child["children"]:
+            out.append(_flame_html(child, child["total"], depth + 1))
+    return "".join(out)
+
+
+# ----------------------------------------------------------------------
+# sections
+# ----------------------------------------------------------------------
+def _manifest_section(manifest: dict) -> str:
+    sha = manifest.get("git_sha") or "?"
+    summary = manifest.get("summary") or {}
+    items = "".join(
+        f"<li><code>{_esc(k)}</code> = {_esc(v)}</li>"
+        for k, v in sorted(summary.items()))
+    return (f'<div class="manifest"><b>{_esc(manifest.get("command", "?"))}'
+            f'</b> &nbsp; git <code>{_esc(sha[:12])}</code> &nbsp; dtype '
+            f'{_esc(manifest.get("dtype") or "?")} &nbsp; seed '
+            f'{_esc(manifest.get("seed"))} &nbsp; elapsed '
+            f'{_esc(manifest.get("elapsed_seconds", 0))} s'
+            + (f"<ul>{items}</ul>" if items else "") + "</div>")
+
+
+def _ops_section(ops: list[dict]) -> str:
+    by_span: dict[str, list[dict]] = {}
+    for row in ops:
+        by_span.setdefault(row.get("span", ""), []).append(row)
+    parts = ["<h2>Tape ops</h2>",
+             '<table><tr><th>span / op site</th><th class="num">total</th>'
+             '<th class="num">calls</th><th class="num">mean</th>'
+             '<th class="num">output MB</th></tr>']
+    for span_path in sorted(by_span, key=lambda p: -sum(
+            o.get("total", 0.0) for o in by_span[p])):
+        group = sorted(by_span[span_path],
+                       key=lambda o: -o.get("total", 0.0))
+        total = sum(o.get("total", 0.0) for o in group)
+        parts.append(f'<tr><td><b>{_esc(span_path or "(root)")}</b></td>'
+                     f'<td class="num"><b>{_fmt_s(total)}</b></td>'
+                     f'<td></td><td></td><td></td></tr>')
+        for o in group:
+            parts.append(
+                f'<tr><td class="mono">&nbsp;&nbsp;{_esc(o.get("site"))}'
+                f'</td><td class="num">{_fmt_s(o.get("total", 0.0))}</td>'
+                f'<td class="num">{o.get("count", 0)}</td>'
+                f'<td class="num">{_fmt_s(o.get("mean", 0.0))}</td>'
+                f'<td class="num">{o.get("bytes", 0) / 1e6:.2f}</td></tr>')
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def _metrics_section(metrics: list[dict]) -> str:
+    parts = ["<h2>Metrics</h2>",
+             '<table><tr><th>name</th><th>type</th><th class="num">value'
+             '</th><th class="num">p50</th><th class="num">p95</th>'
+             '<th class="num">p99</th><th class="num">n</th></tr>']
+    for row in sorted(metrics, key=lambda r: (r.get("name", ""),
+                                              str(r.get("labels", "")))):
+        name = row.get("name", "?")
+        labels = row.get("labels")
+        if labels:
+            inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            name += "{" + inner + "}"
+        kind = row.get("type", "?")
+        if kind == "histogram":
+            value = row.get("mean")
+            quantiles = []
+            for q in (50, 95, 99):
+                v = row.get(f"p{q}")
+                if v is None:
+                    v = percentile_from_row(row, q)
+                quantiles.append("" if v is None else f"{v:.4g}")
+            n = row.get("count", 0)
+        elif kind == "series":
+            value, n = row.get("last"), len(row.get("points", []))
+            quantiles = ["", "", ""]
+        else:
+            value, n = row.get("value"), row.get("count", "")
+            quantiles = ["", "", ""]
+        try:
+            value_txt = f"{float(value):.6g}"
+        except (TypeError, ValueError):
+            value_txt = _esc(value)
+        parts.append(
+            f'<tr><td class="mono">{_esc(name)}</td><td>{_esc(kind)}</td>'
+            f'<td class="num">{value_txt}</td>'
+            + "".join(f'<td class="num">{q}</td>' for q in quantiles)
+            + f'<td class="num">{n}</td></tr>')
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def _events_section(events: list[dict]) -> str:
+    parts = ["<h2>Events</h2>",
+             '<table><tr><th class="num">t (s)</th><th>worker</th>'
+             "<th>event</th><th>detail</th></tr>"]
+    for row in sorted(events, key=lambda r: (r.get("t", 0.0),
+                                             str(r.get("worker", "")))):
+        detail = {k: v for k, v in row.items()
+                  if k not in ("kind", "name", "t", "worker")}
+        parts.append(
+            f'<tr><td class="num">{row.get("t", 0):.3f}</td>'
+            f'<td>{_esc(row.get("worker", ""))}</td>'
+            f'<td class="mono">{_esc(row.get("name", "?"))}</td>'
+            f'<td class="mono">{_esc(json.dumps(detail, sort_keys=True)) if detail else ""}'
+            "</td></tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def _workers_section(workers: list[dict]) -> str:
+    parts = ["<h2>Workers</h2>",
+             '<table><tr><th>worker</th><th>command</th>'
+             '<th class="num">rows</th><th class="num">elapsed</th></tr>']
+    for row in workers:
+        parts.append(
+            f'<tr><td>{_esc(row.get("worker", "?"))}</td>'
+            f'<td class="mono">{_esc(row.get("command") or "?")}</td>'
+            f'<td class="num">{row.get("num_rows", 0)}</td>'
+            f'<td class="num">{row.get("elapsed_seconds") or 0:.3f} s</td>'
+            "</tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
+# ----------------------------------------------------------------------
+def render_html(rows: list[dict], manifest: dict | None = None,
+                title: str = "repro telemetry",
+                skipped_lines: int = 0) -> str:
+    """Render parsed telemetry rows as one self-contained HTML page."""
+    spans = [r for r in rows if r.get("kind") == "span"]
+    ops = [r for r in rows if r.get("kind") == "op"]
+    metrics = [r for r in rows if r.get("kind") == "metric"]
+    events = [r for r in rows if r.get("kind") == "event"]
+    workers = [r for r in rows if r.get("kind") == "worker"]
+    health = [r for r in rows if r.get("kind") == "health"]
+
+    body = [f"<h1>{_esc(title)}</h1>"]
+    if skipped_lines:
+        body.append(f'<p class="warn">warning: skipped {skipped_lines} '
+                    "unparseable telemetry line(s)</p>")
+    if manifest:
+        body.append(_manifest_section(manifest))
+    if workers:
+        body.append(_workers_section(workers))
+    if spans:
+        root = _span_tree(spans)
+        body.append("<h2>Span flame chart</h2>")
+        body.append(_flame_html(root, root["total"], 0))
+    if ops:
+        body.append(_ops_section(ops))
+    if metrics:
+        body.append(_metrics_section(metrics))
+    if health:
+        body.append("<h2>Health findings</h2><ul>")
+        for row in health:
+            body.append(
+                f'<li class="warn">[{_esc(row.get("severity", "?"))}] '
+                f'{_esc(row.get("monitor", "?"))} step '
+                f'{_esc(row.get("step"))}: {_esc(row.get("message", ""))}'
+                "</li>")
+        body.append("</ul>")
+    if events:
+        body.append(_events_section(events))
+    if not rows:
+        body.append("<p>(telemetry file is empty)</p>")
+    return ("<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            f"<title>{_esc(title)}</title><style>{_CSS}</style></head>"
+            f"<body>{''.join(body)}</body></html>\n")
+
+
+def render_text(rows: list[dict], manifest: dict | None = None,
+                skipped_lines: int = 0) -> str:
+    """Terminal fallback — the summarize renderer plus a skip warning."""
+    report = format_rows(rows, manifest)
+    if skipped_lines:
+        report = (f"warning: skipped {skipped_lines} unparseable telemetry "
+                  f"line(s)\n\n") + report
+    return report
+
+
+def write_report(path: str | Path, output: str | Path | None = None,
+                 title: str | None = None) -> Path:
+    """Render a telemetry artifact (file or dir — ``merged.jsonl`` is
+    preferred over ``telemetry.jsonl`` when both exist) to HTML."""
+    src = Path(path)
+    if src.is_dir():
+        merged = src / "merged.jsonl"
+        src_file = merged if merged.exists() else src / "telemetry.jsonl"
+    else:
+        src_file = src
+    rows, skipped = read_telemetry_tolerant(src_file)
+    manifest = read_manifest(src_file)
+    if title is None:
+        command = (manifest or {}).get("command") or src_file.parent.name
+        title = f"repro telemetry — {command}"
+    html_text = render_html(rows, manifest, title=title,
+                            skipped_lines=skipped)
+    out = Path(output) if output is not None \
+        else src_file.parent / "report.html"
+    out.write_text(html_text)
+    return out

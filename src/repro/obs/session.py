@@ -35,9 +35,21 @@ from .health import HealthEvent, HealthReport
 from .metrics import MetricsRegistry, get_registry
 from .trace import Tracer, get_tracer
 
-__all__ = ["TelemetrySession", "git_sha", "read_telemetry", "read_manifest"]
+__all__ = ["TelemetrySession", "current_session", "git_sha",
+           "read_telemetry", "read_telemetry_tolerant", "read_manifest"]
 
 SCHEMA_VERSION = 1
+
+#: the most recently opened, not-yet-finished session (or None) — lets
+#: deep subsystems (pool dispatch, resilience retries) attach events to
+#: whatever run is active without threading a session handle through
+#: every call signature
+_CURRENT: "TelemetrySession | None" = None
+
+
+def current_session() -> "TelemetrySession | None":
+    """The innermost active :class:`TelemetrySession`, if any."""
+    return _CURRENT
 
 
 def git_sha(cwd: str | Path | None = None) -> str | None:
@@ -98,11 +110,17 @@ class TelemetrySession:
         self._t0 = time.perf_counter()
         self._finished = False
         self._restore: tuple[bool, bool] | None = None
+        self._profilers: list = []
+        self._extra_rows: list[dict] = []
+        self._prev_session: "TelemetrySession | None" = None
         if enable_global:
             g_tracer, g_reg = get_tracer(), get_registry()
             self._restore = (g_tracer.enabled, g_reg.enabled)
             g_tracer.enable()
             g_reg.enable()
+        global _CURRENT
+        self._prev_session = _CURRENT
+        _CURRENT = self
 
     # ------------------------------------------------------------------
     @property
@@ -136,6 +154,16 @@ class TelemetrySession:
         engine's), optionally path-prefixed and scoped to a snapshot."""
         self._extra_tracers.append((prefix, tracer, since))
 
+    def add_profiler(self, profiler) -> None:
+        """Export op rows from a :class:`~repro.obs.deep.TapeProfiler`
+        (anything with a ``rows() -> list[dict]`` method) on finish."""
+        self._profilers.append(profiler)
+
+    def add_rows(self, rows: list[dict]) -> None:
+        """Append pre-built rows (e.g. a merged worker timeline) to the
+        export verbatim."""
+        self._extra_rows.extend(rows)
+
     # ------------------------------------------------------------------
     def _span_rows(self) -> list[dict]:
         rows = []
@@ -153,16 +181,33 @@ class TelemetrySession:
                              "max": stats["max"]})
         return rows
 
+    def _collect_rows(self) -> list[dict]:
+        rows: list[dict] = []
+        rows.extend(self._span_rows())
+        rows.extend(self.registry.collect())
+        for profiler in self._profilers:
+            rows.extend(profiler.rows())
+        rows.extend(e.as_row() for e in self._health)
+        rows.extend(self._events)
+        rows.extend(self._extra_rows)
+        return rows
+
+    def flush(self) -> Path:
+        """Rewrite ``telemetry.jsonl`` with the current state *without*
+        closing the session — crash insurance for processes that may be
+        terminated without cleanup (pool workers under ``terminate()``)."""
+        rows = self._collect_rows()
+        with open(self.telemetry_path, "w") as f:
+            for row in rows:
+                f.write(json.dumps(_jsonable(row)) + "\n")
+        return self.telemetry_path
+
     def finish(self, summary: dict | None = None) -> Path:
         """Write ``telemetry.jsonl`` + ``manifest.json``; restore global
         telemetry state. Idempotent (later calls rewrite the files)."""
         if summary:
             self._summary.update(summary)
-        rows: list[dict] = []
-        rows.extend(self._span_rows())
-        rows.extend(self.registry.collect())
-        rows.extend(e.as_row() for e in self._health)
-        rows.extend(self._events)
+        rows = self._collect_rows()
         with open(self.telemetry_path, "w") as f:
             for row in rows:
                 f.write(json.dumps(_jsonable(row)) + "\n")
@@ -193,8 +238,12 @@ class TelemetrySession:
         }
         self.manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
 
-        if self._restore is not None and not self._finished:
-            get_tracer().enabled, get_registry().enabled = self._restore
+        if not self._finished:
+            if self._restore is not None:
+                get_tracer().enabled, get_registry().enabled = self._restore
+            global _CURRENT
+            if _CURRENT is self:
+                _CURRENT = self._prev_session
         self._finished = True
         return self.telemetry_path
 
@@ -234,6 +283,35 @@ def read_telemetry(path: str | Path) -> list[dict]:
             if line:
                 rows.append(json.loads(line))
     return rows
+
+
+def read_telemetry_tolerant(path: str | Path) -> tuple[list[dict], int]:
+    """Like :func:`read_telemetry`, but skips unparseable lines.
+
+    Crash-killed runs (``pool.terminate()``, OOM) leave truncated
+    trailing JSONL lines; a summary of a damaged run is more useful
+    than a traceback. Returns ``(rows, skipped_line_count)``.
+    """
+    path = Path(path)
+    if path.is_dir():
+        path = path / "telemetry.jsonl"
+    rows: list[dict] = []
+    skipped = 0
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(row, dict):
+                rows.append(row)
+            else:
+                skipped += 1
+    return rows, skipped
 
 
 def read_manifest(path: str | Path) -> dict | None:

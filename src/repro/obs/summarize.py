@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from .session import read_manifest, read_telemetry
+from .metrics import percentile_from_row
+from .session import read_manifest, read_telemetry_tolerant
 
 __all__ = ["summarize_telemetry", "format_rows"]
 
@@ -45,8 +46,18 @@ def _metric_digest(row: dict) -> str:
     if kind == "histogram":
         if row.get("count", 0) == 0:
             return "(empty)"
-        return (f"n={row['count']}  mean={_num(row['mean'])}  "
-                f"min={_num(row['min'])}  max={_num(row['max'])}")
+        digest = (f"n={row['count']}  mean={_num(row['mean'])}  "
+                  f"min={_num(row['min'])}  max={_num(row['max'])}")
+        quantiles = []
+        for q in (50, 95, 99):
+            value = row.get(f"p{q}")
+            if value is None:
+                value = percentile_from_row(row, q)
+            if value is not None:
+                quantiles.append(f"p{q}={_num(value)}")
+        if quantiles:
+            digest += "  " + "  ".join(quantiles)
+        return digest
     if kind == "series":
         points = row.get("points", [])
         if not points:
@@ -83,6 +94,22 @@ def format_rows(rows: list[dict], manifest: dict | None = None) -> str:
             lines.append(f"  summary.{key} = {summary[key]}")
         lines.append("")
 
+    workers = [r for r in rows if r.get("kind") == "worker"]
+    if workers:
+        lines.append(f"workers ({len(workers)}):")
+        for r in workers:
+            lines.append(
+                f"  {r.get('worker', '?'):<12} "
+                f"command={r.get('command') or '?'}  "
+                f"rows={r.get('num_rows', 0)}  "
+                f"elapsed={r.get('elapsed_seconds') or 0:.3f} s")
+        lines.append("")
+
+    def _span_label(r: dict) -> str:
+        path = r.get("path", "?")
+        worker = r.get("worker")
+        return f"[{worker}] {path}" if worker else path
+
     spans = [r for r in rows if r.get("kind") == "span"]
     if spans:
         spans.sort(key=lambda r: -r.get("total", 0.0))
@@ -94,8 +121,30 @@ def format_rows(rows: list[dict], manifest: dict | None = None) -> str:
         for r in spans:
             share = 100.0 * r["total"] / grand
             lines.append(
-                f"  {r['path']:<28} {_fmt_seconds(r['total'])} "
+                f"  {_span_label(r):<28} {_fmt_seconds(r['total'])} "
                 f"{r['count']:>8d} {_fmt_seconds(r['mean'])} {share:5.1f}%")
+        lines.append("")
+
+    ops = [r for r in rows if r.get("kind") == "op"]
+    if ops:
+        by_span: dict[str, list[dict]] = {}
+        for r in ops:
+            by_span.setdefault(r.get("span", ""), []).append(r)
+        lines.append(f"ops ({len(ops)} sites):")
+        for span_path in sorted(
+                by_span, key=lambda p: -sum(o.get("total", 0.0)
+                                            for o in by_span[p])):
+            group = sorted(by_span[span_path],
+                           key=lambda o: -o.get("total", 0.0))
+            total = sum(o.get("total", 0.0) for o in group)
+            lines.append(f"  {span_path or '(root)'}  "
+                         f"(ops total {_fmt_seconds(total).strip()})")
+            for o in group:
+                lines.append(
+                    f"    {o.get('site', '?'):<34} "
+                    f"{_fmt_seconds(o.get('total', 0.0))} "
+                    f"x{o.get('count', 0):<8d} "
+                    f"{o.get('bytes', 0) / 1e6:9.2f} MB")
         lines.append("")
 
     metrics = [r for r in rows if r.get("kind") == "metric"]
@@ -164,7 +213,17 @@ def format_rows(rows: list[dict], manifest: dict | None = None) -> str:
 
 
 def summarize_telemetry(path: str | Path) -> str:
-    """Load and render one telemetry artifact (file or directory)."""
-    rows = read_telemetry(path)
+    """Load and render one telemetry artifact (file or directory).
+
+    Tolerant of damaged artifacts: empty files render as empty, and
+    truncated/corrupt JSONL lines (crash-killed runs write partial
+    trailing lines) are skipped and surfaced as a warning count rather
+    than raising.
+    """
+    rows, skipped = read_telemetry_tolerant(path)
     manifest = read_manifest(Path(path))
-    return format_rows(rows, manifest)
+    report = format_rows(rows, manifest)
+    if skipped:
+        report = (f"warning: skipped {skipped} unparseable telemetry "
+                  f"line(s) (truncated or corrupt)\n\n") + report
+    return report

@@ -73,14 +73,17 @@ class Span:
         t._stack.append(self.name)
         self._path = "/".join(t._stack)
         self._start = time.perf_counter()
+        t.last_event = self._start
         return self
 
     def __exit__(self, *exc) -> bool:
         if not self._live:
             return False
-        elapsed = time.perf_counter() - self._start
+        end = time.perf_counter()
+        elapsed = end - self._start
         self._live = False
         t = self.tracer
+        t.last_event = end
         if t._stack and t._stack[-1] == self.name:
             t._stack.pop()
         rec = t._stats.get(self._path)
@@ -104,17 +107,26 @@ class Tracer:
     bounded no matter how many steps a loop runs.
     """
 
-    __slots__ = ("enabled", "_stack", "_stats")
+    __slots__ = ("enabled", "_stack", "_stats", "last_event")
 
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
         self._stack: list[str] = []
         self._stats: dict[str, list] = {}
+        #: perf_counter of the most recent span enter/exit — the anchor
+        #: the op-level profiler uses so the first op after a span
+        #: transition is charged from the transition, not from the last
+        #: op of the previous span
+        self.last_event = 0.0
 
     # ------------------------------------------------------------------
     def span(self, name: str) -> Span:
         """A (reusable) span named ``name``; cache it around hot loops."""
         return Span(self, name)
+
+    def current_path(self) -> str:
+        """Slash-joined path of the currently open spans ("" at root)."""
+        return "/".join(self._stack)
 
     def enable(self) -> None:
         self.enabled = True

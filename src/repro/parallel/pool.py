@@ -28,6 +28,7 @@ from ..gns.simulator import LearnedSimulator
 from ..gns.training import GNSTrainer, TrainingConfig
 from ..nn import Adam, clip_grad_norm
 from ..obs import get_registry
+from ..obs.session import TelemetrySession, current_session
 from ..resilience.faults import get_injector
 from ..resilience.retry import RetryPolicy, retry_call
 from .allreduce import allreduce_state
@@ -38,6 +39,8 @@ __all__ = ["DataParallelConfig", "DataParallelTrainer", "WorkerPoolError",
 # module-level worker state (populated by the fork; see _init_worker)
 _WORKER_SIM: LearnedSimulator | None = None
 _WORKER_TRAINER: GNSTrainer | None = None
+_WORKER_SESSION: TelemetrySession | None = None
+_WORKER_TASKS = 0
 
 #: how long an injected ``pool.stall`` sleeps — long enough to blow any
 #: test-sized task_timeout, short enough to keep the suite fast
@@ -79,21 +82,43 @@ def worker_gradients(simulator: LearnedSimulator, windows: list[TrainingWindow],
 
 
 def _worker_entry(args) -> dict[str, np.ndarray]:
+    global _WORKER_TASKS
     state, payload = args
     sim = _WORKER_SIM
     assert sim is not None, "worker not initialized"
+    ses = _WORKER_SESSION
+    t0 = time.perf_counter() if ses is not None else 0.0
     _apply_task_faults()
     sim.load_state_dict(state)
     windows, noise_std, seed = payload
-    return worker_gradients(sim, windows, noise_std, seed)
+    grads = worker_gradients(sim, windows, noise_std, seed)
+    if ses is not None:
+        _WORKER_TASKS += 1
+        ses.event("pool.task_done", task=_WORKER_TASKS, seed=seed,
+                  windows=len(windows),
+                  seconds=round(time.perf_counter() - t0, 6))
+        # flush (not finish): pool.terminate() kills workers without
+        # cleanup, so the shard on disk must always be current
+        ses.flush()
+    return grads
 
 
-def _init_worker(sim_ckpt_bytes):
+def _init_worker(sim_ckpt_bytes, telemetry_dir=None, worker_counter=None):
     import io
 
-    global _WORKER_SIM
+    global _WORKER_SIM, _WORKER_SESSION
     buf = io.BytesIO(sim_ckpt_bytes)
     _WORKER_SIM = _load_sim_from_bytes(buf)
+    if telemetry_dir is not None and worker_counter is not None:
+        with worker_counter.get_lock():
+            idx = worker_counter.value
+            worker_counter.value += 1
+        from pathlib import Path
+
+        shard = Path(telemetry_dir) / f"worker_{idx:02d}"
+        _WORKER_SESSION = TelemetrySession(shard, command="pool.worker",
+                                           config={"worker_index": idx})
+        _WORKER_SESSION.flush()
 
 
 def _sim_to_bytes(sim: LearnedSimulator) -> bytes:
@@ -139,6 +164,12 @@ class DataParallelConfig:
     max_task_retries: int = 2
     #: rebuild the pool once when a task has failed every retry
     respawn_on_failure: bool = True
+    #: directory for cross-process telemetry: each worker writes a
+    #: ``worker_XX/telemetry.jsonl`` shard there (flushed after every
+    #: task, so even terminate()-killed workers leave data) and
+    #: ``close()`` merges the shards into one deterministic,
+    #: worker-labeled ``merged.jsonl`` timeline
+    telemetry_dir: str | None = None
 
 
 class DataParallelTrainer:
@@ -163,15 +194,22 @@ class DataParallelTrainer:
         self.loss_history: list[float] = []
         self._pool = None
         self._closed = False
+        self._worker_counter = None
         if self.config.use_processes:
             self._spawn_pool()
 
     # -- pool lifecycle -------------------------------------------------
     def _spawn_pool(self):
         ctx = mp.get_context("fork")
+        if self.config.telemetry_dir is not None and \
+                self._worker_counter is None:
+            # shared worker-index counter; survives respawns so every
+            # worker generation gets a distinct shard directory
+            self._worker_counter = ctx.Value("i", 0)
         self._pool = ctx.Pool(
             self.config.num_workers, initializer=_init_worker,
-            initargs=(_sim_to_bytes(self.simulator),))
+            initargs=(_sim_to_bytes(self.simulator),
+                      self.config.telemetry_dir, self._worker_counter))
 
     def _respawn_pool(self):
         if self._pool is not None:
@@ -181,15 +219,36 @@ class DataParallelTrainer:
         reg = get_registry()
         if reg.enabled:
             reg.counter("pool.respawns").inc()
+        ses = current_session()
+        if ses is not None:
+            ses.event("pool.respawn")
+
+    def merge_telemetry(self):
+        """Merge worker shards into ``telemetry_dir/merged.jsonl``;
+        returns the merged path or None when telemetry is off."""
+        if self.config.telemetry_dir is None:
+            return None
+        from ..obs.deep import merge_worker_telemetry
+
+        path, _rows, _skipped = merge_worker_telemetry(
+            self.config.telemetry_dir)
+        return path
 
     def close(self):
         """Tear the pool down. Idempotent: safe to call any number of
         times, from ``__exit__``, error paths, and finalizers alike."""
         self._closed = True
-        pool, self._pool = self._pool, None
+        # getattr: __init__ may have raised before _pool was assigned,
+        # and __del__ still runs close() on the half-built instance
+        pool, self._pool = getattr(self, "_pool", None), None
         if pool is not None:
             pool.terminate()
             pool.join()
+            if self.config.telemetry_dir is not None:
+                try:
+                    self.merge_telemetry()
+                except OSError:
+                    pass  # telemetry must never block teardown
 
     def __enter__(self):
         return self
@@ -221,6 +280,7 @@ class DataParallelTrainer:
         task cannot be completed at all."""
         cfg = self.config
         reg = get_registry()
+        ses = current_session()
         results: list[dict | None] = [None] * len(args)
 
         def attempt_all(pending: list[int]) -> list[int]:
@@ -236,14 +296,19 @@ class DataParallelTrainer:
                     failed.append(i)
                     if reg.enabled:
                         reg.counter("pool.task_timeouts").inc()
+                    if ses is not None:
+                        ses.event("pool.task_timeout", task=i)
                 except (KeyboardInterrupt, SystemExit):
                     raise
-                except Exception:
+                except Exception as err:
                     # a worker task re-raises arbitrary user exceptions
                     # through handle.get(); anything non-fatal is a retry
                     failed.append(i)
                     if reg.enabled:
                         reg.counter("pool.task_failures").inc()
+                    if ses is not None:
+                        ses.event("pool.task_failure", task=i,
+                                  error=repr(err))
             return failed
 
         pending = list(range(len(args)))
@@ -251,8 +316,12 @@ class DataParallelTrainer:
             pending = attempt_all(pending)
             if not pending:
                 return results  # type: ignore[return-value]
-            if round_no < cfg.max_task_retries and reg.enabled:
-                reg.counter("pool.task_retries").inc(len(pending))
+            if round_no < cfg.max_task_retries:
+                if reg.enabled:
+                    reg.counter("pool.task_retries").inc(len(pending))
+                if ses is not None:
+                    ses.event("pool.task_redispatch", tasks=sorted(pending),
+                              round=round_no + 1)
         if cfg.respawn_on_failure:
             # workers may be wedged (stalled tasks hold them); rebuild
             # the pool and give the stragglers one fresh round

@@ -107,13 +107,24 @@ def retry_call(fn: Callable, *args,
             last = err
             out_of_budget = budget is not None and not budget.spend()
             from ..obs import get_registry
+            from ..obs.session import current_session
             reg = get_registry()
+            ses = current_session()
             if attempt >= policy.max_attempts or out_of_budget:
                 if reg.enabled:
                     reg.counter("resilience.giveups", op=name).inc()
+                if ses is not None:
+                    # give-ups land in the run's event timeline so a
+                    # merged multi-worker trace shows *when* resilience
+                    # machinery fired, not just how often
+                    ses.event("resilience.giveup", op=name, attempt=attempt,
+                              error=repr(err))
                 raise RetryExhaustedError(name, attempt, err) from err
             if reg.enabled:
                 reg.counter("resilience.retries", op=name).inc()
+            if ses is not None:
+                ses.event("resilience.retry", op=name, attempt=attempt,
+                          error=repr(err))
             if on_retry is not None:
                 on_retry(attempt, err)
             if not policy.deterministic:

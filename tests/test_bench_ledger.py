@@ -1,0 +1,198 @@
+"""Perf-regression ledger: entry flattening, direction inference,
+trailing-window comparison, and the ``repro bench`` CLI gate."""
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.obs.ledger import (
+    compare_entry, config_hash, entry_from_fastpath, format_comparison,
+    load_history, metric_direction, record_entry,
+)
+
+
+def _fastpath_result(speedup_f64=2.0, speedup_fp32=3.0, quick=True):
+    return {
+        "n_particles": 500, "latent_size": 32, "message_passing_steps": 5,
+        "num_steps": 10, "quick": quick, "ckernels": False,
+        "speedup_f64": speedup_f64, "speedup_fp32": speedup_fp32,
+        "paths": {
+            "legacy_f64": {"seconds": 2.0, "steps_per_sec": 5.0,
+                           "stages_ms_per_step": {"process": 120.0,
+                                                  "encode": 30.0}},
+            "engine_fp32": {"seconds": 2.0 / speedup_fp32,
+                            "steps_per_sec": 5.0 * speedup_fp32,
+                            "stages_ms_per_step": {"process": 40.0}},
+        },
+        "fp32": {"max_position_drift_vs_f64": 1e-4},
+    }
+
+
+class TestEntry:
+    def test_flattens_fastpath_result(self):
+        entry = entry_from_fastpath(_fastpath_result(), label="nightly")
+        assert entry["label"] == "nightly"
+        assert entry["schema_version"] == 1
+        m = entry["metrics"]
+        assert m["speedup_f64"] == 2.0
+        assert m["legacy_f64.steps_per_sec"] == 5.0
+        assert m["legacy_f64.process_ms"] == 120.0
+        assert m["engine_fp32.seconds"] == pytest.approx(2.0 / 3.0)
+        assert m["fp32.position_drift"] == 1e-4
+        assert entry["config"]["quick"] is True
+        assert entry["config_hash"] == config_hash(entry["config"])
+
+    def test_config_hash_separates_problem_sizes(self):
+        quick = entry_from_fastpath(_fastpath_result(quick=True))
+        full = entry_from_fastpath(_fastpath_result(quick=False))
+        assert quick["config_hash"] != full["config_hash"]
+
+    def test_record_and_load_roundtrip(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        for i in range(3):
+            record_entry(history,
+                         entry_from_fastpath(_fastpath_result(2.0 + i)))
+        entries = load_history(history)
+        assert [e["metrics"]["speedup_f64"] for e in entries] \
+            == [2.0, 3.0, 4.0]
+        # truncated trailing line (killed run) is skipped, not fatal
+        with open(history, "a") as f:
+            f.write('{"label": "fast')
+        assert len(load_history(history)) == 3
+        assert load_history(tmp_path / "missing.jsonl") == []
+
+
+class TestDirection:
+    @pytest.mark.parametrize("name,expected", [
+        ("speedup_fp32", "higher"),
+        ("engine_fp32.steps_per_sec", "higher"),
+        ("train.throughput", "higher"),
+        ("engine_fp32.process_ms", "lower"),
+        ("legacy_f64.seconds", "lower"),
+        ("fp32.position_drift", "lower"),
+        ("rollout.error", "lower"),
+        ("train.loss", "lower"),
+        ("unknown_metric", "higher"),
+    ])
+    def test_inference(self, name, expected):
+        assert metric_direction(name) == expected
+
+    def test_speedup_seconds_prefers_higher(self):
+        # higher-better tokens win over lower-better substrings
+        assert metric_direction("speedup_seconds") == "higher"
+
+
+class TestCompare:
+    def _history(self, n=5, speedup=3.0):
+        return [entry_from_fastpath(_fastpath_result(speedup_fp32=speedup))
+                for _ in range(n)]
+
+    def test_injected_slowdown_flags_regression(self):
+        history = self._history()
+        entry = entry_from_fastpath(
+            _fastpath_result(speedup_fp32=3.0 * 0.75))  # 25% drop
+        report = compare_entry(entry, history,
+                               metrics=["speedup_fp32"], tolerance=0.2)
+        assert not report.ok
+        (reg,) = report.regressions
+        assert reg["metric"] == "speedup_fp32"
+        assert reg["baseline"] == 3.0
+        text = format_comparison(report, 0.2)
+        assert "REGRESSION" in text and "FAIL: 1 metric(s)" in text
+
+    def test_within_tolerance_passes(self):
+        history = self._history()
+        entry = entry_from_fastpath(
+            _fastpath_result(speedup_fp32=3.0 * 0.9))  # 10% < 20% tol
+        report = compare_entry(entry, history,
+                               metrics=["speedup_fp32"], tolerance=0.2)
+        assert report.ok
+        assert "PASS: no regressions" in format_comparison(report, 0.2)
+
+    def test_lower_better_metric_regresses_upward(self):
+        history = self._history()
+        result = _fastpath_result()
+        result["fp32"]["max_position_drift_vs_f64"] = 1e-2  # 100x worse
+        report = compare_entry(entry_from_fastpath(result), history,
+                               metrics=["fp32.position_drift"],
+                               tolerance=0.1)
+        assert [c["metric"] for c in report.regressions] \
+            == ["fp32.position_drift"]
+
+    def test_median_baseline_resists_one_outlier(self):
+        history = self._history(4, speedup=3.0) \
+            + self._history(1, speedup=30.0)  # one absurd run
+        entry = entry_from_fastpath(_fastpath_result(speedup_fp32=2.9))
+        report = compare_entry(entry, history, metrics=["speedup_fp32"],
+                               tolerance=0.1)
+        assert report.ok  # median is 3.0, not dragged up to 8.4
+
+    def test_config_mismatch_gives_no_baseline(self):
+        history = [entry_from_fastpath(_fastpath_result(quick=False))]
+        entry = entry_from_fastpath(_fastpath_result(quick=True))
+        report = compare_entry(entry, history, metrics=["speedup_fp32"])
+        assert report.baseline_runs == 0
+        assert report.checked[0]["status"] == "no-baseline"
+        assert report.ok  # fresh window never fails by itself
+
+    def test_missing_metric_reported_not_fatal(self):
+        report = compare_entry(entry_from_fastpath(_fastpath_result()),
+                               self._history(), metrics=["nope.nothere"])
+        assert report.checked[0]["status"] == "missing"
+        assert report.ok
+
+    def test_trailing_window_limits_lookback(self):
+        # old slow era followed by a fast era; window must only see fast
+        history = self._history(5, speedup=1.0) \
+            + self._history(5, speedup=3.0)
+        entry = entry_from_fastpath(_fastpath_result(speedup_fp32=2.0))
+        report = compare_entry(entry, history, metrics=["speedup_fp32"],
+                               tolerance=0.2, window=5)
+        assert not report.ok  # vs median 3.0, not vs the old 1.0 era
+
+
+class TestBenchCLI:
+    def _write_input(self, tmp_path, name="bench.json", **kw):
+        path = tmp_path / name
+        path.write_text(json.dumps(_fastpath_result(**kw)))
+        return path
+
+    def test_record_then_compare_ok(self, tmp_path, capsys):
+        inp = self._write_input(tmp_path)
+        history = tmp_path / "history.jsonl"
+        assert main(["bench", "record", "--input", str(inp),
+                     "--history", str(history)]) == 0
+        assert "recorded fastpath entry" in capsys.readouterr().out
+        assert main(["bench", "compare", "--input", str(inp),
+                     "--history", str(history),
+                     "--metrics", "speedup_f64,speedup_fp32"]) == 0
+
+    def test_compare_exits_nonzero_on_injected_slowdown(self, tmp_path,
+                                                        capsys):
+        history = tmp_path / "history.jsonl"
+        good = self._write_input(tmp_path, "good.json", speedup_fp32=3.0)
+        main(["bench", "record", "--input", str(good),
+              "--history", str(history)])
+        bad = self._write_input(tmp_path, "bad.json",
+                                speedup_fp32=3.0 * 0.7)  # 30% slowdown
+        rc = main(["bench", "compare", "--input", str(bad),
+                   "--history", str(history),
+                   "--metrics", "speedup_fp32", "--tolerance", "0.2"])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_require_history_fails_on_empty_ledger(self, tmp_path):
+        inp = self._write_input(tmp_path)
+        assert main(["bench", "compare", "--input", str(inp),
+                     "--history", str(tmp_path / "none.jsonl"),
+                     "--require-history"]) == 1
+        # without the flag an empty ledger is a pass (fresh window)
+        assert main(["bench", "compare", "--input", str(inp),
+                     "--history", str(tmp_path / "none.jsonl")]) == 0
+
+    def test_unreadable_input_exits_two(self, tmp_path):
+        bad = tmp_path / "garbage.json"
+        bad.write_text("{not json")
+        assert main(["bench", "compare", "--input", str(bad),
+                     "--history", str(tmp_path / "h.jsonl")]) == 2

@@ -1,0 +1,336 @@
+"""Deep observability: op-level tape profiling, multi-slot tape hooks,
+deterministic cross-worker telemetry merge, tolerant summaries."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, no_grad
+from repro.autodiff import tensor as tensor_mod
+from repro.gns import FeatureConfig, GNSNetworkConfig, LearnedSimulator, Stats
+from repro.obs import (
+    TapeProfiler, TelemetrySession, current_session, format_op_tree,
+    merge_worker_telemetry, op_tree, profiled_rollout,
+    read_telemetry_tolerant, summarize_telemetry,
+)
+from repro.obs.trace import Tracer
+
+
+def _tiny_sim(seed=0, n_side=6):
+    bounds = np.array([[0.0, 1.0], [0.0, 1.0]])
+    fc = FeatureConfig(connectivity_radius=0.3, history=2, bounds=bounds,
+                       use_material=True)
+    nc = GNSNetworkConfig(latent_size=8, mlp_hidden_size=8,
+                          mlp_hidden_layers=1, message_passing_steps=2)
+    stats = Stats(np.zeros(2), np.full(2, 1e-3), np.zeros(2),
+                  np.full(2, 1e-4))
+    sim = LearnedSimulator(fc, nc, stats, rng=np.random.default_rng(seed))
+    rng = np.random.default_rng(seed + 1)
+    xs = np.linspace(0.2, 0.8, n_side)
+    grid = np.stack(np.meshgrid(xs, xs), axis=-1).reshape(-1, 2)
+    x0 = grid + rng.normal(0, 1e-3, grid.shape)
+    frames = np.stack([x0, x0 + 1e-3, x0 + 2e-3], axis=0)
+    return sim, frames
+
+
+class TestMultiSlotTapeHooks:
+    def teardown_method(self):
+        tensor_mod.set_tape_hook(None, slot="sanitize")
+        tensor_mod.set_tape_hook(None, slot="profile")
+
+    def test_no_hooks_is_none_fast_path(self):
+        assert tensor_mod._TAPE_HOOK is None
+
+    def test_single_slot_installs_directly(self):
+        calls = []
+        tensor_mod.set_tape_hook(lambda d, b: calls.append("a"))
+        (Tensor(np.ones(2)) * 2.0)
+        assert calls == ["a"]
+        tensor_mod.set_tape_hook(None)
+        assert tensor_mod._TAPE_HOOK is None
+
+    def test_two_slots_both_fire_deterministic_order(self):
+        calls = []
+        tensor_mod.set_tape_hook(lambda d, b: calls.append("san"),
+                                 slot="sanitize")
+        tensor_mod.set_tape_hook(lambda d, b: calls.append("prof"),
+                                 slot="profile")
+        (Tensor(np.ones(2)) + 1.0)
+        # sorted slot order: "profile" < "sanitize"
+        assert calls == ["prof", "san"]
+
+    def test_removing_one_slot_keeps_the_other(self):
+        calls = []
+        tensor_mod.set_tape_hook(lambda d, b: calls.append("san"),
+                                 slot="sanitize")
+        tensor_mod.set_tape_hook(lambda d, b: calls.append("prof"),
+                                 slot="profile")
+        tensor_mod.set_tape_hook(None, slot="sanitize")
+        (Tensor(np.ones(2)) + 1.0)
+        assert calls == ["prof"]
+        tensor_mod.set_tape_hook(None, slot="profile")
+        assert tensor_mod._TAPE_HOOK is None
+
+    def test_sanitizer_coexists_with_profiler(self):
+        from repro.lint.sanitize import SanitizerError, install, uninstall
+
+        prof = TapeProfiler(Tracer(enabled=True))
+        install("nan")
+        try:
+            with prof:
+                with pytest.raises(SanitizerError):
+                    Tensor(np.ones(2)) * np.nan
+        finally:
+            uninstall()
+        assert tensor_mod._TAPE_HOOK is None
+
+
+class TestTapeProfiler:
+    def test_disarmed_runs_are_bitwise_identical(self):
+        sim, frames = _tiny_sim()
+        with no_grad():
+            base = sim.step([Tensor(f) for f in frames], 30.0).data.copy()
+        prof = TapeProfiler(Tracer(enabled=True))
+        with prof, no_grad():
+            profiled = sim.step([Tensor(f) for f in frames], 30.0).data.copy()
+        assert tensor_mod._TAPE_HOOK is None  # disarmed again
+        with no_grad():
+            after = sim.step([Tensor(f) for f in frames], 30.0).data.copy()
+        assert np.array_equal(base, profiled)
+        assert np.array_equal(base, after)
+        assert prof.rows(), "profiler saw no ops"
+
+    def test_rows_are_attributed_and_deterministic(self):
+        tracer = Tracer(enabled=True)
+        prof = TapeProfiler(tracer)
+        with prof:
+            with tracer.span("outer"):
+                Tensor(np.ones(4)) * 2.0
+                with tracer.span("inner"):
+                    Tensor(np.ones(8)) + 1.0
+        rows = prof.rows()
+        spans = {r["span"] for r in rows}
+        assert spans == {"outer", "outer/inner"}
+        by_key = {(r["span"], r["site"]): r for r in rows}
+        mul = by_key[("outer", "Tensor.__mul__")]
+        add = by_key[("outer/inner", "Tensor.__add__")]
+        assert mul["count"] == 1 and add["count"] == 1
+        assert add["bytes"] == 8 * 8
+        assert rows == sorted(rows, key=lambda r: (r["span"], r["site"]))
+
+    def test_profiled_rollout_op_sum_matches_network_spans(self):
+        sim, frames = _tiny_sim(n_side=8)
+        tracer = Tracer()
+        traj, prof, span_stats = profiled_rollout(
+            sim, frames, 4, material=30.0, tracer=tracer)
+        assert traj.shape[0] == frames.shape[0] + 4
+        totals = prof.span_totals()
+        # acceptance: on op-dense network spans the attributed op time
+        # sums to within 20% of the measured span wall time
+        for path in ("gns/step/encode", "gns/step/process"):
+            assert path in span_stats, f"missing span {path}"
+            wall = span_stats[path]["total"]
+            ops = totals.get(path, 0.0)
+            assert ops == pytest.approx(wall, rel=0.2), \
+                f"{path}: ops {ops:.6f}s vs span {wall:.6f}s"
+        # decode is ~0.1 ms total, so the fixed per-op hook cost makes
+        # its coverage ratio noisy — only sanity-bound it
+        decode_wall = span_stats["gns/step/decode"]["total"]
+        decode_ops = totals.get("gns/step/decode", 0.0)
+        assert 0.0 < decode_ops < decode_wall * 1.5
+        assert not tracer.enabled  # restored
+
+    def test_profiled_rollout_matches_unprofiled_trajectory(self):
+        sim, frames = _tiny_sim()
+        traj_prof, _, _ = profiled_rollout(sim, frames, 3, material=30.0,
+                                           tracer=Tracer())
+        ref = [np.asarray(f, dtype=np.float64) for f in frames]
+        with no_grad():
+            for _ in range(3):
+                window = [Tensor(f) for f in ref[-3:]]
+                ref.append(sim.step(window, 30.0).data.copy())
+        assert np.array_equal(traj_prof, np.stack(ref, axis=0))
+
+    def test_op_tree_and_formatting(self):
+        rows = [
+            {"kind": "op", "span": "a", "site": "mul", "total": 0.2,
+             "count": 2, "bytes": 16, "mean": 0.1},
+            {"kind": "op", "span": "a", "site": "add", "total": 0.4,
+             "count": 1, "bytes": 8, "mean": 0.4},
+            {"kind": "op", "span": "b", "site": "sum", "total": 0.1,
+             "count": 1, "bytes": 8, "mean": 0.1},
+        ]
+        tree = op_tree(rows)
+        assert tree["a"]["total"] == pytest.approx(0.6)
+        assert [o["site"] for o in tree["a"]["ops"]] == ["add", "mul"]
+        text = format_op_tree(rows, {"a": {"total": 0.75}})
+        assert "a  ops 600" in text and "80% covered" in text
+        assert format_op_tree([]) == "(no op rows)\n"
+
+
+class TestWorkerTelemetryMerge:
+    def _write_shard(self, run_dir, name, rows):
+        shard = run_dir / name
+        shard.mkdir(parents=True)
+        with open(shard / "telemetry.jsonl", "w") as f:
+            for row in rows:
+                f.write(json.dumps(row) + "\n")
+
+    def test_merge_is_byte_identical_across_runs(self, tmp_path):
+        rows_a = [{"kind": "metric", "type": "counter", "name": "x.y",
+                   "value": 1.0},
+                  {"kind": "event", "name": "pool.task_done", "t": 0.5}]
+        rows_b = [{"kind": "event", "name": "pool.task_done", "t": 0.7}]
+        for run in ("run1", "run2"):
+            run_dir = tmp_path / run
+            self._write_shard(run_dir, "worker_00", rows_a)
+            self._write_shard(run_dir, "worker_01", rows_b)
+        p1, merged1, _ = merge_worker_telemetry(tmp_path / "run1")
+        p2, merged2, _ = merge_worker_telemetry(tmp_path / "run2")
+        assert p1.read_bytes() == p2.read_bytes()
+        assert len(merged1) == len(rows_a) + len(rows_b)
+        workers = [r["worker"] for r in merged1]
+        assert workers == sorted(workers)
+
+    def test_merge_labels_and_skips_corrupt_tail(self, tmp_path):
+        self._write_shard(tmp_path, "worker_00",
+                          [{"kind": "event", "name": "ok", "t": 0.1}])
+        # simulate a terminate()-killed worker: partial trailing line
+        with open(tmp_path / "worker_00" / "telemetry.jsonl", "a") as f:
+            f.write('{"kind": "event", "name": "tru')
+        path, rows, skipped = merge_worker_telemetry(tmp_path)
+        assert skipped == 1
+        assert [r["worker"] for r in rows] == ["worker_00"]
+        reparsed = [json.loads(line)
+                    for line in path.read_text().splitlines()]
+        assert reparsed == rows
+
+    def test_parent_rows_come_first(self, tmp_path):
+        with open(tmp_path / "telemetry.jsonl", "w") as f:
+            f.write(json.dumps({"kind": "event", "name": "parent.e",
+                                "t": 0.0}) + "\n")
+        self._write_shard(tmp_path, "worker_00",
+                          [{"kind": "event", "name": "child.e", "t": 0.1}])
+        _, rows, _ = merge_worker_telemetry(tmp_path)
+        assert rows[0]["worker"] == "parent"
+        assert rows[-1]["worker"] == "worker_00"
+
+
+class TestPoolWorkerTelemetry:
+    def test_pool_run_yields_merged_worker_timeline(self, tmp_path):
+        from repro.data import Trajectory
+        from repro.parallel import DataParallelConfig, DataParallelTrainer
+
+        sim, _ = _tiny_sim()
+        rng = np.random.default_rng(0)
+        base = rng.uniform(0.3, 0.7, size=(5, 2))
+        frames = [base]
+        for _ in range(7):
+            frames.append(frames[-1] + rng.normal(0, 0.002, size=(5, 2)))
+        traj = Trajectory(np.stack(frames), dt=1.0, material=30.0,
+                          bounds=np.array([[0.0, 1.0], [0.0, 1.0]]))
+        cfg = DataParallelConfig(num_workers=2, windows_per_worker=1,
+                                 use_processes=True,
+                                 telemetry_dir=str(tmp_path))
+        with DataParallelTrainer(sim, [traj], cfg) as trainer:
+            trainer.train_step()
+        # close() merged the shards
+        merged = tmp_path / "merged.jsonl"
+        assert merged.exists()
+        rows, skipped = read_telemetry_tolerant(merged)
+        assert skipped == 0
+        labels = {r.get("worker") for r in rows}
+        assert labels and all(lbl.startswith("worker_") for lbl in labels)
+        done = [r for r in rows if r.get("name") == "pool.task_done"]
+        assert len(done) == 2  # one per dispatched shard
+
+
+class TestCurrentSession:
+    def test_nested_sessions_restore(self, tmp_path):
+        assert current_session() is None
+        outer = TelemetrySession(tmp_path / "outer", command="outer")
+        assert current_session() is outer
+        inner = TelemetrySession(tmp_path / "inner", command="inner",
+                                 enable_global=False)
+        assert current_session() is inner
+        inner.finish()
+        assert current_session() is outer
+        outer.finish()
+        assert current_session() is None
+
+    def test_retry_events_land_in_session(self, tmp_path):
+        from repro.resilience.retry import RetryPolicy, retry_call
+
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 2:
+                raise OSError("transient")
+            return "ok"
+
+        with TelemetrySession(tmp_path, command="t") as ses:
+            assert retry_call(flaky, policy=RetryPolicy(max_attempts=3),
+                              op="io.load") == "ok"
+            ses.finish()
+        rows, _ = read_telemetry_tolerant(tmp_path)
+        retries = [r for r in rows if r.get("name") == "resilience.retry"]
+        assert len(retries) == 1
+        assert retries[0]["op"] == "io.load"
+
+
+class TestTolerantSummaries:
+    def test_empty_file_renders(self, tmp_path):
+        (tmp_path / "telemetry.jsonl").write_text("")
+        out = summarize_telemetry(tmp_path)
+        assert "empty" in out
+
+    def test_corrupt_tail_warns_instead_of_raising(self, tmp_path):
+        with open(tmp_path / "telemetry.jsonl", "w") as f:
+            f.write(json.dumps({"kind": "metric", "type": "counter",
+                                "name": "a.b", "value": 2.0}) + "\n")
+            f.write('{"kind": "metric", "na')  # truncated line
+        out = summarize_telemetry(tmp_path)
+        assert "skipped 1 unparseable" in out
+        assert "a.b" in out
+
+    def test_histogram_digest_includes_percentiles(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        h = reg.histogram("lat.seconds", buckets=(1.0, 10.0))
+        for v in (0.5, 2.0, 7.0):
+            h.observe(v)
+        ses = TelemetrySession(tmp_path, command="t", registry=reg,
+                               enable_global=False)
+        ses.finish()
+        out = summarize_telemetry(tmp_path)
+        assert "p50=" in out and "p99=" in out
+
+
+class TestTopFunctions:
+    def test_labels_normalized_and_tottime_option(self):
+        import cProfile
+
+        from repro.obs import top_functions
+
+        def busy():
+            return sum(range(2000))
+
+        prof = cProfile.Profile()
+        prof.enable()
+        busy()
+        prof.disable()
+        rows = top_functions(prof, limit=50)
+        labels = [r[0] for r in rows]
+        assert not any(lbl.startswith("~:0:") for lbl in labels)
+        assert any("built-in" in lbl and not lbl.startswith("<")
+                   for lbl in labels)
+        sums = [r for r in rows if "builtins.sum" in r[0]]
+        assert sums and sums[0][2] == 1  # ncalls tracked
+        by_tot = top_functions(prof, limit=50, sort="tottime")
+        secs = [r[1] for r in by_tot]
+        assert secs == sorted(secs, reverse=True)
+        with pytest.raises(ValueError):
+            top_functions(prof, sort="bogus")

@@ -105,3 +105,70 @@ class TestDisabledRegistry:
         import json
 
         json.dumps(rows)  # must not raise
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram_is_zero(self, reg):
+        h = reg.histogram("empty", buckets=(1.0, 2.0))
+        assert h.percentile(50) == 0.0
+        assert "p50" not in h.as_row()
+
+    def test_extremes_are_exact(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for v in (0.4, 2.0, 3.0, 250.0):
+            h.observe(v)
+        assert h.percentile(0) == 0.4
+        assert h.percentile(100) == 250.0
+
+    def test_interpolation_stays_in_bucket(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 2.0, 4.0, 8.0))
+        for v in (1.5, 1.5, 1.5, 1.5):
+            h.observe(v)
+        # all mass in the (1, 2] bucket tightened to [1.5, 1.5]
+        assert h.percentile(50) == pytest.approx(1.5, abs=0.5)
+        assert 1.0 <= h.percentile(50) <= 2.0
+
+    def test_median_approximates_true_median(self, reg):
+        h = reg.histogram("lat", buckets=tuple(float(i) for i in
+                                               range(1, 21)))
+        values = [float(i % 10) + 0.5 for i in range(1000)]
+        for v in values:
+            h.observe(v)
+        true_median = sorted(values)[len(values) // 2]
+        assert h.percentile(50) == pytest.approx(true_median, abs=1.0)
+        # monotone in q
+        qs = [h.percentile(q) for q in (10, 50, 90, 99)]
+        assert qs == sorted(qs)
+
+    def test_overflow_bucket_uses_observed_max(self, reg):
+        h = reg.histogram("lat", buckets=(1.0,))
+        for v in (0.5, 5.0, 9.0):
+            h.observe(v)
+        assert h.percentile(99) <= 9.0
+
+    def test_payload_includes_percentiles(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        row = h.as_row()
+        assert set(row) >= {"p50", "p95", "p99"}
+        assert row["p50"] <= row["p95"] <= row["p99"]
+
+    def test_percentile_from_row_matches_live(self, reg):
+        from repro.obs import percentile_from_row
+
+        h = reg.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.3, 1.5, 1.7, 3.0, 6.0):
+            h.observe(v)
+        row = h.as_row()
+        for q in (25, 50, 95):
+            assert percentile_from_row(row, q) == pytest.approx(
+                h.percentile(q))
+
+    def test_percentile_from_row_rejects_non_histograms(self):
+        from repro.obs import percentile_from_row
+
+        assert percentile_from_row({"type": "gauge", "value": 1.0}, 50) \
+            is None
+        assert percentile_from_row({"type": "histogram", "count": 0}, 50) \
+            is None

@@ -1,0 +1,113 @@
+"""HTML telemetry report: flame chart, op tables, metric percentiles,
+and the ``repro telemetry report`` CLI path."""
+
+import json
+
+import numpy as np
+
+from repro.cli.main import main
+from repro.obs import (
+    MetricsRegistry, TapeProfiler, TelemetrySession, render_html,
+    render_text, write_report,
+)
+from repro.obs.trace import Tracer
+
+
+def _session_dir(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("rollout.steps").inc(12)
+    hist = reg.histogram("gns.step_seconds", buckets=(0.01, 0.1, 1.0))
+    for v in (0.005, 0.02, 0.3):
+        hist.observe(v)
+    tracer = Tracer(enabled=True)
+    prof = TapeProfiler(tracer)
+    with prof, tracer.span("gns/step"):
+        from repro.autodiff import Tensor
+        with tracer.span("encode"):
+            Tensor(np.ones(16)) * 2.0
+    ses = TelemetrySession(tmp_path, command="rollout", tracer=tracer,
+                           registry=reg, config={"steps": 3},
+                           enable_global=False)
+    ses.add_profiler(prof)
+    ses.event("pool.task_done", task=0, seconds=0.5)
+    ses.finish()
+    return tmp_path
+
+
+class TestRenderHtml:
+    def test_all_sections_render(self, tmp_path):
+        run = _session_dir(tmp_path)
+        out = write_report(run)
+        assert out == run / "report.html"
+        html = out.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Span flame chart" in html
+        assert "gns/step" in html and "encode" in html
+        assert "Tensor.__mul__" in html  # op table
+        assert "gns.step_seconds" in html and "p95" in html
+        assert "pool.task_done" in html
+        assert "rollout" in html  # manifest command in title
+
+    def test_escapes_untrusted_strings(self):
+        rows = [{"kind": "event", "name": "<script>alert(1)</script>",
+                 "t": 0.1}]
+        html = render_html(rows)
+        assert "<script>alert" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_empty_rows_and_skip_warning(self):
+        html = render_html([], skipped_lines=2)
+        assert "empty" in html
+        assert "skipped 2 unparseable" in html
+
+    def test_worker_labels_surface(self):
+        rows = [
+            {"kind": "worker", "worker": "worker_00",
+             "command": "pool.worker", "elapsed_seconds": 1.0,
+             "num_rows": 3},
+            {"kind": "event", "name": "pool.task_done", "t": 0.2,
+             "worker": "worker_00"},
+        ]
+        html = render_html(rows)
+        assert "worker_00" in html and "pool.worker" in html
+
+
+class TestRenderText:
+    def test_fallback_matches_summarizer(self, tmp_path):
+        run = _session_dir(tmp_path)
+        rows = [json.loads(line) for line in
+                (run / "telemetry.jsonl").read_text().splitlines()]
+        text = render_text(rows)
+        assert "gns.step_seconds" in text
+        assert "Tensor.__mul__" in text
+        warned = render_text(rows, skipped_lines=1)
+        assert warned.startswith("warning: skipped 1")
+
+
+class TestReportCLI:
+    def test_telemetry_report_writes_html(self, tmp_path, capsys):
+        run = _session_dir(tmp_path)
+        assert main(["telemetry", "report", str(run)]) == 0
+        assert (run / "report.html").exists()
+        assert "report.html" in capsys.readouterr().out
+
+    def test_terminal_fallback_with_dash_output(self, tmp_path, capsys):
+        run = _session_dir(tmp_path)
+        assert main(["telemetry", "report", str(run),
+                     "--output", "-"]) == 0
+        assert "gns.step_seconds" in capsys.readouterr().out
+
+    def test_prefers_merged_timeline(self, tmp_path):
+        run = _session_dir(tmp_path)
+        merged_row = {"kind": "event", "name": "only.in.merged", "t": 0.1,
+                      "worker": "worker_07"}
+        (run / "merged.jsonl").write_text(
+            json.dumps(merged_row, sort_keys=True) + "\n")
+        out = write_report(run, output=tmp_path / "r.html")
+        html = out.read_text()
+        assert "only.in.merged" in html
+        assert "Tensor.__mul__" not in html  # not the per-run file
+
+    def test_missing_dir_exits_one(self, tmp_path, capsys):
+        assert main(["telemetry", "report",
+                     str(tmp_path / "nope")]) == 1
