@@ -230,8 +230,16 @@ def _time_engine(sim, seed_frames, steps, material, repeats, dtype):
 
 
 def run(args) -> dict:
-    from repro.accel import available as ckernels_available
+    from repro.backend import get_backend, use_backend
 
+    backend = get_backend(args.backend)
+    # pin the backend for every path in the run (the engine resolves the
+    # active backend at construction, so the pin must wrap everything)
+    with use_backend(backend):
+        return _run(args, backend)
+
+
+def _run(args, backend) -> dict:
     n_side = 12 if args.quick else 32
     latent = 16 if args.quick else 32
     mp = 3 if args.quick else 5
@@ -239,10 +247,13 @@ def run(args) -> dict:
     sim, seed_frames = build_benchmark(n_side, latent, mp, history=5)
     n = seed_frames.shape[1]
     material = 30.0
-    ckernels = bool(ckernels_available())
+    # "does the selected backend attach compiled fp32 kernels": for the
+    # accel backend this matches repro.accel.available(); the numpy
+    # backend never does, whatever the toolchain
+    ckernels = backend.float32_kernels() is not None
 
     print(f"benchmark: {n} particles, latent {latent}, {mp} message-passing "
-          f"steps, {steps} rollout steps, C kernels "
+          f"steps, {steps} rollout steps, backend {backend.name}, C kernels "
           f"{'on' if ckernels else 'off (numpy fallback)'}")
 
     # --- correctness gates ---------------------------------------------
@@ -289,6 +300,7 @@ def run(args) -> dict:
         "message_passing_steps": mp,
         "num_steps": steps,
         "quick": bool(args.quick),
+        "backend": backend.name,
         "ckernels": ckernels,
         "paths": {"legacy_f64": legacy, "engine_f64": eng64,
                   "engine_fp32": eng32},
@@ -374,7 +386,7 @@ def _export_telemetry(directory, result, engine) -> None:
         directory, command="bench_fastpath",
         config={k: result[k] for k in ("n_particles", "latent_size",
                                        "message_passing_steps", "num_steps",
-                                       "quick", "ckernels")},
+                                       "quick", "backend", "ckernels")},
         dtype="float32+float64", registry=reg, enable_global=False)
     for name, r in result["paths"].items():
         reg.gauge(f"bench.{name}_steps_per_sec").set(r["steps_per_sec"])
@@ -412,6 +424,9 @@ def main(argv=None) -> int:
                         help="timed rollout length")
     parser.add_argument("--no-sweep", action="store_true",
                         help="skip the n_particles scaling sweep")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="array backend to benchmark (default: active "
+                             "backend, i.e. REPRO_BACKEND or 'accel')")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="exit 1 if the best engine speedup vs legacy "
                              "is below this (CI regression gate)")

@@ -14,6 +14,11 @@ Gating and fallback
   Call sites must treat ``None`` as "use the NumPy path".
 * ``REPRO_NO_CKERNELS=1`` disables compilation entirely — the kill switch
   for debugging or reproducing pure-NumPy numbers.
+* ``REPRO_BACKEND=numpy`` (the array-backend selector, see
+  :mod:`repro.backend`) implies ``REPRO_NO_CKERNELS``: pinning the NumPy
+  reference backend is the *one* knob that disables all acceleration.
+  Unlike the compile-time kill switch it is checked on every call, so it
+  also masks kernels that were already compiled earlier in the process.
 * The float64 inference path never dispatches here: its contract is
   bitwise equality with the legacy per-op implementation, which only the
   NumPy kernels guarantee.
@@ -332,6 +337,11 @@ def kernels() -> CpuKernels | None:
     process, not one per forward pass.
     """
     global _KERNELS, _TRIED
+    if os.environ.get("REPRO_BACKEND", "").strip().lower() == "numpy":
+        # one-knob override: the NumPy reference backend implies
+        # REPRO_NO_CKERNELS (checked live, so it masks kernels that
+        # were compiled before the variable was set)
+        return None
     if _TRIED:
         return _KERNELS
     _TRIED = True

@@ -26,6 +26,7 @@ import inspect
 
 import numpy as np
 
+from ..backend import active_xp as _xp
 from .tensor import Tensor, _unbroadcast, as_tensor
 
 __all__ = ["CompiledChain", "compile_tape"]
@@ -143,30 +144,33 @@ class _Sym:
 
 
 # forward kernels — the exact ufunc expressions of the unfused Tensor ops,
-# so fusing a chain never changes a single bit of the forward pass
+# so fusing a chain never changes a single bit of the forward pass. Every
+# kernel takes the active backend's array namespace so compiled chains run
+# on whatever backend the chain was called under (numpy namespaces make
+# these byte-identical to the historical direct-np versions).
 _FORWARD = {
-    "add": lambda a, b, aux: a + b,
-    "sub": lambda a, b, aux: a - b,
-    "mul": lambda a, b, aux: a * b,
-    "div": lambda a, b, aux: a / b,
-    "neg": lambda a, b, aux: -a,
-    "pow": lambda a, b, aux: a ** aux,
-    "exp": lambda a, b, aux: np.exp(a),
-    "log": lambda a, b, aux: np.log(a),
-    "sqrt": lambda a, b, aux: np.sqrt(a),
-    "tanh": lambda a, b, aux: np.tanh(a),
-    "sigmoid": lambda a, b, aux: 1.0 / (1.0 + np.exp(-a)),
-    "relu": lambda a, b, aux: np.where(a > 0, a, 0.0),
-    "clip": lambda a, b, aux: np.clip(a, aux[0], aux[1]),
-    "abs": lambda a, b, aux: np.abs(a),
-    "sin": lambda a, b, aux: np.sin(a),
-    "cos": lambda a, b, aux: np.cos(a),
+    "add": lambda xp, a, b, aux: a + b,
+    "sub": lambda xp, a, b, aux: a - b,
+    "mul": lambda xp, a, b, aux: a * b,
+    "div": lambda xp, a, b, aux: a / b,
+    "neg": lambda xp, a, b, aux: -a,
+    "pow": lambda xp, a, b, aux: a ** aux,
+    "exp": lambda xp, a, b, aux: xp.exp(a),
+    "log": lambda xp, a, b, aux: xp.log(a),
+    "sqrt": lambda xp, a, b, aux: xp.sqrt(a),
+    "tanh": lambda xp, a, b, aux: xp.tanh(a),
+    "sigmoid": lambda xp, a, b, aux: 1.0 / (1.0 + xp.exp(-a)),
+    "relu": lambda xp, a, b, aux: xp.where(a > 0, a, 0.0),
+    "clip": lambda xp, a, b, aux: xp.clip(a, aux[0], aux[1]),
+    "abs": lambda xp, a, b, aux: xp.abs(a),
+    "sin": lambda xp, a, b, aux: xp.sin(a),
+    "cos": lambda xp, a, b, aux: xp.cos(a),
 }
 
 
-def _clip_mask(a, aux):
+def _clip_mask(a, aux, xp):
     lo, hi = aux
-    mask = np.ones(np.shape(a), dtype=bool)
+    mask = xp.ones(np.shape(a), dtype=bool)
     if lo is not None:
         mask &= a >= lo
     if hi is not None:
@@ -174,25 +178,25 @@ def _clip_mask(a, aux):
     return mask
 
 
-# per-op local VJP rules: (g, a, b, out, aux) -> (grad_a, grad_b)
+# per-op local VJP rules: (xp, g, a, b, out, aux) -> (grad_a, grad_b)
 # mirrors the rules of the individual Tensor ops (tensor.py)
 _BACKWARD = {
-    "add": lambda g, a, b, out, aux: (g, g),
-    "sub": lambda g, a, b, out, aux: (g, -g),
-    "mul": lambda g, a, b, out, aux: (g * b, g * a),
-    "div": lambda g, a, b, out, aux: (g / b, -g * a / (b * b)),
-    "neg": lambda g, a, b, out, aux: (-g, None),
-    "pow": lambda g, a, b, out, aux: (g * aux * a ** (aux - 1.0), None),
-    "exp": lambda g, a, b, out, aux: (g * out, None),
-    "log": lambda g, a, b, out, aux: (g / a, None),
-    "sqrt": lambda g, a, b, out, aux: (g * 0.5 / out, None),
-    "tanh": lambda g, a, b, out, aux: (g * (1.0 - out * out), None),
-    "sigmoid": lambda g, a, b, out, aux: (g * out * (1.0 - out), None),
-    "relu": lambda g, a, b, out, aux: (g * (a > 0), None),
-    "clip": lambda g, a, b, out, aux: (g * _clip_mask(a, aux), None),
-    "abs": lambda g, a, b, out, aux: (g * np.sign(a), None),
-    "sin": lambda g, a, b, out, aux: (g * np.cos(a), None),
-    "cos": lambda g, a, b, out, aux: (-g * np.sin(a), None),
+    "add": lambda xp, g, a, b, out, aux: (g, g),
+    "sub": lambda xp, g, a, b, out, aux: (g, -g),
+    "mul": lambda xp, g, a, b, out, aux: (g * b, g * a),
+    "div": lambda xp, g, a, b, out, aux: (g / b, -g * a / (b * b)),
+    "neg": lambda xp, g, a, b, out, aux: (-g, None),
+    "pow": lambda xp, g, a, b, out, aux: (g * aux * a ** (aux - 1.0), None),
+    "exp": lambda xp, g, a, b, out, aux: (g * out, None),
+    "log": lambda xp, g, a, b, out, aux: (g / a, None),
+    "sqrt": lambda xp, g, a, b, out, aux: (g * 0.5 / out, None),
+    "tanh": lambda xp, g, a, b, out, aux: (g * (1.0 - out * out), None),
+    "sigmoid": lambda xp, g, a, b, out, aux: (g * out * (1.0 - out), None),
+    "relu": lambda xp, g, a, b, out, aux: (g * (a > 0), None),
+    "clip": lambda xp, g, a, b, out, aux: (g * _clip_mask(a, aux, xp), None),
+    "abs": lambda xp, g, a, b, out, aux: (g * xp.sign(a), None),
+    "sin": lambda xp, g, a, b, out, aux: (g * xp.cos(a), None),
+    "cos": lambda xp, g, a, b, out, aux: (-g * xp.sin(a), None),
 }
 
 
@@ -231,13 +235,16 @@ class CompiledChain:
                 f"got {len(inputs)}")
         tensors = [as_tensor(x) for x in inputs]
         prog = self._prog
+        # capture the active backend namespace once: backward replays on
+        # the same backend the forward ran on
+        xp = _xp()
         vals: list = [None] * self._num_slots
         for i, t in enumerate(tensors):
             vals[i] = t.data
         for name, out_slot, a, b, aux in prog:
             av = vals[a[1]] if a[0] == "v" else a[1]
             bv = None if b is None else (vals[b[1]] if b[0] == "v" else b[1])
-            vals[out_slot] = _FORWARD[name](av, bv, aux)
+            vals[out_slot] = _FORWARD[name](xp, av, bv, aux)
         final_slot = self._out_slot
 
         def backward(g, grads):
@@ -250,12 +257,13 @@ class CompiledChain:
                 av = vals[a[1]] if a[0] == "v" else a[1]
                 bv = None if b is None else (vals[b[1]] if b[0] == "v"
                                              else b[1])
-                ga, gb = _BACKWARD[name](gout, av, bv, vals[out_slot], aux)
+                ga, gb = _BACKWARD[name](xp, gout, av, bv, vals[out_slot],
+                                         aux)
                 for operand, grad in ((a, ga), (b, gb)):
                     if grad is None or operand is None or operand[0] != "v":
                         continue
                     slot = operand[1]
-                    grad = _unbroadcast(np.asarray(grad),
+                    grad = _unbroadcast(xp.asarray(grad),
                                         np.shape(vals[slot]))
                     prev = gslots.get(slot)
                     gslots[slot] = grad if prev is None else prev + grad

@@ -27,12 +27,15 @@ edge-sized concatenation entirely. The bias is folded into the sender
 projection so it is added once per node instead of once per edge.
 """
 # repro-lint: fp32-ok — float32 inference fast path
+# repro-lint: backend-kernels — this module IS the NumPy reference
+# implementation the backend registry dispatches to; raw np here is the
+# kernel, not a bypass of the seam
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..accel import kernels as _accel_kernels
+from ..backend import active as _active_backend
 from .scatter import segment_sum
 from .tensor import Tensor, as_tensor
 
@@ -62,17 +65,19 @@ def _buf(getbuf, tag: str, shape: tuple, dtype) -> np.ndarray:
     return getbuf(tag, shape, dtype)
 
 
-def _accel_for(h: np.ndarray, saved) -> object | None:
-    """Compiled C kernels for ``h``, or None when the NumPy path applies.
+def _accel_for(h: np.ndarray, saved, backend=None) -> object | None:
+    """Backend float32 kernels for ``h``, or None when NumPy applies.
 
-    Only the no-grad float32 path ever dispatches to the C kernels: the
-    float64 path keeps its bitwise-equality contract with the legacy
+    Only the no-grad float32 path ever dispatches to compiled kernels:
+    the float64 path keeps its bitwise-equality contract with the legacy
     per-op implementation, and tape mode (``saved``) needs the NumPy
-    intermediates for the VJP.
+    intermediates for the VJP. ``backend`` pins the dispatch target (the
+    inference engine resolves it once at construction); ``None`` defers
+    to the process-active backend.
     """
     if saved is not None or h.dtype != np.float32 or not h.flags.c_contiguous:
         return None
-    return _accel_kernels()
+    return (backend or _active_backend()).float32_kernels()
 
 
 # ----------------------------------------------------------------------
@@ -93,13 +98,13 @@ def _ln_stats(h: np.ndarray, eps: float) -> tuple[np.ndarray, np.ndarray]:
 
 
 def layer_norm_inplace(h: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
-                       eps: float) -> np.ndarray:
+                       eps: float, backend=None) -> np.ndarray:
     """LayerNorm over the last axis, overwriting ``h``.
 
     float32 inputs dispatch to the single-pass C kernel when available
     (last-ulp differences vs NumPy; see :mod:`repro.accel.cpu`)."""
     if h.ndim == 2:
-        kern = _accel_for(h, None)
+        kern = _accel_for(h, None, backend)
         if (kern is not None and gamma.dtype == np.float32
                 and beta.dtype == np.float32
                 and gamma.flags.c_contiguous and beta.flags.c_contiguous):
@@ -149,7 +154,7 @@ def _mlp_tail_accel(h: np.ndarray, weights, biases, gamma, beta, eps: float,
 
 def _mlp_tail(h: np.ndarray, weights, biases, gamma, beta, eps: float,
               getbuf=None, tag: str = "mlp",
-              saved: dict | None = None) -> np.ndarray:
+              saved: dict | None = None, backend=None) -> np.ndarray:
     """Layers 1..K−1 plus optional LayerNorm, given layer-0 pre-activation.
 
     With ``saved`` (tape mode) every intermediate is a fresh allocation
@@ -160,7 +165,7 @@ def _mlp_tail(h: np.ndarray, weights, biases, gamma, beta, eps: float,
     kernels when available.
     """
     if len(weights) > 1:
-        kern = _accel_for(h, saved)
+        kern = _accel_for(h, saved, backend)
         if kern is not None:
             return _mlp_tail_accel(h, weights, biases, gamma, beta, eps,
                                    getbuf, tag, kern)
@@ -182,7 +187,7 @@ def _mlp_tail(h: np.ndarray, weights, biases, gamma, beta, eps: float,
             saved["xhat"], saved["inv"] = xhat, inv
             h = out
         else:
-            layer_norm_inplace(h, gamma, beta, eps)
+            layer_norm_inplace(h, gamma, beta, eps, backend=backend)
     if saved is not None:
         saved["acts"] = acts
     return h
@@ -190,7 +195,7 @@ def _mlp_tail(h: np.ndarray, weights, biases, gamma, beta, eps: float,
 
 def mlp_forward_numpy(x: np.ndarray, weights, biases, gamma=None, beta=None,
                       eps: float = 1e-5, getbuf=None, tag: str = "mlp",
-                      saved: dict | None = None) -> np.ndarray:
+                      saved: dict | None = None, backend=None) -> np.ndarray:
     """ReLU MLP (+ optional LayerNorm) on plain arrays.
 
     ``weights``/``biases`` are per-layer arrays; ``getbuf(tag, shape,
@@ -202,14 +207,14 @@ def mlp_forward_numpy(x: np.ndarray, weights, biases, gamma=None, beta=None,
                   out=_buf(getbuf, f"{tag}.0", (x.shape[0], weights[0].shape[1]),
                            x.dtype))
     if len(weights) > 1:
-        kern = _accel_for(h, saved)
+        kern = _accel_for(h, saved, backend)
         if kern is not None:
             # layer-0 bias folds into the first fused bias+ReLU pass
             return _mlp_tail_accel(h, weights, biases, gamma, beta, eps,
                                    getbuf, tag, kern, bias0=biases[0])
     h += biases[0]
     return _mlp_tail(h, weights, biases, gamma, beta, eps,
-                     getbuf=getbuf, tag=tag, saved=saved)
+                     getbuf=getbuf, tag=tag, saved=saved, backend=backend)
 
 
 def edge_mlp_first_layer(edge_f: np.ndarray, node_f: np.ndarray,

@@ -13,12 +13,16 @@ via their ``plan=`` argument and fall back to the stateless path when it
 is absent.
 """
 # repro-lint: fp32-ok — float32 inference fast path
+# repro-lint: backend-kernels — this module IS the NumPy reference
+# implementation the backend registry dispatches to; raw np here is the
+# kernel, not a bypass of the seam
 
 from __future__ import annotations
 
 import numpy as np
 from scipy import sparse
 
+from ..backend import active as _active_backend
 from .tensor import Tensor, as_tensor
 
 __all__ = ["SortedSegments", "gather", "scatter_add", "scatter_mean",
@@ -46,9 +50,12 @@ class SortedSegments:
     """
 
     __slots__ = ("index", "order", "indptr", "num_edges", "num_segments",
-                 "_matrices", "_counts")
+                 "backend", "_matrices", "_counts")
 
-    def __init__(self, index: np.ndarray, num_segments: int):
+    def __init__(self, index: np.ndarray, num_segments: int, backend=None):
+        # backend supplies the optional float32 kernels for segment_sum;
+        # None defers to the process-active backend at call time
+        self.backend = backend
         index = np.asarray(index, dtype=np.intp)
         if index.ndim != 1:
             raise ValueError("segment index must be 1-D")
@@ -110,8 +117,7 @@ class SortedSegments:
         if (flat.dtype == np.float32 and self.order is None
                 and flat.flags.c_contiguous
                 and self.indptr.dtype == np.int64):
-            from ..accel import kernels as _accel_kernels
-            kern = _accel_kernels()
+            kern = (self.backend or _active_backend()).float32_kernels()
             if kern is not None:
                 res = out if (out is not None and out.shape == shape
                               and out.dtype == np.float32

@@ -7,8 +7,12 @@ gradients to every leaf with ``requires_grad=True``.
 
 Design notes
 ------------
-* All forward arithmetic is plain vectorized NumPy; the tape only stores
-  closures over the arrays needed by each op's vector-Jacobian product.
+* All forward arithmetic is vectorized array code dispatched through the
+  active :mod:`repro.backend` handle (``xp`` — plain NumPy on the default
+  backends, so the reference numerics are unchanged bit for bit); the
+  tape only stores closures over the arrays needed by each op's
+  vector-Jacobian product. Each op captures ``xp`` once at construction,
+  so its backward replays on the same backend it ran forward on.
 * Gradients w.r.t. *inputs* are first-class: the inverse problem in
   Section 5 of the paper differentiates a 30-step GNS rollout with respect
   to a scalar material property that enters the graph as a node feature.
@@ -22,6 +26,8 @@ import contextlib
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
+
+from ..backend import active as _active_backend, active_xp as _xp
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor",
            "set_tape_hook"]
@@ -127,7 +133,7 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False, *, name: str | None = None):
         if isinstance(data, Tensor):
             data = data.data
-        arr = np.asarray(data)
+        arr = _active_backend().asarray(data)
         if not np.issubdtype(arr.dtype, np.floating):
             arr = arr.astype(np.float64)
         self.data: np.ndarray = arr
@@ -142,12 +148,12 @@ class Tensor:
     # ------------------------------------------------------------------
     @staticmethod
     def zeros(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape, dtype=np.float64),
+        return Tensor(_xp().zeros(shape, dtype=np.float64),
                       requires_grad=requires_grad)
 
     @staticmethod
     def ones(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape, dtype=np.float64),
+        return Tensor(_xp().ones(shape, dtype=np.float64),
                       requires_grad=requires_grad)
 
     @classmethod
@@ -218,13 +224,14 @@ class Tensor:
             Seed gradient. Defaults to 1 for scalar outputs; required for
             non-scalar outputs.
         """
+        xp = _xp()
         if grad is None:
             if self.data.size != 1:
                 raise ValueError("backward() on non-scalar output requires an explicit seed gradient")
-            grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=self.data.dtype)
+            grad = xp.ones_like(self.data)
+        grad = xp.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
-            grad = np.broadcast_to(grad, self.data.shape).copy()
+            grad = xp.broadcast_to(grad, self.data.shape).copy()
 
         topo: list[Tensor] = []
         visited: set[int] = set()
@@ -349,24 +356,25 @@ class Tensor:
         other = as_tensor(other)
         a, b = self, other
         a_data, b_data = a.data, b.data
+        xp = _xp()
 
         def backward(g, grads):
             if a.requires_grad:
                 if b_data.ndim == 1:
-                    ga = np.outer(g, b_data) if a_data.ndim == 2 else g * b_data
+                    ga = xp.outer(g, b_data) if a_data.ndim == 2 else g * b_data
                 else:
                     ga = g @ b_data.swapaxes(-1, -2)
                     if a_data.ndim == 1:
                         ga = ga.reshape(a_data.shape)
-                Tensor._add_grad(grads, a, _unbroadcast(np.asarray(ga), a.shape))
+                Tensor._add_grad(grads, a, _unbroadcast(xp.asarray(ga), a.shape))
             if b.requires_grad:
                 if a_data.ndim == 1:
-                    gb = np.outer(a_data, g) if b_data.ndim == 2 else g * a_data
+                    gb = xp.outer(a_data, g) if b_data.ndim == 2 else g * a_data
                 else:
                     gb = a_data.swapaxes(-1, -2) @ g
                     if b_data.ndim == 1:
                         gb = gb.reshape(b_data.shape)
-                Tensor._add_grad(grads, b, _unbroadcast(np.asarray(gb), b.shape))
+                Tensor._add_grad(grads, b, _unbroadcast(xp.asarray(gb), b.shape))
 
         return Tensor._make(a_data @ b_data, (a, b), backward)
 
@@ -375,7 +383,7 @@ class Tensor:
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         a = self
-        out = np.exp(a.data)
+        out = _xp().exp(a.data)
 
         def backward(g, grads):
             Tensor._add_grad(grads, a, g * out)
@@ -388,11 +396,11 @@ class Tensor:
         def backward(g, grads):
             Tensor._add_grad(grads, a, g / a.data)
 
-        return Tensor._make(np.log(a.data), (a,), backward)
+        return Tensor._make(_xp().log(a.data), (a,), backward)
 
     def sqrt(self) -> "Tensor":
         a = self
-        out = np.sqrt(a.data)
+        out = _xp().sqrt(a.data)
 
         def backward(g, grads):
             Tensor._add_grad(grads, a, g * 0.5 / out)
@@ -401,7 +409,7 @@ class Tensor:
 
     def tanh(self) -> "Tensor":
         a = self
-        out = np.tanh(a.data)
+        out = _xp().tanh(a.data)
 
         def backward(g, grads):
             Tensor._add_grad(grads, a, g * (1.0 - out * out))
@@ -410,7 +418,7 @@ class Tensor:
 
     def sigmoid(self) -> "Tensor":
         a = self
-        out = 1.0 / (1.0 + np.exp(-a.data))
+        out = 1.0 / (1.0 + _xp().exp(-a.data))
 
         def backward(g, grads):
             Tensor._add_grad(grads, a, g * out * (1.0 - out))
@@ -419,42 +427,47 @@ class Tensor:
 
     def relu(self) -> "Tensor":
         a = self
+        xp = _xp()
         mask = a.data > 0
 
         def backward(g, grads):
             Tensor._add_grad(grads, a, g * mask)
 
-        return Tensor._make(np.where(mask, a.data, 0.0), (a,), backward)
+        return Tensor._make(xp.where(mask, a.data, 0.0), (a,), backward)
 
     def abs(self) -> "Tensor":
         a = self
-        sign = np.sign(a.data)
+        xp = _xp()
+        sign = xp.sign(a.data)
 
         def backward(g, grads):
             Tensor._add_grad(grads, a, g * sign)
 
-        return Tensor._make(np.abs(a.data), (a,), backward)
+        return Tensor._make(xp.abs(a.data), (a,), backward)
 
     def sin(self) -> "Tensor":
         a = self
+        xp = _xp()
 
         def backward(g, grads):
-            Tensor._add_grad(grads, a, g * np.cos(a.data))
+            Tensor._add_grad(grads, a, g * xp.cos(a.data))
 
-        return Tensor._make(np.sin(a.data), (a,), backward)
+        return Tensor._make(xp.sin(a.data), (a,), backward)
 
     def cos(self) -> "Tensor":
         a = self
+        xp = _xp()
 
         def backward(g, grads):
-            Tensor._add_grad(grads, a, -g * np.sin(a.data))
+            Tensor._add_grad(grads, a, -g * xp.sin(a.data))
 
-        return Tensor._make(np.cos(a.data), (a,), backward)
+        return Tensor._make(xp.cos(a.data), (a,), backward)
 
     def clip(self, lo: float | None, hi: float | None) -> "Tensor":
         a = self
-        out = np.clip(a.data, lo, hi)
-        mask = np.ones_like(a.data, dtype=bool)
+        xp = _xp()
+        out = xp.clip(a.data, lo, hi)
+        mask = xp.ones_like(a.data, dtype=bool)
         if lo is not None:
             mask &= a.data >= lo
         if hi is not None:
@@ -470,44 +483,47 @@ class Tensor:
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         a = self
+        xp = _xp()
         out = a.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(g, grads):
-            gg = np.asarray(g)
+            gg = xp.asarray(g)
             if axis is not None and not keepdims:
-                gg = np.expand_dims(gg, axis)
-            Tensor._add_grad(grads, a, np.broadcast_to(gg, a.shape).copy())
+                gg = xp.expand_dims(gg, axis)
+            Tensor._add_grad(grads, a, xp.broadcast_to(gg, a.shape).copy())
 
         return Tensor._make(out, (a,), backward)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         a = self
+        xp = _xp()
         out = a.data.mean(axis=axis, keepdims=keepdims)
-        out_size = np.asarray(out).size
+        out_size = xp.asarray(out).size
         denom = a.data.size / out_size if out_size else 1.0
 
         def backward(g, grads):
-            gg = np.asarray(g) / denom
+            gg = xp.asarray(g) / denom
             if axis is not None and not keepdims:
-                gg = np.expand_dims(gg, axis)
-            Tensor._add_grad(grads, a, np.broadcast_to(gg, a.shape).copy())
+                gg = xp.expand_dims(gg, axis)
+            Tensor._add_grad(grads, a, xp.broadcast_to(gg, a.shape).copy())
 
         return Tensor._make(out, (a,), backward)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         a = self
+        xp = _xp()
         out = a.data.max(axis=axis, keepdims=keepdims)
 
         def backward(g, grads):
-            gg = np.asarray(g)
-            out_b = np.asarray(out)
+            gg = xp.asarray(g)
+            out_b = xp.asarray(out)
             if axis is not None and not keepdims:
-                gg = np.expand_dims(gg, axis)
-                out_b = np.expand_dims(out_b, axis)
+                gg = xp.expand_dims(gg, axis)
+                out_b = xp.expand_dims(out_b, axis)
             mask = a.data == out_b
             # split gradient evenly among ties for a well-defined subgradient
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            Tensor._add_grad(grads, a, np.where(mask, gg / counts, 0.0))
+            Tensor._add_grad(grads, a, xp.where(mask, gg / counts, 0.0))
 
         return Tensor._make(out, (a,), backward)
 
@@ -547,11 +563,12 @@ class Tensor:
 
     def __getitem__(self, idx) -> "Tensor":
         a = self
+        b = _active_backend()
         out = a.data[idx]
 
         def backward(g, grads):
-            full = np.zeros_like(a.data)
-            np.add.at(full, idx, g)
+            full = b.xp.zeros_like(a.data)
+            b.index_add(full, idx, g)
             Tensor._add_grad(grads, a, full)
 
         return Tensor._make(out, (a,), backward)
@@ -563,7 +580,7 @@ class Tensor:
         def backward(g, grads):
             Tensor._add_grad(grads, a, g.reshape(orig))
 
-        return Tensor._make(np.squeeze(a.data, axis=axis), (a,), backward)
+        return Tensor._make(_xp().squeeze(a.data, axis=axis), (a,), backward)
 
     def expand_dims(self, axis: int) -> "Tensor":
         a = self
@@ -572,7 +589,7 @@ class Tensor:
         def backward(g, grads):
             Tensor._add_grad(grads, a, g.reshape(orig))
 
-        return Tensor._make(np.expand_dims(a.data, axis), (a,), backward)
+        return Tensor._make(_xp().expand_dims(a.data, axis), (a,), backward)
 
     # ------------------------------------------------------------------
     # comparisons (non-differentiable; return plain bool arrays)
@@ -599,37 +616,40 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     tensors = [as_tensor(t) for t in tensors]
     datas = [t.data for t in tensors]
     sizes = [d.shape[axis] for d in datas]
-    splits = np.cumsum(sizes)[:-1]
+    splits = np.cumsum(sizes)[:-1]  # host-side offsets
+    xp = _xp()
 
     def backward(g, grads):
-        parts = np.split(g, splits, axis=axis)
+        parts = xp.split(g, splits, axis=axis)
         for t, p in zip(tensors, parts):
             Tensor._add_grad(grads, t, p)
 
-    return Tensor._make(np.concatenate(datas, axis=axis), tensors, backward)
+    return Tensor._make(xp.concatenate(datas, axis=axis), tensors, backward)
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Differentiable stack along a new ``axis``."""
     tensors = [as_tensor(t) for t in tensors]
     datas = [t.data for t in tensors]
+    xp = _xp()
 
     def backward(g, grads):
-        parts = np.split(g, len(datas), axis=axis)
+        parts = xp.split(g, len(datas), axis=axis)
         for t, p in zip(tensors, parts):
-            Tensor._add_grad(grads, t, np.squeeze(p, axis=axis))
+            Tensor._add_grad(grads, t, xp.squeeze(p, axis=axis))
 
-    return Tensor._make(np.stack(datas, axis=axis), tensors, backward)
+    return Tensor._make(xp.stack(datas, axis=axis), tensors, backward)
 
 
 def where(cond, a, b) -> Tensor:
     """Differentiable select: ``cond`` is a boolean array (not a Tensor)."""
-    cond = np.asarray(cond.data if isinstance(cond, Tensor) else cond, dtype=bool)
+    xp = _xp()
+    cond = xp.asarray(cond.data if isinstance(cond, Tensor) else cond, dtype=bool)
     a = as_tensor(a)
     b = as_tensor(b)
 
     def backward(g, grads):
-        Tensor._add_grad(grads, a, _unbroadcast(np.where(cond, g, 0.0), a.shape))
-        Tensor._add_grad(grads, b, _unbroadcast(np.where(cond, 0.0, g), b.shape))
+        Tensor._add_grad(grads, a, _unbroadcast(xp.where(cond, g, 0.0), a.shape))
+        Tensor._add_grad(grads, b, _unbroadcast(xp.where(cond, 0.0, g), b.shape))
 
-    return Tensor._make(np.where(cond, a.data, b.data), (a, b), backward)
+    return Tensor._make(xp.where(cond, a.data, b.data), (a, b), backward)

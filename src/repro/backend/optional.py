@@ -1,0 +1,113 @@
+"""Lazy factories for optional GPU/tensor-library backends.
+
+``cupy`` and ``torch`` are *registered* unconditionally but *imported*
+only when selected. On a machine without the library the factory raises
+:class:`~repro.backend.registry.BackendUnavailableError`, which
+:func:`~repro.backend.registry.get_backend` turns into a NumPy fallback
+plus a telemetry warning event — the package must keep working with
+both libraries absent (CI proves this with an import-smoke step).
+
+These are deliberately thin: they reuse the :class:`ArrayBackend` base
+primitives over the foreign array namespace and mark themselves as
+device backends. Kernel-level tuning (device segment-sums, stream
+management) lands behind the same seam later without touching core
+modules.
+"""
+# repro-lint: fp32-ok — capability flags and dtype maps name fp32
+
+from __future__ import annotations
+
+import numpy as np
+
+from .registry import (CAP_DEVICE, ArrayBackend, BackendUnavailableError)
+
+__all__ = ["make_cupy_backend", "make_torch_backend"]
+
+
+class CupyBackend(ArrayBackend):
+    """CuPy device backend (requires a working ``cupy`` install)."""
+
+    name = "cupy"
+    capabilities = frozenset({CAP_DEVICE, "float64", "float32"})
+
+    def __init__(self, cupy):
+        self._cupy = cupy
+
+    @property
+    def xp(self):
+        return self._cupy
+
+    def to_host(self, a, dtype=None) -> np.ndarray:
+        if isinstance(a, self._cupy.ndarray):
+            a = self._cupy.asnumpy(a)
+        out = np.asarray(a)
+        if dtype is not None and out.dtype != np.dtype(dtype):
+            out = out.astype(dtype)
+        return out
+
+    def index_add(self, target, index, values) -> None:
+        # cupy has no ufunc .at; scatter_add is its documented equivalent
+        self._cupy.scatter_add(target, index, values)
+
+    def segment_sum(self, values, index, num_segments: int, plan=None):
+        xp = self._cupy
+        out = xp.zeros((num_segments,) + values.shape[1:],
+                       dtype=values.dtype)
+        xp.scatter_add(out, index, values)
+        return out
+
+
+def make_cupy_backend() -> ArrayBackend:
+    try:
+        import cupy
+    except ImportError as err:
+        raise BackendUnavailableError(
+            f"cupy backend needs the 'cupy' package: {err}") from err
+    return CupyBackend(cupy)
+
+
+class TorchBackend(ArrayBackend):
+    """Torch backend exposing torch's NumPy-compatible namespace.
+
+    Uses ``torch`` purely as an array library (no torch autograd — the
+    tape in :mod:`repro.autodiff` stays the single source of gradients).
+    """
+
+    name = "torch"
+    capabilities = frozenset({CAP_DEVICE, "float64", "float32"})
+
+    def __init__(self, torch):
+        self._torch = torch
+
+    @property
+    def xp(self):
+        # torch ≥ 2.0 ships a NumPy-compatible namespace layer
+        return self._torch
+
+    def asarray(self, data, dtype=None):
+        t = self._torch.as_tensor(data)
+        return t if dtype is None else t.to(self._np_to_torch(dtype))
+
+    def to_host(self, a, dtype=None) -> np.ndarray:
+        if isinstance(a, self._torch.Tensor):
+            a = a.detach().cpu().numpy()
+        out = np.asarray(a)
+        if dtype is not None and out.dtype != np.dtype(dtype):
+            out = out.astype(dtype)
+        return out
+
+    def _np_to_torch(self, dtype):
+        return {np.dtype(np.float64): self._torch.float64,
+                np.dtype(np.float32): self._torch.float32}[np.dtype(dtype)]
+
+    def index_add(self, target, index, values) -> None:
+        target.index_add_(0, self._torch.as_tensor(index), values)
+
+
+def make_torch_backend() -> ArrayBackend:
+    try:
+        import torch
+    except ImportError as err:
+        raise BackendUnavailableError(
+            f"torch backend needs the 'torch' package: {err}") from err
+    return TorchBackend(torch)

@@ -47,6 +47,7 @@ import time
 import numpy as np
 
 from ..autodiff.scatter import SortedSegments
+from ..backend import get_backend
 from ..graph import NeighborListCache
 from ..lint.sanitize import active as active_sanitizer
 from ..obs import RolloutDivergedError, Tracer
@@ -96,12 +97,23 @@ class InferenceEngine:
         rollout window and all returned positions stay float64 in both
         modes. ``None`` follows ``simulator.inference_dtype``. Training
         paths must stay float64; this knob exists for inference only.
+    backend:
+        Array backend name or :class:`~repro.backend.ArrayBackend`
+        handle the engine is constructed *on*. ``None`` resolves the
+        process-active backend (``REPRO_BACKEND`` / explicit override)
+        at construction; an explicit argument wins over the environment.
+        Device arrays cross back to the host only at the engine's
+        ``to_host`` point (the acceleration denormalization input).
     """
 
     def __init__(self, simulator, skin: float | None = None,
-                 tracer: Tracer | None = None, metrics=None, dtype=None):
+                 tracer: Tracer | None = None, metrics=None, dtype=None,
+                 backend=None):
         self.simulator = simulator
         self.skin = skin
+        # resolved once: the engine is pinned to this backend for life,
+        # so mid-rollout env flips cannot mix array namespaces
+        self.backend = get_backend(backend)
         resolved = np.dtype(dtype if dtype is not None
                             else simulator.inference_dtype)
         if resolved not in (np.dtype(np.float64), np.dtype(np.float32)):
@@ -202,9 +214,11 @@ class InferenceEngine:
                                   node_feats.dtype))
         acc_norm = sim.network.forward_fast(node_feats, edge_feats, senders,
                                             receivers, work=self.work,
-                                            timers=self._spans, plan=plan)
-        if acc_norm.dtype != np.float64:
-            acc_norm = acc_norm.astype(np.float64)
+                                            timers=self._spans, plan=plan,
+                                            backend=self.backend)
+        # the engine's device→host boundary: everything downstream
+        # (integration, guards, the rollout window) is host float64
+        acc_norm = self.backend.to_host(acc_norm, np.float64)
         return featurizer.denormalize_acceleration(acc_norm)
 
     @staticmethod
@@ -213,7 +227,7 @@ class InferenceEngine:
         x_t, x_prev = window[-1], window[-2]
         x_next = x_t + (x_t - x_prev + acc)
         if static_mask is not None and static_mask.any():
-            x_next = np.where(static_mask[:, None], x_t, x_next)
+            x_next = np.where(static_mask[:, None], x_t, x_next)  # lint: ignore[BKD001] — integration is host-side float64 by contract
         return x_next
 
     @staticmethod
@@ -233,7 +247,7 @@ class InferenceEngine:
         may be a callable (evaluated only on failure).
         """
         v = x_next - x_t
-        vmax = float(np.max(np.abs(v))) if v.size else 0.0
+        vmax = float(np.max(np.abs(v))) if v.size else 0.0  # lint: ignore[BKD001] — guard runs on host frames after to_host
         if np.isfinite(vmax) and (max_velocity is None
                                   or vmax <= max_velocity):
             return
@@ -314,7 +328,7 @@ class InferenceEngine:
                 # receivers come out of the cache already sorted, so the
                 # reduction plan shared by all processor blocks is a
                 # single searchsorted — no per-block matrix rebuilds
-                plan = SortedSegments(receivers, n)
+                plan = SortedSegments(receivers, n, backend=self.backend)
             if edge_hist is not None:
                 edge_hist.observe(senders.shape[0])
             acc = self._forward(window, node_feats, senders, receivers,
@@ -425,11 +439,11 @@ class InferenceEngine:
                         x_t[i * n:(i + 1) * n])
                     parts_s.append(s + offsets[i])
                     parts_r.append(r + offsets[i])
-                senders = np.concatenate(parts_s)
-                receivers = np.concatenate(parts_r)
+                senders = np.concatenate(parts_s)  # lint: ignore[BKD001] — edge indices are host-side bookkeeping
+                receivers = np.concatenate(parts_r)  # lint: ignore[BKD001] — edge indices are host-side bookkeeping
                 # per-trajectory receiver blocks are sorted and offset in
                 # increasing order, so the concatenation is sorted too
-                plan = SortedSegments(receivers, b * n)
+                plan = SortedSegments(receivers, b * n, backend=self.backend)
             acc = self._forward(window, node_feats, senders, receivers,
                                 plan=plan)
             if san is not None:

@@ -17,6 +17,7 @@ import numpy as np
 from scipy import sparse
 
 from ..autodiff import Tensor, concatenate
+from ..backend import active as _active_backend
 from ..autodiff.fused import (
     edge_mlp_first_layer, fused_edge_mlp, fused_node_mlp, mlp_forward_numpy,
     node_mlp_first_layer, _accel_for, _buf, _mlp_tail, _mlp_tail_accel,
@@ -193,7 +194,8 @@ class EncodeProcessDecode(Module):
                      edge_features: np.ndarray,
                      senders: np.ndarray, receivers: np.ndarray,
                      work=None, timers: dict | None = None,
-                     plan: SortedSegments | None = None) -> np.ndarray:
+                     plan: SortedSegments | None = None,
+                     backend=None) -> np.ndarray:
         """No-grad forward with optional buffer reuse and stage timing.
 
         Runs the same fused kernels as the tape path (split first layers,
@@ -210,25 +212,29 @@ class EncodeProcessDecode(Module):
         engine builds it once per neighbor-list rebuild so every block of
         every step between rebuilds shares one set of aggregation
         structures (bitwise-identical to the per-call matrix). On float32
-        inputs the block loop additionally dispatches to the fused C
-        kernels of :mod:`repro.accel` when available.
+        inputs the block loop additionally dispatches to the active
+        backend's compiled float32 kernels when available. ``backend``
+        pins the array backend (the engine resolves it once at
+        construction); ``None`` defers to the process-active backend.
         """
         timers = timers or {}
         getbuf = work.get if work is not None else None
+        b = backend if backend is not None else _active_backend()
+        xp = b.xp
         dtype = node_features.dtype
         n = node_features.shape[0]
         e = edge_features.shape[0]
 
         with timers.get("encode", _NULL_TIMER):
             nodes = self.node_encoder.forward_numpy(node_features, getbuf,
-                                                    "enc.node")
+                                                    "enc.node", backend=b)
             edges = self.edge_encoder.forward_numpy(edge_features, getbuf,
-                                                    "enc.edge")
+                                                    "enc.edge", backend=b)
 
         with timers.get("process", _NULL_TIMER):
             agg_mat = None if plan is not None else \
                 _aggregation_matrix(receivers, e, n, dtype)
-            kern = _accel_for(nodes, None)
+            kern = _accel_for(nodes, None, b)
             if kern is not None and (senders.dtype != np.int64
                                      or receivers.dtype != np.int64):
                 kern = None
@@ -236,20 +242,22 @@ class EncodeProcessDecode(Module):
             for bi, block in enumerate(self.blocks):
                 ews, ebs, egamma, ebeta, eeps = block.edge_mlp.arrays(dtype)
                 if block.attention:
-                    edge_in = np.concatenate(
+                    edge_in = xp.concatenate(
                         [edges, nodes.take(senders, axis=0),
                          nodes.take(receivers, axis=0)], axis=1)
-                    messages = block.edge_mlp.forward_numpy(edge_in)
-                    logits = block.attn_mlp.forward_numpy(edge_in).ravel()
+                    messages = block.edge_mlp.forward_numpy(edge_in,
+                                                            backend=b)
+                    logits = block.attn_mlp.forward_numpy(
+                        edge_in, backend=b).ravel()
                     # dtype follows the logits so the fp32 fast path is
                     # not silently promoted back to float64
                     if plan is not None:
                         seg_max = plan.segment_max(logits, empty=-np.inf)
                     else:
-                        seg_max = np.full(n, -np.inf, dtype=logits.dtype)
-                        np.maximum.at(seg_max, receivers, logits)
-                    seg_max[~np.isfinite(seg_max)] = 0.0
-                    exp = np.exp(logits - seg_max[receivers])
+                        seg_max = xp.full(n, -np.inf, dtype=logits.dtype)
+                        b.index_max(seg_max, receivers, logits)
+                    seg_max[~xp.isfinite(seg_max)] = 0.0
+                    exp = xp.exp(logits - seg_max[receivers])
                     denom = segment_sum(exp, receivers, n, plan=plan)
                     alpha = exp / denom[receivers]
                     weighted = messages * alpha[:, None]
@@ -264,14 +272,14 @@ class EncodeProcessDecode(Module):
                         # the split first layer, fused bias/LN tail
                         ein = edges.shape[1]
                         width = nodes.shape[1]
-                        proj_s = np.matmul(
+                        proj_s = xp.matmul(
                             nodes, ews[0][ein:ein + width],
                             out=_buf(getbuf, "blk.proj_s", (n, hidden), dtype))
                         proj_s += ebs[0]
-                        proj_r = np.matmul(
+                        proj_r = xp.matmul(
                             nodes, ews[0][ein + width:],
                             out=_buf(getbuf, "blk.proj_r", (n, hidden), dtype))
-                        np.matmul(edges, ews[0][:ein], out=h0)
+                        xp.matmul(edges, ews[0][:ein], out=h0)
                         kern.gather2_add_relu(h0, proj_s, proj_r,
                                               senders, receivers)
                         messages = _mlp_tail_accel(h0, ews, ebs, egamma,
@@ -284,7 +292,7 @@ class EncodeProcessDecode(Module):
                                                   out=h0)
                         messages = _mlp_tail(h0, ews, ebs, egamma, ebeta,
                                              eeps, getbuf=getbuf,
-                                             tag="blk.edge")
+                                             tag="blk.edge", backend=b)
                     if plan is not None:
                         agg_out = _buf(getbuf, "blk.agg",
                                        (n, messages.shape[1]), dtype) \
@@ -295,10 +303,10 @@ class EncodeProcessDecode(Module):
                 nws, nbs, ngamma, nbeta, neps = block.node_mlp.arrays(dtype)
                 if kern is not None and len(nws) > 1 and not block.attention:
                     width = nodes.shape[1]
-                    h0 = np.matmul(nodes, nws[0][:width],
+                    h0 = xp.matmul(nodes, nws[0][:width],
                                    out=_buf(getbuf, "blk.node.0",
                                             (n, nws[0].shape[1]), dtype))
-                    h0 += np.matmul(aggregated, nws[0][width:],
+                    h0 += xp.matmul(aggregated, nws[0][width:],
                                     out=_buf(getbuf, "blk.node.agg",
                                              (n, nws[0].shape[1]), dtype))
                     node_update = _mlp_tail_accel(h0, nws, nbs, ngamma,
@@ -311,7 +319,8 @@ class EncodeProcessDecode(Module):
                         out=_buf(getbuf, "blk.node.0", (n, nws[0].shape[1]),
                                  dtype))
                     node_update = _mlp_tail(h0, nws, nbs, ngamma, nbeta, neps,
-                                            getbuf=getbuf, tag="blk.node")
+                                            getbuf=getbuf, tag="blk.node",
+                                            backend=b)
                 nodes += node_update
                 if bi != last:
                     # the final block's edge residual is dead — nothing
@@ -319,7 +328,7 @@ class EncodeProcessDecode(Module):
                     edges += messages
 
         with timers.get("decode", _NULL_TIMER):
-            out = self.decoder.forward_numpy(nodes, getbuf, "dec")
+            out = self.decoder.forward_numpy(nodes, getbuf, "dec", backend=b)
         return out
 
     def forward_with_latents(self, graph: Graph) -> tuple[Tensor, list[Tensor]]:

@@ -106,17 +106,22 @@ class LearnedSimulator(Module):
         return x_next
 
     # ------------------------------------------------------------------
-    def engine(self, skin: float | None = None, dtype=None):
+    def engine(self, skin: float | None = None, dtype=None, backend=None):
         """The lazily-created :class:`~repro.gns.engine.InferenceEngine`
         for this simulator (buffers, neighbor cache, stage timers persist
-        across rollouts). A ``skin`` or ``dtype`` differing from the
-        current engine's rebuilds it (``dtype=None`` follows
-        ``inference_dtype``)."""
+        across rollouts). A ``skin``, ``dtype`` or ``backend`` differing
+        from the current engine's rebuilds it (``dtype=None`` follows
+        ``inference_dtype``; ``backend=None`` follows the process-active
+        backend, re-resolved per call so env changes take effect)."""
+        from ..backend import get_backend
         want = np.dtype(dtype if dtype is not None else self.inference_dtype)
+        want_backend = get_backend(backend)
         eng = getattr(self, "_engine", None)
-        if eng is None or eng.skin != skin or eng.dtype != want:
+        if (eng is None or eng.skin != skin or eng.dtype != want
+                or eng.backend is not want_backend):
             from .engine import InferenceEngine
-            eng = InferenceEngine(self, skin=skin, dtype=want)
+            eng = InferenceEngine(self, skin=skin, dtype=want,
+                                  backend=want_backend)
             object.__setattr__(self, "_engine", eng)
         return eng
 
@@ -125,7 +130,7 @@ class LearnedSimulator(Module):
                 particle_types: np.ndarray | None = None,
                 fast: bool = True, skin: float | None = None,
                 max_velocity: float | None = None,
-                guard: bool = True, dtype=None) -> np.ndarray:
+                guard: bool = True, dtype=None, backend=None) -> np.ndarray:
         """Fast inference rollout (tape-free NumPy path).
 
         Parameters
@@ -148,17 +153,22 @@ class LearnedSimulator(Module):
         dtype: run the network in this dtype (float32 trades ~1e-4
             relative accuracy for speed; None follows
             ``inference_dtype``). Fast path only.
+        backend: array backend name or handle for the network forward
+            (None follows ``REPRO_BACKEND`` / the explicit process
+            override). Fast path only.
 
         Returns
         -------
         ``(C+1+num_steps, n, d)`` positions including the seed frames.
         """
         if fast:
-            return self.engine(skin, dtype=dtype).rollout(
+            return self.engine(skin, dtype=dtype, backend=backend).rollout(
                 initial_history, num_steps, material, particle_types,
                 max_velocity=max_velocity, guard=guard)
         if dtype is not None and np.dtype(dtype) != np.dtype(self.inference_dtype):
             raise ValueError("dtype override requires fast=True")
+        if backend is not None:
+            raise ValueError("backend override requires fast=True")
         from .engine import InferenceEngine
 
         frames = [np.asarray(f, dtype=np.float64) for f in initial_history]
@@ -180,10 +190,11 @@ class LearnedSimulator(Module):
                       particle_types: np.ndarray | None = None,
                       skin: float | None = None,
                       max_velocity: float | None = None,
-                      guard: bool = True, dtype=None) -> np.ndarray:
+                      guard: bool = True, dtype=None,
+                      backend=None) -> np.ndarray:
         """Batched multi-initial-condition rollout via the fast engine;
         see :meth:`repro.gns.engine.InferenceEngine.rollout_batch`."""
-        return self.engine(skin, dtype=dtype).rollout_batch(
+        return self.engine(skin, dtype=dtype, backend=backend).rollout_batch(
             initial_histories, num_steps, materials, particle_types,
             max_velocity=max_velocity, guard=guard)
 

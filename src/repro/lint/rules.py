@@ -19,6 +19,9 @@ Conventions (CNV)
     CNV002  fault-site string not in ``resilience.faults.KNOWN_SITES``
     CNV003  broad exception handler that can swallow KeyboardInterrupt
 
+Backend dispatch (BKD)
+    BKD001  raw ``np.`` hot-path call in a backend-dispatched module
+
 Every rule yields violations anchored to the offending line so a
 ``# lint: ignore[ID] — reason`` suppression sits next to the code it
 justifies.
@@ -59,6 +62,22 @@ METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 SPAN_NAME_RE = re.compile(r"^[a-z0-9_]+([/.][a-z0-9_]+)*$")
 
 FAULT_METHODS = frozenset({"fire", "raise_if"})
+
+# array-namespace functions the backend registry dispatches: a raw np.*
+# call to one of these inside a backend-dispatched module bypasses the
+# seam and would silently stay on the host under a device backend
+BACKEND_DISPATCHED = frozenset({
+    "exp", "log", "sqrt", "tanh", "sin", "cos", "where", "clip",
+    "matmul", "einsum", "outer", "maximum", "minimum", "concatenate",
+    "stack", "split", "bincount", "sign", "abs", "dot",
+})
+
+# ufunc `.at` scatter calls with a dedicated backend primitive
+BACKEND_SCATTER_AT = {"add": "index_add", "maximum": "index_max"}
+
+# modules refactored to dispatch through repro.backend: everything under
+# autodiff/ plus the specific gns/nn hot files (engine, network, mlp)
+BACKEND_HOT_FILES = ("nn/mlp.py", "gns/network.py", "gns/engine.py")
 
 
 def _attr_chain(node: ast.AST) -> list[str]:
@@ -411,6 +430,50 @@ def _catches(handler: ast.ExceptHandler, names: set[str]) -> bool:
         if chain and chain[-1] in names:
             return True
     return False
+
+
+# ----------------------------------------------------------------------
+# BKD — backend dispatch
+# ----------------------------------------------------------------------
+
+def _backend_dispatched_file(rel: str) -> bool:
+    rel = rel.replace("\\", "/")
+    parts = rel.split("/")
+    # the backend package itself is the NumPy implementation, not a caller
+    if "backend" in parts:
+        return False
+    if "autodiff" in parts:
+        return True
+    return any(rel.endswith(sfx) for sfx in BACKEND_HOT_FILES)
+
+
+@rule("BKD001", "backend-dispatch")
+def bkd001(source: SourceFile, config: LintConfig):
+    """Hot modules refactored onto the array-backend registry must route
+    dispatched operations through the active backend (``xp =
+    active_xp()`` / a pinned handle), not call ``np.*`` directly — a raw
+    call silently stays on the host under a device backend and splits
+    the forward/backward namespaces. The NumPy reference kernels
+    themselves opt out with ``# repro-lint: backend-kernels``; host-only
+    code (guards, IO, index bookkeeping) uses a targeted
+    ``# lint: ignore[BKD001]``."""
+    if "backend-kernels" in source.pragmas:
+        return
+    if not _backend_dispatched_file(source.rel):
+        return
+    for call in _walk_calls(source.tree):
+        chain = _attr_chain(call.func)
+        if not chain or not _is_numpy_root(chain[0]):
+            continue
+        if len(chain) == 2 and chain[1] in BACKEND_DISPATCHED:
+            yield (*_loc(call), f"raw np.{chain[1]} in a backend-dispatched "
+                   f"module — use the active backend's namespace "
+                   f"(xp.{chain[1]}) or a pinned backend handle")
+        elif (len(chain) == 3 and chain[2] == "at"
+                and chain[1] in BACKEND_SCATTER_AT):
+            yield (*_loc(call), f"raw np.{chain[1]}.at in a "
+                   f"backend-dispatched module — use the backend's "
+                   f"{BACKEND_SCATTER_AT[chain[1]]} primitive")
 
 
 @rule("CNV003", "broad-except")

@@ -22,6 +22,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..backend import get_backend
 from ..obs import get_registry, span
 from .grid import BoxBoundary, Grid
 from .materials import Material
@@ -56,13 +57,16 @@ class MPMSolver:
 
     def __init__(self, grid: Grid, particles: Particles,
                  materials: dict[int, Material] | object,
-                 config: MPMConfig | None = None):
+                 config: MPMConfig | None = None, backend=None):
         self.grid = grid
         self.particles = particles
         if not isinstance(materials, dict):
             materials = {0: materials}
         self.materials = materials
         self.config = config or MPMConfig()
+        # the solver is constructed *on* a backend: the P2G scatters and
+        # the G2P einsums dispatch through this handle for its lifetime
+        self.backend = get_backend(backend)
         self.shape: ShapeFunction = make_shape(self.config.shape)
         self._gravity = np.asarray(self.config.gravity, dtype=np.float64)
         self.time = 0.0
@@ -125,6 +129,8 @@ class MPMSolver:
         """
         p = self.particles
         g = self.grid
+        b = self.backend
+        xp = b.xp
         dt = float(dt if dt is not None else self.stable_dt())
 
         kernel = self.shape(p.positions, g.spacing, g.node_dims)
@@ -135,16 +141,16 @@ class MPMSolver:
         with span("mpm/p2g"):
             g.reset()
             mw = p.masses[:, None] * w                       # (n, k)
-            np.add.at(g.mass, flat, mw.ravel())
+            b.index_add(g.mass, flat, mw.ravel())
             mom = mw[:, :, None] * p.velocities[:, None, :]  # (n, k, 2)
-            np.add.at(g.momentum, flat, mom.reshape(-1, 2))
+            b.index_add(g.momentum, flat, mom.reshape(-1, 2))
 
             # internal force −V_p σ_p ∇N  (σ symmetric)
-            f_int = -np.einsum("p,pab,pkb->pka", p.volumes, p.stresses, dw)
-            np.add.at(g.force, flat, f_int.reshape(-1, 2))
+            f_int = -xp.einsum("p,pab,pkb->pka", p.volumes, p.stresses, dw)
+            b.index_add(g.force, flat, f_int.reshape(-1, 2))
             # gravity
             f_ext = mw[:, :, None] * self._gravity
-            np.add.at(g.force, flat, f_ext.reshape(-1, 2))
+            b.index_add(g.force, flat, f_ext.reshape(-1, 2))
 
         # --- grid update -------------------------------------------------
         with span("mpm/grid"):
@@ -152,7 +158,7 @@ class MPMSolver:
             v_old = g.boundary.apply(g, v_old)
             if g.obstacle_mask is not None:
                 v_old[g.obstacle_mask] = 0.0
-            m = np.maximum(g.mass, 1e-12)[:, None]
+            m = xp.maximum(g.mass, 1e-12)[:, None]
             v_new = v_old + dt * g.force / m
             v_new[g.mass <= 1e-12] = 0.0
             v_new = g.boundary.apply(g, v_new)
@@ -163,19 +169,19 @@ class MPMSolver:
         with span("mpm/g2p"):
             v_new_k = v_new[nodes]                            # (n, k, 2)
             v_old_k = v_old[nodes]
-            v_pic = np.einsum("pk,pkc->pc", w, v_new_k)
-            dv = np.einsum("pk,pkc->pc", w, v_new_k - v_old_k)
+            v_pic = xp.einsum("pk,pkc->pc", w, v_new_k)
+            dv = xp.einsum("pk,pkc->pc", w, v_new_k - v_old_k)
             flip = self.config.flip
             p.velocities = (1.0 - flip) * v_pic + flip * (p.velocities + dv)
             p.positions = p.positions + dt * v_pic
 
             # keep particles inside the constrained band
             margin = g.interior_margin()
-            np.clip(p.positions[:, 0], margin, g.size[0] - margin, out=p.positions[:, 0])
-            np.clip(p.positions[:, 1], margin, g.size[1] - margin, out=p.positions[:, 1])
+            xp.clip(p.positions[:, 0], margin, g.size[0] - margin, out=p.positions[:, 0])
+            xp.clip(p.positions[:, 1], margin, g.size[1] - margin, out=p.positions[:, 1])
 
             # velocity gradient L_ab = Σ_k v_a ∂N/∂x_b
-            lgrad = np.einsum("pka,pkb->pab", v_new_k, dw)
+            lgrad = xp.einsum("pka,pkb->pab", v_new_k, dw)
             strain_inc = 0.5 * (lgrad + lgrad.transpose(0, 2, 1)) * dt
             spin_inc = 0.5 * (lgrad - lgrad.transpose(0, 2, 1)) * dt
 

@@ -172,11 +172,14 @@ class MPM3DSolver:
     """Explicit USL MPM in three dimensions."""
 
     def __init__(self, grid: Grid3D, particles: Particles3D,
-                 material: Material3D, config: MPM3DConfig | None = None):
+                 material: Material3D, config: MPM3DConfig | None = None,
+                 backend=None):
+        from ..backend import get_backend
         self.grid = grid
         self.particles = particles
         self.material = material
         self.config = config or MPM3DConfig()
+        self.backend = get_backend(backend)
         self.shape = make_shape3d(self.config.shape)
         self._gravity = np.asarray(self.config.gravity, dtype=np.float64)
         self.time = 0.0
@@ -193,6 +196,8 @@ class MPM3DSolver:
     def step(self, dt: float | None = None) -> float:
         p = self.particles
         g = self.grid
+        b = self.backend
+        xp = b.xp
         dt = float(dt if dt is not None else self.stable_dt())
 
         kernel = self.shape(p.positions, g.spacing, g.node_dims)
@@ -202,17 +207,17 @@ class MPM3DSolver:
         # --- P2G --------------------------------------------------------
         g.reset()
         mw = p.masses[:, None] * w
-        np.add.at(g.mass, flat, mw.ravel())
+        b.index_add(g.mass, flat, mw.ravel())
         mom = mw[:, :, None] * p.velocities[:, None, :]
-        np.add.at(g.momentum, flat, mom.reshape(-1, 3))
-        f_int = -np.einsum("p,pab,pkb->pka", p.volumes, p.stresses, dw)
-        np.add.at(g.force, flat, f_int.reshape(-1, 3))
+        b.index_add(g.momentum, flat, mom.reshape(-1, 3))
+        f_int = -xp.einsum("p,pab,pkb->pka", p.volumes, p.stresses, dw)
+        b.index_add(g.force, flat, f_int.reshape(-1, 3))
         f_ext = mw[:, :, None] * self._gravity
-        np.add.at(g.force, flat, f_ext.reshape(-1, 3))
+        b.index_add(g.force, flat, f_ext.reshape(-1, 3))
 
         # --- grid update --------------------------------------------------
         v_old = g.boundary.apply(g, g.velocities())
-        m = np.maximum(g.mass, 1e-12)[:, None]
+        m = xp.maximum(g.mass, 1e-12)[:, None]
         v_new = v_old + dt * g.force / m
         v_new[g.mass <= 1e-12] = 0.0
         v_new = g.boundary.apply(g, v_new)
@@ -220,8 +225,8 @@ class MPM3DSolver:
         # --- G2P ----------------------------------------------------------
         v_new_k = v_new[nodes]
         v_old_k = v_old[nodes]
-        v_pic = np.einsum("pk,pkc->pc", w, v_new_k)
-        dv = np.einsum("pk,pkc->pc", w, v_new_k - v_old_k)
+        v_pic = xp.einsum("pk,pkc->pc", w, v_new_k)
+        dv = xp.einsum("pk,pkc->pc", w, v_new_k - v_old_k)
         flip = self.config.flip
         p.velocities = (1.0 - flip) * v_pic + flip * (p.velocities + dv)
         p.positions = p.positions + dt * v_pic
@@ -231,7 +236,7 @@ class MPM3DSolver:
             np.clip(p.positions[:, axis], margin, g.size[axis] - margin,
                     out=p.positions[:, axis])
 
-        lgrad = np.einsum("pka,pkb->pab", v_new_k, dw)
+        lgrad = xp.einsum("pka,pkb->pab", v_new_k, dw)
         strain_inc = 0.5 * (lgrad + lgrad.transpose(0, 2, 1)) * dt
         spin_inc = 0.5 * (lgrad - lgrad.transpose(0, 2, 1)) * dt
         p.volumes = p.volumes * (1.0 + np.trace(strain_inc, axis1=1, axis2=2))

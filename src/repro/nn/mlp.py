@@ -153,16 +153,17 @@ class MLP(Module):
             eps = self.norm.eps
         return ws, bs, gamma, beta, eps
 
-    def forward_numpy(self, x: np.ndarray,
-                      getbuf=None, tag: str = "mlp") -> np.ndarray:
+    def forward_numpy(self, x: np.ndarray, getbuf=None, tag: str = "mlp",
+                      backend=None) -> np.ndarray:
         """Tape-free inference path (no autodiff overhead).
 
         Runs in ``x.dtype`` — pass float32 inputs for ~2× faster CPU
         inference (the precision the paper's GPU models use anyway).
         Numerically identical to :meth:`forward` in float64. ``getbuf``
         optionally supplies reusable output buffers (see
-        :class:`repro.utils.buffers.Workspace`).
+        :class:`repro.utils.buffers.Workspace`); ``backend`` pins the
+        array backend whose float32 kernels the fused tail may use.
         """
         ws, bs, gamma, beta, eps = self.arrays(x.dtype.type)
         return mlp_forward_numpy(x, ws, bs, gamma, beta, eps,
-                                 getbuf=getbuf, tag=tag)
+                                 getbuf=getbuf, tag=tag, backend=backend)

@@ -70,7 +70,7 @@ def config_hash(config: dict) -> str:
 # ----------------------------------------------------------------------
 _FASTPATH_CONFIG_KEYS = ("n_particles", "latent_size",
                          "message_passing_steps", "num_steps", "quick",
-                         "ckernels")
+                         "backend", "ckernels")
 
 
 def entry_from_fastpath(result: dict, label: str = "fastpath") -> dict:

@@ -90,10 +90,13 @@ class TestPlanSegmentSum:
         out = np.empty((3, 3), dtype=np.float32)
         res = plan.segment_sum(values, out=out)
         if res is not out:
-            # numpy fallback (no C toolchain) allocates its own result
+            # numpy fallback (no C toolchain, or REPRO_BACKEND=numpy)
+            # allocates its own result and leaves `out` untouched
             from repro.accel import available
             assert not available()
-        np.testing.assert_array_equal(out, segment_sum(values, idx, 3))
+        else:
+            np.testing.assert_array_equal(out, segment_sum(values, idx, 3))
+        np.testing.assert_array_equal(res, segment_sum(values, idx, 3))
 
     def test_counts(self):
         idx = np.array([0, 0, 2, 4, 4, 4])

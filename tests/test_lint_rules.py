@@ -190,6 +190,49 @@ def test_cnv003_broad_except():
                   "try:\n    f()\nexcept (OSError, ValueError):\n    pass\n")
 
 
+# ---------------------------------------------------------------- BKD rules
+
+def test_bkd001_raw_np_in_dispatched_module():
+    bad = "import numpy as np\ny = np.exp(x)\n"
+    assert_fires("BKD001", bad, rel="src/repro/autodiff/tensor.py")
+    assert_fires("BKD001", bad, rel="src/repro/gns/network.py")
+    assert_fires("BKD001", bad, rel="src/repro/gns/engine.py")
+    assert_fires("BKD001", bad, rel="src/repro/nn/mlp.py")
+    # only dispatched names fire; host-side helpers stay allowed
+    assert_silent("BKD001", "n = np.searchsorted(a, b)\n",
+                  rel="src/repro/autodiff/scatter_new.py")
+    # routed through the backend namespace: fine
+    assert_silent("BKD001", "xp = active_xp()\ny = xp.exp(x)\n",
+                  rel="src/repro/autodiff/tensor.py")
+    # modules outside the dispatched set are not covered
+    assert_silent("BKD001", bad, rel="src/repro/mpm/grid.py")
+    assert_silent("BKD001", bad, rel="src/repro/viz/render.py")
+
+
+def test_bkd001_scatter_at_calls():
+    assert_fires("BKD001", "np.add.at(out, idx, vals)\n",
+                 rel="src/repro/autodiff/scatter_new.py")
+    assert_fires("BKD001", "np.maximum.at(out, idx, vals)\n",
+                 rel="src/repro/gns/network.py")
+    assert_silent("BKD001", "b.index_add(out, idx, vals)\n",
+                  rel="src/repro/gns/network.py")
+
+
+def test_bkd001_exemptions():
+    bad = "import numpy as np\ny = np.exp(x)\n"
+    # the backend package IS the numpy implementation
+    assert_silent("BKD001", bad, rel="src/repro/backend/numpy_backend.py")
+    # reference-kernel modules opt out with the file pragma
+    assert_silent("BKD001",
+                  "# repro-lint: backend-kernels — reference kernels\n" + bad,
+                  rel="src/repro/autodiff/scatter.py")
+    # host-only lines use the targeted escape
+    assert_silent("BKD001",
+                  "import numpy as np\n"
+                  "y = np.exp(x)  # lint: ignore[BKD001] — host-only\n",
+                  rel="src/repro/gns/engine.py")
+
+
 # ----------------------------------------------------- engine mechanics
 
 def test_suppression_comment_is_honored():
