@@ -17,6 +17,10 @@ Subcommands cover the full paper workflow without writing Python:
 * ``repro bench record|compare`` — append benchmark results to the
   perf ledger (``benchmarks/history.jsonl``) and flag regressions vs
   the trailing window (the CI perf gate).
+* ``repro serve run|bench`` — the simulation-as-a-service front door:
+  run a demo workload through a live service, or sweep concurrency
+  levels (healthy + forced-degraded) and write ``BENCH_serve.json``
+  (the serve-chaos CI artifact; see ``docs/serving.md``).
 * ``repro lint``     — run the domain static-analysis rules
   (determinism, dtype discipline, autodiff contracts, conventions; see
   ``docs/static-analysis.md``).
@@ -205,6 +209,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--require-history", action="store_true",
                    help="compare: exit 1 when no baseline entries match "
                         "(guards against a silently empty ledger)")
+
+    p = sub.add_parser("serve", help="simulation-as-a-service front door")
+    p.add_argument("action", choices=["run", "bench"],
+                   help="run = start a service, push a demo workload "
+                        "through it and print the stats; bench = sweep "
+                        "concurrency levels (healthy + degraded modes) "
+                        "and write BENCH_serve.json")
+    p.add_argument("--checkpoint", type=Path, default=None,
+                   help="checkpoint to serve (default: a synthetic "
+                        "deterministic simulator)")
+    p.add_argument("--requests", type=int, default=16,
+                   help="run: total demo requests (default 16)")
+    p.add_argument("--concurrency", default="1,4,8", metavar="LIST",
+                   help="bench: comma-separated concurrency levels")
+    p.add_argument("--requests-per-level", type=int, default=16,
+                   help="bench: requests per concurrency level")
+    p.add_argument("--num-steps", type=int, default=5,
+                   help="rollout length per request")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker threads in the engine pool")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="micro-batch cap while healthy")
+    p.add_argument("--attempt-timeout", type=float, default=2.0,
+                   help="per-attempt deadline in seconds (0 = unbounded)")
+    p.add_argument("--output", type=Path, default=Path("BENCH_serve.json"),
+                   help="bench: result path (default BENCH_serve.json)")
+    p.add_argument("--telemetry", type=Path, default=None, metavar="DIR",
+                   help="write telemetry.jsonl + manifest.json to DIR")
+    _add_faults_args(p)
 
     p = sub.add_parser("lint", help="run the domain static-analysis rules")
     p.add_argument("root", type=Path, nargs="?", default=Path("."),
@@ -697,6 +730,89 @@ def _cmd_bench(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    from ..serve.bench import (
+        BenchConfig, run_bench, synthetic_seed, synthetic_simulator,
+    )
+
+    attempt_timeout = args.attempt_timeout or None
+    session = _open_session(args, action=args.action,
+                            workers=args.workers, max_batch=args.max_batch,
+                            num_steps=args.num_steps)
+
+    if args.action == "bench":
+        levels = tuple(int(s) for s in args.concurrency.split(",") if s)
+        cfg = BenchConfig(concurrency_levels=levels,
+                          requests_per_level=args.requests_per_level,
+                          num_steps=args.num_steps,
+                          num_workers=args.workers,
+                          max_batch=args.max_batch,
+                          attempt_timeout=attempt_timeout)
+        report = run_bench(args.output, cfg)
+        for mode, m in report["modes"].items():
+            print(f"{mode}:")
+            for lv in m["levels"]:
+                print(f"  c={lv['concurrency']:<3d} "
+                      f"{lv['req_per_sec']:8.1f} req/s  "
+                      f"p50={lv['p50_ms']:.1f} ms  "
+                      f"p99={lv['p99_ms']:.1f} ms  "
+                      f"lost={lv['lost']}")
+        lost = report["lost_total"]
+        print(f"wrote {args.output} (lost requests: {lost})")
+        if session is not None:
+            session.finish(summary={"lost_total": lost,
+                                    "modes": list(report["modes"])})
+            print(f"telemetry written to {session.telemetry_path.parent}")
+        return 0 if lost == 0 else 1
+
+    # action == "run": demo workload through a live service
+    from ..gns import LearnedSimulator
+    from ..serve import RolloutRequest, ServeConfig, ServeError, \
+        SimulationService
+
+    if args.checkpoint is not None:
+        sim = LearnedSimulator.load(args.checkpoint)
+    else:
+        sim = synthetic_simulator()
+    seed = synthetic_seed(sim)
+    use_material = sim.feature_config.use_material
+    service = SimulationService(sim, ServeConfig(
+        num_workers=args.workers, max_batch=args.max_batch,
+        attempt_timeout=attempt_timeout))
+    futures = []
+    rejected = 0
+    for i in range(args.requests):
+        request = RolloutRequest(
+            seed_frames=seed, num_steps=args.num_steps,
+            material=float(20 + i % 8) if use_material else None)
+        try:
+            futures.append(service.submit(request))
+        except ServeError as err:
+            rejected += 1
+            print(f"  rejected: {err}")
+    completed = failed = 0
+    for fut in futures:
+        try:
+            fut.result(timeout=60.0)
+            completed += 1
+        except ServeError as err:
+            failed += 1
+            print(f"  failed: {err}")
+    stats = service.stats()
+    service.close()
+    counts = stats["counts"]
+    print(f"served {completed} ok, {failed} failed, {rejected} rejected "
+          f"({counts['cache_hits']} cache hit(s), "
+          f"{counts['worker_respawns']} respawn(s), "
+          f"breaker {stats['breaker']['state']})")
+    if session is not None:
+        session.finish(summary={"completed": completed, "failed": failed,
+                                "rejected": rejected,
+                                "counts": counts})
+        print(f"telemetry written to {session.telemetry_path.parent}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from ..lint import (LintConfig, iter_rules, load_baseline, run_lint,
                         write_baseline)
@@ -732,6 +848,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "telemetry": _cmd_telemetry,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
     "lint": _cmd_lint,
 }
 

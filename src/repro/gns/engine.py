@@ -398,9 +398,14 @@ class InferenceEngine:
             self._guard_seed(frames)
 
         # stack trajectories into one big particle system (graph stays
-        # block-diagonal: each trajectory keeps its own neighbor cache)
-        window = np.ascontiguousarray(
-            frames.transpose(1, 0, 2, 3).reshape(window_len, b * n, dim))
+        # block-diagonal: each trajectory keeps its own neighbor cache).
+        # Explicit copy: for B=1 the transpose+reshape is a *view* of the
+        # caller's array (a size-1 axis never breaks C-contiguity, so
+        # ascontiguousarray would be a no-op) and _shift_window would
+        # mutate the caller's seed frames in place.
+        window = np.empty((window_len, b * n, dim), dtype=np.float64)
+        np.copyto(window, frames.transpose(1, 0, 2, 3)
+                  .reshape(window_len, b * n, dim))
         types_flat = None
         if particle_types is not None:
             types = np.asarray(particle_types)

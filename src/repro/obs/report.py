@@ -27,7 +27,7 @@ from pathlib import Path
 
 from .metrics import percentile_from_row
 from .session import read_manifest, read_telemetry_tolerant
-from .summarize import format_rows
+from .summarize import format_rows, serve_summary
 
 __all__ = ["render_html", "render_text", "write_report"]
 
@@ -206,6 +206,37 @@ def _metrics_section(metrics: list[dict]) -> str:
     return "".join(parts)
 
 
+def _serve_section(metrics: list[dict]) -> str:
+    """Serving digest: admission/outcome counters and latency
+    percentiles, rendered only when the run served requests."""
+    summary = serve_summary(metrics)
+    if summary is None:
+        return ""
+    counts = summary["counts"]
+    parts = ["<h2>Serving</h2>",
+             '<table><tr><th>outcome</th><th class="num">count</th></tr>']
+    for key in ("admitted", "rejected", "shed", "completed", "failed",
+                "degraded_served", "cache_hits", "cache_misses",
+                "cache_corruptions", "batches", "solo_fallbacks",
+                "worker_respawns"):
+        if key in counts:
+            parts.append(f'<tr><td class="mono">{_esc(key)}</td>'
+                         f'<td class="num">{counts[key]:g}</td></tr>')
+    parts.append("</table>")
+    lat = summary["latency"]
+    if lat:
+        quantiles = " &nbsp; ".join(
+            f"p{q} = {_fmt_s(lat[f'p{q}'])}" for q in (50, 95, 99)
+            if lat.get(f"p{q}") is not None)
+        parts.append(f"<p>request latency (n={lat['count']}): "
+                     f"mean {_fmt_s(lat['mean'])} &nbsp; {quantiles}</p>")
+    depth = summary["queue_depth"]
+    if depth:
+        parts.append(f"<p>queue depth: last {_esc(depth['last'])}, "
+                     f"max {_esc(depth['max'])}</p>")
+    return "".join(parts)
+
+
 def _events_section(events: list[dict]) -> str:
     parts = ["<h2>Events</h2>",
              '<table><tr><th class="num">t (s)</th><th>worker</th>'
@@ -266,6 +297,9 @@ def render_html(rows: list[dict], manifest: dict | None = None,
     if ops:
         body.append(_ops_section(ops))
     if metrics:
+        serve_html = _serve_section(metrics)
+        if serve_html:
+            body.append(serve_html)
         body.append(_metrics_section(metrics))
     if health:
         body.append("<h2>Health findings</h2><ul>")

@@ -13,7 +13,7 @@ from pathlib import Path
 from .metrics import percentile_from_row
 from .session import read_manifest, read_telemetry_tolerant
 
-__all__ = ["summarize_telemetry", "format_rows"]
+__all__ = ["summarize_telemetry", "format_rows", "serve_summary"]
 
 
 def _fmt_seconds(s: float) -> str:
@@ -73,6 +73,78 @@ def _labels_suffix(row: dict) -> str:
         return ""
     inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
     return "{" + inner + "}"
+
+
+#: serve counters surfaced in the serving section, in display order
+_SERVE_COUNTERS = ("serve.admitted", "serve.rejected", "serve.shed",
+                   "serve.completed", "serve.failed", "serve.degraded_served",
+                   "serve.cache_hits", "serve.cache_misses",
+                   "serve.cache_corruptions", "serve.batches",
+                   "serve.solo_fallbacks", "serve.worker_respawns")
+
+
+def serve_summary(metrics: list[dict]) -> dict | None:
+    """Aggregate serve.* metric rows into one digest dict, or None when
+    the run had no serving activity. Counter values are summed across
+    label sets (e.g. ``serve.rejected{reason=...}``); latency
+    percentiles come from the ``serve.latency_seconds`` histogram."""
+    serve_rows = [r for r in metrics if str(r.get("name", "")).startswith("serve.")]
+    if not serve_rows:
+        return None
+    summary: dict = {"counts": {}, "latency": None, "queue_depth": None}
+    for name in _SERVE_COUNTERS:
+        total = sum(r.get("value", 0) or 0 for r in serve_rows
+                    if r["name"] == name and r.get("type") == "counter")
+        if total:
+            summary["counts"][name.split(".", 1)[1]] = total
+    for r in serve_rows:
+        if r["name"] == "serve.queue_depth" and r.get("count", 0):
+            summary["queue_depth"] = {"last": r.get("value"),
+                                      "max": r.get("max")}
+        if r["name"] == "serve.latency_seconds" and r.get("count", 0):
+            lat = {"count": r["count"], "mean": r.get("mean")}
+            for q in (50, 95, 99):
+                value = r.get(f"p{q}")
+                if value is None:
+                    value = percentile_from_row(r, q)
+                lat[f"p{q}"] = value
+            summary["latency"] = lat
+    if not summary["counts"] and summary["latency"] is None:
+        return None
+    return summary
+
+
+def _serve_lines(metrics: list[dict]) -> list[str]:
+    summary = serve_summary(metrics)
+    if summary is None:
+        return []
+    counts = summary["counts"]
+    lines = ["serve: "
+             f"{counts.get('admitted', 0):g} admitted, "
+             f"{counts.get('rejected', 0):g} rejected, "
+             f"{counts.get('shed', 0):g} shed, "
+             f"{counts.get('failed', 0):g} failed, "
+             f"{counts.get('degraded_served', 0):g} degraded"]
+    detail = []
+    for key in ("completed", "cache_hits", "cache_misses",
+                "cache_corruptions", "batches", "solo_fallbacks",
+                "worker_respawns"):
+        if key in counts:
+            detail.append(f"{key}={counts[key]:g}")
+    if detail:
+        lines.append("  " + "  ".join(detail))
+    lat = summary["latency"]
+    if lat:
+        quantiles = "  ".join(
+            f"p{q}={_num(lat[f'p{q}'])}" for q in (50, 95, 99)
+            if lat.get(f"p{q}") is not None)
+        lines.append(f"  latency (s): n={lat['count']}  "
+                     f"mean={_num(lat['mean'])}  {quantiles}")
+    depth = summary["queue_depth"]
+    if depth:
+        lines.append(f"  queue depth: last={_num(depth['last'])}  "
+                     f"max={_num(depth['max'])}")
+    return lines
 
 
 def format_rows(rows: list[dict], manifest: dict | None = None) -> str:
@@ -148,6 +220,11 @@ def format_rows(rows: list[dict], manifest: dict | None = None) -> str:
         lines.append("")
 
     metrics = [r for r in rows if r.get("kind") == "metric"]
+
+    serve_section = _serve_lines(metrics)
+    if serve_section:
+        lines.extend(serve_section)
+        lines.append("")
 
     # resilience highlight: surface chaos/recovery activity at the top
     # of the metric section so an operator can see at a glance whether

@@ -2,13 +2,14 @@
 
 from .allreduce import allreduce_state, ring_allreduce
 from .pool import (
-    DataParallelConfig, DataParallelTrainer, WorkerPoolError, worker_gradients,
+    DataParallelConfig, DataParallelTrainer, PoolClosedError, WorkerPoolError,
+    worker_gradients,
 )
 from .partition import communication_volume, edge_cut, halo_nodes, partition_graph
 
 __all__ = [
     "allreduce_state", "ring_allreduce",
     "DataParallelConfig", "DataParallelTrainer", "WorkerPoolError",
-    "worker_gradients",
+    "PoolClosedError", "worker_gradients",
     "communication_volume", "edge_cut", "halo_nodes", "partition_graph",
 ]

@@ -34,7 +34,7 @@ from ..resilience.retry import RetryPolicy, retry_call
 from .allreduce import allreduce_state
 
 __all__ = ["DataParallelConfig", "DataParallelTrainer", "WorkerPoolError",
-           "worker_gradients"]
+           "PoolClosedError", "worker_gradients"]
 
 # module-level worker state (populated by the fork; see _init_worker)
 _WORKER_SIM: LearnedSimulator | None = None
@@ -49,6 +49,17 @@ _STALL_SECONDS = 0.5
 
 class WorkerPoolError(RuntimeError):
     """A task failed every retry (and any pool respawn) it was granted."""
+
+
+class PoolClosedError(RuntimeError):
+    """Dispatch was attempted on a pool that has been closed.
+
+    Before this existed, a ``train_step()`` racing ``close()`` handed
+    tasks to a terminated ``mp.Pool`` — which either raises an opaque
+    ``ValueError("Pool not running")`` or, for handles already obtained,
+    blocks forever on results that will never arrive. Dispatch now fails
+    fast with this typed error instead.
+    """
 
 
 def _apply_task_faults() -> None:
@@ -286,8 +297,16 @@ class DataParallelTrainer:
         def attempt_all(pending: list[int]) -> list[int]:
             """One round: dispatch ``pending`` tasks, collect, return
             the indices that failed or timed out."""
-            handles = [(i, self._pool.apply_async(_worker_entry, (args[i],)))
-                       for i in pending]
+            pool = self._pool  # racing close() nulls the attribute
+            if self._closed or pool is None:
+                raise PoolClosedError("dispatch after close()")
+            try:
+                handles = [(i, pool.apply_async(_worker_entry, (args[i],)))
+                           for i in pending]
+            except ValueError as err:
+                # mp.Pool raises bare ValueError("Pool not running") when
+                # terminate() won the race after our closed check above
+                raise PoolClosedError("dispatch after close()") from err
             failed: list[int] = []
             for i, handle in handles:
                 try:
@@ -339,6 +358,10 @@ class DataParallelTrainer:
         return worker_gradients(self.simulator, shard, noise_std, seed)
 
     def train_step(self) -> float:
+        if self._closed:
+            # without this, a closed process-pool trainer has _pool=None
+            # and would silently fall through to the sequential branch
+            raise PoolClosedError("train_step() after close()")
         cfg = self.config
         shards = self._sample_shards()
         seeds = [int(self.rng.integers(0, 2 ** 31)) for _ in shards]

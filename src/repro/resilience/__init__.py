@@ -39,7 +39,10 @@ from .faults import (
 )
 from .guards import GuardedMPMStepper, MPMGuardError, RewindPolicy
 from .recovery import RecoveryPolicy, TrainingAbortedError, train_with_recovery
-from .retry import RetryBudget, RetryExhaustedError, RetryPolicy, retry_call
+from .retry import (
+    AttemptTimeoutError, RetryBudget, RetryExhaustedError, RetryPolicy,
+    retry_call,
+)
 
 __all__ = [
     # faults
@@ -47,7 +50,8 @@ __all__ = [
     "get_injector", "arm_faults", "disarm_faults", "FAULTS_ENV",
     "FAULTS_SEED_ENV",
     # retry
-    "RetryPolicy", "RetryBudget", "RetryExhaustedError", "retry_call",
+    "RetryPolicy", "RetryBudget", "RetryExhaustedError",
+    "AttemptTimeoutError", "retry_call",
     # guards
     "GuardedMPMStepper", "MPMGuardError", "RewindPolicy",
     # recovery

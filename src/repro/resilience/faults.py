@@ -36,6 +36,9 @@ Known sites (each instrumented call names its own):
 ``pool.stall``      a parallel worker task hangs past its deadline
 ``rollout.diverge`` a GNS rollout step produces NaN positions
 ``mpm.kick``        MPM particle velocities get a large impulse
+``serve.reject``    the serve front door rejects an admission
+``serve.slow_worker``  a serve worker stalls past its attempt deadline
+``serve.cache_corrupt``  a cached serve result's bytes are flipped
 ==================  ====================================================
 
 Nothing in the hot paths pays for this when faults are off: every
@@ -70,6 +73,7 @@ KNOWN_SITES = frozenset({
     "pool.crash", "pool.stall",
     "rollout.diverge",
     "mpm.kick",
+    "serve.reject", "serve.slow_worker", "serve.cache_corrupt",
 })
 
 

@@ -10,7 +10,17 @@ matter for this repo:
 * **Shared budgets** — a :class:`RetryBudget` caps the *total* retries
   spent across many call sites (e.g. one budget for a whole training
   run), so a systemic failure degenerates into a clean abort instead of
-  an unbounded retry storm.
+  an unbounded retry storm. Budgets are thread-safe: the serving layer
+  shares one across its whole worker fleet.
+* **Per-attempt deadlines** — ``RetryBudget(attempt_timeout=...)``
+  bounds a *single* attempt's wall time: the attempt runs in a helper
+  thread and, past the deadline, is abandoned and counted as a
+  retryable :class:`AttemptTimeoutError`. This is how serve workers
+  turn a stalled rollout into a bounded retry instead of a hung
+  request. The abandoned attempt keeps running to completion in the
+  background (Python threads cannot be killed); callers that hold
+  per-attempt state must discard it on timeout (see
+  ``repro.serve.workers``).
 
 Every retry and give-up increments ``resilience.retries`` /
 ``resilience.giveups`` counters (labeled by ``op``) in the global
@@ -19,11 +29,13 @@ metrics registry when telemetry is enabled.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable
 
-__all__ = ["RetryPolicy", "RetryBudget", "RetryExhaustedError", "retry_call"]
+__all__ = ["RetryPolicy", "RetryBudget", "RetryExhaustedError",
+           "AttemptTimeoutError", "retry_call"]
 
 
 class RetryExhaustedError(RuntimeError):
@@ -37,25 +49,55 @@ class RetryExhaustedError(RuntimeError):
             f"{op}: gave up after {attempts} attempt(s): {last_error!r}")
 
 
+class AttemptTimeoutError(TimeoutError):
+    """One attempt ran past its per-attempt deadline and was abandoned.
+
+    A :class:`TimeoutError` subclass, so it is an ``OSError`` and the
+    default ``retry_on=(OSError,)`` retries it; :func:`retry_call` also
+    retries it explicitly whenever an attempt deadline is armed, even
+    with a narrower ``retry_on``.
+    """
+
+    def __init__(self, op: str, attempt: int, timeout: float):
+        self.op = op
+        self.attempt = attempt
+        self.timeout = timeout
+        super().__init__(
+            f"{op}: attempt {attempt} exceeded {timeout:g} s deadline")
+
+
 @dataclass
 class RetryBudget:
     """A shared pool of retry tokens. ``spend()`` returns False once the
-    pool is empty — callers then fail instead of retrying."""
+    pool is empty — callers then fail instead of retrying.
+
+    ``attempt_timeout`` additionally bounds each *single* attempt made
+    under this budget: :func:`retry_call` runs the attempt in a helper
+    thread and abandons it past the deadline (see the module docstring
+    for the abandonment caveat). ``spend()`` is thread-safe so one
+    budget can supervise a whole worker fleet.
+    """
 
     total: int = 10
+    #: per-attempt wall-clock deadline in seconds (None = unbounded)
+    attempt_timeout: float | None = None
 
     def __post_init__(self):
         self.spent = 0
+        self._lock = threading.Lock()
+        if self.attempt_timeout is not None and self.attempt_timeout <= 0:
+            raise ValueError("attempt_timeout must be positive")
 
     @property
     def remaining(self) -> int:
         return max(self.total - self.spent, 0)
 
     def spend(self) -> bool:
-        if self.spent >= self.total:
-            return False
-        self.spent += 1
-        return True
+        with self._lock:
+            if self.spent >= self.total:
+                return False
+            self.spent += 1
+            return True
 
 
 @dataclass
@@ -79,6 +121,31 @@ class RetryPolicy:
                    self.max_delay)
 
 
+def _call_with_deadline(fn: Callable, args, kwargs, timeout: float,
+                        op: str, attempt: int):
+    """Run one attempt in a helper thread; abandon it past ``timeout``."""
+    outcome: list = []
+
+    def runner():
+        try:
+            outcome.append((True, fn(*args, **kwargs)))
+        except BaseException as err:  # lint: ignore[CNV003] — relayed to caller via `raise value`
+            outcome.append((False, err))
+
+    thread = threading.Thread(target=runner, daemon=True,
+                              name=f"retry-attempt-{op}")
+    thread.start()
+    thread.join(timeout)
+    if not outcome:
+        # the attempt is still running; it finishes (or not) on its own,
+        # and whatever it eventually produces is discarded
+        raise AttemptTimeoutError(op, attempt, timeout)
+    ok, value = outcome[0]
+    if ok:
+        return value
+    raise value
+
+
 def retry_call(fn: Callable, *args,
                policy: RetryPolicy | None = None,
                retry_on: tuple[type[BaseException], ...] = (OSError,),
@@ -94,14 +161,26 @@ def retry_call(fn: Callable, *args,
     outside ``retry_on`` propagates immediately, as does anything in
     ``give_up_on`` — the carve-out for non-transient subclasses (e.g.
     retry ``OSError`` but not ``FileNotFoundError``).
+
+    When ``budget.attempt_timeout`` is set, each attempt runs under a
+    wall-clock deadline; a timed-out attempt raises (and retries as)
+    :class:`AttemptTimeoutError` regardless of ``retry_on``.
     """
     policy = policy or RetryPolicy()
     name = op or getattr(fn, "__name__", "call")
+    attempt_timeout = budget.attempt_timeout if budget is not None else None
+    catch = tuple(retry_on)
+    if attempt_timeout is not None and \
+            not any(issubclass(AttemptTimeoutError, t) for t in catch):
+        catch = catch + (AttemptTimeoutError,)
     last: BaseException | None = None
     for attempt in range(1, policy.max_attempts + 1):
         try:
+            if attempt_timeout is not None:
+                return _call_with_deadline(fn, args, kwargs, attempt_timeout,
+                                           name, attempt)
             return fn(*args, **kwargs)
-        except retry_on as err:
+        except catch as err:
             if give_up_on and isinstance(err, give_up_on):
                 raise
             last = err

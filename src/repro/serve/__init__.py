@@ -1,0 +1,53 @@
+"""repro.serve — a fault-tolerant simulation-as-a-service front door.
+
+The layer between trained simulators and "millions of users": an
+in-process service (stdlib threads + ``asyncio`` facade, no new
+dependencies) that accepts concurrent rollout and inverse requests and
+protects itself instead of falling over:
+
+* **Admission control** — bounded queue (:class:`QueueFullError`
+  backpressure), per-tenant token-bucket quotas
+  (:class:`QuotaExceededError`), request deadlines that shed expired
+  work (:class:`DeadlineExceededError`) rather than executing it.
+* **Micro-batching** — compatible requests (same checkpoint, shape,
+  steps, dtype, backend) share one
+  :meth:`~repro.gns.engine.InferenceEngine.rollout_batch` call; each
+  trajectory is bitwise-identical to its solo rollout.
+* **Result cache** — LRU keyed by (checkpoint weights, request config,
+  seed frames), SHA-verified on every read so corruption is recomputed,
+  never served.
+* **Supervised workers** — warm per-checkpoint engines, per-attempt
+  deadlines with budgeted retries (:mod:`repro.resilience`), crash
+  respawn that loses no queued request, and a circuit breaker that
+  flips a degraded mode (solo batches, cache-first) when failures
+  spike.
+* **Chaos-tested** — fault sites ``serve.reject``,
+  ``serve.slow_worker``, ``serve.cache_corrupt`` (plus the pool's
+  ``pool.crash``) drive every recovery path deterministically.
+
+See ``docs/serving.md`` for the request lifecycle and state machine.
+"""
+
+from .admission import AdmissionController, QuotaConfig, TokenBucket
+from .batcher import batch_signature, form_batches
+from .cache import ResultCache, checkpoint_fingerprint, request_cache_key
+from .degrade import BreakerConfig, CircuitBreaker
+from .frontdoor import ServeConfig, SimulationService
+from .request import (
+    DeadlineExceededError, InverseRequest, QueueFullError,
+    QuotaExceededError, RequestFailedError, RolloutRequest, ServeError,
+    ServeResponse, ServiceClosedError,
+)
+from .workers import EngineWorker, WorkerCrashError
+
+__all__ = [
+    "SimulationService", "ServeConfig",
+    "RolloutRequest", "InverseRequest", "ServeResponse",
+    "ServeError", "QueueFullError", "QuotaExceededError",
+    "DeadlineExceededError", "ServiceClosedError", "RequestFailedError",
+    "AdmissionController", "QuotaConfig", "TokenBucket",
+    "ResultCache", "checkpoint_fingerprint", "request_cache_key",
+    "BreakerConfig", "CircuitBreaker",
+    "batch_signature", "form_batches",
+    "EngineWorker", "WorkerCrashError",
+]

@@ -1,0 +1,112 @@
+"""Admission control: bounded queue capacity + per-tenant token buckets.
+
+Admission decisions happen synchronously inside ``submit()`` so a
+rejected caller learns immediately (and cheaply) instead of occupying a
+queue slot. The ``serve.reject`` chaos site injects rejections here —
+the knob for proving clients handle backpressure.
+
+The token bucket is the classic leaky-refill form: ``burst`` tokens
+capacity, refilled at ``rate`` tokens/second, one token per admitted
+request. The clock is injectable so tests (and the deterministic load
+generator) can drive time explicitly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..resilience.faults import get_injector
+from .request import QueueFullError, QuotaExceededError
+
+__all__ = ["TokenBucket", "AdmissionController", "QuotaConfig"]
+
+
+@dataclass
+class QuotaConfig:
+    """Per-tenant quota: ``rate`` requests/second sustained, bursts up
+    to ``burst``. ``rate <= 0`` disables quota enforcement."""
+
+    rate: float = 0.0
+    burst: int = 10
+
+
+class TokenBucket:
+    """One tenant's refilling token bucket (thread-safe)."""
+
+    def __init__(self, rate: float, burst: int,
+                 clock: Callable[[], float] = time.monotonic):
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(now - self._last, 0.0)
+        self._tokens = min(self._tokens + elapsed * self.rate,
+                           float(self.burst))
+        self._last = now
+
+    def try_take(self) -> tuple[bool, float]:
+        """Take one token. Returns ``(True, 0.0)`` on success, else
+        ``(False, seconds_until_next_token)``."""
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True, 0.0
+            if self.rate <= 0:
+                return False, float("inf")
+            return False, (1.0 - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+@dataclass
+class AdmissionController:
+    """Gatekeeper consulted by ``submit()`` before a request queues.
+
+    Checks run cheapest-first: injected rejection (chaos), queue
+    capacity, then tenant quota. Raises the matching typed error; on
+    success the caller owns one queue slot and one quota token.
+    """
+
+    queue_capacity: int
+    quota: QuotaConfig = field(default_factory=QuotaConfig)
+    clock: Callable[[], float] = time.monotonic
+
+    def __post_init__(self):
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(self.quota.rate, self.quota.burst,
+                                     clock=self.clock)
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def admit(self, tenant: str, queue_depth: int) -> None:
+        """Raise :class:`QueueFullError` / :class:`QuotaExceededError`
+        when the request must be rejected; return on admission."""
+        if get_injector().fire("serve.reject"):
+            raise QueueFullError(queue_depth, self.queue_capacity)
+        if queue_depth >= self.queue_capacity:
+            raise QueueFullError(queue_depth, self.queue_capacity)
+        if self.quota.rate > 0:
+            ok, retry_after = self.bucket(tenant).try_take()
+            if not ok:
+                raise QuotaExceededError(tenant, retry_after)

@@ -1,0 +1,79 @@
+"""Micro-batching: group compatible rollout requests into one engine call.
+
+Two requests are *compatible* when a single block-diagonal
+``rollout_batch`` call can serve both: same checkpoint, same seed-frame
+shape, same step count, same particle types, same velocity guard, same
+engine dtype/backend. Materials may differ per trajectory (the engine
+takes a length-B material vector), which is exactly the inverse-ensemble
+workload the paper's speedups target.
+
+Batching is a pure function of the queued entries — no timers, no
+hidden state — so the dispatcher can call it every drain cycle and a
+test can assert the exact grouping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .request import InverseRequest, RolloutRequest
+
+__all__ = ["batch_signature", "form_batches"]
+
+
+def batch_signature(request, checkpoint_hash: str, dtype: str,
+                    backend: str) -> tuple:
+    """The compatibility key: requests with equal signatures may share
+    one ``rollout_batch`` call. Inverse requests get a unique-per-request
+    signature (``id``-based) so they always execute solo."""
+    if isinstance(request, InverseRequest):
+        return ("inverse", id(request))
+    frames = np.asarray(request.seed_frames)
+    types = request.particle_types
+    types_key = (None if types is None
+                 else np.asarray(types).tobytes())
+    return ("rollout", checkpoint_hash, frames.shape, request.num_steps,
+            request.max_velocity, types_key, dtype, backend)
+
+
+def form_batches(entries: list, max_batch: int) -> list[list]:
+    """Group queued entries by signature, chunk to ``max_batch``.
+
+    ``entries`` are (signature, item) pairs in arrival order; the output
+    preserves arrival order within each batch so trajectory *i* of the
+    stacked call maps back to the *i*-th admitted request.
+    """
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    groups: dict[tuple, list] = {}
+    order: list[tuple] = []
+    for signature, item in entries:
+        if signature not in groups:
+            groups[signature] = []
+            order.append(signature)
+        groups[signature].append(item)
+    batches: list[list] = []
+    for signature in order:
+        items = groups[signature]
+        for start in range(0, len(items), max_batch):
+            batches.append(items[start:start + max_batch])
+    return batches
+
+
+def stack_seed_frames(requests: list[RolloutRequest]) -> np.ndarray:
+    """``(B, C+1, n, d)`` stack of the batch's seed frames."""
+    return np.stack([np.asarray(r.seed_frames, dtype=np.float64)
+                     for r in requests])
+
+
+def batch_materials(requests: list[RolloutRequest]):
+    """Scalar when every request shares one material (or none), else a
+    length-B vector. The engine requires a value per trajectory when the
+    featurizer was trained with material conditioning."""
+    materials = [r.material for r in requests]
+    if all(m is None for m in materials):
+        return None
+    values = [0.0 if m is None else float(m) for m in materials]
+    if len(set(values)) == 1:
+        return values[0]
+    return np.asarray(values, dtype=np.float64)

@@ -1,0 +1,199 @@
+"""The serve load generator — ``repro serve bench``.
+
+Drives a :class:`~repro.serve.SimulationService` over a synthetic
+(deterministically-seeded, untrained) simulator, sweeping concurrency
+levels in two modes:
+
+* **healthy** — the service as configured;
+* **degraded** — the circuit breaker forced open first, so batches cap
+  at ``degraded_max_batch`` and every response is flagged.
+
+Chaos comes from outside: arm ``REPRO_FAULTS`` (e.g.
+``pool.crash@2;serve.slow_worker@p0.1``) before running and the bench
+exercises crash-respawn and stall-retry under load; the armed spec and
+fired counts land in the output. The result is ``BENCH_serve.json``:
+requests/sec and p50/p95/p99 latency per concurrency level per mode,
+plus the zero-lost accounting the serve-chaos CI job asserts on —
+``lost`` counts requests that resolved with neither a result nor a
+typed error, and must always be 0.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..gns import FeatureConfig, GNSNetworkConfig, LearnedSimulator, Stats
+from ..resilience.faults import get_injector
+from .frontdoor import ServeConfig, SimulationService
+from .request import RolloutRequest, ServeError
+
+__all__ = ["BenchConfig", "run_bench", "synthetic_simulator",
+           "synthetic_seed"]
+
+
+def synthetic_simulator(seed: int = 1) -> LearnedSimulator:
+    """A small untrained material-conditioned GNS — dynamics are
+    arbitrary but deterministic, which is all a serving bench needs."""
+    bounds = np.array([[0.0, 1.0], [0.0, 1.0]])
+    cfg = FeatureConfig(connectivity_radius=0.15, history=3, bounds=bounds,
+                        use_material=True)
+    net = GNSNetworkConfig(latent_size=12, mlp_hidden_size=12,
+                           message_passing_steps=2)
+    stats = Stats(np.zeros(2), np.full(2, 0.01), np.zeros(2),
+                  np.full(2, 2e-4))
+    return LearnedSimulator(cfg, net, stats, rng=np.random.default_rng(seed))
+
+
+def synthetic_seed(sim: LearnedSimulator, n: int = 50,
+                   seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    x0 = rng.uniform(0.25, 0.75, size=(n, 2))
+    frames = [x0]
+    for _ in range(sim.feature_config.history):
+        frames.append(frames[-1] + rng.normal(0, 5e-4, size=(n, 2)))
+    return np.stack(frames, axis=0)
+
+
+@dataclass
+class BenchConfig:
+    concurrency_levels: tuple = (1, 4, 8)
+    requests_per_level: int = 16
+    num_steps: int = 5
+    n_particles: int = 50
+    num_workers: int = 2
+    max_batch: int = 8
+    attempt_timeout: float | None = 2.0
+    #: distinct scenario materials cycled through (cache stays honest:
+    #: repeats within a level are real hits)
+    distinct_materials: int = 8
+    serve: ServeConfig = field(default=None)  # derived when None
+
+
+def _make_config(cfg: BenchConfig) -> ServeConfig:
+    if cfg.serve is not None:
+        return cfg.serve
+    return ServeConfig(
+        max_queue=max(64, 4 * max(cfg.concurrency_levels)),
+        max_batch=cfg.max_batch, num_workers=cfg.num_workers,
+        attempt_timeout=cfg.attempt_timeout)
+
+
+def _percentiles(latencies: list[float]) -> dict:
+    if not latencies:
+        return {"p50_ms": None, "p95_ms": None, "p99_ms": None}
+    arr = np.asarray(latencies) * 1e3
+    return {"p50_ms": float(np.percentile(arr, 50)),
+            "p95_ms": float(np.percentile(arr, 95)),
+            "p99_ms": float(np.percentile(arr, 99))}
+
+
+def _run_level(service: SimulationService, seed_frames: np.ndarray,
+               cfg: BenchConfig, concurrency: int, clock) -> dict:
+    """Submit ``requests_per_level`` requests with at most
+    ``concurrency`` outstanding; account for every single one."""
+    outcomes = {"completed": 0, "rejected": 0, "shed": 0, "failed": 0}
+    latencies: list[float] = []
+    degraded_served = 0
+    futures: list = []
+    submitted = 0
+    t0 = clock()
+
+    def reap(block: bool) -> None:
+        nonlocal degraded_served
+        while futures and (block or futures[0].done()):
+            fut = futures.pop(0)
+            try:
+                resp = fut.result(timeout=60.0)
+            except ServeError:
+                # typed failure — terminated, just not with a result
+                outcomes["failed"] += 1
+            else:
+                outcomes["completed"] += 1
+                latencies.append(resp.latency_seconds)
+                if resp.degraded:
+                    degraded_served += 1
+
+    # materials are unique per level (the offset) so one level never
+    # serves another level's cache; repeats *within* a level are real,
+    # honest hits (requests_per_level > distinct_materials)
+    offset = 20 + concurrency * cfg.distinct_materials
+    for i in range(cfg.requests_per_level):
+        request = RolloutRequest(
+            seed_frames=seed_frames, num_steps=cfg.num_steps,
+            material=float(offset + (i % cfg.distinct_materials)))
+        try:
+            futures.append(service.submit(request))
+            submitted += 1
+        except ServeError:
+            outcomes["rejected"] += 1
+        if len(futures) >= concurrency:
+            reap(block=True)
+    reap(block=True)
+    seconds = max(clock() - t0, 1e-9)
+
+    terminated = sum(outcomes.values())
+    level = {
+        "concurrency": concurrency,
+        "requests": cfg.requests_per_level,
+        "submitted": submitted,
+        "seconds": seconds,
+        "req_per_sec": terminated / seconds,
+        "degraded_served": degraded_served,
+        #: requests that vanished — neither result nor typed error
+        "lost": cfg.requests_per_level - terminated,
+        **outcomes,
+        **_percentiles(latencies),
+    }
+    return level
+
+
+def run_bench(out_path: str | Path = "BENCH_serve.json",
+              config: BenchConfig | None = None,
+              modes: tuple = ("healthy", "degraded")) -> dict:
+    """Run the sweep; write and return the report dict."""
+    import time
+
+    cfg = config or BenchConfig()
+    clock = time.perf_counter
+    simulator = synthetic_simulator()
+    seed_frames = synthetic_seed(simulator, n=cfg.n_particles)
+    report: dict = {
+        "generated_by": "repro serve bench",
+        "config": {
+            "concurrency_levels": list(cfg.concurrency_levels),
+            "requests_per_level": cfg.requests_per_level,
+            "num_steps": cfg.num_steps, "n_particles": cfg.n_particles,
+            "num_workers": cfg.num_workers, "max_batch": cfg.max_batch,
+            "attempt_timeout": cfg.attempt_timeout,
+        },
+        "faults": get_injector().summary(),
+        "modes": {},
+    }
+    for mode in modes:
+        service = SimulationService(simulator, _make_config(cfg),
+                                    clock=clock)
+        if mode == "degraded":
+            # force the breaker open: min_samples consecutive failures
+            for _ in range(service.breaker.config.min_samples):
+                service.breaker.record(False)
+        levels = [_run_level(service, seed_frames, cfg, c, clock)
+                  for c in cfg.concurrency_levels]
+        stats = service.stats()
+        service.close()
+        report["modes"][mode] = {
+            "levels": levels,
+            "lost_total": sum(lv["lost"] for lv in levels),
+            "service": {"counts": stats["counts"],
+                        "breaker": stats["breaker"]["state"],
+                        "cache": stats["cache"]},
+        }
+    report["faults"]["fired_total"] = get_injector().fired()
+    report["lost_total"] = sum(m["lost_total"]
+                               for m in report["modes"].values())
+    out = Path(out_path)
+    out.write_text(json.dumps(report, indent=1, sort_keys=False) + "\n")
+    return report

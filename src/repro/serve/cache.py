@@ -1,0 +1,126 @@
+"""LRU result cache with self-verifying entries.
+
+Keys are content hashes — (checkpoint fingerprint, request config hash,
+seed-frames hash) — so two tenants submitting the same scenario against
+the same weights share one entry, and a retrained checkpoint silently
+invalidates everything cached against the old weights.
+
+Every entry stores a SHA-256 of its payload bytes alongside the arrays;
+``get()`` re-verifies before serving. A corrupted entry (bit-rot in a
+long-lived process, or the ``serve.cache_corrupt`` chaos site) is
+therefore *evicted and recomputed*, never served — the cache can only
+return bytes identical to what the engine produced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any
+
+import numpy as np
+
+from ..resilience.faults import get_injector
+
+__all__ = ["ResultCache", "checkpoint_fingerprint", "request_cache_key"]
+
+
+def checkpoint_fingerprint(simulator) -> str:
+    """SHA-256 over a simulator's parameter arrays (name-sorted), i.e.
+    the identity of the weights actually serving."""
+    digest = hashlib.sha256()
+    state = simulator.state_dict()
+    for name in sorted(state):
+        digest.update(name.encode())
+        arr = np.ascontiguousarray(state[name])
+        digest.update(str(arr.dtype).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()[:16]
+
+
+def _hash_update(digest, value) -> None:
+    if isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+    else:
+        digest.update(repr(value).encode())
+
+
+def request_cache_key(checkpoint_hash: str, config: tuple,
+                      seed_frames: np.ndarray) -> str:
+    """The cache key for one request: weights identity + request config
+    (steps, material, dtype, backend, ...) + seed-frame bytes."""
+    digest = hashlib.sha256()
+    digest.update(checkpoint_hash.encode())
+    for item in config:
+        _hash_update(digest, item)
+    _hash_update(digest, np.asarray(seed_frames, dtype=np.float64))
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Bounded LRU of completed results (thread-safe).
+
+    ``capacity <= 0`` disables caching entirely (every get misses, puts
+    are dropped) so one switch turns the layer off for A/B runs.
+    """
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = capacity
+        self._entries: OrderedDict[str, tuple[Any, str]] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.corruptions = 0
+
+    @staticmethod
+    def _payload_sha(payload: np.ndarray) -> str:
+        return hashlib.sha256(
+            np.ascontiguousarray(payload).tobytes()).hexdigest()
+
+    def put(self, key: str, payload: np.ndarray) -> None:
+        if self.capacity <= 0:
+            return
+        stored = np.array(payload, dtype=np.float64, copy=True)
+        sha = self._payload_sha(stored)
+        if get_injector().fire("serve.cache_corrupt"):
+            # flip one byte of the *stored* copy after hashing, so the
+            # integrity check must catch it on the next get()
+            flat = stored.view(np.uint8).reshape(-1)
+            flat[len(flat) // 2] ^= 0xFF
+        with self._lock:
+            self._entries[key] = (stored, sha)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def get(self, key: str) -> np.ndarray | None:
+        """A verified copy of the cached payload, or None on miss or
+        integrity failure (the corrupt entry is evicted)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            payload, sha = entry
+            if self._payload_sha(payload) != sha:
+                del self._entries[key]
+                self.corruptions += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return payload.copy()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"entries": len(self._entries), "capacity": self.capacity,
+                    "hits": self.hits, "misses": self.misses,
+                    "corruptions": self.corruptions}

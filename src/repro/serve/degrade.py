@@ -1,0 +1,104 @@
+"""The circuit breaker and degraded-mode policy.
+
+When the recent job failure rate spikes (crashing workers, systematic
+stalls), continuing to form large batches multiplies the blast radius:
+one bad worker attempt takes B requests down with it. The breaker
+watches a sliding window of job outcomes and flips the service into
+**degraded mode**: batches cap at ``degraded_max_batch`` (default 1, so
+a failure costs one request), cached results keep being served at full
+speed, and every response is flagged ``degraded=True`` so callers know
+they got reduced service rather than silence.
+
+The breaker is *count-based*, not time-based: state transitions are a
+pure function of the outcome sequence, so chaos tests replay exactly.
+
+States::
+
+    CLOSED ──(failure rate ≥ threshold over window)──▶ OPEN
+    OPEN ──(cooldown_jobs outcomes recorded)──▶ HALF_OPEN
+    HALF_OPEN ──(probe_successes consecutive ok)──▶ CLOSED
+    HALF_OPEN ──(any failure)──▶ OPEN
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["BreakerConfig", "CircuitBreaker"]
+
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+@dataclass
+class BreakerConfig:
+    #: sliding window of recent job outcomes
+    window: int = 20
+    #: flip OPEN when failures/window ≥ this (with ≥ min_samples seen)
+    failure_threshold: float = 0.5
+    #: outcomes required before the rate is trusted at all
+    min_samples: int = 4
+    #: outcomes to sit OPEN before probing (count-based cooldown)
+    cooldown_jobs: int = 5
+    #: consecutive successes in HALF_OPEN to re-close
+    probe_successes: int = 3
+
+
+class CircuitBreaker:
+    """Thread-safe count-based breaker over job outcomes."""
+
+    def __init__(self, config: BreakerConfig | None = None):
+        self.config = config or BreakerConfig()
+        self.state = CLOSED
+        self.transitions: list[tuple[str, str]] = []
+        self._outcomes: deque[bool] = deque(maxlen=self.config.window)
+        self._cooldown = 0
+        self._probes = 0
+        self._lock = threading.Lock()
+
+    @property
+    def degraded(self) -> bool:
+        """Degraded service while not fully CLOSED: OPEN caps batches,
+        HALF_OPEN keeps the cap until the probes prove recovery."""
+        return self.state != CLOSED
+
+    def _transition(self, new_state: str) -> None:
+        self.transitions.append((self.state, new_state))
+        self.state = new_state
+
+    def record(self, ok: bool) -> None:
+        """Feed one job outcome (a whole batch attempt counts once)."""
+        cfg = self.config
+        with self._lock:
+            if self.state == OPEN:
+                self._cooldown += 1
+                if self._cooldown >= cfg.cooldown_jobs:
+                    self._transition(HALF_OPEN)
+                    self._probes = 0
+                return
+            if self.state == HALF_OPEN:
+                if ok:
+                    self._probes += 1
+                    if self._probes >= cfg.probe_successes:
+                        self._transition(CLOSED)
+                        self._outcomes.clear()
+                else:
+                    self._transition(OPEN)
+                    self._cooldown = 0
+                return
+            # CLOSED: track the sliding failure rate
+            self._outcomes.append(ok)
+            if len(self._outcomes) >= cfg.min_samples:
+                failures = sum(1 for o in self._outcomes if not o)
+                if failures / len(self._outcomes) >= cfg.failure_threshold:
+                    self._transition(OPEN)
+                    self._cooldown = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"state": self.state,
+                    "window_failures": sum(
+                        1 for o in self._outcomes if not o),
+                    "window_size": len(self._outcomes),
+                    "transitions": list(self.transitions)}

@@ -1,0 +1,486 @@
+"""The serving front door: admission → queue → batcher → worker fleet.
+
+:class:`SimulationService` is an in-process simulation-as-a-service
+layer over one or more trained simulators. ``submit()`` is synchronous
+and cheap — it validates, admission-controls (typed rejections: queue
+full, over quota, injected chaos), consults the result cache, and
+returns a :class:`concurrent.futures.Future` that resolves to a
+:class:`ServeResponse` or a typed :class:`~repro.serve.ServeError`.
+``submit_async()`` wraps the same future for ``asyncio`` callers.
+
+A dispatcher thread drains admitted requests, sheds work already past
+its deadline, groups compatible requests into micro-batches (capped at
+``degraded_max_batch`` while the circuit breaker is open), and feeds a
+fleet of :class:`~repro.serve.workers.EngineWorker` threads. Crashed
+workers are respawned without losing queued requests; every request
+terminates with a result or a typed error — the chaos suite holds the
+service to exactly that contract.
+
+Everything is observable: queue-depth gauge, admission/rejection/shed
+counters, latency and batch-size histograms, a bounded per-request
+audit trail, and per-request telemetry events when a
+:class:`~repro.obs.session.TelemetrySession` is active.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..obs import get_registry
+from ..obs.session import current_session
+from ..resilience.retry import RetryBudget
+from .admission import AdmissionController, QuotaConfig
+from .batcher import batch_signature, form_batches
+from .cache import ResultCache, checkpoint_fingerprint, request_cache_key
+from .degrade import BreakerConfig, CircuitBreaker
+from .request import (
+    DeadlineExceededError, InverseRequest, RolloutRequest, ServeResponse,
+    ServiceClosedError,
+)
+from .workers import SHUTDOWN, EngineWorker, Job
+
+__all__ = ["ServeConfig", "SimulationService"]
+
+
+@dataclass
+class ServeConfig:
+    """Knobs for one :class:`SimulationService`."""
+
+    #: bounded outstanding-work capacity; admission rejects beyond it
+    max_queue: int = 64
+    #: micro-batch cap while healthy
+    max_batch: int = 8
+    #: micro-batch cap while the circuit breaker is open (1 = solo, so
+    #: a failed attempt costs one request, not a batch)
+    degraded_max_batch: int = 1
+    num_workers: int = 2
+    quota: QuotaConfig = field(default_factory=QuotaConfig)
+    cache_capacity: int = 128
+    #: attempts per job before it fails typed
+    retry_max_attempts: int = 3
+    #: shared retry tokens across the whole worker fleet
+    retry_budget_total: int = 1000
+    #: per-attempt wall-clock deadline (None = unbounded attempts)
+    attempt_timeout: float | None = None
+    #: crash re-queues granted per job before it fails typed
+    max_requeues: int = 3
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    #: bounded in-memory audit trail (most recent N requests)
+    audit_trail: int = 256
+    #: engine precision/backend overrides (None = simulator defaults)
+    engine_dtype: object = None
+    engine_backend: object = None
+
+
+@dataclass
+class _Entry:
+    """One admitted request riding through the pipeline."""
+
+    request: object
+    request_id: str
+    kind: str
+    signature: tuple
+    checkpoint: str
+    admitted_at: float
+    deadline: float | None
+    cache_key: str | None
+    future: object
+
+
+class SimulationService:
+    """See the module docstring. ``simulators`` is one
+    :class:`~repro.gns.simulator.LearnedSimulator` (served as checkpoint
+    ``"default"``) or a dict of named checkpoints. ``clock`` is
+    injectable for deterministic deadline/quota tests."""
+
+    def __init__(self, simulators, config: ServeConfig | None = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 auto_start: bool = True):
+        if not isinstance(simulators, dict):
+            simulators = {"default": simulators}
+        if not simulators:
+            raise ValueError("need at least one simulator")
+        self.simulators = dict(simulators)
+        self.config = config or ServeConfig()
+        self.clock = clock
+        self.checkpoint_hashes = {name: checkpoint_fingerprint(sim)
+                                  for name, sim in self.simulators.items()}
+        self.cache = ResultCache(self.config.cache_capacity)
+        self.admission = AdmissionController(
+            queue_capacity=self.config.max_queue, quota=self.config.quota,
+            clock=clock)
+        self.breaker = CircuitBreaker(self.config.breaker)
+        self.retry_budget = RetryBudget(
+            total=self.config.retry_budget_total,
+            attempt_timeout=self.config.attempt_timeout)
+        self.audit_trail: deque[dict] = deque(maxlen=self.config.audit_trail)
+
+        self._ids = itertools.count()
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._pending: deque[_Entry] = deque()
+        self._jobs: queue.Queue = queue.Queue()
+        self._depth = 0              # admitted, not yet resolved
+        self._closed = False
+        self._started = False
+        self._workers: list[EngineWorker] = []
+        self._dispatcher: threading.Thread | None = None
+        self.counts = {"admitted": 0, "rejected": 0, "shed": 0,
+                       "completed": 0, "failed": 0, "cache_hits": 0,
+                       "cache_misses": 0, "degraded_served": 0,
+                       "worker_respawns": 0, "solo_fallbacks": 0}
+        if auto_start:
+            self.start()
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "SimulationService":
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatcher", daemon=True)
+        self._dispatcher.start()
+        for i in range(self.config.num_workers):
+            self._spawn_worker(i)
+        return self
+
+    def _spawn_worker(self, index: int) -> None:
+        with self._lock:
+            if self._closed:
+                return
+        worker = EngineWorker(index, self)
+        # start before registering: close() joins everything in
+        # _workers, and joining a never-started thread raises
+        worker.start()
+        with self._lock:
+            self._workers.append(worker)
+
+    def close(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the service. ``drain=True`` finishes outstanding work
+        first; ``drain=False`` fails queued requests with
+        :class:`ServiceClosedError` immediately. Idempotent."""
+        with self._work:
+            if self._closed:
+                return
+            self._closed = True
+            self._work.notify_all()
+        if not drain:
+            self._flush_queued(ServiceClosedError("service closed"))
+        if self._started:
+            with self._idle:
+                deadline = time.monotonic() + timeout
+                while self._depth > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._idle.wait(remaining)
+            # crashed workers may respawn concurrently with close(), so
+            # sweep until no un-joined worker remains in the fleet
+            joined: set = set()
+            while True:
+                with self._lock:
+                    workers = [w for w in self._workers if w not in joined]
+                if not workers:
+                    break
+                for _ in workers:
+                    self._jobs.put(SHUTDOWN)
+                for worker in workers:
+                    worker.join(timeout=5.0)
+                    joined.add(worker)
+            if self._dispatcher is not None:
+                self._dispatcher.join(timeout=5.0)
+
+    def _flush_queued(self, error: Exception) -> None:
+        while True:
+            with self._lock:
+                entry = self._pending.popleft() if self._pending else None
+            if entry is None:
+                break
+            self._finish_error(entry, error)
+        while True:
+            try:
+                job = self._jobs.get_nowait()
+            except queue.Empty:
+                break
+            if job is SHUTDOWN:
+                self._jobs.put(SHUTDOWN)
+                break
+            for entry in job.entries:
+                self._finish_error(entry, error)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # -- submission -----------------------------------------------------
+    def submit(self, request):
+        """Admit one request; returns a Future[ServeResponse].
+
+        Raises synchronously on rejection: :class:`QueueFullError`,
+        :class:`QuotaExceededError`, :class:`ServiceClosedError`, or
+        ``ValueError`` for malformed requests.
+        """
+        import concurrent.futures
+
+        if self._closed:
+            raise ServiceClosedError("service closed")
+        request.validate()
+        if request.checkpoint not in self.simulators:
+            raise ValueError(f"unknown checkpoint {request.checkpoint!r}")
+        ckpt_hash = self.checkpoint_hashes[request.checkpoint]
+        reg = get_registry()
+        with self._lock:
+            depth = self._depth
+        from .request import QueueFullError, QuotaExceededError
+
+        try:
+            self.admission.admit(request.tenant, depth)
+        except (QueueFullError, QuotaExceededError) as err:
+            self.counts["rejected"] += 1
+            if reg.enabled:
+                reg.counter("serve.rejected",
+                            reason=type(err).__name__).inc()
+            raise
+
+        now = self.clock()
+        request_id = f"r{next(self._ids):06d}"
+        kind = "inverse" if isinstance(request, InverseRequest) else "rollout"
+        future: concurrent.futures.Future = concurrent.futures.Future()
+
+        cache_key = None
+        if request.cache and isinstance(request, RolloutRequest):
+            cache_key = self._cache_key(request, ckpt_hash)
+            hit = self.cache.get(cache_key)
+            if hit is not None:
+                self.counts["admitted"] += 1
+                self.counts["cache_hits"] += 1
+                if reg.enabled:
+                    reg.counter("serve.admitted").inc()
+                    reg.counter("serve.cache_hits").inc()
+                response = ServeResponse(
+                    request_id=request_id, kind=kind, frames=hit,
+                    cached=True, degraded=self.breaker.degraded)
+                self._audit(response, request, status="ok")
+                future.set_result(response)
+                return future
+            self.counts["cache_misses"] += 1
+            if reg.enabled:
+                reg.counter("serve.cache_misses").inc()
+
+        entry = _Entry(
+            request=request, request_id=request_id, kind=kind,
+            signature=batch_signature(request, ckpt_hash,
+                                      str(self.config.engine_dtype),
+                                      str(self.config.engine_backend)),
+            checkpoint=request.checkpoint, admitted_at=now,
+            deadline=None if request.timeout is None
+            else now + request.timeout,
+            cache_key=cache_key, future=future)
+        self.counts["admitted"] += 1
+        if reg.enabled:
+            reg.counter("serve.admitted").inc()
+        with self._work:
+            self._pending.append(entry)
+            self._depth += 1
+            if reg.enabled:
+                reg.gauge("serve.queue_depth").set(self._depth)
+            self._work.notify()
+        return future
+
+    async def submit_async(self, request):
+        """``asyncio`` facade: awaitable wrapper over :meth:`submit`.
+        Admission errors raise immediately, inside the coroutine."""
+        return await asyncio.wrap_future(self.submit(request))
+
+    def _cache_key(self, request: RolloutRequest, ckpt_hash: str) -> str:
+        types = request.particle_types
+        config = (request.num_steps, request.material,
+                  request.max_velocity,
+                  None if types is None else np.asarray(types),
+                  str(self.config.engine_dtype),
+                  str(self.config.engine_backend))
+        return request_cache_key(ckpt_hash, config, request.seed_frames)
+
+    # -- dispatcher -----------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._work:
+                while not self._pending and not self._closed:
+                    self._work.wait()
+                if self._closed and not self._pending:
+                    return
+                drained = list(self._pending)
+                self._pending.clear()
+            live = self._shed_expired(drained)
+            if not live:
+                continue
+            degraded = self.breaker.degraded
+            max_batch = (self.config.degraded_max_batch if degraded
+                         else self.config.max_batch)
+            reg = get_registry()
+            entries = [(e.signature, e) for e in live]
+            for group in form_batches(entries, max_batch):
+                job = Job(entries=group, checkpoint=group[0].checkpoint,
+                          degraded=degraded)
+                if reg.enabled:
+                    reg.counter("serve.batches").inc()
+                    reg.histogram("serve.batch_size").observe(len(group))
+                    reg.histogram("serve.queue_wait_seconds").observe(
+                        self.clock() - group[0].admitted_at)
+                self._jobs.put(job)
+
+    def _shed_expired(self, entries: list) -> list:
+        """Drop entries already past their deadline; resolve each with
+        :class:`DeadlineExceededError`. Returns the survivors."""
+        now = self.clock()
+        live = []
+        for entry in entries:
+            if entry.deadline is not None and now > entry.deadline:
+                self._finish_error(
+                    entry,
+                    DeadlineExceededError(entry.request_id,
+                                          entry.request.timeout),
+                    shed=True)
+            else:
+                live.append(entry)
+        return live
+
+    # -- worker callbacks ----------------------------------------------
+    def _requeue(self, job: Job, cause: Exception) -> None:
+        """A worker died holding ``job``: put it back (bounded)."""
+        job.requeues += 1
+        if job.requeues > self.config.max_requeues:
+            from .request import RequestFailedError
+
+            for entry in job.entries:
+                self._finish_error(
+                    entry, RequestFailedError(entry.request_id, cause))
+            return
+        self._jobs.put(job)
+
+    def _on_worker_death(self, worker: EngineWorker) -> None:
+        with self._lock:
+            try:
+                self._workers.remove(worker)
+            except ValueError:
+                pass
+            closed = self._closed
+            index = worker.index + self.config.num_workers
+        self.counts["worker_respawns"] += 1
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("serve.worker_respawns").inc()
+        ses = current_session()
+        if ses is not None:
+            ses.event("serve.worker_respawn", worker=worker.index)
+        if not closed:
+            self._spawn_worker(index)
+
+    def _count(self, name: str) -> None:
+        key = name.rsplit(".", 1)[-1]
+        if key in self.counts:
+            self.counts[key] += 1
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter(name).inc()
+
+    # -- completion -----------------------------------------------------
+    def _finish_ok(self, entry: _Entry, frames=None, inverse=None,
+                   batch_size: int = 1, attempts: int = 1,
+                   degraded: bool = False) -> None:
+        latency = self.clock() - entry.admitted_at
+        if frames is not None and entry.cache_key is not None:
+            self.cache.put(entry.cache_key, frames)
+        response = ServeResponse(
+            request_id=entry.request_id, kind=entry.kind,
+            frames=None if frames is None else np.asarray(frames),
+            inverse=inverse, degraded=degraded, batch_size=batch_size,
+            attempts=attempts, latency_seconds=latency)
+        self.counts["completed"] += 1
+        if degraded:
+            self.counts["degraded_served"] += 1
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("serve.completed").inc()
+            if degraded:
+                reg.counter("serve.degraded_served").inc()
+            reg.histogram("serve.latency_seconds").observe(latency)
+        self._audit(response, entry.request, status="ok")
+        self._release(entry)
+        entry.future.set_result(response)
+
+    def _finish_error(self, entry: _Entry, error: Exception,
+                      shed: bool = False) -> None:
+        latency = self.clock() - entry.admitted_at
+        reg = get_registry()
+        if shed:
+            self.counts["shed"] += 1
+            if reg.enabled:
+                reg.counter("serve.shed").inc()
+        else:
+            self.counts["failed"] += 1
+            if reg.enabled:
+                reg.counter("serve.failed").inc()
+        if reg.enabled:
+            reg.histogram("serve.latency_seconds").observe(latency)
+        record = ServeResponse(request_id=entry.request_id, kind=entry.kind,
+                               status="shed" if shed else "failed",
+                               latency_seconds=latency)
+        self._audit(record, entry.request, status=record.status,
+                    error=repr(error))
+        self._release(entry)
+        entry.future.set_exception(error)
+
+    def _release(self, entry: _Entry) -> None:
+        reg = get_registry()
+        with self._idle:
+            self._depth -= 1
+            if reg.enabled:
+                reg.gauge("serve.queue_depth").set(self._depth)
+            self._idle.notify_all()
+
+    def _audit(self, response: ServeResponse, request,
+               status: str = "ok", error: str | None = None) -> None:
+        record = {
+            "request_id": response.request_id, "kind": response.kind,
+            "tenant": request.tenant, "checkpoint": request.checkpoint,
+            "status": status, "cached": response.cached,
+            "degraded": response.degraded,
+            "batch_size": response.batch_size,
+            "attempts": response.attempts,
+            "latency_seconds": round(response.latency_seconds, 6),
+        }
+        if error is not None:
+            record["error"] = error
+        response.audit = record
+        self.audit_trail.append(record)
+        ses = current_session()
+        if ses is not None:
+            ses.event("serve.request", **record)
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            depth = self._depth
+            workers = sum(1 for w in self._workers if w.is_alive())
+        return {
+            "depth": depth, "workers_alive": workers,
+            "closed": self._closed,
+            "counts": dict(self.counts),
+            "cache": self.cache.stats(),
+            "breaker": self.breaker.stats(),
+            "retry_budget_spent": self.retry_budget.spent,
+        }

@@ -1,0 +1,172 @@
+"""Request/response records and the typed error taxonomy for serving.
+
+Every way a request can end is a *type*: admission failures raise
+synchronously from :meth:`SimulationService.submit` (the caller never
+enters the queue), execution failures resolve the request's future with
+a :class:`RequestFailedError` carrying the underlying cause. Nothing in
+the serving layer surfaces a bare ``Exception`` — callers can branch on
+the class and chaos tests can assert *which* failure happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "RolloutRequest", "InverseRequest", "ServeResponse",
+    "ServeError", "QueueFullError", "QuotaExceededError",
+    "DeadlineExceededError", "ServiceClosedError", "RequestFailedError",
+]
+
+
+# ----------------------------------------------------------------------
+# error taxonomy
+# ----------------------------------------------------------------------
+class ServeError(RuntimeError):
+    """Base class for every serving-layer failure."""
+
+
+class QueueFullError(ServeError):
+    """The bounded admission queue is at capacity (backpressure)."""
+
+    def __init__(self, depth: int, capacity: int):
+        self.depth = depth
+        self.capacity = capacity
+        super().__init__(
+            f"admission queue full ({depth}/{capacity}); retry later")
+
+
+class QuotaExceededError(ServeError):
+    """The tenant's token bucket is empty."""
+
+    def __init__(self, tenant: str, retry_after: float):
+        self.tenant = tenant
+        self.retry_after = retry_after
+        super().__init__(
+            f"tenant {tenant!r} over quota; retry in {retry_after:.3f} s")
+
+
+class DeadlineExceededError(ServeError):
+    """The request's deadline passed before execution finished, so the
+    work was shed (if still queued) or abandoned (if running)."""
+
+    def __init__(self, request_id: str, timeout: float):
+        self.request_id = request_id
+        self.timeout = timeout
+        super().__init__(
+            f"request {request_id} exceeded its {timeout:g} s deadline")
+
+
+class ServiceClosedError(ServeError):
+    """Submit after (or racing) :meth:`SimulationService.close`."""
+
+
+class RequestFailedError(ServeError):
+    """Execution failed permanently (retries exhausted or a
+    non-retryable error such as a diverged rollout). The underlying
+    error is ``__cause__`` and :attr:`reason`."""
+
+    def __init__(self, request_id: str, reason: BaseException):
+        self.request_id = request_id
+        self.reason = reason
+        super().__init__(f"request {request_id} failed: {reason!r}")
+        self.__cause__ = reason
+
+
+# ----------------------------------------------------------------------
+# requests
+# ----------------------------------------------------------------------
+@dataclass
+class RolloutRequest:
+    """One forward-rollout job.
+
+    ``seed_frames`` is the ``(C+1, n, d)`` initial history the engine
+    needs. ``timeout`` is a *relative* deadline in seconds from
+    admission — work still waiting past it is shed (checked at dispatch
+    and again at worker pickup) and resolves as
+    :class:`DeadlineExceededError`; work a worker already started is
+    run to completion and delivered late rather than wasted.
+    """
+
+    seed_frames: np.ndarray
+    num_steps: int
+    material: float | None = None
+    particle_types: np.ndarray | None = None
+    max_velocity: float | None = None
+    tenant: str = "default"
+    checkpoint: str = "default"
+    #: relative deadline in seconds (None = no deadline)
+    timeout: float | None = None
+    #: opt out of the result cache (e.g. stochastic downstream use)
+    cache: bool = True
+
+    def validate(self) -> None:
+        frames = np.asarray(self.seed_frames)
+        if frames.ndim != 3:
+            raise ValueError("seed_frames must be (C+1, n, d)")
+        if not np.isfinite(frames).all():
+            raise ValueError("seed_frames contain non-finite values")
+        if self.num_steps < 1:
+            raise ValueError("num_steps must be >= 1")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+
+
+@dataclass
+class InverseRequest:
+    """One inverse-problem job (runout → friction angle).
+
+    Inverse solves run a full gradient-descent loop per request, so they
+    are never micro-batched — each executes solo on a worker. The knobs
+    mirror :class:`repro.inverse.RunoutInverseProblem`.
+    """
+
+    seed_frames: np.ndarray
+    target_runout: float
+    phi0: float
+    rollout_steps: int
+    max_iterations: int = 10
+    toe_x: float | None = None
+    tenant: str = "default"
+    checkpoint: str = "default"
+    timeout: float | None = None
+    cache: bool = True
+
+    def validate(self) -> None:
+        frames = np.asarray(self.seed_frames)
+        if frames.ndim != 3:
+            raise ValueError("seed_frames must be (C+1, n, d)")
+        if not np.isfinite(frames).all():
+            raise ValueError("seed_frames contain non-finite values")
+        if self.rollout_steps < 1:
+            raise ValueError("rollout_steps must be >= 1")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+
+
+@dataclass
+class ServeResponse:
+    """What a completed request resolves to.
+
+    ``status`` is always ``"ok"`` here — failed requests resolve their
+    future with a typed exception instead, so a caller holding a
+    response never needs to re-check for failure. The audit dict is the
+    same record the service appends to its audit trail and telemetry.
+    """
+
+    request_id: str
+    kind: str                       # "rollout" | "inverse"
+    status: str = "ok"
+    frames: np.ndarray | None = None
+    inverse: Any = None             # InversionRecord for inverse jobs
+    cached: bool = False
+    degraded: bool = False
+    batch_size: int = 1
+    attempts: int = 1
+    latency_seconds: float = 0.0
+    audit: dict = field(default_factory=dict)

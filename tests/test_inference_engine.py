@@ -108,6 +108,60 @@ class TestBatchRollout:
         with pytest.raises(ValueError):
             sim.rollout_batch(seeds, 3, materials=[1.0, 2.0])
 
+    def test_batch_of_one_does_not_mutate_input(self):
+        """Regression: for B=1 the stacking transpose+reshape was a view
+        of the caller's array (size-1 axes keep it C-contiguous), so the
+        rollout's window shifting mutated the input seed frames."""
+        sim = make_sim()
+        seeds = np.stack([make_seed(sim, seed=0)], axis=0)
+        before = seeds.copy()
+        sim.rollout_batch(seeds, 5, materials=30.0)
+        np.testing.assert_array_equal(seeds, before)
+        # and the batch still matches solo bitwise
+        batch = sim.rollout_batch(seeds, 5, materials=30.0)
+        single = sim.rollout(seeds[0], 5, material=30.0)
+        np.testing.assert_array_equal(batch[0], single)
+
+
+class TestBatchMixedFailure:
+    """One diverging trajectory must not poison its siblings."""
+
+    def _poisoned_seeds(self, sim):
+        good = [make_seed(sim, seed=s) for s in range(2)]
+        bad = make_seed(sim, seed=7)
+        # a huge last-frame displacement makes the extrapolated velocity
+        # blow any sane max_velocity on the first predicted step
+        bad[-1] += 0.5
+        return good, bad
+
+    def test_batch_with_diverging_member_raises(self):
+        sim = make_sim()
+        good, bad = self._poisoned_seeds(sim)
+        from repro.obs.health import RolloutDivergedError
+
+        seeds = np.stack([good[0], bad, good[1]], axis=0)
+        with pytest.raises(RolloutDivergedError):
+            sim.rollout_batch(seeds, 8, materials=30.0, max_velocity=0.1)
+
+    def test_siblings_unpoisoned_after_failed_batch(self):
+        """After a batch aborts on one bad trajectory, re-running the
+        siblings solo on the SAME engine must be bitwise-identical to a
+        fresh engine's solo rollouts — i.e. the aborted batch left no
+        state behind in the reused buffers/caches."""
+        sim = make_sim()
+        good, bad = self._poisoned_seeds(sim)
+        from repro.obs.health import RolloutDivergedError
+
+        engine = sim.engine()
+        reference = [InferenceEngine(sim).rollout(s, 8, material=30.0)
+                     for s in good]
+        seeds = np.stack([good[0], bad, good[1]], axis=0)
+        with pytest.raises(RolloutDivergedError):
+            engine.rollout_batch(seeds, 8, materials=30.0, max_velocity=0.1)
+        recovered = [engine.rollout(s, 8, material=30.0) for s in good]
+        for got, want in zip(recovered, reference):
+            np.testing.assert_array_equal(got, want)
+
 
 class TestEngineInstrumentation:
     def test_timings_populated(self):

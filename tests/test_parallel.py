@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 from repro.data import Trajectory
 from repro.gns import FeatureConfig, GNSNetworkConfig, LearnedSimulator
 from repro.parallel import (
-    DataParallelConfig, DataParallelTrainer, WorkerPoolError,
+    DataParallelConfig, DataParallelTrainer, PoolClosedError, WorkerPoolError,
     allreduce_state, communication_volume, edge_cut, halo_nodes,
     partition_graph, ring_allreduce, worker_gradients,
 )
@@ -149,6 +149,35 @@ class TestPoolLifecycle:
         trainer = DataParallelTrainer(_tiny_sim(), [_toy_trajectory()])
         trainer.close()
         trainer.close()
+
+    def test_dispatch_after_close_raises_typed(self):
+        """Regression: train_step() on a closed process-pool trainer used
+        to fall through to the sequential branch (pool gone = None)
+        instead of failing; it must raise PoolClosedError."""
+        cfg = DataParallelConfig(num_workers=2, windows_per_worker=1,
+                                 use_processes=True)
+        trainer = DataParallelTrainer(_tiny_sim(), [_toy_trajectory()], cfg)
+        trainer.close()
+        with pytest.raises(PoolClosedError):
+            trainer.train_step()
+
+    def test_sequential_step_after_close_raises_typed(self):
+        trainer = DataParallelTrainer(_tiny_sim(), [_toy_trajectory()])
+        trainer.close()
+        with pytest.raises(PoolClosedError):
+            trainer.train_step()
+
+    def test_internal_dispatch_after_close_raises(self):
+        """_dispatch itself (not just train_step) must fail fast when the
+        pool is gone — this is the mid-close() race path."""
+        cfg = DataParallelConfig(num_workers=1, windows_per_worker=1,
+                                 use_processes=True)
+        trainer = DataParallelTrainer(_tiny_sim(), [_toy_trajectory()], cfg)
+        state = trainer.simulator.state_dict()
+        shard = trainer.windows[:1]
+        trainer.close()
+        with pytest.raises(PoolClosedError):
+            trainer._dispatch([(state, (shard, 1e-4, 0))])
 
     def test_worker_exception_closes_pool(self):
         """Regression: a step that fails all retries must tear the pool

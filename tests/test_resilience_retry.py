@@ -121,3 +121,124 @@ class TestRetryBudget:
         assert b.spend() and b.spend()
         assert not b.spend()
         assert b.remaining == 0
+
+    def test_spend_is_thread_safe(self):
+        import threading
+
+        b = RetryBudget(total=500)
+        hits = []
+
+        def spender():
+            hits.extend(b.spend() for _ in range(100))
+
+        threads = [threading.Thread(target=spender) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(hits) == 500          # exactly `total` tokens granted
+        assert b.remaining == 0
+
+    def test_attempt_timeout_validation(self):
+        with pytest.raises(ValueError):
+            RetryBudget(attempt_timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryBudget(attempt_timeout=-1.0)
+
+
+class TestAttemptTimeout:
+    """Per-attempt deadlines: timeout -> retry -> giveup."""
+
+    def test_slow_attempt_times_out_then_retries(self):
+        import time as _time
+
+        calls = []
+
+        def sometimes_slow():
+            calls.append(None)
+            if len(calls) == 1:
+                _time.sleep(0.5)       # first attempt blows the deadline
+            return "done"
+
+        budget = RetryBudget(total=5, attempt_timeout=0.05)
+        assert retry_call(sometimes_slow, budget=budget,
+                          policy=RetryPolicy(max_attempts=3)) == "done"
+        assert len(calls) == 2
+
+    def test_timeout_retried_even_with_narrow_retry_on(self):
+        """AttemptTimeoutError must retry even when retry_on excludes
+        OSError (its base) entirely."""
+        import time as _time
+
+        calls = []
+
+        class AppError(Exception):
+            pass
+
+        def slow_once():
+            calls.append(None)
+            if len(calls) == 1:
+                _time.sleep(0.5)
+            return 7
+
+        budget = RetryBudget(total=5, attempt_timeout=0.05)
+        assert retry_call(slow_once, budget=budget,
+                          retry_on=(AppError,),
+                          policy=RetryPolicy(max_attempts=3)) == 7
+        assert len(calls) == 2
+
+    def test_always_slow_gives_up_typed(self):
+        import time as _time
+
+        from repro.resilience import AttemptTimeoutError
+
+        def always_slow():
+            _time.sleep(0.5)
+
+        budget = RetryBudget(total=10, attempt_timeout=0.05)
+        with pytest.raises(RetryExhaustedError) as exc:
+            retry_call(always_slow, budget=budget, op="stuck",
+                       policy=RetryPolicy(max_attempts=2))
+        assert isinstance(exc.value.__cause__, AttemptTimeoutError)
+        assert exc.value.__cause__.timeout == pytest.approx(0.05)
+
+    def test_timeout_counters_recorded(self):
+        import time as _time
+
+        import repro.obs as obs
+        from repro.obs import get_registry
+
+        def slow():
+            _time.sleep(0.5)
+
+        obs.enable()
+        obs.reset()
+        try:
+            with pytest.raises(RetryExhaustedError):
+                retry_call(slow, budget=RetryBudget(attempt_timeout=0.05),
+                           policy=RetryPolicy(max_attempts=2), op="op_t")
+            names = {(m.name, m.labels.get("op"))
+                     for m in get_registry().metrics()}
+        finally:
+            obs.disable()
+            obs.reset()
+        assert ("resilience.retries", "op_t") in names
+        assert ("resilience.giveups", "op_t") in names
+
+    def test_attempt_errors_still_propagate_through_thread(self):
+        """A failing attempt under a deadline raises its own error, not
+        a timeout."""
+        budget = RetryBudget(total=5, attempt_timeout=1.0)
+        fn = _Flaky(1, error=FileNotFoundError("gone"))
+        with pytest.raises(FileNotFoundError):
+            retry_call(fn, budget=budget, retry_on=(OSError,),
+                       give_up_on=(FileNotFoundError,))
+
+    def test_no_deadline_means_no_helper_thread(self, monkeypatch):
+        import repro.resilience.retry as retry_mod
+
+        def boom(*a, **k):  # pragma: no cover - failing is the assertion
+            raise AssertionError("deadline runner used without a deadline")
+
+        monkeypatch.setattr(retry_mod, "_call_with_deadline", boom)
+        assert retry_call(_Flaky(1), budget=RetryBudget(total=5)) == 42

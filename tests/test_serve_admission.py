@@ -1,0 +1,159 @@
+"""Admission control: token buckets, queue capacity, typed rejections,
+micro-batch grouping."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import arm_faults, disarm_faults
+from repro.serve import (
+    AdmissionController, QueueFullError, QuotaConfig, QuotaExceededError,
+    TokenBucket, batch_signature, form_batches,
+)
+from repro.serve.batcher import batch_materials
+from repro.serve.request import InverseRequest, RolloutRequest
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    disarm_faults()
+    yield
+    disarm_faults()
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert all(bucket.try_take()[0] for _ in range(3))
+        ok, retry_after = bucket.try_take()
+        assert not ok and retry_after == pytest.approx(1.0)
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        bucket.try_take(), bucket.try_take()
+        assert not bucket.try_take()[0]
+        clock.t += 0.5                       # 2/s * 0.5s = 1 token back
+        assert bucket.try_take()[0]
+        assert not bucket.try_take()[0]
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.t += 60.0
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_zero_rate_never_refills(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.0, burst=1, clock=clock)
+        assert bucket.try_take()[0]
+        clock.t += 1e6
+        ok, retry_after = bucket.try_take()
+        assert not ok and retry_after == float("inf")
+
+
+class TestAdmissionController:
+    def test_queue_full_rejects_typed(self):
+        ctl = AdmissionController(queue_capacity=2)
+        ctl.admit("t", queue_depth=1)        # below capacity: fine
+        with pytest.raises(QueueFullError) as exc:
+            ctl.admit("t", queue_depth=2)
+        assert exc.value.capacity == 2
+
+    def test_quota_rejects_typed_per_tenant(self):
+        clock = FakeClock()
+        ctl = AdmissionController(queue_capacity=100,
+                                  quota=QuotaConfig(rate=1.0, burst=2),
+                                  clock=clock)
+        ctl.admit("a", 0), ctl.admit("a", 0)
+        with pytest.raises(QuotaExceededError) as exc:
+            ctl.admit("a", 0)
+        assert exc.value.tenant == "a"
+        ctl.admit("b", 0)                    # other tenants unaffected
+
+    def test_injected_rejection_fires(self):
+        arm_faults("serve.reject@0")
+        ctl = AdmissionController(queue_capacity=100)
+        with pytest.raises(QueueFullError):
+            ctl.admit("t", queue_depth=0)
+        ctl.admit("t", queue_depth=0)        # only invocation 0 selected
+
+
+class TestBatching:
+    def _req(self, seed, steps=5, material=30.0, **kw):
+        return RolloutRequest(seed_frames=seed, num_steps=steps,
+                              material=material, **kw)
+
+    def test_compatible_requests_share_signature(self):
+        seed = np.zeros((4, 10, 2))
+        a = batch_signature(self._req(seed, material=20.0), "ck", "f8", "np")
+        b = batch_signature(self._req(seed, material=40.0), "ck", "f8", "np")
+        assert a == b                        # materials may differ
+
+    def test_incompatible_requests_split(self):
+        seed = np.zeros((4, 10, 2))
+        base = batch_signature(self._req(seed), "ck", "f8", "np")
+        assert batch_signature(self._req(seed, steps=6),
+                               "ck", "f8", "np") != base
+        assert batch_signature(self._req(np.zeros((4, 11, 2))),
+                               "ck", "f8", "np") != base
+        assert batch_signature(self._req(seed), "other", "f8", "np") != base
+        assert batch_signature(
+            self._req(seed, max_velocity=1.0), "ck", "f8", "np") != base
+
+    def test_inverse_requests_never_batch(self):
+        seed = np.zeros((4, 10, 2))
+        inv = InverseRequest(seed_frames=seed, target_runout=0.1, phi0=40.0,
+                             rollout_steps=5)
+        inv2 = InverseRequest(seed_frames=seed, target_runout=0.1, phi0=40.0,
+                              rollout_steps=5)
+        assert batch_signature(inv, "ck", "f8", "np") != \
+            batch_signature(inv2, "ck", "f8", "np")
+
+    def test_form_batches_chunks_and_preserves_order(self):
+        entries = [(("a",), i) for i in range(5)] + [(("b",), 10)]
+        batches = form_batches(entries, max_batch=2)
+        assert batches == [[0, 1], [2, 3], [4], [10]]
+
+    def test_batch_materials(self):
+        seed = np.zeros((4, 10, 2))
+        same = [self._req(seed, material=30.0) for _ in range(2)]
+        assert batch_materials(same) == 30.0
+        mixed = [self._req(seed, material=m) for m in (20.0, 40.0)]
+        np.testing.assert_array_equal(batch_materials(mixed),
+                                      np.array([20.0, 40.0]))
+        none = [self._req(seed, material=None) for _ in range(2)]
+        assert batch_materials(none) is None
+
+
+class TestRequestValidation:
+    def test_bad_rollout_requests(self):
+        with pytest.raises(ValueError):
+            RolloutRequest(seed_frames=np.zeros((10, 2)),
+                           num_steps=3).validate()
+        with pytest.raises(ValueError):
+            RolloutRequest(seed_frames=np.zeros((4, 10, 2)),
+                           num_steps=0).validate()
+        with pytest.raises(ValueError):
+            RolloutRequest(seed_frames=np.full((4, 10, 2), np.nan),
+                           num_steps=3).validate()
+        with pytest.raises(ValueError):
+            RolloutRequest(seed_frames=np.zeros((4, 10, 2)), num_steps=3,
+                           timeout=-1.0).validate()
+
+    def test_bad_inverse_requests(self):
+        seed = np.zeros((4, 10, 2))
+        with pytest.raises(ValueError):
+            InverseRequest(seed_frames=seed, target_runout=0.1, phi0=40.0,
+                           rollout_steps=0).validate()
+        with pytest.raises(ValueError):
+            InverseRequest(seed_frames=seed, target_runout=0.1, phi0=40.0,
+                           rollout_steps=5, max_iterations=0).validate()

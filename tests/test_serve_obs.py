@@ -1,0 +1,84 @@
+"""Serving observability: serve_summary aggregation, the text report
+section, and the HTML report section."""
+
+from repro.obs.report import render_html
+from repro.obs.summarize import format_rows, serve_summary
+
+
+def _counter(name, value, **labels):
+    row = {"kind": "metric", "type": "counter", "name": name, "value": value}
+    if labels:
+        row["labels"] = labels
+    return row
+
+
+def _serve_rows():
+    return [
+        _counter("serve.admitted", 10),
+        _counter("serve.completed", 7),
+        _counter("serve.rejected", 2, reason="QueueFullError"),
+        _counter("serve.rejected", 1, reason="QuotaExceededError"),
+        _counter("serve.shed", 1),
+        _counter("serve.failed", 2),
+        _counter("serve.cache_hits", 3),
+        _counter("serve.worker_respawns", 1),
+        {"kind": "metric", "type": "gauge", "name": "serve.queue_depth",
+         "value": 0, "count": 12, "min": 0, "max": 5},
+        {"kind": "metric", "type": "histogram",
+         "name": "serve.latency_seconds", "count": 10, "mean": 0.02,
+         "min": 0.001, "max": 0.2, "p50": 0.015, "p95": 0.12, "p99": 0.19},
+    ]
+
+
+class TestServeSummary:
+    def test_aggregates_counters_across_label_sets(self):
+        summary = serve_summary(_serve_rows())
+        assert summary["counts"]["admitted"] == 10
+        assert summary["counts"]["rejected"] == 3       # summed over reasons
+        assert summary["counts"]["worker_respawns"] == 1
+
+    def test_latency_and_queue_depth(self):
+        summary = serve_summary(_serve_rows())
+        assert summary["latency"]["p99"] == 0.19
+        assert summary["latency"]["count"] == 10
+        assert summary["queue_depth"] == {"last": 0, "max": 5}
+
+    def test_none_without_serve_activity(self):
+        assert serve_summary([]) is None
+        assert serve_summary([_counter("train.steps", 5)]) is None
+
+    def test_percentiles_fall_back_to_buckets(self):
+        row = {"kind": "metric", "type": "histogram",
+               "name": "serve.latency_seconds", "count": 4, "mean": 0.05,
+               "min": 0.01, "max": 0.09, "sum": 0.2, "overflow": 0,
+               "buckets": [0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 100.0,
+                           1000.0],
+               "counts": [0, 0, 1, 3, 0, 0, 0, 0]}
+        summary = serve_summary([row])
+        assert summary["latency"]["p50"] is not None
+        assert summary["latency"]["p50"] <= 0.1
+
+
+class TestTextReport:
+    def test_serve_section_rendered(self):
+        text = format_rows(_serve_rows())
+        assert "serve: 10 admitted, 3 rejected, 1 shed, 2 failed" in text
+        assert "worker_respawns=1" in text
+        assert "p99=0.19" in text
+        assert "queue depth: last=0  max=5" in text
+
+    def test_no_serve_section_without_activity(self):
+        text = format_rows([_counter("train.steps", 5)])
+        assert "serve:" not in text
+
+
+class TestHtmlReport:
+    def test_serving_section_present(self):
+        html = render_html(_serve_rows())
+        assert "<h2>Serving</h2>" in html
+        assert "admitted" in html
+        assert "0.19" in html             # p99 made it into the page
+
+    def test_serving_section_absent_without_activity(self):
+        html = render_html([_counter("train.steps", 5)])
+        assert "<h2>Serving</h2>" not in html
